@@ -1,0 +1,504 @@
+(* The benchmark harness: regenerates every experiment of DESIGN.md's
+   index (the paper's Figures 1-6 as executable artifacts plus the
+   quantitative claims of Sections 4-6) and times the core operations
+   with Bechamel.
+
+   Each experiment prints the table/series described in EXPERIMENTS.md;
+   the timing section at the end reports one Bechamel estimate per
+   experiment's hot path. *)
+
+let hr title = Fmt.pr "@.===== %s =====@." title
+
+let analyze_text ?protocol ?quantum ?(max_states = 2_000_000) text =
+  let root = Aadl.Instantiate.of_string text in
+  let options =
+    {
+      Analysis.Schedulability.translation_options =
+        {
+          Translate.Pipeline.default_options with
+          force_protocol = protocol;
+          quantum;
+        };
+      max_states;
+      all_violations = false;
+    }
+  in
+  Analysis.Schedulability.analyze ~options root
+
+let verdict_string r =
+  match r.Analysis.Schedulability.verdict with
+  | Analysis.Schedulability.Schedulable -> "schedulable"
+  | Analysis.Schedulability.Not_schedulable _ -> "NOT schedulable"
+  | Analysis.Schedulability.Inconclusive _ -> "inconclusive"
+
+let states_of r =
+  Versa.Lts.num_states r.Analysis.Schedulability.exploration.Versa.Explorer.lts
+
+(* {1 F1: the cruise-control system of Fig. 1} *)
+
+let exp_f1 () =
+  hr "F1: cruise control (paper Fig. 1, Section 4.1)";
+  Fmt.pr "variant       threads disp queues  states  verdict@.";
+  List.iter
+    (fun (name, text) ->
+      let r = analyze_text text in
+      let tr = r.Analysis.Schedulability.translation in
+      Fmt.pr "%-12s  %7d %4d %6d  %6d  %s@." name
+        tr.Translate.Pipeline.num_thread_processes
+        tr.Translate.Pipeline.num_dispatchers tr.Translate.Pipeline.num_queues
+        (states_of r) (verdict_string r))
+    [
+      ("nominal", Gen.cruise_control ());
+      ("overloaded", Gen.cruise_control ~overload:true ());
+    ];
+  Fmt.pr
+    "(paper: six thread processes, six dispatchers, no queue processes)@."
+
+(* {1 F2/F3: the ACSR figures} *)
+
+let exp_f2_f3 () =
+  hr "F2: the Simple process (paper Fig. 2)";
+  let l2a = Versa.Lts.build Gen.Paper_figs.fig2a_defs Gen.Paper_figs.fig2a_initial in
+  let l2b = Versa.Lts.build Gen.Paper_figs.fig2b_defs Gen.Paper_figs.fig2b_initial in
+  Fmt.pr "fig 2a: %a@.fig 2b: %a@." Versa.Lts.pp_summary l2a
+    Versa.Lts.pp_summary l2b;
+  hr "F3: Simple || SimpleDriver (paper Fig. 3)";
+  let l3 = Versa.Lts.build Gen.Paper_figs.fig3_defs Gen.Paper_figs.fig3_system in
+  Fmt.pr "composition: %a@." Versa.Lts.pp_summary l3;
+  Fmt.pr "deadlocks: %d@." (List.length (Versa.Lts.deadlocks l3));
+  Fmt.pr "interrupt path reachable:  %b@."
+    (Gen.Paper_figs.label_reachable l3 Gen.Paper_figs.interrupt_handled);
+  Fmt.pr "exception path reachable:  %b@."
+    (Gen.Paper_figs.label_reachable l3 Gen.Paper_figs.exception_handled)
+
+(* {1 F5: Compute-process state space vs execution time (Fig. 5)} *)
+
+let exp_f5 () =
+  hr "F5: Compute(e,t) state growth (paper Fig. 5)";
+  (* a nondeterministic execution time in [1, cmax]: each possible
+     completion point branches the Compute process, so the reachable state
+     space grows with the width of the range *)
+  Fmt.pr "cet range (quanta)  states  transitions@.";
+  List.iter
+    (fun cmax ->
+      let text =
+        Gen.periodic_system
+          [
+            {
+              Gen.name = "t1";
+              period_ms = 8;
+              cet_min_ms = 1;
+              cet_max_ms = cmax;
+              deadline_ms = 8;
+            };
+          ]
+      in
+      let r = analyze_text ~quantum:(Aadl.Time.of_ms 1) text in
+      let lts = r.Analysis.Schedulability.exploration.Versa.Explorer.lts in
+      Fmt.pr "            [1,%d]  %6d  %11d@." cmax (Versa.Lts.num_states lts)
+        (Versa.Lts.num_transitions lts))
+    [ 1; 2; 3; 4; 5; 6 ]
+
+(* {1 E1: verdict agreement, exploration vs classical baselines} *)
+
+let exp_e1 () =
+  hr "E1: verdict agreement (ACSR exploration vs RTA / demand / simulation)";
+  Fmt.pr
+    "U      sets  RM:sched  RTA-agree  sim-agree  EDF:sched  demand-agree@.";
+  List.iter
+    (fun u ->
+      let sets = List.init 10 (fun seed -> Gen.random_specs ~seed ~n:3 ~u) in
+      let rm_sched = ref 0
+      and rta_agree = ref 0
+      and sim_agree = ref 0
+      and edf_sched = ref 0
+      and dem_agree = ref 0 in
+      List.iter
+        (fun specs ->
+          let text = Gen.periodic_system specs in
+          let tasks =
+            (Translate.Workload.extract ~quantum:(Aadl.Time.of_ms 1)
+               (Aadl.Instantiate.of_string text))
+              .Translate.Workload.tasks
+          in
+          let acsr_rm =
+            Analysis.Schedulability.is_schedulable
+              (analyze_text ~protocol:Aadl.Props.Rate_monotonic text)
+          in
+          let acsr_edf =
+            Analysis.Schedulability.is_schedulable
+              (analyze_text ~protocol:Aadl.Props.Edf text)
+          in
+          if acsr_rm then incr rm_sched;
+          if acsr_edf then incr edf_sched;
+          let rta =
+            Analysis.Rta.analyze ~protocol:Aadl.Props.Rate_monotonic tasks
+          in
+          if rta.Analysis.Rta.applicable
+             && rta.Analysis.Rta.schedulable = acsr_rm
+          then incr rta_agree;
+          let sim =
+            Analysis.Simulator.simulate ~protocol:Aadl.Props.Rate_monotonic
+              tasks
+          in
+          if sim.Analysis.Simulator.schedulable = acsr_rm then incr sim_agree;
+          let dem = Analysis.Edf_demand.analyze tasks in
+          if dem.Analysis.Edf_demand.applicable
+             && dem.Analysis.Edf_demand.schedulable = acsr_edf
+          then incr dem_agree)
+        sets;
+      Fmt.pr "%.2f  %5d  %8d  %9d  %9d  %9d  %12d@." u (List.length sets)
+        !rm_sched !rta_agree !sim_agree !edf_sched !dem_agree)
+    [ 0.5; 0.7; 0.85; 0.95; 1.05 ]
+
+(* {1 E2: scheduling policy comparison (Section 5)} *)
+
+let exp_e2 () =
+  hr "E2: scheduling policies on the reference task sets";
+  let protocols =
+    [
+      ("RM", Aadl.Props.Rate_monotonic);
+      ("DM", Aadl.Props.Deadline_monotonic);
+      ("EDF", Aadl.Props.Edf);
+      ("LLF", Aadl.Props.Llf);
+    ]
+  in
+  Fmt.pr "%-12s" "task set";
+  List.iter (fun (n, _) -> Fmt.pr "  %-16s" n) protocols;
+  Fmt.pr "@.";
+  List.iter
+    (fun (name, specs) ->
+      Fmt.pr "%-12s" name;
+      List.iter
+        (fun (_, p) ->
+          let r = analyze_text ~protocol:p (Gen.periodic_system specs) in
+          Fmt.pr "  %-16s" (verdict_string r))
+        protocols;
+      Fmt.pr "@.")
+    [
+      ("light", Gen.light_set);
+      ("crossover", Gen.crossover_set);
+      ("overloaded", Gen.overloaded_set);
+    ];
+  Fmt.pr
+    "(expected crossover row: RM misses, EDF/LLF schedule — U=0.971 is \
+     above the RM bound but below 1)@."
+
+(* {1 E3: quantum size vs precision (Section 4.1)} *)
+
+let exp_e3 () =
+  hr "E3: quantum size vs precision and state space (Section 4.1)";
+  (* T1(2ms, 10ms), T2(6ms, 10ms): schedulable at fine quanta; a 4 ms
+     quantum rounds T2's demand up and the deadline down, producing a
+     (sound) false violation *)
+  let text =
+    Gen.periodic_system
+      [
+        Gen.simple_spec ~name:"t1" ~period_ms:10 ~cet_ms:2 ();
+        Gen.simple_spec ~name:"t2" ~period_ms:10 ~cet_ms:6 ();
+      ]
+  in
+  Fmt.pr "quantum  states  verdict@.";
+  List.iter
+    (fun q_ms ->
+      let r = analyze_text ~quantum:(Aadl.Time.of_ms q_ms) text in
+      Fmt.pr "%4d ms  %6d  %s@." q_ms (states_of r) (verdict_string r))
+    [ 1; 2; 4; 5 ];
+  Fmt.pr
+    "(the model is schedulable; coarse quanta may reject it but never \
+     falsely accept)@."
+
+(* {1 E4: diagnostic traces (Section 5)} *)
+
+let exp_e4 () =
+  hr "E4: failing-scenario diagnostics (Section 5)";
+  let r = analyze_text (Gen.cruise_control ~overload:true ()) in
+  match r.Analysis.Schedulability.verdict with
+  | Analysis.Schedulability.Not_schedulable { scenario; _ } ->
+      let happenings =
+        List.concat_map
+          (fun q -> q.Analysis.Raise_trace.happenings)
+          scenario.Analysis.Raise_trace.quanta
+      in
+      Fmt.pr
+        "violation at t=%d; %d quanta in the scenario; %d AADL-level \
+         happenings (dispatches/completions)@."
+        scenario.Analysis.Raise_trace.violation_time
+        (List.length scenario.Analysis.Raise_trace.quanta)
+        (List.length happenings)
+  | _ -> Fmt.pr "unexpected: overloaded variant not rejected@."
+
+(* {1 E5: latency observers (Section 5)} *)
+
+let exp_e5 () =
+  hr "E5: end-to-end latency observer sweep (Section 5)";
+  let root = Aadl.Instantiate.of_string (Gen.cruise_control ()) in
+  Fmt.pr "bound   verdict   states@.";
+  List.iter
+    (fun bound_ms ->
+      let r =
+        Analysis.Latency.check
+          ~from_thread:[ "hci"; "ref_speed" ]
+          ~to_thread:[ "ccl"; "cruise2" ]
+          ~bound:(Aadl.Time.of_ms bound_ms) root
+      in
+      let verdict =
+        match r.Analysis.Latency.verdict with
+        | Analysis.Latency.Latency_met -> "met"
+        | Analysis.Latency.Latency_violated _ -> "violated"
+        | Analysis.Latency.Latency_inconclusive _ -> "inconclusive"
+      in
+      Fmt.pr "%3d ms  %-8s  %6d@." bound_ms verdict
+        (Versa.Lts.num_states r.Analysis.Latency.exploration.Versa.Explorer.lts))
+    [ 100; 60; 40; 30; 20 ]
+
+(* {1 E6: state-space scaling (Section 7 motivation)} *)
+
+let e6_model n =
+  Gen.periodic_system
+    (List.init n (fun i ->
+         Gen.simple_spec
+           ~name:(Printf.sprintf "t%d" (i + 1))
+           ~period_ms:(4 + (2 * i))
+           ~cet_ms:1 ()))
+
+let exp_e6 () =
+  hr "E6: state-space growth with the number of threads (Section 7)";
+  Fmt.pr "threads  states  transitions  time@.";
+  List.iter
+    (fun n ->
+      let r = analyze_text (e6_model n) in
+      let lts = r.Analysis.Schedulability.exploration.Versa.Explorer.lts in
+      Fmt.pr "%7d  %6d  %11d  %.3fs@." n (Versa.Lts.num_states lts)
+        (Versa.Lts.num_transitions lts)
+        r.Analysis.Schedulability.exploration.Versa.Explorer.elapsed)
+    [ 1; 2; 3; 4; 5; 6 ]
+
+(* {1 E7: queue sizes and overflow (Section 4.4)} *)
+
+let replace pat repl s =
+  let plen = String.length pat in
+  let buf = Buffer.create (String.length s) in
+  let i = ref 0 in
+  while !i <= String.length s - plen do
+    if String.sub s !i plen = pat then begin
+      Buffer.add_string buf repl;
+      i := !i + plen
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.add_string buf (String.sub s !i (String.length s - !i));
+  Buffer.contents buf
+
+let exp_e7 () =
+  hr "E7: queue sizes and Overflow_Handling_Protocol (Section 4.4)";
+  Fmt.pr "queue  policy      verdict          states@.";
+  List.iter
+    (fun (qs, overflow) ->
+      let text =
+        replace "Period => 4 ms;" "Period => 16 ms;"
+          (Gen.event_driven ~queue_size:qs ~overflow ())
+      in
+      let r = analyze_text text in
+      Fmt.pr "%5d  %-10s  %-15s  %6d@." qs overflow (verdict_string r)
+        (states_of r))
+    [
+      (1, "DropNewest");
+      (2, "DropNewest");
+      (1, "Error");
+      (2, "Error");
+      (4, "Error");
+    ];
+  Fmt.pr
+    "(a slow sporadic consumer: dropping absorbs the overload, Error \
+     surfaces it as a violation)@."
+
+(* {1 E8: cross-processor shared data (access connections)} *)
+
+let exp_e8 () =
+  hr "E8: shared-data contention across processors (beyond classical RTA)";
+  Fmt.pr "reader cet  data demand/period  exploration      per-cpu RTA@.";
+  List.iter
+    (fun cet ->
+      let text = Gen.shared_data_system ~t2_cet_ms:cet () in
+      let r = analyze_text text in
+      let wl =
+        r.Analysis.Schedulability.translation.Translate.Pipeline.workload
+      in
+      let rta_all =
+        List.for_all
+          (fun (_, tasks) ->
+            (Analysis.Rta.analyze ~protocol:Aadl.Props.Rate_monotonic tasks)
+              .Analysis.Rta.schedulable)
+          wl.Translate.Workload.by_processor
+      in
+      Fmt.pr "%10d  %17s  %-15s  %s@." cet
+        (Printf.sprintf "%d/4" (2 + cet))
+        (verdict_string r)
+        (if rta_all then "schedulable" else "NOT schedulable"))
+    [ 1; 2; 3 ];
+  Fmt.pr
+    "(the serialized data component overloads at demand 5/4; only the exploration sees it — the paper's argument for handling complex interaction patterns)@."
+
+(* {1 E9: multi-modal systems (extension)} *)
+
+let exp_e9 () =
+  hr "E9: mode switching (extension; the paper's translation omits modes)";
+  Fmt.pr "degraded worker cet  verdict          states@.";
+  List.iter
+    (fun cet ->
+      let r = analyze_text (Gen.modal_system ~degraded_cet_ms:cet ()) in
+      Fmt.pr "%19d  %-15s  %6d@." cet (verdict_string r) (states_of r))
+    [ 4; 6; 8; 9 ];
+  Fmt.pr
+    "(combined utilization of all threads is > 1; feasibility up to cet 8 shows mode exclusion is honored; cet 9 overloads the degraded mode and the scenario walks through the mode switch)@."
+
+(* {1 E10: hierarchical scheduling (extension, Section 7)} *)
+
+let exp_e10 () =
+  hr "E10: hierarchical scheduling by priority bands (Section 7)";
+  Fmt.pr "ranking                          verdict          states@.";
+  List.iter
+    (fun (name, crit, be) ->
+      let r =
+        analyze_text
+          (Gen.hierarchical_system ~critical_rank:crit ~besteffort_rank:be ())
+      in
+      Fmt.pr "%-31s  %-15s  %6d@." name (verdict_string r) (states_of r))
+    [
+      ("critical group on top", 10, 1);
+      ("best-effort group on top", 1, 10);
+    ];
+  Fmt.pr
+    "(two-level: fixed priority across process groups, RM / EDF locally; \
+     ranking the best-effort group above starves the 2 ms-deadline \
+     critical thread)@."
+
+(* {1 Bechamel timing} *)
+
+let bechamel_section () =
+  hr "timing (Bechamel, one estimate per experiment hot path)";
+  let open Bechamel in
+  let cruise = Gen.cruise_control () in
+  let cruise_root = Aadl.Instantiate.of_string cruise in
+  let cruise_tr = Translate.Pipeline.translate cruise_root in
+  let crossover = Gen.periodic_system Gen.crossover_set in
+  let crossover_tasks =
+    (Translate.Workload.extract ~quantum:(Aadl.Time.of_ms 1)
+       (Aadl.Instantiate.of_string crossover))
+      .Translate.Workload.tasks
+  in
+  let e6_4 = e6_model 4 in
+  let tests =
+    [
+      Test.make ~name:"fig1_cruise_control_analysis"
+        (Staged.stage (fun () -> ignore (analyze_text cruise)));
+      Test.make ~name:"fig1_parse_and_instantiate"
+        (Staged.stage (fun () -> ignore (Aadl.Instantiate.of_string cruise)));
+      Test.make ~name:"fig1_translate_only"
+        (Staged.stage (fun () ->
+             ignore (Translate.Pipeline.translate cruise_root)));
+      Test.make ~name:"fig1_explore_only"
+        (Staged.stage (fun () ->
+             ignore
+               (Versa.Explorer.check_deadlock cruise_tr.Translate.Pipeline.defs
+                  cruise_tr.Translate.Pipeline.system)));
+      Test.make ~name:"fig2_simple_process"
+        (Staged.stage (fun () ->
+             ignore
+               (Versa.Lts.build Gen.Paper_figs.fig2a_defs
+                  Gen.Paper_figs.fig2a_initial)));
+      Test.make ~name:"fig3_composition"
+        (Staged.stage (fun () ->
+             ignore
+               (Versa.Lts.build Gen.Paper_figs.fig3_defs
+                  Gen.Paper_figs.fig3_system)));
+      Test.make ~name:"fig5_compute_cet4"
+        (Staged.stage (fun () ->
+             ignore
+               (analyze_text ~quantum:(Aadl.Time.of_ms 1)
+                  (Gen.periodic_system
+                     [ Gen.simple_spec ~name:"t1" ~period_ms:8 ~cet_ms:4 () ]))));
+      Test.make ~name:"e1_rta_baseline"
+        (Staged.stage (fun () ->
+             ignore
+               (Analysis.Rta.analyze ~protocol:Aadl.Props.Rate_monotonic
+                  crossover_tasks)));
+      Test.make ~name:"e1_simulator_baseline"
+        (Staged.stage (fun () ->
+             ignore
+               (Analysis.Simulator.simulate ~protocol:Aadl.Props.Rate_monotonic
+                  crossover_tasks)));
+      Test.make ~name:"e2_crossover_edf"
+        (Staged.stage (fun () ->
+             ignore (analyze_text ~protocol:Aadl.Props.Edf crossover)));
+      Test.make ~name:"e6_four_threads"
+        (Staged.stage (fun () -> ignore (analyze_text e6_4)));
+      Test.make ~name:"e7_queue_overflow"
+        (Staged.stage (fun () -> ignore (analyze_text (Gen.event_driven ()))));
+      Test.make ~name:"e8_shared_data"
+        (Staged.stage (fun () ->
+             ignore (analyze_text (Gen.shared_data_system ()))));
+      Test.make ~name:"e9_modal_system"
+        (Staged.stage (fun () -> ignore (analyze_text (Gen.modal_system ()))));
+      Test.make ~name:"e10_hierarchical"
+        (Staged.stage (fun () ->
+             ignore (analyze_text (Gen.hierarchical_system ()))));
+      Test.make ~name:"e11_sensitivity_breakdown"
+        (Staged.stage (fun () ->
+             let root =
+               Aadl.Instantiate.of_string (Gen.periodic_system Gen.light_set)
+             in
+             ignore
+               (Analysis.Sensitivity.breakdown ~thread:[ "t2_i" ] root)));
+      Test.make ~name:"e12_avionics_8_threads"
+        (Staged.stage (fun () -> ignore (analyze_text (Gen.avionics ()))));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  Fmt.pr "%-32s %14s %8s@." "benchmark" "time/run" "r^2";
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg Toolkit.Instance.[ monotonic_clock ] elt in
+          let est = Analyze.one ols Toolkit.Instance.monotonic_clock raw in
+          let time_ns =
+            match Analyze.OLS.estimates est with
+            | Some [ t ] -> t
+            | Some _ | None -> nan
+          in
+          let r2 =
+            match Analyze.OLS.r_square est with Some r -> r | None -> nan
+          in
+          let pp_time ppf ns =
+            if ns >= 1e9 then Fmt.pf ppf "%10.3f s " (ns /. 1e9)
+            else if ns >= 1e6 then Fmt.pf ppf "%10.3f ms" (ns /. 1e6)
+            else Fmt.pf ppf "%10.3f us" (ns /. 1e3)
+          in
+          Fmt.pr "%-32s %a %8.4f@." (Test.Elt.name elt) pp_time time_ns r2)
+        (Test.elements test))
+    tests
+
+let () =
+  exp_f1 ();
+  exp_f2_f3 ();
+  exp_f5 ();
+  exp_e1 ();
+  exp_e2 ();
+  exp_e3 ();
+  exp_e4 ();
+  exp_e5 ();
+  exp_e6 ();
+  exp_e7 ();
+  exp_e8 ();
+  exp_e9 ();
+  exp_e10 ();
+  bechamel_section ();
+  Fmt.pr "@.done.@."

@@ -1,0 +1,601 @@
+(* aadl_sched: schedulability analysis of AADL models via translation to
+   ACSR and state-space exploration, plus classical baselines.
+
+   Subcommands:
+     check      legality diagnostics (translation preconditions)
+     info       instance tree, semantic connections, task table
+     translate  dump the generated ACSR model
+     analyze    schedulability analysis (exploration + baselines)
+     simulate   deterministic Cheddar-style simulation
+     latency    end-to-end latency check with an observer process *)
+
+open Cmdliner
+
+(* Models are loaded from textual AADL or, for files ending in .xml, from
+   the XML instance interchange format. *)
+let load_root file root_name =
+  if Filename.check_suffix file ".xml" then Aadl.Instance_xml.read_file file
+  else
+    let model = Aadl.Parser.parse_file file in
+    match root_name with
+    | Some r -> Aadl.Instantiate.instantiate model ~root:r
+    | None -> (
+        (* reuse the root-detection of Instantiate.of_string *)
+        let contents =
+          let ic = open_in_bin file in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        Aadl.Instantiate.of_string contents)
+
+(* {1 Common options} *)
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some non_dir_file) None
+    & info [] ~docv:"FILE" ~doc:"Textual AADL model file.")
+
+let root_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "root" ] ~docv:"IMPL"
+        ~doc:
+          "Root system implementation to instantiate (e.g. $(i,sys.impl)). \
+           Defaults to the unique top-level system implementation.")
+
+let quantum_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "quantum" ] ~docv:"US"
+        ~doc:
+          "Scheduling quantum in microseconds.  Defaults to the gcd of \
+           every time value in the model.")
+
+let protocol_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "rm" | "rate_monotonic" -> Ok Aadl.Props.Rate_monotonic
+    | "dm" | "deadline_monotonic" -> Ok Aadl.Props.Deadline_monotonic
+    | "hpf" | "fixed" -> Ok Aadl.Props.Highest_priority_first
+    | "edf" -> Ok Aadl.Props.Edf
+    | "llf" -> Ok Aadl.Props.Llf
+    | "hier" | "hierarchical" -> Ok Aadl.Props.Hierarchical
+    | other -> Error (`Msg (Fmt.str "unknown protocol %S" other))
+  in
+  let print ppf p = Aadl.Props.pp_scheduling_protocol ppf p in
+  Arg.conv (parse, print)
+
+let protocol_arg =
+  Arg.(
+    value
+    & opt (some protocol_conv) None
+    & info [ "protocol"; "p" ] ~docv:"PROTO"
+        ~doc:
+          "Override the Scheduling_Protocol of every processor: one of \
+           $(b,rm), $(b,dm), $(b,hpf), $(b,edf), $(b,llf), $(b,hier).")
+
+let max_states_arg =
+  Arg.(
+    value
+    & opt int 2_000_000
+    & info [ "max-states" ] ~docv:"N"
+        ~doc:"State budget for the exploration.")
+
+let translation_options quantum protocol =
+  {
+    Translate.Pipeline.default_options with
+    quantum = Option.map (fun us -> Aadl.Time.make us Aadl.Time.Us) quantum;
+    force_protocol = protocol;
+  }
+
+let handle_errors f =
+  try f () with
+  | Aadl.Lexer.Error (msg, loc) ->
+      Fmt.epr "lexical error (%a): %s@." Aadl.Ast.pp_srcloc loc msg;
+      exit 2
+  | Aadl.Parser.Error (msg, loc) ->
+      Fmt.epr "syntax error (%a): %s@." Aadl.Ast.pp_srcloc loc msg;
+      exit 2
+  | Aadl.Instantiate.Error msg ->
+      Fmt.epr "instantiation error: %s@." msg;
+      exit 2
+  | Translate.Pipeline.Error msg ->
+      Fmt.epr "translation error: %s@." msg;
+      exit 2
+  | Translate.Workload.Error msg ->
+      Fmt.epr "workload error: %s@." msg;
+      exit 2
+  | Analysis.Latency.Error msg ->
+      Fmt.epr "latency error: %s@." msg;
+      exit 2
+  | Aadl.Instance_xml.Error msg ->
+      Fmt.epr "instance XML error: %s@." msg;
+      exit 2
+
+(* {1 check} *)
+
+let run_check file root_name =
+  handle_errors @@ fun () ->
+  let root = load_root file root_name in
+  let diags = Aadl.Check.run root in
+  Fmt.pr "%a@." Aadl.Check.pp_report diags;
+  if Aadl.Check.is_ok diags then 0 else 1
+
+let check_cmd =
+  Cmd.v
+    (Cmd.info "check" ~doc:"Check the translation preconditions of a model.")
+    Term.(const run_check $ file_arg $ root_arg)
+
+(* {1 info} *)
+
+let run_info file root_name quantum export_xml =
+  handle_errors @@ fun () ->
+  let root = load_root file root_name in
+  (match export_xml with
+  | Some path ->
+      Aadl.Instance_xml.write_file path root;
+      Fmt.pr "instance model written to %s@." path
+  | None -> ());
+  Fmt.pr "== instance tree ==@.%a@.@." Aadl.Instance.pp root;
+  let sconns = Aadl.Semconn.resolve root in
+  Fmt.pr "== semantic connections (%d) ==@." (List.length sconns);
+  List.iter (fun sc -> Fmt.pr "  %a@." Aadl.Semconn.pp sc) sconns;
+  let q =
+    match quantum with
+    | Some us -> Aadl.Time.make us Aadl.Time.Us
+    | None -> Translate.Workload.suggest_quantum root
+  in
+  (match Translate.Workload.extract ~quantum:q root with
+  | wl ->
+      Fmt.pr "@.== task table ==@.%a@." Translate.Workload.pp wl;
+      List.iter
+        (fun ((proc : Aadl.Instance.t), tasks) ->
+          Fmt.pr "processor %a: U = %.3f@." Aadl.Instance.pp_path
+            proc.Aadl.Instance.path
+            (Translate.Workload.utilization tasks))
+        wl.Translate.Workload.by_processor
+  | exception Translate.Workload.Error msg ->
+      Fmt.pr "@.(task table unavailable: %s)@." msg);
+  0
+
+let export_xml_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "export-xml" ] ~docv:"FILE"
+        ~doc:
+          "Also write the instance model in the XML interchange format \
+           (re-loadable by every subcommand).")
+
+let info_cmd =
+  Cmd.v
+    (Cmd.info "info"
+       ~doc:"Show the instance tree, semantic connections and task table.")
+    Term.(const run_info $ file_arg $ root_arg $ quantum_arg $ export_xml_arg)
+
+(* {1 translate} *)
+
+let run_translate file root_name quantum protocol output =
+  handle_errors @@ fun () ->
+  let root = load_root file root_name in
+  let options = translation_options quantum protocol in
+  let tr = Translate.Pipeline.translate ~options root in
+  (* emitted in the concrete ACSR syntax, so the output can be re-analyzed
+     with the 'acsr' subcommand or edited by hand *)
+  let text =
+    Acsr.Syntax.to_string ~system:tr.Translate.Pipeline.system
+      tr.Translate.Pipeline.defs
+  in
+  (match output with
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc (Fmt.str "-- %a@." Translate.Pipeline.pp_summary tr);
+          output_string oc text;
+          output_string oc "\n");
+      Fmt.pr "ACSR model written to %s@." path
+  | None ->
+      Fmt.pr "-- %a@.@." Translate.Pipeline.pp_summary tr;
+      Fmt.pr "%s@." text);
+  0
+
+let output_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE"
+        ~doc:"Write the ACSR model to a file instead of stdout.")
+
+let translate_cmd =
+  Cmd.v
+    (Cmd.info "translate"
+       ~doc:
+         "Emit the generated ACSR model in the concrete syntax accepted by \
+          the $(b,acsr) subcommand.")
+    Term.(
+      const run_translate $ file_arg $ root_arg $ quantum_arg $ protocol_arg
+      $ output_arg)
+
+(* {1 analyze} *)
+
+let run_analyze file root_name quantum protocol max_states all baselines =
+  handle_errors @@ fun () ->
+  let root = load_root file root_name in
+  let options =
+    {
+      Analysis.Schedulability.translation_options =
+        translation_options quantum protocol;
+      max_states;
+      all_violations = all;
+    }
+  in
+  let result = Analysis.Schedulability.analyze ~options root in
+  Fmt.pr "%a@." Analysis.Schedulability.pp result;
+  if baselines then begin
+    Fmt.pr "@.== baselines ==@.";
+    let wl = result.Analysis.Schedulability.translation.Translate.Pipeline.workload in
+    List.iter
+      (fun ((proc : Aadl.Instance.t), tasks) ->
+        let proto =
+          match protocol with
+          | Some p -> Some p
+          | None -> Aadl.Props.scheduling_protocol proc.Aadl.Instance.props
+        in
+        Fmt.pr "processor %a:@." Aadl.Instance.pp_path proc.Aadl.Instance.path;
+        (match proto with
+        | Some proto ->
+            Fmt.pr "  %a@." Analysis.Rta.pp (Analysis.Rta.analyze ~protocol:proto tasks);
+            (match Analysis.Simulator.simulate ~protocol:proto tasks with
+            | sim -> Fmt.pr "  simulation: %a@." Analysis.Simulator.pp sim
+            | exception Analysis.Simulator.Not_simulable msg ->
+                Fmt.pr "  simulation: n/a (%s)@." msg)
+        | None -> ());
+        Fmt.pr "  RM bound: %a@." Analysis.Utilization.pp
+          (Analysis.Utilization.rate_monotonic tasks);
+        Fmt.pr "  %a@." Analysis.Edf_demand.pp (Analysis.Edf_demand.analyze tasks))
+      wl.Translate.Workload.by_processor
+  end;
+  if Analysis.Schedulability.is_schedulable result then 0 else 1
+
+let all_arg =
+  Arg.(
+    value & flag
+    & info [ "all" ]
+        ~doc:"Explore exhaustively and report every violation state.")
+
+let baselines_arg =
+  Arg.(
+    value & flag
+    & info [ "baselines" ]
+        ~doc:"Also run RTA, simulation, utilization and demand baselines.")
+
+let analyze_cmd =
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Schedulability analysis by ACSR translation and deadlock \
+          detection.")
+    Term.(
+      const run_analyze $ file_arg $ root_arg $ quantum_arg $ protocol_arg
+      $ max_states_arg $ all_arg $ baselines_arg)
+
+(* {1 simulate} *)
+
+let run_simulate file root_name quantum protocol horizon =
+  handle_errors @@ fun () ->
+  let root = load_root file root_name in
+  let q =
+    match quantum with
+    | Some us -> Aadl.Time.make us Aadl.Time.Us
+    | None -> Translate.Workload.suggest_quantum root
+  in
+  let wl = Translate.Workload.extract ~quantum:q root in
+  let code = ref 0 in
+  List.iter
+    (fun ((proc : Aadl.Instance.t), tasks) ->
+      let proto =
+        match protocol with
+        | Some p -> p
+        | None -> (
+            match Aadl.Props.scheduling_protocol proc.Aadl.Instance.props with
+            | Some p -> p
+            | None -> Aadl.Props.Rate_monotonic)
+      in
+      Fmt.pr "== processor %a (%a) ==@." Aadl.Instance.pp_path
+        proc.Aadl.Instance.path Aadl.Props.pp_scheduling_protocol proto;
+      match Analysis.Simulator.simulate ?horizon ~protocol:proto tasks with
+      | sim ->
+          Fmt.pr "%a@." Analysis.Simulator.pp sim;
+          if not sim.Analysis.Simulator.schedulable then code := 1
+      | exception Analysis.Simulator.Not_simulable msg ->
+          Fmt.pr "not simulable: %s@." msg)
+    wl.Translate.Workload.by_processor;
+  !code
+
+let horizon_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "horizon" ] ~docv:"QUANTA"
+        ~doc:"Simulation horizon (default: the hyperperiod).")
+
+let simulate_cmd =
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Deterministic scheduling simulation.")
+    Term.(
+      const run_simulate $ file_arg $ root_arg $ quantum_arg $ protocol_arg
+      $ horizon_arg)
+
+(* {1 latency} *)
+
+let path_conv =
+  let parse s = Ok (String.split_on_char '.' s) in
+  Arg.conv (parse, Aadl.Instance.pp_path)
+
+let run_latency file root_name quantum protocol from_thread to_thread bound_us =
+  handle_errors @@ fun () ->
+  let root = load_root file root_name in
+  let options =
+    {
+      Analysis.Latency.translation_options = translation_options quantum protocol;
+      max_states = 2_000_000;
+    }
+  in
+  let result =
+    Analysis.Latency.check ~options ~from_thread ~to_thread
+      ~bound:(Aadl.Time.make bound_us Aadl.Time.Us)
+      root
+  in
+  Fmt.pr "%a@." Analysis.Latency.pp result;
+  match result.Analysis.Latency.verdict with
+  | Analysis.Latency.Latency_met -> 0
+  | _ -> 1
+
+let from_arg =
+  Arg.(
+    required
+    & opt (some path_conv) None
+    & info [ "from" ] ~docv:"THREAD"
+        ~doc:"Flow source thread (dotted instance path).")
+
+let to_arg =
+  Arg.(
+    required
+    & opt (some path_conv) None
+    & info [ "to" ] ~docv:"THREAD"
+        ~doc:"Flow destination thread (dotted instance path).")
+
+let bound_arg =
+  Arg.(
+    required
+    & opt (some int) None
+    & info [ "bound" ] ~docv:"US" ~doc:"Latency bound in microseconds.")
+
+let latency_cmd =
+  Cmd.v
+    (Cmd.info "latency"
+       ~doc:"Check an end-to-end latency bound with an observer process.")
+    Term.(
+      const run_latency $ file_arg $ root_arg $ quantum_arg $ protocol_arg
+      $ from_arg $ to_arg $ bound_arg)
+
+(* {1 sensitivity} *)
+
+let run_sensitivity file root_name quantum protocol thread =
+  handle_errors @@ fun () ->
+  let root = load_root file root_name in
+  let options =
+    {
+      Analysis.Sensitivity.schedulability =
+        {
+          Analysis.Schedulability.default_options with
+          translation_options = translation_options quantum protocol;
+        };
+      max_cmax = None;
+    }
+  in
+  (match thread with
+  | Some thread ->
+      let b = Analysis.Sensitivity.breakdown ~options ~thread root in
+      Fmt.pr "%a@." Analysis.Sensitivity.pp b
+  | None ->
+      (* all threads *)
+      let q =
+        match quantum with
+        | Some us -> Aadl.Time.make us Aadl.Time.Us
+        | None -> Translate.Workload.suggest_quantum root
+      in
+      let wl = Translate.Workload.extract ~quantum:q root in
+      List.iter
+        (fun (t : Translate.Workload.task) ->
+          let b =
+            Analysis.Sensitivity.breakdown ~options
+              ~thread:t.Translate.Workload.path root
+          in
+          Fmt.pr "%a@." Analysis.Sensitivity.pp b)
+        wl.Translate.Workload.tasks);
+  0
+
+let thread_arg =
+  Arg.(
+    value
+    & opt (some path_conv) None
+    & info [ "thread" ] ~docv:"THREAD"
+        ~doc:
+          "Thread to analyze (dotted instance path); default: every \
+           thread in turn.")
+
+let sensitivity_cmd =
+  Cmd.v
+    (Cmd.info "sensitivity"
+       ~doc:
+         "Breakdown execution times: how much each thread's cet can grow \
+          before the system becomes unschedulable.")
+    Term.(
+      const run_sensitivity $ file_arg $ root_arg $ quantum_arg
+      $ protocol_arg $ thread_arg)
+
+(* {1 report} *)
+
+let run_report file root_name quantum protocol max_states with_responses
+    output =
+  handle_errors @@ fun () ->
+  let root = load_root file root_name in
+  let options =
+    {
+      Analysis.Report.schedulability =
+        {
+          Analysis.Schedulability.translation_options =
+            translation_options quantum protocol;
+          max_states;
+          all_violations = false;
+        };
+      with_responses;
+      title = Some (Filename.basename file);
+    }
+  in
+  (match output with
+  | Some path ->
+      Analysis.Report.write_file ~options path root;
+      Fmt.pr "report written to %s@." path
+  | None -> Fmt.pr "%s@." (Analysis.Report.generate ~options root));
+  0
+
+let with_responses_arg =
+  Arg.(
+    value & flag
+    & info [ "responses" ]
+        ~doc:
+          "Also compute observed worst-case response times (one binary \
+           search of explorations per thread).")
+
+let report_output_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE"
+        ~doc:"Write the markdown report to a file instead of stdout.")
+
+let report_cmd =
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Produce a self-contained markdown analysis report.")
+    Term.(
+      const run_report $ file_arg $ root_arg $ quantum_arg $ protocol_arg
+      $ max_states_arg $ with_responses_arg $ report_output_arg)
+
+(* {1 acsr: analyze a textual ACSR model directly (VERSA-style)} *)
+
+let run_acsr file entry dot unprioritized quotient max_states =
+  handle_errors @@ fun () ->
+  let contents =
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Acsr.Syntax.parse_string contents with
+  | exception Acsr.Syntax.Parse_error (msg, line) ->
+      Fmt.epr "parse error (line %d): %s@." line msg;
+      2
+  | defs, system ->
+      let root =
+        match (entry, system) with
+        | Some name, _ -> Acsr.Proc.call name []
+        | None, Some p -> p
+        | None, None ->
+            Fmt.epr
+              "no 'system = ...;' entry in %s; name a process with --entry@."
+              file;
+            exit 2
+      in
+      let semantics =
+        if unprioritized then Versa.Lts.Unprioritized else Versa.Lts.Prioritized
+      in
+      let config =
+        { Versa.Lts.max_states = Some max_states; stop_at_deadlock = false }
+      in
+      let lts = Versa.Lts.build ~config ~semantics defs root in
+      Fmt.pr "%a@." Versa.Lts.pp_summary lts;
+      (match Versa.Explorer.deadlock_verdict lts with
+      | Versa.Explorer.Deadlock_free -> Fmt.pr "deadlock-free@."
+      | Versa.Explorer.Deadlock { state; trace } ->
+          Fmt.pr "@[<v>deadlock at state %d:@,%a@]@." state Versa.Trace.pp
+            trace
+      | Versa.Explorer.Inconclusive why -> Fmt.pr "inconclusive: %s@." why);
+      if quotient then begin
+        let q = Versa.Bisim.quotient lts in
+        Fmt.pr "bisimulation quotient: %a@." Versa.Bisim.pp_quotient q
+      end;
+      (match dot with
+      | Some path ->
+          Versa.Dot.write_file ~show_terms:(Versa.Lts.num_states lts <= 40)
+            path lts;
+          Fmt.pr "LTS written to %s@." path
+      | None -> ());
+      if Versa.Lts.deadlocks lts = [] then 0 else 1
+
+let entry_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "entry" ] ~docv:"NAME"
+        ~doc:"Process definition to use as the root (default: the \
+              $(b,system =) entry of the file).")
+
+let dot_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dot" ] ~docv:"FILE" ~doc:"Write the explored LTS as Graphviz.")
+
+let unprioritized_arg =
+  Arg.(
+    value & flag
+    & info [ "unprioritized" ]
+        ~doc:"Explore the unprioritized transition relation.")
+
+let quotient_arg =
+  Arg.(
+    value & flag
+    & info [ "quotient" ]
+        ~doc:"Also compute the strong-bisimulation quotient.")
+
+let acsr_cmd =
+  Cmd.v
+    (Cmd.info "acsr"
+       ~doc:
+         "Explore a textual ACSR model directly (the VERSA work-flow): \
+          deadlock detection, diagnostic traces, DOT export.")
+    Term.(
+      const run_acsr $ file_arg $ entry_arg $ dot_arg $ unprioritized_arg
+      $ quotient_arg $ max_states_arg)
+
+(* {1 main} *)
+
+let main =
+  Cmd.group
+    (Cmd.info "aadl_sched" ~version:"1.0.0"
+       ~doc:
+         "Schedulability analysis of AADL models by translation to the \
+          real-time process algebra ACSR (Sokolsky, Lee, Clarke; IPDPS \
+          2006).")
+    [
+      check_cmd;
+      info_cmd;
+      translate_cmd;
+      analyze_cmd;
+      simulate_cmd;
+      latency_cmd;
+      acsr_cmd;
+      report_cmd;
+      sensitivity_cmd;
+    ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/acsr_composition.ml: Acsr Action Array Fmt Gen List Proc Semantics Step Versa

@@ -1,0 +1,1 @@
+examples/acsr_composition.mli:

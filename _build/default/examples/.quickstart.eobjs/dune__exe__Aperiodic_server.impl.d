@@ -1,0 +1,1 @@
+examples/aperiodic_server.ml: Aadl Analysis Buffer Fmt Gen List String Versa

@@ -1,0 +1,1 @@
+examples/aperiodic_server.mli:

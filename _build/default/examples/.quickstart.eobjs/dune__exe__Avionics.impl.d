@@ -1,0 +1,1 @@
+examples/avionics.ml: Aadl Analysis Fmt Gen List Translate

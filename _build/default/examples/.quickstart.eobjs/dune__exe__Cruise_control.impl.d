@@ -1,0 +1,1 @@
+examples/cruise_control.ml: Aadl Analysis Fmt Gen List Translate

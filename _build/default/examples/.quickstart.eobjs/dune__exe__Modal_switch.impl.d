@@ -1,0 +1,1 @@
+examples/modal_switch.ml: Aadl Analysis Fmt Gen List Option String Translate

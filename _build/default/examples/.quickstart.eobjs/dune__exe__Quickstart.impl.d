@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aadl Analysis Fmt List Translate

@@ -1,0 +1,1 @@
+lib/aadl/ast.ml: Fmt Time

@@ -1,0 +1,1 @@
+lib/aadl/binding.ml: Ast Fmt Instance List Props Semconn

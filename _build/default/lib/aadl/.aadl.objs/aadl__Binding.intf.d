@@ -1,0 +1,1 @@
+lib/aadl/binding.mli: Instance Semconn

@@ -1,0 +1,1 @@
+lib/aadl/check.ml: Ast Binding Fmt Hashtbl Instance List Props Semconn String Time

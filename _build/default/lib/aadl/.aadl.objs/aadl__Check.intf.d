@@ -1,0 +1,1 @@
+lib/aadl/check.mli: Fmt Instance

@@ -1,0 +1,1 @@
+lib/aadl/decls.ml: Ast Hashtbl List String

@@ -1,0 +1,1 @@
+lib/aadl/decls.mli: Ast

@@ -1,0 +1,1 @@
+lib/aadl/instance.ml: Ast Fmt List String

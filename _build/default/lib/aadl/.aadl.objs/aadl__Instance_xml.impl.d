@@ -1,0 +1,1 @@
+lib/aadl/instance_xml.ml: Ast Fmt Fun Instance List Option String Time Xml

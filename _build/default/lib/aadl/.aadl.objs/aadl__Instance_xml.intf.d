@@ -1,0 +1,1 @@
+lib/aadl/instance_xml.mli: Instance Xml

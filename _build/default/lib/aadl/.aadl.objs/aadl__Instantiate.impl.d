@@ -1,0 +1,1 @@
+lib/aadl/instantiate.ml: Ast Decls Fmt Hashtbl Instance List Option Parser String

@@ -1,0 +1,1 @@
+lib/aadl/instantiate.mli: Ast Instance

@@ -1,0 +1,1 @@
+lib/aadl/lexer.ml: Ast Buffer Fmt List String

@@ -1,0 +1,1 @@
+lib/aadl/parser.ml: Array Ast Fmt Fun Lexer List String Time

@@ -1,0 +1,1 @@
+lib/aadl/props.ml: Ast Fmt List Option String Time

@@ -1,0 +1,1 @@
+lib/aadl/props.mli: Ast Fmt Time

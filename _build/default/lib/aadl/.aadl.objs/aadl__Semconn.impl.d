@@ -1,0 +1,1 @@
+lib/aadl/semconn.ml: Ast Fmt Hashtbl Instance List String

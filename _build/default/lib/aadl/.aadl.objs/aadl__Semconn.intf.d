@@ -1,0 +1,1 @@
+lib/aadl/semconn.mli: Ast Fmt Instance

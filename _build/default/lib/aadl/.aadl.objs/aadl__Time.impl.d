@@ -1,0 +1,1 @@
+lib/aadl/time.ml: Fmt Int String

@@ -1,0 +1,1 @@
+lib/aadl/time.mli: Fmt

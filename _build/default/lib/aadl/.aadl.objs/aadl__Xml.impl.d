@@ -1,0 +1,1 @@
+lib/aadl/xml.ml: Buffer Fmt List String

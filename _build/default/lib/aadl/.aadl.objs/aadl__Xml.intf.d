@@ -1,0 +1,1 @@
+lib/aadl/xml.mli: Fmt

@@ -1,0 +1,253 @@
+(* Declarative AADL abstract syntax.
+
+   This models the subset of AS5506 the paper's translation consumes:
+   component types and implementations for the software and execution
+   platform categories, port features, port connections, subcomponents,
+   modes (parsed but not translated, matching the paper's scope), and
+   property associations including [applies to] binding declarations. *)
+
+type srcloc = { line : int; col : int }
+
+let no_loc = { line = 0; col = 0 }
+let pp_srcloc ppf l = Fmt.pf ppf "line %d, col %d" l.line l.col
+
+type category =
+  | System
+  | Process
+  | Thread_group
+  | Thread
+  | Subprogram
+  | Data
+  | Processor
+  | Memory
+  | Bus
+  | Device
+
+let category_to_string = function
+  | System -> "system"
+  | Process -> "process"
+  | Thread_group -> "thread group"
+  | Thread -> "thread"
+  | Subprogram -> "subprogram"
+  | Data -> "data"
+  | Processor -> "processor"
+  | Memory -> "memory"
+  | Bus -> "bus"
+  | Device -> "device"
+
+let pp_category ppf c = Fmt.string ppf (category_to_string c)
+
+let is_platform = function
+  | Processor | Memory | Bus | Device -> true
+  | System | Process | Thread_group | Thread | Subprogram | Data -> false
+
+(* {1 Property values} *)
+
+type pvalue =
+  | Pint of int
+  | Preal of float
+  | Pbool of bool
+  | Pstring of string
+  | Penum of string  (** unquoted identifier, e.g. [Periodic] *)
+  | Ptime of Time.t
+  | Prange of pvalue * pvalue  (** e.g. [1 ms .. 2 ms] *)
+  | Preference of string list  (** [reference (a.b.c)] *)
+  | Plist of pvalue list
+
+type prop = {
+  pname : string;  (** lowercased property name, possibly qualified *)
+  pvalue : pvalue;
+  applies_to : string list list;
+      (** [applies to sub.thread, other] — empty for ordinary
+          associations *)
+  ploc : srcloc;
+}
+
+let rec pp_pvalue ppf = function
+  | Pint n -> Fmt.int ppf n
+  | Preal f -> Fmt.float ppf f
+  | Pbool b -> Fmt.bool ppf b
+  | Pstring s -> Fmt.pf ppf "%S" s
+  | Penum s -> Fmt.string ppf s
+  | Ptime t -> Time.pp ppf t
+  | Prange (a, b) -> Fmt.pf ppf "%a .. %a" pp_pvalue a pp_pvalue b
+  | Preference path ->
+      Fmt.pf ppf "reference (%a)" Fmt.(list ~sep:(any ".") string) path
+  | Plist vs -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:comma pp_pvalue) vs
+
+let pp_prop ppf p =
+  let pp_applies ppf = function
+    | [] -> ()
+    | paths ->
+        Fmt.pf ppf " applies to %a"
+          Fmt.(list ~sep:comma (list ~sep:(any ".") string))
+          paths
+  in
+  Fmt.pf ppf "%s => %a%a;" p.pname pp_pvalue p.pvalue pp_applies p.applies_to
+
+(* {1 Features} *)
+
+type direction = In | Out | In_out
+
+let pp_direction ppf = function
+  | In -> Fmt.string ppf "in"
+  | Out -> Fmt.string ppf "out"
+  | In_out -> Fmt.string ppf "in out"
+
+type port_kind = Data_port | Event_port | Event_data_port
+
+let pp_port_kind ppf = function
+  | Data_port -> Fmt.string ppf "data port"
+  | Event_port -> Fmt.string ppf "event port"
+  | Event_data_port -> Fmt.string ppf "event data port"
+
+type feature_kind =
+  | Port of direction * port_kind * string option
+      (** direction, port kind, optional data classifier *)
+  | Data_access of direction * string option
+      (** requires/provides data access; [In]=requires, [Out]=provides *)
+
+type feature = {
+  fname : string;
+  fkind : feature_kind;
+  fprops : prop list;
+  floc : srcloc;
+}
+
+let pp_feature ppf f =
+  match f.fkind with
+  | Port (d, k, cls) ->
+      Fmt.pf ppf "%s: %a %a%a;" f.fname pp_direction d pp_port_kind k
+        Fmt.(option (any " " ++ string))
+        cls
+  | Data_access (In, cls) ->
+      Fmt.pf ppf "%s: requires data access%a;" f.fname
+        Fmt.(option (any " " ++ string))
+        cls
+  | Data_access ((Out | In_out), cls) ->
+      Fmt.pf ppf "%s: provides data access%a;" f.fname
+        Fmt.(option (any " " ++ string))
+        cls
+
+(* {1 Component types} *)
+
+type component_type = {
+  ct_category : category;
+  ct_name : string;
+  ct_features : feature list;
+  ct_props : prop list;
+  ct_loc : srcloc;
+}
+
+(* {1 Component implementations} *)
+
+type subcomponent = {
+  sub_name : string;
+  sub_category : category;
+  sub_classifier : string option;
+      (** ["sensor"] or ["sensor.impl"]; [None] for abstract platform
+          subcomponents declared without a classifier *)
+  sub_props : prop list;
+  sub_modes : string list;
+      (** [in modes (...)]: modes of the enclosing implementation in which
+          this subcomponent is active; empty = active in all modes *)
+  sub_loc : srcloc;
+}
+
+type conn_end = {
+  ce_sub : string option;  (** subcomponent name, [None] = own feature *)
+  ce_feature : string;
+}
+
+let pp_conn_end ppf e =
+  match e.ce_sub with
+  | Some s -> Fmt.pf ppf "%s.%s" s e.ce_feature
+  | None -> Fmt.string ppf e.ce_feature
+
+type conn_kind = Port_connection | Access_connection
+
+type connection = {
+  conn_name : string option;
+  conn_kind : conn_kind;
+  conn_src : conn_end;
+  conn_dst : conn_end;
+  conn_bidirectional : bool;  (** [<->] vs [->] *)
+  conn_props : prop list;
+  conn_modes : string list;  (** [in modes (...)]; empty = all modes *)
+  conn_loc : srcloc;
+}
+
+type mode = { mode_name : string; mode_initial : bool; mode_loc : srcloc }
+
+type mode_transition = {
+  mt_src : string;
+  mt_dst : string;
+  mt_triggers : conn_end list;
+  mt_loc : srcloc;
+}
+
+type component_impl = {
+  ci_category : category;
+  ci_type_name : string;  (** the component type being implemented *)
+  ci_impl_name : string;  (** the short implementation name *)
+  ci_subcomponents : subcomponent list;
+  ci_connections : connection list;
+  ci_modes : mode list;
+  ci_transitions : mode_transition list;
+  ci_props : prop list;
+  ci_loc : srcloc;
+}
+
+let impl_full_name ci = ci.ci_type_name ^ "." ^ ci.ci_impl_name
+
+(* {1 Models} *)
+
+type declaration = Type_decl of component_type | Impl_decl of component_impl
+
+type model = { decls : declaration list }
+
+let decl_name = function
+  | Type_decl t -> t.ct_name
+  | Impl_decl i -> impl_full_name i
+
+let pp_section ppf (keyword, pp_item, items) =
+  if items <> [] then
+    Fmt.pf ppf "%s@,  @[<v>%a@]@," keyword (Fmt.list ~sep:Fmt.cut pp_item)
+      items
+
+let pp_declaration ppf = function
+  | Type_decl t ->
+      Fmt.pf ppf "@[<v>%a %s@," pp_category t.ct_category t.ct_name;
+      pp_section ppf ("features", pp_feature, t.ct_features);
+      pp_section ppf ("properties", pp_prop, t.ct_props);
+      Fmt.pf ppf "end %s;@]" t.ct_name
+  | Impl_decl i ->
+      let pp_sub ppf s =
+        Fmt.pf ppf "%s: %a%a;" s.sub_name pp_category s.sub_category
+          Fmt.(option (any " " ++ string))
+          s.sub_classifier
+      in
+      let pp_conn ppf c =
+        let arrow = if c.conn_bidirectional then "<->" else "->" in
+        let kw =
+          match c.conn_kind with
+          | Port_connection -> "port"
+          | Access_connection -> "data access"
+        in
+        match c.conn_name with
+        | Some n ->
+            Fmt.pf ppf "%s: %s %a %s %a;" n kw pp_conn_end c.conn_src arrow
+              pp_conn_end c.conn_dst
+        | None ->
+            Fmt.pf ppf "%s %a %s %a;" kw pp_conn_end c.conn_src arrow
+              pp_conn_end c.conn_dst
+      in
+      Fmt.pf ppf "@[<v>%a implementation %s@," pp_category i.ci_category
+        (impl_full_name i);
+      pp_section ppf ("subcomponents", pp_sub, i.ci_subcomponents);
+      pp_section ppf ("connections", pp_conn, i.ci_connections);
+      pp_section ppf ("properties", pp_prop, i.ci_props);
+      Fmt.pf ppf "end %s;@]" (impl_full_name i)
+
+let pp_model ppf m =
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:(cut ++ cut) pp_declaration) m.decls

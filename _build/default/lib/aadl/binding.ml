@@ -1,0 +1,84 @@
+(* Resolution of deployment bindings: threads to processors
+   (Actual_Processor_Binding) and semantic connections to buses
+   (Actual_Connection_Binding).  Binding properties may be declared on the
+   component itself, via contained associations in enclosing
+   implementations (already merged by instantiation), or on the traversed
+   declared connections. *)
+
+exception Unbound of string
+
+let processor_of ~root (thread : Instance.t) =
+  match Props.actual_processor_binding thread.Instance.props with
+  | None -> None
+  | Some ref_path -> (
+      match
+        Instance.resolve_reference ~root ~from:thread.Instance.path ref_path
+      with
+      | Some inst when inst.Instance.category = Ast.Processor -> Some inst
+      | Some inst ->
+          raise
+            (Unbound
+               (Fmt.str "%a: processor binding resolves to a %a"
+                  Instance.pp_path thread.Instance.path Ast.pp_category
+                  inst.Instance.category))
+      | None ->
+          raise
+            (Unbound
+               (Fmt.str "%a: processor binding reference %a does not resolve"
+                  Instance.pp_path thread.Instance.path Instance.pp_path
+                  ref_path)))
+
+let processor_of_exn ~root thread =
+  match processor_of ~root thread with
+  | Some p -> p
+  | None ->
+      raise
+        (Unbound
+           (Fmt.str "thread %a is not bound to a processor" Instance.pp_path
+              thread.Instance.path))
+
+(* The bus a semantic connection is mapped to, if any: look at the binding
+   property of each traversed declared connection (innermost declaration
+   wins), resolving the reference from the declaring implementation. *)
+let bus_of ~root (sc : Semconn.t) =
+  let of_link (l : Semconn.link) =
+    match Props.actual_connection_binding l.Semconn.conn.Ast.conn_props with
+    | None -> None
+    | Some ref_path -> (
+        match
+          Instance.resolve_reference ~root ~from:l.Semconn.declared_in
+            ref_path
+        with
+        | Some inst when inst.Instance.category = Ast.Bus -> Some inst
+        | Some inst ->
+            raise
+              (Unbound
+                 (Fmt.str "connection binding resolves to a %a, not a bus"
+                    Ast.pp_category inst.Instance.category))
+        | None ->
+            raise
+              (Unbound
+                 (Fmt.str "connection binding reference %a does not resolve"
+                    Instance.pp_path ref_path)))
+  in
+  List.fold_left
+    (fun acc l -> match of_link l with Some b -> Some b | None -> acc)
+    None sc.Semconn.links
+
+(* Threads grouped by their bound processor, in instance order: the outer
+   loop of the paper's Algorithm 1. *)
+let threads_by_processor ~root =
+  let threads = Instance.threads root in
+  let procs = Instance.processors root in
+  List.map
+    (fun (proc : Instance.t) ->
+      let bound =
+        List.filter
+          (fun th ->
+            match processor_of ~root th with
+            | Some p -> p.Instance.path = proc.Instance.path
+            | None -> false)
+          threads
+      in
+      (proc, bound))
+    procs

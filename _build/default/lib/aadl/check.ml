@@ -1,0 +1,234 @@
+(* Legality checks: the preconditions the paper's translation places on a
+   completely instantiated and bound model (Section 4.1):
+
+   1. at least one thread and one processor; every thread bound;
+   2. every thread has Dispatch_Protocol, Compute_Execution_Time and
+      Compute_Deadline (and a Period for periodic/sporadic threads);
+   3. every processor with bound threads has Scheduling_Protocol;
+   4. for non-periodic threads, every in event / in event-data port has an
+      incoming semantic connection. *)
+
+type severity = Error | Warning
+
+type diagnostic = { severity : severity; subject : string list; message : string }
+
+let pp_diagnostic ppf d =
+  Fmt.pf ppf "%s: %a: %s"
+    (match d.severity with Error -> "error" | Warning -> "warning")
+    Instance.pp_path d.subject d.message
+
+let error subject fmt = Fmt.kstr (fun message -> { severity = Error; subject; message }) fmt
+let warning subject fmt =
+  Fmt.kstr (fun message -> { severity = Warning; subject; message }) fmt
+
+let errors diags = List.filter (fun d -> d.severity = Error) diags
+let is_ok diags = errors diags = []
+
+let check_thread ~root sconns (th : Instance.t) =
+  let p = th.Instance.props in
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let dispatch =
+    match Props.dispatch_protocol p with
+    | Some d -> Some d
+    | None ->
+        add (error th.Instance.path "missing Dispatch_Protocol");
+        None
+  in
+  (match Props.compute_execution_time p with
+  | Some (lo, hi) ->
+      if Time.compare lo hi > 0 then
+        add
+          (error th.Instance.path
+             "Compute_Execution_Time range has min > max");
+      if Time.compare hi Time.zero <= 0 then
+        add (error th.Instance.path "Compute_Execution_Time must be positive")
+  | None -> add (error th.Instance.path "missing Compute_Execution_Time"));
+  (match Props.compute_deadline p with
+  | Some d ->
+      if Time.compare d Time.zero <= 0 then
+        add (error th.Instance.path "Compute_Deadline must be positive")
+  | None -> add (error th.Instance.path "missing Compute_Deadline"));
+  (match dispatch with
+  | Some (Props.Periodic | Props.Sporadic) ->
+      (match Props.period p with
+      | Some per ->
+          if Time.compare per Time.zero <= 0 then
+            add (error th.Instance.path "Period must be positive")
+      | None ->
+          add
+            (error th.Instance.path
+               "periodic/sporadic thread is missing Period"))
+  | Some (Props.Aperiodic | Props.Background) | None -> ());
+  (* deadline within period is the usual sanity condition; a violation is
+     legal AADL but almost surely a modeling error *)
+  (match (Props.compute_deadline p, Props.period p) with
+  | Some d, Some per when Time.compare d per > 0 ->
+      add (warning th.Instance.path "Compute_Deadline exceeds Period")
+  | _ -> ());
+  (match Binding.processor_of ~root th with
+  | Some _ -> ()
+  | None -> add (error th.Instance.path "thread is not bound to a processor")
+  | exception Binding.Unbound msg -> add (error th.Instance.path "%s" msg));
+  (* rule 4: incoming connections on event ports of non-periodic threads *)
+  (match dispatch with
+  | Some (Props.Aperiodic | Props.Sporadic | Props.Background) ->
+      let incoming = Semconn.incoming sconns th in
+      List.iter
+        (fun (f : Ast.feature) ->
+          match f.Ast.fkind with
+          | Ast.Port (Ast.In, (Ast.Event_port | Ast.Event_data_port), _) ->
+              let has_conn =
+                List.exists
+                  (fun (sc : Semconn.t) ->
+                    String.lowercase_ascii sc.Semconn.dst.Semconn.feature
+                    = String.lowercase_ascii f.Ast.fname)
+                  incoming
+              in
+              if not has_conn then
+                add
+                  (error th.Instance.path
+                     "in event port %s of a non-periodic thread has no \
+                      incoming connection"
+                     f.Ast.fname)
+          | Ast.Port _ | Ast.Data_access _ -> ())
+        th.Instance.features
+  | Some Props.Periodic | None -> ());
+  List.rev !diags
+
+let check_processor (proc : Instance.t) bound_threads =
+  if bound_threads = [] then
+    [
+      warning proc.Instance.path
+        "processor has no bound threads; it is ignored by the translation";
+    ]
+  else
+    match Props.scheduling_protocol proc.Instance.props with
+    | Some _ -> []
+    | None -> [ error proc.Instance.path "missing Scheduling_Protocol" ]
+    | exception Props.Bad_property (name, why) ->
+        [ error proc.Instance.path "%s: %s" name why ]
+
+(* Structural well-formedness of each instance: unique child names,
+   connection ends that resolve to features or subcomponents, unique mode
+   names, transitions between declared modes. *)
+let check_structure (inst : Instance.t) =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let lc = String.lowercase_ascii in
+  (* duplicate subcomponent names *)
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (c : Instance.t) ->
+      let k = lc c.Instance.name in
+      if Hashtbl.mem seen k then
+        add (error inst.Instance.path "duplicate subcomponent %s" c.Instance.name)
+      else Hashtbl.add seen k ())
+    inst.Instance.children;
+  (* connection ends *)
+  let end_ok (e : Ast.conn_end) =
+    match e.Ast.ce_sub with
+    | None ->
+        (* own feature, or a data subcomponent named directly *)
+        Instance.feature_opt inst e.Ast.ce_feature <> None
+        || List.exists
+             (fun (c : Instance.t) -> lc c.Instance.name = lc e.Ast.ce_feature)
+             inst.Instance.children
+    | Some sub -> (
+        match
+          List.find_opt
+            (fun (c : Instance.t) -> lc c.Instance.name = lc sub)
+            inst.Instance.children
+        with
+        | None -> false
+        | Some child -> Instance.feature_opt child e.Ast.ce_feature <> None)
+  in
+  List.iter
+    (fun (c : Ast.connection) ->
+      if not (end_ok c.Ast.conn_src) then
+        add
+          (error inst.Instance.path "connection source %a does not resolve"
+             Ast.pp_conn_end c.Ast.conn_src);
+      if not (end_ok c.Ast.conn_dst) then
+        add
+          (error inst.Instance.path
+             "connection destination %a does not resolve" Ast.pp_conn_end
+             c.Ast.conn_dst))
+    inst.Instance.connections;
+  (* modes *)
+  let mode_names =
+    List.map (fun m -> lc m.Ast.mode_name) inst.Instance.modes
+  in
+  if
+    List.length (List.sort_uniq String.compare mode_names)
+    <> List.length mode_names
+  then add (error inst.Instance.path "duplicate mode names");
+  if
+    List.length
+      (List.filter (fun m -> m.Ast.mode_initial) inst.Instance.modes)
+    > 1
+  then add (error inst.Instance.path "several initial modes");
+  List.iter
+    (fun (t : Ast.mode_transition) ->
+      if not (List.mem (lc t.Ast.mt_src) mode_names) then
+        add
+          (error inst.Instance.path "mode transition from unknown mode %s"
+             t.Ast.mt_src);
+      if not (List.mem (lc t.Ast.mt_dst) mode_names) then
+        add
+          (error inst.Instance.path "mode transition to unknown mode %s"
+             t.Ast.mt_dst))
+    inst.Instance.transitions;
+  (* in-modes clauses of children must reference declared modes *)
+  List.iter
+    (fun (c : Instance.t) ->
+      List.iter
+        (fun m ->
+          if not (List.mem (lc m) mode_names) then
+            add
+              (error c.Instance.path
+                 "'in modes (%s)' references an undeclared mode" m))
+        c.Instance.in_modes)
+    inst.Instance.children;
+  List.rev !diags
+
+let run root =
+  let threads = Instance.threads root in
+  let processors = Instance.processors root in
+  let global =
+    (if threads = [] then
+       [ error root.Instance.path "model contains no thread" ]
+     else [])
+    @
+    if processors = [] then
+      [ error root.Instance.path "model contains no processor" ]
+    else []
+  in
+  let sconns = Semconn.resolve root in
+  let thread_diags =
+    List.concat_map
+      (fun th ->
+        try check_thread ~root sconns th
+        with Props.Bad_property (name, why) ->
+          [ error th.Instance.path "%s: %s" name why ])
+      threads
+  in
+  let proc_diags =
+    List.concat_map
+      (fun (proc, bound) -> check_processor proc bound)
+      (Binding.threads_by_processor ~root)
+  in
+  let structure_diags =
+    List.concat_map check_structure (Instance.all root)
+  in
+  global @ structure_diags @ thread_diags @ proc_diags
+
+exception Failed of diagnostic list
+
+let run_exn root =
+  let diags = run root in
+  if is_ok diags then diags else raise (Failed (errors diags))
+
+let pp_report ppf diags =
+  if diags = [] then Fmt.string ppf "model is well-formed"
+  else Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut pp_diagnostic) diags

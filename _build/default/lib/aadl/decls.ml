@@ -1,0 +1,70 @@
+(* Symbol table over the declarations of a parsed model: component types by
+   name and implementations by "type.impl" name, case-insensitive. *)
+
+exception Duplicate_declaration of string
+exception Unknown_classifier of string
+exception Category_mismatch of string * Ast.category * Ast.category
+(** classifier, expected, found *)
+
+type t = {
+  types : (string, Ast.component_type) Hashtbl.t;
+  impls : (string, Ast.component_impl) Hashtbl.t;
+}
+
+let key = String.lowercase_ascii
+
+let of_model (m : Ast.model) =
+  let t = { types = Hashtbl.create 32; impls = Hashtbl.create 32 } in
+  List.iter
+    (fun decl ->
+      let name = Ast.decl_name decl in
+      match decl with
+      | Ast.Type_decl ct ->
+          if Hashtbl.mem t.types (key name) then
+            raise (Duplicate_declaration name);
+          Hashtbl.add t.types (key name) ct
+      | Ast.Impl_decl ci ->
+          if Hashtbl.mem t.impls (key name) then
+            raise (Duplicate_declaration name);
+          Hashtbl.add t.impls (key name) ci)
+    m.Ast.decls;
+  t
+
+let find_type_opt t name = Hashtbl.find_opt t.types (key name)
+let find_impl_opt t name = Hashtbl.find_opt t.impls (key name)
+
+let find_type t name =
+  match find_type_opt t name with
+  | Some ct -> ct
+  | None -> raise (Unknown_classifier name)
+
+let find_impl t name =
+  match find_impl_opt t name with
+  | Some ci -> ci
+  | None -> raise (Unknown_classifier name)
+
+(* A classifier reference is either a type name or a "type.impl" name. *)
+type classifier =
+  | Type_only of Ast.component_type
+  | Type_and_impl of Ast.component_type * Ast.component_impl
+
+let resolve_classifier t name =
+  match String.index_opt name '.' with
+  | None -> Type_only (find_type t name)
+  | Some _ -> (
+      match find_impl_opt t name with
+      | Some ci ->
+          let ct = find_type t ci.Ast.ci_type_name in
+          Type_and_impl (ct, ci)
+      | None -> raise (Unknown_classifier name))
+
+let classifier_category = function
+  | Type_only ct -> ct.Ast.ct_category
+  | Type_and_impl (ct, _) -> ct.Ast.ct_category
+
+let check_category name expected cls =
+  let found = classifier_category cls in
+  if found <> expected then raise (Category_mismatch (name, expected, found))
+
+let types t = Hashtbl.fold (fun _ ct acc -> ct :: acc) t.types []
+let impls t = Hashtbl.fold (fun _ ci acc -> ci :: acc) t.impls []

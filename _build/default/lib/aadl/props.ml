@@ -1,0 +1,229 @@
+(* Typed accessors for the standard AADL properties the analysis consumes
+   (AS5506 predeclared property sets).  Property names are matched
+   case-insensitively and with or without their property-set qualifier,
+   e.g. both [Period] and [Timing_Properties::Period] are accepted. *)
+
+type dispatch_protocol = Periodic | Aperiodic | Sporadic | Background
+
+let dispatch_protocol_to_string = function
+  | Periodic -> "Periodic"
+  | Aperiodic -> "Aperiodic"
+  | Sporadic -> "Sporadic"
+  | Background -> "Background"
+
+let pp_dispatch_protocol ppf d =
+  Fmt.string ppf (dispatch_protocol_to_string d)
+
+type overflow_handling = Drop_newest | Drop_oldest | Error
+
+let pp_overflow_handling ppf = function
+  | Drop_newest -> Fmt.string ppf "DropNewest"
+  | Drop_oldest -> Fmt.string ppf "DropOldest"
+  | Error -> Fmt.string ppf "Error"
+
+type scheduling_protocol =
+  | Rate_monotonic
+  | Deadline_monotonic
+  | Highest_priority_first  (** fixed priorities from the Priority property *)
+  | Edf
+  | Llf
+  | Hierarchical
+      (** two-level: fixed priority across thread groups, a local policy
+          within each (extension; the paper's future work, Section 7) *)
+
+let scheduling_protocol_to_string = function
+  | Rate_monotonic -> "RATE_MONOTONIC_PROTOCOL"
+  | Deadline_monotonic -> "DEADLINE_MONOTONIC_PROTOCOL"
+  | Highest_priority_first -> "HPF_PROTOCOL"
+  | Edf -> "EDF_PROTOCOL"
+  | Llf -> "LLF_PROTOCOL"
+  | Hierarchical -> "HIERARCHICAL_PROTOCOL"
+
+let pp_scheduling_protocol ppf s =
+  Fmt.string ppf (scheduling_protocol_to_string s)
+
+exception Bad_property of string * string
+(** property name, explanation *)
+
+(* Strip an optional "set::" qualifier. *)
+let base_name name =
+  match String.index_opt name ':' with
+  | Some i when i + 1 < String.length name && name.[i + 1] = ':' ->
+      String.sub name (i + 2) (String.length name - i - 2)
+  | Some _ | None -> name
+
+let matches wanted (p : Ast.prop) =
+  let n = base_name p.Ast.pname in
+  String.equal n (String.lowercase_ascii wanted)
+
+(* Later associations take precedence, so scan from the end: merged
+   property lists are ordered from weakest (component type) to strongest
+   (contained associations). *)
+let find name props =
+  List.fold_left
+    (fun acc p -> if matches name p then Some p.Ast.pvalue else acc)
+    None props
+
+let find_exn name props =
+  match find name props with
+  | Some v -> v
+  | None -> raise (Bad_property (name, "missing"))
+
+let mem name props = find name props <> None
+
+let as_time name = function
+  | Ast.Ptime t -> t
+  | Ast.Pint 0 -> Time.zero
+  | _ -> raise (Bad_property (name, "expected a time value"))
+
+let as_int name = function
+  | Ast.Pint n -> n
+  | _ -> raise (Bad_property (name, "expected an integer"))
+
+let as_enum name = function
+  | Ast.Penum s -> s
+  | Ast.Pstring s -> s
+  | _ -> raise (Bad_property (name, "expected an enumeration identifier"))
+
+let as_reference name = function
+  | Ast.Preference path -> path
+  | _ -> raise (Bad_property (name, "expected a reference"))
+
+let time_opt name props = Option.map (as_time name) (find name props)
+let int_opt name props = Option.map (as_int name) (find name props)
+
+let time_range_opt name props =
+  match find name props with
+  | None -> None
+  | Some (Ast.Prange (lo, hi)) -> Some (as_time name lo, as_time name hi)
+  | Some v ->
+      let t = as_time name v in
+      Some (t, t)
+
+(* {1 Thread properties} *)
+
+let dispatch_protocol props =
+  match find "dispatch_protocol" props with
+  | None -> None
+  | Some v -> (
+      match String.lowercase_ascii (as_enum "dispatch_protocol" v) with
+      | "periodic" -> Some Periodic
+      | "aperiodic" -> Some Aperiodic
+      | "sporadic" -> Some Sporadic
+      | "background" -> Some Background
+      | other ->
+          raise
+            (Bad_property
+               ("dispatch_protocol", "unknown protocol " ^ other)))
+
+let period props = time_opt "period" props
+
+let compute_execution_time props =
+  time_range_opt "compute_execution_time" props
+
+let compute_deadline props =
+  match time_opt "compute_deadline" props with
+  | Some t -> Some t
+  | None -> time_opt "deadline" props
+
+let priority props =
+  match int_opt "priority" props with
+  | Some p -> Some p
+  | None -> int_opt "source_text_priority" props
+
+let urgency props = int_opt "urgency" props
+
+(* {1 Port properties} *)
+
+let queue_size props =
+  match int_opt "queue_size" props with Some n -> n | None -> 1
+
+let overflow_handling props =
+  match find "overflow_handling_protocol" props with
+  | None -> Drop_newest
+  | Some v -> (
+      match
+        String.lowercase_ascii (as_enum "overflow_handling_protocol" v)
+      with
+      | "dropnewest" -> Drop_newest
+      | "dropoldest" -> Drop_oldest
+      | "error" -> Error
+      | other ->
+          raise
+            (Bad_property
+               ("overflow_handling_protocol", "unknown protocol " ^ other)))
+
+(* {1 Processor properties} *)
+
+let scheduling_protocol props =
+  match find "scheduling_protocol" props with
+  | None -> None
+  | Some v -> (
+      let raw =
+        match v with
+        | Ast.Plist [ single ] -> as_enum "scheduling_protocol" single
+        | v -> as_enum "scheduling_protocol" v
+      in
+      match String.lowercase_ascii raw with
+      | "rate_monotonic_protocol" | "rate_monotonic" | "rm" | "rms" ->
+          Some Rate_monotonic
+      | "deadline_monotonic_protocol" | "deadline_monotonic" | "dm" ->
+          Some Deadline_monotonic
+      | "hpf_protocol" | "highest_priority_first" | "hpf"
+      | "posix_1003_highest_priority_first_protocol" | "fixed_priority" ->
+          Some Highest_priority_first
+      | "edf_protocol" | "earliest_deadline_first_protocol" | "edf" ->
+          Some Edf
+      | "llf_protocol" | "least_laxity_first_protocol" | "llf" -> Some Llf
+      | "hierarchical_protocol" | "hierarchical" -> Some Hierarchical
+      | other ->
+          raise (Bad_property ("scheduling_protocol", "unknown protocol " ^ other)))
+
+(* {1 Bindings} *)
+
+let actual_processor_binding props =
+  match find "actual_processor_binding" props with
+  | None -> None
+  | Some (Ast.Plist [ v ]) ->
+      Some (as_reference "actual_processor_binding" v)
+  | Some v -> Some (as_reference "actual_processor_binding" v)
+
+let actual_connection_binding props =
+  match find "actual_connection_binding" props with
+  | None -> None
+  | Some (Ast.Plist [ v ]) ->
+      Some (as_reference "actual_connection_binding" v)
+  | Some v -> Some (as_reference "actual_connection_binding" v)
+
+(* {1 Shared data} *)
+
+type concurrency_control =
+  | No_protocol
+  | Priority_ceiling
+  | Priority_inheritance
+
+let pp_concurrency_control ppf = function
+  | No_protocol -> Fmt.string ppf "None_Specified"
+  | Priority_ceiling -> Fmt.string ppf "Priority_Ceiling"
+  | Priority_inheritance -> Fmt.string ppf "Priority_Inheritance"
+
+let concurrency_control props =
+  match find "concurrency_control_protocol" props with
+  | None -> No_protocol
+  | Some v -> (
+      match
+        String.lowercase_ascii (as_enum "concurrency_control_protocol" v)
+      with
+      | "none_specified" | "none" -> No_protocol
+      | "priority_ceiling" | "priority_ceiling_protocol" | "pcp" ->
+          Priority_ceiling
+      | "priority_inheritance" | "priority_inheritance_protocol" | "pip" ->
+          Priority_inheritance
+      | other ->
+          raise
+            (Bad_property
+               ("concurrency_control_protocol", "unknown protocol " ^ other)))
+
+(* {1 Flow / latency} *)
+
+let latency props = time_opt "latency" props

@@ -1,0 +1,1 @@
+lib/acsr/action.ml: Expr Fmt List Resource Stdlib

@@ -1,0 +1,1 @@
+lib/acsr/action.mli: Expr Fmt Resource

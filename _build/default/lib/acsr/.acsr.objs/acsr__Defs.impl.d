@@ -1,0 +1,1 @@
+lib/acsr/defs.ml: Expr Fmt List Map Proc Set String

@@ -1,0 +1,1 @@
+lib/acsr/defs.mli: Fmt Proc

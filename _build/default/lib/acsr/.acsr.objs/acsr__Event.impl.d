@@ -1,0 +1,1 @@
+lib/acsr/event.ml: Expr Fmt Label

@@ -1,0 +1,1 @@
+lib/acsr/event.mli: Expr Fmt Label

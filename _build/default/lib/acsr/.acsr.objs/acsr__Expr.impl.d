@@ -1,0 +1,1 @@
+lib/acsr/expr.ml: Fmt Stdlib String

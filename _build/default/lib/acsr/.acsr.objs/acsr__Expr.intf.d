@@ -1,0 +1,1 @@
+lib/acsr/expr.mli: Fmt Map

@@ -1,0 +1,1 @@
+lib/acsr/guard.mli: Expr Fmt

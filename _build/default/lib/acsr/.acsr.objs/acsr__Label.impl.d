@@ -1,0 +1,1 @@
+lib/acsr/label.ml: Fmt List Map Set String

@@ -1,0 +1,1 @@
+lib/acsr/label.mli: Fmt Map Set

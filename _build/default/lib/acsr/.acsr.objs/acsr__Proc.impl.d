@@ -1,0 +1,1 @@
+lib/acsr/proc.ml: Action Event Expr Fmt Guard Hashtbl Label List Option Resource Stdlib

@@ -1,0 +1,1 @@
+lib/acsr/proc.mli: Action Event Expr Fmt Guard Label Resource

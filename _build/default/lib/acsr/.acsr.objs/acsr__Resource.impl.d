@@ -1,0 +1,1 @@
+lib/acsr/resource.ml: Fmt List Map Set String

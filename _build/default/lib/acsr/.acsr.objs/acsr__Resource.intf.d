@@ -1,0 +1,1 @@
+lib/acsr/resource.mli: Fmt Map Set

@@ -1,0 +1,1 @@
+lib/acsr/semantics.ml: Action Defs Event Expr Fmt Guard Label List Option Proc Resource Stdlib Step

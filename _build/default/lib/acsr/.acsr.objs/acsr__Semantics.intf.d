@@ -1,0 +1,1 @@
+lib/acsr/semantics.mli: Defs Proc Step

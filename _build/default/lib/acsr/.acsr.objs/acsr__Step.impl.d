@@ -1,0 +1,1 @@
+lib/acsr/step.ml: Action Event Fmt Label List Stdlib

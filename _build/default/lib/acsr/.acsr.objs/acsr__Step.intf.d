@@ -1,0 +1,1 @@
+lib/acsr/step.mli: Action Event Fmt Label

@@ -1,0 +1,1 @@
+lib/acsr/syntax.ml: Action Array Defs Event Expr Fmt Guard Label List Proc Resource String

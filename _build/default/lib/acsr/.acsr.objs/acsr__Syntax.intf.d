@@ -1,0 +1,1 @@
+lib/acsr/syntax.mli: Action Defs Event Expr Fmt Guard Proc

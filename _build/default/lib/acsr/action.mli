@@ -1,0 +1,55 @@
+(** Timed actions: sets of prioritized resource accesses consuming one time
+    quantum. *)
+
+type t = (Resource.t * Expr.t) list
+(** Syntactic action with expression priorities, sorted by resource.  Use
+    {!of_list} to build values and maintain the invariant. *)
+
+type ground = (Resource.t * int) list
+(** Action with fully evaluated priorities, sorted by resource. *)
+
+val idle : t
+(** The empty (idling) action: lets time pass without using resources. *)
+
+val of_list : (Resource.t * Expr.t) list -> t
+(** @raise Invalid_argument if a resource appears twice. *)
+
+val singleton : Resource.t -> Expr.t -> t
+val accesses : t -> (Resource.t * Expr.t) list
+val resources : t -> Resource.Set.t
+val is_idle : t -> bool
+
+val union : t -> t -> t
+(** @raise Invalid_argument if the two actions share a resource. *)
+
+val subst : int Expr.Env.t -> t -> t
+val ground : int Expr.Env.t -> t -> ground
+val free_vars : t -> string list
+val is_ground : t -> bool
+val pp : t Fmt.t
+val pp_ground : ground Fmt.t
+
+(** Operations on ground actions, used by the operational semantics. *)
+module Ground : sig
+  type t = ground
+
+  val idle : t
+  val is_idle : t -> bool
+  val resources : t -> Resource.Set.t
+
+  val priority_of : t -> Resource.t -> int
+  (** Priority of the access to a resource; 0 if the resource is unused. *)
+
+  val disjoint : t -> t -> bool
+  val union : t -> t -> t
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+
+  val preempts : t -> t -> bool
+  (** [preempts b a] is the ACSR preemption relation [a < b] on timed
+      actions: every resource used in [a] is used in [b] with greater or
+      equal priority and at least one resource of [b] has strictly greater
+      priority (missing resources count as priority 0). *)
+
+  val pp : t Fmt.t
+end

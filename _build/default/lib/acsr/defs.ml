@@ -1,0 +1,81 @@
+(* Environments of (parameterized) process definitions.
+
+   A definition [name(x1,...,xn) = body] gives meaning to [Proc.Call]
+   nodes.  Instantiating a call substitutes evaluated arguments for the
+   formals, producing a closed body; syntactic checks at registration time
+   guarantee that every parameter used in a body is bound by its formals,
+   which is what keeps instantiated models closed. *)
+
+module String_map = Map.Make (String)
+
+type def = { name : string; formals : string list; body : Proc.t }
+
+type t = def String_map.t
+
+exception Undefined of string
+exception Arity_mismatch of string * int * int
+exception Unbound_in_body of string * string
+exception Duplicate of string
+
+let empty = String_map.empty
+
+let check_def d =
+  let module SS = Set.Make (String) in
+  let formals = SS.of_list d.formals in
+  if SS.cardinal formals <> List.length d.formals then
+    invalid_arg
+      (Fmt.str "Defs: duplicate formal parameter in %s" d.name);
+  match List.find_opt (fun v -> not (SS.mem v formals)) (Proc.free_vars d.body)
+  with
+  | Some v -> raise (Unbound_in_body (d.name, v))
+  | None -> ()
+
+let add env ~name ~formals body =
+  if String_map.mem name env then raise (Duplicate name);
+  let d = { name; formals; body } in
+  check_def d;
+  String_map.add name d env
+
+let find env name =
+  match String_map.find_opt name env with
+  | Some d -> d
+  | None -> raise (Undefined name)
+
+let mem env name = String_map.mem name env
+let names env = List.map fst (String_map.bindings env)
+let fold f env acc = String_map.fold (fun _ d acc -> f d acc) env acc
+
+let of_list defs =
+  List.fold_left
+    (fun env (name, formals, body) -> add env ~name ~formals body)
+    empty defs
+
+let merge a b =
+  String_map.union (fun name _ _ -> raise (Duplicate name)) a b
+
+(* Instantiate a call: bind formals to evaluated argument values and
+   substitute through the body. *)
+let instantiate env name (args : int list) =
+  let d = find env name in
+  let n_formals = List.length d.formals and n_args = List.length args in
+  if n_formals <> n_args then
+    raise (Arity_mismatch (name, n_formals, n_args));
+  let bindings =
+    List.fold_left2
+      (fun acc formal v -> Expr.Env.add formal v acc)
+      Expr.Env.empty d.formals args
+  in
+  Proc.subst bindings d.body
+
+let pp_def ppf d =
+  match d.formals with
+  | [] -> Fmt.pf ppf "@[<hov 2>%s =@ %a@]" d.name Proc.pp d.body
+  | fs ->
+      Fmt.pf ppf "@[<hov 2>%s(%a) =@ %a@]" d.name
+        Fmt.(list ~sep:comma string)
+        fs Proc.pp d.body
+
+let pp ppf env =
+  Fmt.pf ppf "@[<v>%a@]"
+    Fmt.(list ~sep:cut pp_def)
+    (List.map snd (String_map.bindings env))

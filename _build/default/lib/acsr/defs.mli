@@ -1,0 +1,40 @@
+(** Environments of parameterized process definitions. *)
+
+type def = { name : string; formals : string list; body : Proc.t }
+
+type t
+
+exception Undefined of string
+exception Arity_mismatch of string * int * int
+(** definition name, expected arity, actual arity *)
+
+exception Unbound_in_body of string * string
+(** definition name, unbound parameter used by its body *)
+
+exception Duplicate of string
+
+val empty : t
+
+val add : t -> name:string -> formals:string list -> Proc.t -> t
+(** @raise Duplicate if [name] is already defined.
+    @raise Unbound_in_body if the body uses a parameter not in [formals].
+    @raise Invalid_argument on duplicate formals. *)
+
+val find : t -> string -> def
+(** @raise Undefined *)
+
+val mem : t -> string -> bool
+val names : t -> string list
+val fold : (def -> 'a -> 'a) -> t -> 'a -> 'a
+val of_list : (string * string list * Proc.t) list -> t
+
+val merge : t -> t -> t
+(** @raise Duplicate on name collision. *)
+
+val instantiate : t -> string -> int list -> Proc.t
+(** [instantiate env name args] is the body of [name] with formals replaced
+    by [args]; the result is closed.
+    @raise Undefined / Arity_mismatch accordingly. *)
+
+val pp_def : def Fmt.t
+val pp : t Fmt.t

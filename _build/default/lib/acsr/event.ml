@@ -1,0 +1,26 @@
+(* Instantaneous communication events.  An event step takes no time; an
+   output [l!] and an input [l?] on the same label synchronize CCS-style
+   into an internal step [tau@l] whose priority is the sum of the two
+   participants' priorities. *)
+
+type dir = In | Out
+
+type t = { label : Label.t; dir : dir; prio : Expr.t }
+
+let receive ?(prio = Expr.Int 0) label = { label; dir = In; prio }
+let send ?(prio = Expr.Int 0) label = { label; dir = Out; prio }
+
+let label e = e.label
+let dir e = e.dir
+let priority e = e.prio
+let subst env e = { e with prio = Expr.subst env e.prio }
+let is_ground e = Expr.is_ground e.prio
+
+let pp_dir ppf = function
+  | In -> Fmt.string ppf "?"
+  | Out -> Fmt.string ppf "!"
+
+let pp ppf e =
+  match e.prio with
+  | Expr.Int 0 -> Fmt.pf ppf "%a%a" Label.pp e.label pp_dir e.dir
+  | p -> Fmt.pf ppf "(%a%a,%a)" Label.pp e.label pp_dir e.dir Expr.pp p

@@ -1,0 +1,19 @@
+(** Instantaneous ACSR communication events. *)
+
+type dir = In | Out
+
+type t = { label : Label.t; dir : dir; prio : Expr.t }
+
+val receive : ?prio:Expr.t -> Label.t -> t
+(** [receive l] is the input event [l?] (default priority 0). *)
+
+val send : ?prio:Expr.t -> Label.t -> t
+(** [send l] is the output event [l!] (default priority 0). *)
+
+val label : t -> Label.t
+val dir : t -> dir
+val priority : t -> Expr.t
+val subst : int Expr.Env.t -> t -> t
+val is_ground : t -> bool
+val pp_dir : dir Fmt.t
+val pp : t Fmt.t

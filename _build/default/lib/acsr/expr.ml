@@ -1,0 +1,117 @@
+(* Integer expressions over process parameters.
+
+   Parameterized ACSR processes (paper, end of Section 3) carry dynamic
+   parameters whose values evolve during execution; priorities of resource
+   accesses may be expressions over these parameters.  This is what enables
+   dynamic-priority schedulers: EDF uses the priority expression
+   [d_max - (d_i - t)] where [t] is the time-since-dispatch parameter of the
+   thread process (paper, Section 5). *)
+
+type t =
+  | Int of int
+  | Var of string
+  | Neg of t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Mod of t * t
+  | Min of t * t
+  | Max of t * t
+
+exception Unbound_parameter of string
+
+module Env = Stdlib.Map.Make (String)
+
+let rec eval env = function
+  | Int n -> n
+  | Var x -> (
+      match Env.find_opt x env with
+      | Some v -> v
+      | None -> raise (Unbound_parameter x))
+  | Neg e -> -eval env e
+  | Add (a, b) -> eval env a + eval env b
+  | Sub (a, b) -> eval env a - eval env b
+  | Mul (a, b) -> eval env a * eval env b
+  | Div (a, b) -> eval env a / eval env b
+  | Mod (a, b) -> eval env a mod eval env b
+  | Min (a, b) -> min (eval env a) (eval env b)
+  | Max (a, b) -> max (eval env a) (eval env b)
+
+let rec free_vars = function
+  | Int _ -> []
+  | Var x -> [ x ]
+  | Neg e -> free_vars e
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Mod (a, b)
+  | Min (a, b) | Max (a, b) ->
+      free_vars a @ free_vars b
+
+let is_ground e = free_vars e = []
+
+(* Substitute parameters by integer values, simplifying constant subterms so
+   that repeatedly-unfolded process bodies stay small. *)
+let rec subst env e =
+  match e with
+  | Int _ -> e
+  | Var x -> ( match Env.find_opt x env with Some v -> Int v | None -> e)
+  | Neg a -> ( match subst env a with Int n -> Int (-n) | a' -> Neg a')
+  | Add (a, b) -> binop env (fun x y -> x + y) (fun x y -> Add (x, y)) a b
+  | Sub (a, b) -> binop env (fun x y -> x - y) (fun x y -> Sub (x, y)) a b
+  | Mul (a, b) -> binop env (fun x y -> x * y) (fun x y -> Mul (x, y)) a b
+  | Div (a, b) ->
+      (* division by a constant zero must not be folded away: leave it to
+         [eval] to raise at the point of use *)
+      let a' = subst env a and b' = subst env b in
+      (match (a', b') with
+      | Int x, Int y when y <> 0 -> Int (x / y)
+      | _ -> Div (a', b'))
+  | Mod (a, b) ->
+      let a' = subst env a and b' = subst env b in
+      (match (a', b') with
+      | Int x, Int y when y <> 0 -> Int (x mod y)
+      | _ -> Mod (a', b'))
+  | Min (a, b) -> binop env min (fun x y -> Min (x, y)) a b
+  | Max (a, b) -> binop env max (fun x y -> Max (x, y)) a b
+
+and binop env fold rebuild a b =
+  let a' = subst env a and b' = subst env b in
+  match (a', b') with
+  | Int x, Int y -> Int (fold x y)
+  | _ -> rebuild a' b'
+
+let rec equal a b =
+  match (a, b) with
+  | Int x, Int y -> x = y
+  | Var x, Var y -> String.equal x y
+  | Neg x, Neg y -> equal x y
+  | Add (a1, b1), Add (a2, b2)
+  | Sub (a1, b1), Sub (a2, b2)
+  | Mul (a1, b1), Mul (a2, b2)
+  | Div (a1, b1), Div (a2, b2)
+  | Mod (a1, b1), Mod (a2, b2)
+  | Min (a1, b1), Min (a2, b2)
+  | Max (a1, b1), Max (a2, b2) ->
+      equal a1 a2 && equal b1 b2
+  | ( ( Int _ | Var _ | Neg _ | Add _ | Sub _ | Mul _ | Div _ | Mod _ | Min _
+      | Max _ ),
+      _ ) ->
+      false
+
+let compare = Stdlib.compare
+
+let rec pp ppf = function
+  | Int n -> Fmt.int ppf n
+  | Var x -> Fmt.string ppf x
+  | Neg e -> Fmt.pf ppf "-%a" pp_atom e
+  | Add (a, b) -> Fmt.pf ppf "%a + %a" pp_atom a pp_atom b
+  | Sub (a, b) -> Fmt.pf ppf "%a - %a" pp_atom a pp_atom b
+  | Mul (a, b) -> Fmt.pf ppf "%a * %a" pp_atom a pp_atom b
+  | Div (a, b) -> Fmt.pf ppf "%a / %a" pp_atom a pp_atom b
+  | Mod (a, b) -> Fmt.pf ppf "%a %% %a" pp_atom a pp_atom b
+  | Min (a, b) -> Fmt.pf ppf "min(%a, %a)" pp a pp b
+  | Max (a, b) -> Fmt.pf ppf "max(%a, %a)" pp a pp b
+
+and pp_atom ppf e =
+  match e with
+  | Int _ | Var _ | Min _ | Max _ -> pp ppf e
+  | Neg _ | Add _ | Sub _ | Mul _ | Div _ | Mod _ -> Fmt.pf ppf "(%a)" pp e

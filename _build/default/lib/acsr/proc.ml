@@ -1,0 +1,177 @@
+(* Syntax of ACSR process terms.
+
+   The constructors follow the operators used in the paper (Section 3):
+   deadlocked NIL, timed-action prefix, event prefix, choice, parallel
+   composition, event restriction, resource closure, temporal scopes with
+   exception / timeout / interrupt exits, guarded branches and invocation of
+   (parameterized) process definitions. *)
+
+type t =
+  | Nil
+  | Act of Action.t * t
+  | Ev of Event.t * t
+  | Choice of t * t
+  | Par of t * t
+  | Scope of scope
+  | Restrict of Label.Set.t * t
+  | Close of Resource.Set.t * t
+  | If of Guard.t * t
+  | Call of string * Expr.t list
+
+and scope = {
+  body : t;  (** the process executing inside the scope *)
+  bound : Expr.t option;
+      (** remaining quanta before the timeout exit; [None] = no timeout *)
+  exc : (Label.t * t) option;
+      (** exception: when [body] emits this output label, control transfers
+          to the handler (a voluntary exit) *)
+  timeout : t;  (** entered when [bound] reaches zero *)
+  interrupt : t option;
+      (** a handler whose initial steps are always enabled; taking one
+          abandons the scope (an involuntary exit) *)
+}
+
+(* {1 Smart constructors} *)
+
+let nil = Nil
+let act a p = Act (a, p)
+let event e p = Ev (e, p)
+let send ?prio l p = Ev (Event.send ?prio l, p)
+let receive ?prio l p = Ev (Event.receive ?prio l, p)
+
+let choice p q =
+  match (p, q) with Nil, r | r, Nil -> r | p, q -> Choice (p, q)
+
+let choice_list = function
+  | [] -> Nil
+  | p :: ps -> List.fold_left choice p ps
+
+let par p q = Par (p, q)
+
+let par_list = function
+  | [] -> Nil
+  | p :: ps -> List.fold_left par p ps
+
+let restrict labels p =
+  if Label.Set.is_empty labels then p
+  else Restrict (Label.canonical_set labels, p)
+
+let close resources p =
+  if Resource.Set.is_empty resources then p
+  else Close (Resource.canonical_set resources, p)
+
+let if_ g p =
+  match g with Guard.True -> p | Guard.False -> Nil | g -> If (g, p)
+
+let call name args = Call (name, args)
+
+let scope ?bound ?exc ?interrupt ?(timeout = Nil) body =
+  Scope { body; bound; exc; timeout; interrupt }
+
+(* {1 Substitution of process parameters}
+
+   Parameters are bound only by process definitions, never inside terms, so
+   substitution is a straightforward traversal. *)
+
+let rec subst env p =
+  match p with
+  | Nil -> Nil
+  | Act (a, k) -> Act (Action.subst env a, subst env k)
+  | Ev (e, k) -> Ev (Event.subst env e, subst env k)
+  | Choice (a, b) -> Choice (subst env a, subst env b)
+  | Par (a, b) -> Par (subst env a, subst env b)
+  | Scope s ->
+      Scope
+        {
+          body = subst env s.body;
+          bound = Option.map (Expr.subst env) s.bound;
+          exc = Option.map (fun (l, h) -> (l, subst env h)) s.exc;
+          timeout = subst env s.timeout;
+          interrupt = Option.map (subst env) s.interrupt;
+        }
+  | Restrict (ls, k) -> Restrict (ls, subst env k)
+  | Close (rs, k) -> Close (rs, subst env k)
+  | If (g, k) -> (
+      match Guard.subst env g with
+      | Guard.False -> Nil
+      | g' -> If (g', subst env k))
+  | Call (n, args) -> Call (n, List.map (Expr.subst env) args)
+
+let rec free_vars p =
+  match p with
+  | Nil -> []
+  | Act (a, k) -> Action.free_vars a @ free_vars k
+  | Ev (e, k) -> Expr.free_vars (Event.priority e) @ free_vars k
+  | Choice (a, b) | Par (a, b) -> free_vars a @ free_vars b
+  | Scope s ->
+      (match s.bound with Some e -> Expr.free_vars e | None -> [])
+      @ free_vars s.body
+      @ (match s.exc with Some (_, h) -> free_vars h | None -> [])
+      @ free_vars s.timeout
+      @ (match s.interrupt with Some h -> free_vars h | None -> [])
+  | Restrict (_, k) | Close (_, k) -> free_vars k
+  | If (g, k) -> Guard.free_vars g @ free_vars k
+  | Call (_, args) -> List.concat_map Expr.free_vars args
+
+let is_ground p = free_vars p = []
+
+(* {1 Structural equality and size} *)
+
+let equal (a : t) (b : t) = a = b
+let compare = Stdlib.compare
+let hash (p : t) = Hashtbl.hash p
+
+let rec size = function
+  | Nil -> 1
+  | Act (_, k) | Ev (_, k) -> 1 + size k
+  | Choice (a, b) | Par (a, b) -> 1 + size a + size b
+  | Scope s ->
+      1 + size s.body
+      + (match s.exc with Some (_, h) -> size h | None -> 0)
+      + size s.timeout
+      + (match s.interrupt with Some h -> size h | None -> 0)
+  | Restrict (_, k) | Close (_, k) | If (_, k) -> 1 + size k
+  | Call (_, args) -> 1 + List.length args
+
+(* {1 Pretty-printing} *)
+
+let rec pp ppf = function
+  | Nil -> Fmt.string ppf "NIL"
+  | Act (a, k) -> Fmt.pf ppf "%a:%a" Action.pp a pp_atom k
+  | Ev (e, k) -> Fmt.pf ppf "%a.%a" Event.pp e pp_atom k
+  | Choice (a, b) -> Fmt.pf ppf "%a + %a" pp_atom a pp_atom b
+  | Par (a, b) -> Fmt.pf ppf "%a || %a" pp_atom a pp_atom b
+  | Scope s -> pp_scope ppf s
+  | Restrict (ls, k) -> Fmt.pf ppf "%a\\%a" pp_atom k Label.pp_set ls
+  | Close (rs, k) -> Fmt.pf ppf "[%a]_%a" pp k Resource.pp_set rs
+  | If (g, k) -> Fmt.pf ppf "(%a -> %a)" Guard.pp g pp_atom k
+  | Call (n, []) -> Fmt.string ppf n
+  | Call (n, args) ->
+      Fmt.pf ppf "%s(%a)" n Fmt.(list ~sep:comma Expr.pp) args
+
+and pp_scope ppf s =
+  let pp_bound ppf = function
+    | Some e -> Fmt.pf ppf "^%a" Expr.pp e
+    | None -> ()
+  in
+  let pp_exc ppf = function
+    | Some (l, h) -> Fmt.pf ppf " exc(%a -> %a)" Label.pp l pp_atom h
+    | None -> ()
+  in
+  let pp_timeout ppf = function
+    | Nil -> ()
+    | h -> Fmt.pf ppf " timeout(%a)" pp_atom h
+  in
+  let pp_int ppf = function
+    | Some h -> Fmt.pf ppf " int(%a)" pp_atom h
+    | None -> ()
+  in
+  Fmt.pf ppf "(%a delta%a%a%a%a)" pp_atom s.body pp_bound s.bound pp_exc
+    s.exc pp_timeout s.timeout pp_int s.interrupt
+
+and pp_atom ppf p =
+  match p with
+  | Nil | Call _ | Scope _ | If _ | Close _ -> pp ppf p
+  | Act _ | Ev _ | Choice _ | Par _ | Restrict _ -> Fmt.pf ppf "(%a)" pp p
+
+let to_string p = Fmt.str "%a" pp p

@@ -1,0 +1,78 @@
+(** Syntax of ACSR process terms (paper, Section 3). *)
+
+type t =
+  | Nil  (** the deadlocked process: no steps, cannot let time pass *)
+  | Act of Action.t * t  (** timed-action prefix [A:P] *)
+  | Ev of Event.t * t  (** event prefix [(e,p).P] *)
+  | Choice of t * t  (** alternative [P + Q] *)
+  | Par of t * t  (** parallel composition [P || Q] *)
+  | Scope of scope  (** temporal scope with exception/timeout/interrupt *)
+  | Restrict of Label.Set.t * t
+      (** [P\F]: forbids unsynchronized events on labels in [F], forcing
+          synchronization within [P] *)
+  | Close of Resource.Set.t * t
+      (** [[P]_I]: resource closure — [P]'s timed actions implicitly claim
+          the unused resources of [I] at priority 0 *)
+  | If of Guard.t * t  (** guarded branch [b -> P] *)
+  | Call of string * Expr.t list  (** invocation of a process definition *)
+
+and scope = {
+  body : t;
+  bound : Expr.t option;
+  exc : (Label.t * t) option;
+  timeout : t;
+  interrupt : t option;
+}
+
+(** {1 Smart constructors} *)
+
+val nil : t
+val act : Action.t -> t -> t
+val event : Event.t -> t -> t
+val send : ?prio:Expr.t -> Label.t -> t -> t
+val receive : ?prio:Expr.t -> Label.t -> t -> t
+
+val choice : t -> t -> t
+(** [choice p q]; absorbs [Nil] operands. *)
+
+val choice_list : t list -> t
+val par : t -> t -> t
+val par_list : t list -> t
+val restrict : Label.Set.t -> t -> t
+val close : Resource.Set.t -> t -> t
+
+val if_ : Guard.t -> t -> t
+(** Simplifies trivially true/false guards. *)
+
+val call : string -> Expr.t list -> t
+
+val scope :
+  ?bound:Expr.t ->
+  ?exc:Label.t * t ->
+  ?interrupt:t ->
+  ?timeout:t ->
+  t ->
+  t
+(** [scope body] wraps [body] in a temporal scope.  [timeout] defaults to
+    [Nil]: reaching the bound with no handler deadlocks, which is how
+    deadline violations manifest (paper, Section 5). *)
+
+(** {1 Parameter substitution} *)
+
+val subst : int Expr.Env.t -> t -> t
+val free_vars : t -> string list
+val is_ground : t -> bool
+
+(** {1 Comparisons} *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val size : t -> int
+(** Number of syntax nodes, for diagnostics. *)
+
+(** {1 Pretty-printing} *)
+
+val pp : t Fmt.t
+val to_string : t -> string

@@ -1,0 +1,30 @@
+(* Resources are the central notion of ACSR: timed actions claim sets of
+   resources, and contention between processes is resolved by priorities on
+   resource accesses.  A resource is identified by its name; in translated
+   AADL models resources stand for processors and buses. *)
+
+type t = string
+
+let make name =
+  if String.length name = 0 then invalid_arg "Resource.make: empty name";
+  name
+
+let name r = r
+let compare = String.compare
+let equal = String.equal
+let pp ppf r = Fmt.string ppf r
+
+module Set = Set.Make (String)
+module Map = Map.Make (String)
+
+(* [Set.of_list] builds different trees for different input orders, so
+   structurally comparing terms that embed sets (as [Proc.equal] does)
+   needs sets built canonically: insert in sorted order. *)
+let set_of_list l =
+  List.fold_left (fun s x -> Set.add x s) Set.empty
+    (List.sort_uniq String.compare l)
+
+let canonical_set s = set_of_list (Set.elements s)
+
+let pp_set ppf s =
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:comma pp) (Set.elements s)

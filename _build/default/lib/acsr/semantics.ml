@@ -1,0 +1,176 @@
+(* Operational semantics of ACSR.
+
+   [steps] computes the unprioritized transition relation of a closed
+   process term; [prioritized] filters it through the preemption relation
+   (Step.prioritize), yielding the prioritized transition relation on which
+   schedulability analysis is performed.
+
+   Time progress is global: in a parallel composition both operands must
+   take timed actions together, with disjoint resource sets (rule Par3 in
+   the paper); events interleave or synchronize CCS-style. *)
+
+exception Not_closed of string
+exception Unguarded_recursion of string
+
+(* Bound on nested Call unfoldings within the computation of a single step
+   set.  Well-formed ACSR definitions are guarded (every recursive call is
+   behind an action or event prefix), so this limit is only reached by
+   ill-founded definitions such as [X = X]. *)
+let max_unfold_depth = 4096
+
+let ground_env = Expr.Env.empty
+
+let eval_expr name e =
+  match Expr.eval ground_env e with
+  | v -> v
+  | exception Expr.Unbound_parameter x ->
+      raise (Not_closed (Fmt.str "%s: unbound parameter %s" name x))
+
+let rec steps_at depth (defs : Defs.t) (p : Proc.t) :
+    (Step.t * Proc.t) list =
+  match p with
+  | Proc.Nil -> []
+  | Proc.Act (a, k) ->
+      let ground =
+        List.map (fun (r, e) -> (r, eval_expr "action priority" e)) a
+      in
+      [ (Step.Action ground, k) ]
+  | Proc.Ev (e, k) ->
+      let prio = eval_expr "event priority" (Event.priority e) in
+      [ (Step.Event (Event.label e, Event.dir e, prio), k) ]
+  | Proc.Choice (a, b) -> steps_at depth defs a @ steps_at depth defs b
+  | Proc.Par (a, b) -> par_steps depth defs a b
+  | Proc.Scope s -> scope_steps depth defs s
+  | Proc.Restrict (forbidden, k) ->
+      let keep (step, _) =
+        match step with
+        | Step.Event (l, _, _) -> not (Label.Set.mem l forbidden)
+        | Step.Action _ | Step.Tau _ -> true
+      in
+      steps_at depth defs k
+      |> List.filter keep
+      |> List.map (fun (s, k') -> (s, Proc.Restrict (forbidden, k')))
+  | Proc.Close (owned, k) ->
+      let close_step (step, k') =
+        let step' =
+          match step with
+          | Step.Action a ->
+              let used = Action.Ground.resources a in
+              let extra =
+                Resource.Set.diff owned used
+                |> Resource.Set.elements
+                |> List.map (fun r -> (r, 0))
+              in
+              Step.Action (Action.Ground.union a extra)
+          | Step.Event _ | Step.Tau _ -> step
+        in
+        (step', Proc.Close (owned, k'))
+      in
+      List.map close_step (steps_at depth defs k)
+  | Proc.If (g, k) -> (
+      match Guard.eval ground_env g with
+      | true -> steps_at depth defs k
+      | false -> []
+      | exception Expr.Unbound_parameter x ->
+          raise (Not_closed (Fmt.str "guard: unbound parameter %s" x)))
+  | Proc.Call (name, args) ->
+      if depth > max_unfold_depth then raise (Unguarded_recursion name);
+      let values = List.map (eval_expr name) args in
+      steps_at (depth + 1) defs (Defs.instantiate defs name values)
+
+and par_steps depth defs a b =
+  let sa = steps_at depth defs a and sb = steps_at depth defs b in
+  (* interleaved instantaneous steps *)
+  let left =
+    List.filter_map
+      (fun (s, a') ->
+        match s with
+        | Step.Event _ | Step.Tau _ -> Some (s, Proc.Par (a', b))
+        | Step.Action _ -> None)
+      sa
+  and right =
+    List.filter_map
+      (fun (s, b') ->
+        match s with
+        | Step.Event _ | Step.Tau _ -> Some (s, Proc.Par (a, b'))
+        | Step.Action _ -> None)
+      sb
+  in
+  (* synchronized timed actions with disjoint resources *)
+  let timed =
+    List.concat_map
+      (fun (s, a') ->
+        match s with
+        | Step.Action aa ->
+            List.filter_map
+              (fun (s', b') ->
+                match s' with
+                | Step.Action ab when Action.Ground.disjoint aa ab ->
+                    Some
+                      ( Step.Action (Action.Ground.union aa ab),
+                        Proc.Par (a', b') )
+                | Step.Action _ | Step.Event _ | Step.Tau _ -> None)
+              sb
+        | Step.Event _ | Step.Tau _ -> [])
+      sa
+  in
+  (* CCS-style synchronization of matching input/output events *)
+  let sync =
+    List.concat_map
+      (fun (s, a') ->
+        match s with
+        | Step.Event (l, da, pa) ->
+            List.filter_map
+              (fun (s', b') ->
+                match s' with
+                | Step.Event (l', db, pb)
+                  when Label.equal l l' && da <> db ->
+                    Some (Step.Tau (Some l, pa + pb), Proc.Par (a', b'))
+                | Step.Event _ | Step.Action _ | Step.Tau _ -> None)
+              sb
+        | Step.Action _ | Step.Tau _ -> [])
+      sa
+  in
+  left @ right @ timed @ sync
+
+and scope_steps depth defs (s : Proc.scope) =
+  let bound = Option.map (eval_expr "scope bound") s.bound in
+  match bound with
+  | Some 0 ->
+      (* timeout exit: the scope is left and the handler takes over *)
+      steps_at depth defs s.timeout
+  | _ ->
+      let decrement =
+        match bound with
+        | Some n -> Some (Expr.Int (n - 1))
+        | None -> None
+      in
+      let of_body (step, body') =
+        match (step, s.exc) with
+        | Step.Event (l, Event.Out, _), Some (l', handler)
+          when Label.equal l l' ->
+            (* exception exit: voluntary transfer of control *)
+            [ (step, handler) ]
+        | Step.Action _, _ ->
+            [ (step, Proc.Scope { s with body = body'; bound = decrement }) ]
+        | (Step.Event _ | Step.Tau _), _ ->
+            [ (step, Proc.Scope { s with body = body' }) ]
+      in
+      let body_steps = List.concat_map of_body (steps_at depth defs s.body) in
+      let interrupt_steps =
+        match s.interrupt with
+        | Some handler -> steps_at depth defs handler
+        | None -> []
+      in
+      body_steps @ interrupt_steps
+
+let dedup steps = List.sort_uniq Stdlib.compare steps
+
+let steps defs p = dedup (steps_at 0 defs p)
+let prioritized defs p = Step.prioritize (steps defs p)
+let is_deadlocked defs p = steps defs p = []
+
+(* A process is time-stopped when no enabled (prioritized) step advances
+   time; deadlocks are a special case.  Useful as a diagnostic. *)
+let is_time_stopped defs p =
+  not (List.exists (fun (s, _) -> Step.is_timed s) (prioritized defs p))

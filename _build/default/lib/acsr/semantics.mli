@@ -1,0 +1,24 @@
+(** Operational semantics of closed ACSR terms. *)
+
+exception Not_closed of string
+(** Raised when a term still contains free parameters. *)
+
+exception Unguarded_recursion of string
+(** Raised when unfolding definitions never reaches an action or event
+    prefix (e.g. [X = X]). *)
+
+val steps : Defs.t -> Proc.t -> (Step.t * Proc.t) list
+(** The unprioritized transition relation: every step the term can take,
+    deduplicated. *)
+
+val prioritized : Defs.t -> Proc.t -> (Step.t * Proc.t) list
+(** The prioritized transition relation: {!steps} minus the steps preempted
+    by another enabled step.  Schedulability analysis explores this
+    relation. *)
+
+val is_deadlocked : Defs.t -> Proc.t -> bool
+(** No step at all is enabled.  In translated AADL models this denotes a
+    timing violation (paper, Section 5). *)
+
+val is_time_stopped : Defs.t -> Proc.t -> bool
+(** No prioritized step advances time. *)

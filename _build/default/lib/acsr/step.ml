@@ -1,0 +1,56 @@
+(* Concrete transition labels of the (instantiated) ACSR transition system,
+   together with the preemption relation that defines the prioritized
+   transition relation (paper, Section 3). *)
+
+type t =
+  | Action of Action.ground
+      (** A timed action: consumes one quantum of global time. *)
+  | Event of Label.t * Event.dir * int
+      (** An unsynchronized communication offer, visible to the context. *)
+  | Tau of Label.t option * int
+      (** An internal step; [Some l] records the label whose
+          synchronization produced it (written [tau\@l]). *)
+
+let is_timed = function Action _ -> true | Event _ | Tau _ -> false
+
+let equal (a : t) (b : t) = a = b
+let compare = Stdlib.compare
+
+(* The preemption relation on steps.  [preempts b a] means [b] disables [a]
+   when both are enabled in the same state:
+   - timed actions preempt each other by resource-wise priority domination;
+   - an internal step with non-zero priority preempts any timed action,
+     ensuring progress;
+   - events with the same label and direction preempt by priority;
+   - internal steps all carry the same label (tau — the [Some l]
+     annotation only records the synchronization's origin, as the paper's
+     [tau\@name] notation does), so a higher-priority internal step
+     preempts any lower-priority one.  This is what lets the Urgency
+     property arbitrate between the queues of an event-driven dispatcher
+     (paper, Section 4.3). *)
+let preempts (b : t) (a : t) =
+  match (a, b) with
+  | Action aa, Action ab -> Action.Ground.preempts ab aa
+  | Action _, Tau (_, n) -> n > 0
+  | Event (la, da, pa), Event (lb, db, pb) ->
+      Label.equal la lb && da = db && pb > pa
+  | Tau (_, pa), Tau (_, pb) -> pb > pa
+  | Action _, Event _
+  | Event _, (Action _ | Tau _)
+  | Tau _, (Action _ | Event _) ->
+      false
+
+(* Keep only the maximal steps with respect to preemption: this implements
+   the prioritized transition relation. *)
+let prioritize (steps : (t * 'a) list) =
+  let enabled = List.map fst steps in
+  let preempted s = List.exists (fun s' -> preempts s' s) enabled in
+  List.filter (fun (s, _) -> not (preempted s)) steps
+
+let pp ppf = function
+  | Action a -> Action.pp_ground ppf a
+  | Event (l, d, 0) -> Fmt.pf ppf "%a%a" Label.pp l Event.pp_dir d
+  | Event (l, d, p) ->
+      Fmt.pf ppf "(%a%a,%d)" Label.pp l Event.pp_dir d p
+  | Tau (None, p) -> Fmt.pf ppf "tau:%d" p
+  | Tau (Some l, p) -> Fmt.pf ppf "tau@%a:%d" Label.pp l p

@@ -1,0 +1,781 @@
+(* A concrete textual syntax for ACSR, in the spirit of VERSA's input
+   language, with a parser and a printer that round-trip.
+
+   Grammar (precedence from loosest to tightest):
+
+     file     ::= { def ";" } [ "system" "=" proc ";" ]
+     def      ::= NAME [ "(" params ")" ] "=" proc
+     proc     ::= par
+     par      ::= sum { "||" sum }
+     sum      ::= prefix { "+" prefix }
+     prefix   ::= action ":" prefix            -- timed-action prefix
+                | event "." prefix             -- event prefix
+                | "[" guard "]" "->" prefix    -- guarded process
+                | postfix
+     postfix  ::= primary { BACKSLASH "{" names "}" }  -- restriction
+     primary  ::= "NIL" | NAME [ "(" exprs ")" ]
+                | "(" proc ")"
+                | "close" "(" proc "," "{" names "}" ")"
+                | "scope" proc scope-clauses "end"
+     scope-clauses ::= [ "bound" expr ] [ "exception" NAME "->" proc ]
+                       [ "timeout" "->" proc ] [ "interrupt" "->" proc ]
+     action   ::= "{" [ "(" NAME "," expr ")" { "," "(" NAME "," expr ")" } ] "}"
+     event    ::= NAME "!" | NAME "?" | "(" NAME ("!"|"?") "," expr ")"
+     guard    ::= conj { "or" conj }
+     conj     ::= atom-guard { "&&" atom-guard }
+     atom-guard ::= "true" | "false" | "not" atom-guard
+                  | expr ("=="|"!="|"<"|"<="|">"|">=") expr
+                  | "(" guard ")"
+     expr     ::= term { ("+"|"-") term }
+     term     ::= factor { ("*"|"/"|"%") factor }
+     factor   ::= INT | NAME | "-" factor | "(" expr ")"
+                | ("min"|"max") "(" expr "," expr ")"
+
+   Comments run from "--" to end of line.  Process names and parameters
+   share the identifier syntax; resource and label names likewise. *)
+
+type token =
+  | TINT of int
+  | TNAME of string
+  | TLPAR
+  | TRPAR
+  | TLBRACE
+  | TRBRACE
+  | TLBRACK
+  | TRBRACK
+  | TCOMMA
+  | TSEMI
+  | TCOLON
+  | TDOT
+  | TPLUS
+  | TMINUS
+  | TSTAR
+  | TSLASH
+  | TPERCENT
+  | TBANG
+  | TQUEST
+  | TPAR  (** || *)
+  | TBACKSLASH
+  | TARROW
+  | TEQ  (** = *)
+  | TEQEQ
+  | TNEQ
+  | TLT
+  | TLE
+  | TGT
+  | TGE
+  | TANDAND
+  | TEOF
+
+exception Parse_error of string * int
+(** message, line *)
+
+let pp_token ppf = function
+  | TINT n -> Fmt.pf ppf "integer %d" n
+  | TNAME s -> Fmt.pf ppf "name %S" s
+  | TLPAR -> Fmt.string ppf "'('"
+  | TRPAR -> Fmt.string ppf "')'"
+  | TLBRACE -> Fmt.string ppf "'{'"
+  | TRBRACE -> Fmt.string ppf "'}'"
+  | TLBRACK -> Fmt.string ppf "'['"
+  | TRBRACK -> Fmt.string ppf "']'"
+  | TCOMMA -> Fmt.string ppf "','"
+  | TSEMI -> Fmt.string ppf "';'"
+  | TCOLON -> Fmt.string ppf "':'"
+  | TDOT -> Fmt.string ppf "'.'"
+  | TPLUS -> Fmt.string ppf "'+'"
+  | TMINUS -> Fmt.string ppf "'-'"
+  | TSTAR -> Fmt.string ppf "'*'"
+  | TSLASH -> Fmt.string ppf "'/'"
+  | TPERCENT -> Fmt.string ppf "'%'"
+  | TBANG -> Fmt.string ppf "'!'"
+  | TQUEST -> Fmt.string ppf "'?'"
+  | TPAR -> Fmt.string ppf "'||'"
+  | TBACKSLASH -> Fmt.string ppf "'\\'"
+  | TARROW -> Fmt.string ppf "'->'"
+  | TEQ -> Fmt.string ppf "'='"
+  | TEQEQ -> Fmt.string ppf "'=='"
+  | TNEQ -> Fmt.string ppf "'!='"
+  | TLT -> Fmt.string ppf "'<'"
+  | TLE -> Fmt.string ppf "'<='"
+  | TGT -> Fmt.string ppf "'>'"
+  | TGE -> Fmt.string ppf "'>='"
+  | TANDAND -> Fmt.string ppf "'&&'"
+  | TEOF -> Fmt.string ppf "end of input"
+
+(* {1 Lexer} *)
+
+let tokenize input =
+  let n = String.length input in
+  let line = ref 1 in
+  let toks = ref [] in
+  let emit t = toks := (t, !line) :: !toks in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some input.[!i + k] else None in
+  let is_digit c = c >= '0' && c <= '9' in
+  let is_alpha c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+  in
+  while !i < n do
+    let c = input.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '-' && peek 1 = Some '-' then begin
+      while !i < n && input.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit input.[!i] do
+        incr i
+      done;
+      emit (TINT (int_of_string (String.sub input start (!i - start))))
+    end
+    else if is_alpha c then begin
+      let start = !i in
+      while !i < n && (is_alpha input.[!i] || is_digit input.[!i]) do
+        incr i
+      done;
+      emit (TNAME (String.sub input start (!i - start)))
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub input !i 2 else "" in
+      match two with
+      | "||" ->
+          emit TPAR;
+          i := !i + 2
+      | "->" ->
+          emit TARROW;
+          i := !i + 2
+      | "==" ->
+          emit TEQEQ;
+          i := !i + 2
+      | "!=" ->
+          emit TNEQ;
+          i := !i + 2
+      | "<=" ->
+          emit TLE;
+          i := !i + 2
+      | ">=" ->
+          emit TGE;
+          i := !i + 2
+      | "&&" ->
+          emit TANDAND;
+          i := !i + 2
+      | _ -> (
+          (match c with
+          | '(' -> emit TLPAR
+          | ')' -> emit TRPAR
+          | '{' -> emit TLBRACE
+          | '}' -> emit TRBRACE
+          | '[' -> emit TLBRACK
+          | ']' -> emit TRBRACK
+          | ',' -> emit TCOMMA
+          | ';' -> emit TSEMI
+          | ':' -> emit TCOLON
+          | '.' -> emit TDOT
+          | '+' -> emit TPLUS
+          | '-' -> emit TMINUS
+          | '*' -> emit TSTAR
+          | '/' -> emit TSLASH
+          | '%' -> emit TPERCENT
+          | '!' -> emit TBANG
+          | '?' -> emit TQUEST
+          | '\\' -> emit TBACKSLASH
+          | '=' -> emit TEQ
+          | '<' -> emit TLT
+          | '>' -> emit TGT
+          | c ->
+              raise
+                (Parse_error (Fmt.str "unexpected character %C" c, !line)));
+          incr i)
+    end
+  done;
+  emit TEOF;
+  List.rev !toks
+
+(* {1 Parser} *)
+
+type state = { toks : (token * int) array; mutable pos : int }
+
+let peek st = fst st.toks.(st.pos)
+let line st = snd st.toks.(st.pos)
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let fail st msg = raise (Parse_error (msg, line st))
+
+let expect st tok what =
+  if peek st = tok then advance st
+  else fail st (Fmt.str "expected %s, found %a" what pp_token (peek st))
+
+let name st =
+  match peek st with
+  | TNAME s ->
+      advance st;
+      s
+  | t -> fail st (Fmt.str "expected a name, found %a" pp_token t)
+
+let is_name st kw = match peek st with TNAME s -> s = kw | _ -> false
+
+let accept_name st kw =
+  if is_name st kw then begin
+    advance st;
+    true
+  end
+  else false
+
+(* expressions *)
+let rec parse_expr st =
+  let lhs = parse_term st in
+  let rec go lhs =
+    match peek st with
+    | TPLUS ->
+        advance st;
+        go (Expr.Add (lhs, parse_term st))
+    | TMINUS ->
+        advance st;
+        go (Expr.Sub (lhs, parse_term st))
+    | _ -> lhs
+  in
+  go lhs
+
+and parse_term st =
+  let lhs = parse_factor st in
+  let rec go lhs =
+    match peek st with
+    | TSTAR ->
+        advance st;
+        go (Expr.Mul (lhs, parse_factor st))
+    | TSLASH ->
+        advance st;
+        go (Expr.Div (lhs, parse_factor st))
+    | TPERCENT ->
+        advance st;
+        go (Expr.Mod (lhs, parse_factor st))
+    | _ -> lhs
+  in
+  go lhs
+
+and parse_factor st =
+  match peek st with
+  | TINT v ->
+      advance st;
+      Expr.Int v
+  | TMINUS -> (
+      advance st;
+      (* fold a negative literal; '-' before anything else is negation *)
+      match peek st with
+      | TINT v ->
+          advance st;
+          Expr.Int (-v)
+      | _ -> Expr.Neg (parse_factor st))
+  | TLPAR ->
+      advance st;
+      let e = parse_expr st in
+      expect st TRPAR "')'";
+      e
+  | TNAME ("min" | "max") ->
+      let f = name st in
+      expect st TLPAR "'(' after min/max";
+      let a = parse_expr st in
+      expect st TCOMMA "','";
+      let b = parse_expr st in
+      expect st TRPAR "')'";
+      if f = "min" then Expr.Min (a, b) else Expr.Max (a, b)
+  | TNAME _ -> Expr.Var (name st)
+  | t -> fail st (Fmt.str "expected an expression, found %a" pp_token t)
+
+(* guards *)
+let parse_cmp st =
+  match peek st with
+  | TEQEQ ->
+      advance st;
+      Guard.Eq
+  | TNEQ ->
+      advance st;
+      Guard.Ne
+  | TLT ->
+      advance st;
+      Guard.Lt
+  | TLE ->
+      advance st;
+      Guard.Le
+  | TGT ->
+      advance st;
+      Guard.Gt
+  | TGE ->
+      advance st;
+      Guard.Ge
+  | t -> fail st (Fmt.str "expected a comparison, found %a" pp_token t)
+
+let rec parse_guard st =
+  let lhs = parse_conj st in
+  if accept_name st "or" then Guard.Or (lhs, parse_guard st) else lhs
+
+and parse_conj st =
+  let lhs = parse_guard_atom st in
+  if peek st = TANDAND then begin
+    advance st;
+    Guard.And (lhs, parse_conj st)
+  end
+  else lhs
+
+and parse_guard_atom st =
+  if accept_name st "true" then Guard.True
+  else if accept_name st "false" then Guard.False
+  else if accept_name st "not" then Guard.Not (parse_guard_atom st)
+  else if peek st = TLPAR then begin
+    (* ambiguous: '(' may open a parenthesized guard or an expression;
+       resolve by trying the guard first, falling back to comparison *)
+    let save = st.pos in
+    let comparison () =
+      st.pos <- save;
+      let a = parse_expr st in
+      let op = parse_cmp st in
+      let b = parse_expr st in
+      Guard.Cmp (op, a, b)
+    in
+    advance st;
+    match parse_guard st with
+    | g ->
+        if peek st = TRPAR && not (is_cmp_follow st) then begin
+          advance st;
+          g
+        end
+        else comparison ()
+    | exception Parse_error _ -> comparison ()
+  end
+  else
+    let a = parse_expr st in
+    let op = parse_cmp st in
+    let b = parse_expr st in
+    Guard.Cmp (op, a, b)
+
+and is_cmp_follow st =
+  (* after a closing paren, a comparison operator means the paren closed
+     an expression, not a guard *)
+  match st.toks.(st.pos + 1) with
+  | (TEQEQ | TNEQ | TLT | TLE | TGT | TGE), _ -> true
+  | _ -> false
+
+(* actions: { } or { (r,p), ... } *)
+let parse_action st =
+  expect st TLBRACE "'{'";
+  if peek st = TRBRACE then begin
+    advance st;
+    Action.idle
+  end
+  else begin
+    let rec accesses acc =
+      expect st TLPAR "'(' opening a resource access";
+      let r = name st in
+      expect st TCOMMA "','";
+      let p = parse_expr st in
+      expect st TRPAR "')'";
+      let acc = (Resource.make r, p) :: acc in
+      if peek st = TCOMMA then begin
+        advance st;
+        accesses acc
+      end
+      else List.rev acc
+    in
+    let acc = accesses [] in
+    expect st TRBRACE "'}'";
+    Action.of_list acc
+  end
+
+let parse_name_set st =
+  expect st TLBRACE "'{'";
+  let rec go acc =
+    let l = name st in
+    if peek st = TCOMMA then begin
+      advance st;
+      go (l :: acc)
+    end
+    else List.rev (l :: acc)
+  in
+  let names = if peek st = TRBRACE then [] else go [] in
+  expect st TRBRACE "'}'";
+  names
+
+(* processes *)
+let rec parse_proc st = parse_par st
+
+and parse_par st =
+  let lhs = parse_sum st in
+  if peek st = TPAR then begin
+    advance st;
+    Proc.Par (lhs, parse_par st)
+  end
+  else lhs
+
+and parse_sum st =
+  let lhs = parse_prefix st in
+  if peek st = TPLUS then begin
+    advance st;
+    Proc.Choice (lhs, parse_sum st)
+  end
+  else lhs
+
+and parse_prefix st =
+  match peek st with
+  | TLBRACE ->
+      let a = parse_action st in
+      expect st TCOLON "':' after a timed action";
+      Proc.Act (a, parse_prefix st)
+  | TLBRACK ->
+      advance st;
+      let g = parse_guard st in
+      expect st TRBRACK "']' closing a guard";
+      expect st TARROW "'->' after a guard";
+      Proc.If (g, parse_prefix st)
+  | TLPAR when is_prio_event st -> (
+      (* '(' NAME ('!'|'?') may also open a parenthesized process whose
+         first step is an event, e.g. "(a! . P) || Q": backtrack *)
+      let save = st.pos in
+      try parse_event_prefix st
+      with Parse_error _ ->
+        st.pos <- save;
+        parse_postfix st)
+  | TNAME _ when is_bare_event st -> parse_event_prefix st
+  | _ -> parse_postfix st
+
+(* lookahead: NAME '!' or NAME '?' begins an event prefix *)
+and is_bare_event st =
+  match (st.toks.(st.pos), st.toks.(st.pos + 1)) with
+  | (TNAME _, _), ((TBANG | TQUEST), _) -> true
+  | _ -> false
+
+(* lookahead: '(' NAME ('!'|'?') ',' begins a prioritized event *)
+and is_prio_event st =
+  Array.length st.toks > st.pos + 2
+  &&
+  match (st.toks.(st.pos + 1), st.toks.(st.pos + 2)) with
+  | (TNAME _, _), ((TBANG | TQUEST), _) -> true
+  | _ -> false
+
+and parse_event_prefix st =
+  let ev =
+    if peek st = TLPAR then begin
+      advance st;
+      let l = name st in
+      let dir =
+        match peek st with
+        | TBANG ->
+            advance st;
+            Event.Out
+        | TQUEST ->
+            advance st;
+            Event.In
+        | t -> fail st (Fmt.str "expected '!' or '?', found %a" pp_token t)
+      in
+      expect st TCOMMA "',' before the event priority";
+      let p = parse_expr st in
+      expect st TRPAR "')'";
+      { Event.label = Label.make l; dir; prio = p }
+    end
+    else begin
+      let l = name st in
+      let dir =
+        match peek st with
+        | TBANG ->
+            advance st;
+            Event.Out
+        | TQUEST ->
+            advance st;
+            Event.In
+        | t -> fail st (Fmt.str "expected '!' or '?', found %a" pp_token t)
+      in
+      { Event.label = Label.make l; dir; prio = Expr.Int 0 }
+    end
+  in
+  expect st TDOT "'.' after an event";
+  Proc.Ev (ev, parse_prefix st)
+
+and parse_postfix st =
+  let p = parse_primary st in
+  let rec go p =
+    if peek st = TBACKSLASH then begin
+      advance st;
+      let names = parse_name_set st in
+      go (Proc.Restrict (Label.set_of_list (List.map Label.make names), p))
+    end
+    else p
+  in
+  go p
+
+and parse_primary st =
+  match peek st with
+  | TNAME "NIL" ->
+      advance st;
+      Proc.Nil
+  | TNAME "close" ->
+      advance st;
+      expect st TLPAR "'(' after close";
+      let p = parse_proc st in
+      expect st TCOMMA "','";
+      let names = parse_name_set st in
+      expect st TRPAR "')'";
+      Proc.Close (Resource.set_of_list (List.map Resource.make names), p)
+  | TNAME "scope" ->
+      advance st;
+      let body = parse_proc st in
+      let bound =
+        if accept_name st "bound" then Some (parse_expr st) else None
+      in
+      let exc =
+        if accept_name st "exception" then begin
+          let l = name st in
+          expect st TARROW "'->' after the exception label";
+          Some (Label.make l, parse_proc st)
+        end
+        else None
+      in
+      let timeout =
+        if accept_name st "timeout" then begin
+          expect st TARROW "'->' after timeout";
+          parse_proc st
+        end
+        else Proc.Nil
+      in
+      let interrupt =
+        if accept_name st "interrupt" then begin
+          expect st TARROW "'->' after interrupt";
+          Some (parse_proc st)
+        end
+        else None
+      in
+      expect st (TNAME "end") "'end' closing a scope";
+      Proc.Scope { Proc.body; bound; exc; timeout; interrupt }
+  | TNAME _ ->
+      let n = name st in
+      if peek st = TLPAR then begin
+        advance st;
+        let rec args acc =
+          let e = parse_expr st in
+          if peek st = TCOMMA then begin
+            advance st;
+            args (e :: acc)
+          end
+          else List.rev (e :: acc)
+        in
+        let args = if peek st = TRPAR then [] else args [] in
+        expect st TRPAR "')'";
+        Proc.Call (n, args)
+      end
+      else Proc.Call (n, [])
+  | TLPAR ->
+      advance st;
+      let p = parse_proc st in
+      expect st TRPAR "')'";
+      p
+  | t -> fail st (Fmt.str "expected a process, found %a" pp_token t)
+
+(* files *)
+let parse_defs_tokens st =
+  let defs = ref Defs.empty in
+  let system = ref None in
+  let rec go () =
+    match peek st with
+    | TEOF -> ()
+    | TNAME "system" when fst st.toks.(st.pos + 1) = TEQ ->
+        advance st;
+        expect st TEQ "'='";
+        system := Some (parse_proc st);
+        expect st TSEMI "';'";
+        go ()
+    | TNAME _ ->
+        let n = name st in
+        let formals =
+          if peek st = TLPAR then begin
+            advance st;
+            let rec params acc =
+              let p = name st in
+              if peek st = TCOMMA then begin
+                advance st;
+                params (p :: acc)
+              end
+              else List.rev (p :: acc)
+            in
+            let ps = if peek st = TRPAR then [] else params [] in
+            expect st TRPAR "')'";
+            ps
+          end
+          else []
+        in
+        expect st TEQ "'=' in a definition";
+        let body = parse_proc st in
+        expect st TSEMI "';' ending a definition";
+        (try defs := Defs.add !defs ~name:n ~formals body with
+        | Defs.Duplicate d -> fail st (Fmt.str "duplicate definition of %s" d)
+        | Defs.Unbound_in_body (d, v) ->
+            fail st
+              (Fmt.str "definition %s uses parameter %s, which is not among \
+                        its formals"
+                 d v)
+        | Invalid_argument msg -> fail st msg);
+        go ()
+    | t -> fail st (Fmt.str "expected a definition, found %a" pp_token t)
+  in
+  go ();
+  (!defs, !system)
+
+let parse_string input =
+  let toks = Array.of_list (tokenize input) in
+  parse_defs_tokens { toks; pos = 0 }
+
+let parse_proc_string input =
+  let toks = Array.of_list (tokenize input) in
+  let st = { toks; pos = 0 } in
+  let p = parse_proc st in
+  expect st TEOF "end of input";
+  p
+
+(* {1 Printer}
+
+   Emits the grammar above; [parse_proc_string (print p)] is structurally
+   equal to [p]. *)
+
+let rec print_expr ppf = function
+  | Expr.Add (a, b) -> Fmt.pf ppf "%a + %a" print_expr a print_expr_term b
+  | Expr.Sub (a, b) -> Fmt.pf ppf "%a - %a" print_expr a print_expr_term b
+  | e -> print_expr_term ppf e
+
+and print_expr_term ppf = function
+  | Expr.Mul (a, b) ->
+      Fmt.pf ppf "%a * %a" print_expr_term a print_expr_factor b
+  | Expr.Div (a, b) ->
+      Fmt.pf ppf "%a / %a" print_expr_term a print_expr_factor b
+  | Expr.Mod (a, b) ->
+      Fmt.pf ppf "%a %% %a" print_expr_term a print_expr_factor b
+  | e -> print_expr_factor ppf e
+
+and print_expr_factor ppf = function
+  | Expr.Int n when n >= 0 -> Fmt.int ppf n
+  | Expr.Int n -> Fmt.pf ppf "(-%d)" (-n)
+  | Expr.Var x -> Fmt.string ppf x
+  | Expr.Neg e -> Fmt.pf ppf "-(%a)" print_expr e
+  | Expr.Min (a, b) -> Fmt.pf ppf "min(%a, %a)" print_expr a print_expr b
+  | Expr.Max (a, b) -> Fmt.pf ppf "max(%a, %a)" print_expr a print_expr b
+  | (Expr.Add _ | Expr.Sub _ | Expr.Mul _ | Expr.Div _ | Expr.Mod _) as e ->
+      Fmt.pf ppf "(%a)" print_expr e
+
+let print_cmp ppf op =
+  Fmt.string ppf
+    (match op with
+    | Guard.Eq -> "=="
+    | Guard.Ne -> "!="
+    | Guard.Lt -> "<"
+    | Guard.Le -> "<="
+    | Guard.Gt -> ">"
+    | Guard.Ge -> ">=")
+
+let rec print_guard ppf = function
+  | Guard.Or (a, b) -> Fmt.pf ppf "%a or %a" print_conj a print_guard b
+  | g -> print_conj ppf g
+
+and print_conj ppf = function
+  | Guard.And (a, b) -> Fmt.pf ppf "%a && %a" print_guard_atom a print_conj b
+  | g -> print_guard_atom ppf g
+
+and print_guard_atom ppf = function
+  | Guard.True -> Fmt.string ppf "true"
+  | Guard.False -> Fmt.string ppf "false"
+  | Guard.Not g -> Fmt.pf ppf "not %a" print_guard_atom g
+  | Guard.Cmp (op, a, b) ->
+      Fmt.pf ppf "%a %a %a" print_expr a print_cmp op print_expr b
+  | (Guard.And _ | Guard.Or _) as g -> Fmt.pf ppf "(%a)" print_guard g
+
+let print_action ppf a =
+  let access ppf (r, p) =
+    Fmt.pf ppf "(%a, %a)" Resource.pp r print_expr p
+  in
+  Fmt.pf ppf "{%a}"
+    Fmt.(list ~sep:(fun ppf () -> Fmt.string ppf ", ") access)
+    (Action.accesses a)
+
+let print_event ppf (e : Event.t) =
+  let dir = match e.Event.dir with Event.In -> "?" | Event.Out -> "!" in
+  match e.Event.prio with
+  | Expr.Int 0 -> Fmt.pf ppf "%a%s" Label.pp e.Event.label dir
+  | p -> Fmt.pf ppf "(%a%s, %a)" Label.pp e.Event.label dir print_expr p
+
+(* precedence levels: 0 = par, 1 = sum, 2 = prefix, 3 = postfix/primary *)
+let rec print_proc_prec level ppf p =
+  let prec =
+    match p with
+    | Proc.Par _ -> 0
+    | Proc.Choice _ -> 1
+    | Proc.Act _ | Proc.Ev _ | Proc.If _ -> 2
+    | Proc.Restrict _ -> 3
+    | Proc.Nil | Proc.Call _ | Proc.Close _ | Proc.Scope _ -> 4
+  in
+  if prec < level then Fmt.pf ppf "(%a)" (print_proc_prec 0) p
+  else
+    match p with
+    | Proc.Nil -> Fmt.string ppf "NIL"
+    | Proc.Par (a, b) ->
+        Fmt.pf ppf "%a || %a" (print_proc_prec 1) a (print_proc_prec 0) b
+    | Proc.Choice (a, b) ->
+        Fmt.pf ppf "%a + %a" (print_proc_prec 2) a (print_proc_prec 1) b
+    | Proc.Act (a, k) ->
+        Fmt.pf ppf "%a : %a" print_action a (print_proc_prec 2) k
+    | Proc.Ev (e, k) ->
+        Fmt.pf ppf "%a . %a" print_event e (print_proc_prec 2) k
+    | Proc.If (g, k) ->
+        Fmt.pf ppf "[%a] -> %a" print_guard g (print_proc_prec 2) k
+    | Proc.Restrict (labels, k) ->
+        Fmt.pf ppf "%a \\ {%a}" (print_proc_prec 3) k
+          Fmt.(list ~sep:(fun ppf () -> Fmt.string ppf ", ") Label.pp)
+          (Label.Set.elements labels)
+    | Proc.Close (resources, k) ->
+        Fmt.pf ppf "close(%a, {%a})" (print_proc_prec 0) k
+          Fmt.(list ~sep:(fun ppf () -> Fmt.string ppf ", ") Resource.pp)
+          (Resource.Set.elements resources)
+    | Proc.Call (n, []) -> Fmt.string ppf n
+    | Proc.Call (n, args) ->
+        Fmt.pf ppf "%s(%a)" n
+          Fmt.(list ~sep:(fun ppf () -> Fmt.string ppf ", ") print_expr)
+          args
+    | Proc.Scope s ->
+        Fmt.pf ppf "scope %a%a%a%a%a end" (print_proc_prec 0) s.Proc.body
+          Fmt.(option (fun ppf e -> Fmt.pf ppf " bound %a" print_expr e))
+          s.Proc.bound
+          Fmt.(
+            option (fun ppf (l, h) ->
+                Fmt.pf ppf " exception %a -> %a" Label.pp l
+                  (print_proc_prec 0) h))
+          s.Proc.exc
+          (fun ppf t ->
+            match t with
+            | Proc.Nil -> ()
+            | t -> Fmt.pf ppf " timeout -> %a" (print_proc_prec 0) t)
+          s.Proc.timeout
+          Fmt.(
+            option (fun ppf h ->
+                Fmt.pf ppf " interrupt -> %a" (print_proc_prec 0) h))
+          s.Proc.interrupt
+
+let print_proc ppf p = print_proc_prec 0 ppf p
+let proc_to_string p = Fmt.str "%a" print_proc p
+
+let print_def ppf (d : Defs.def) =
+  match d.Defs.formals with
+  | [] -> Fmt.pf ppf "@[<hov 2>%s =@ %a;@]" d.Defs.name print_proc d.Defs.body
+  | fs ->
+      Fmt.pf ppf "@[<hov 2>%s(%a) =@ %a;@]" d.Defs.name
+        Fmt.(list ~sep:(fun ppf () -> Fmt.string ppf ", ") string)
+        fs print_proc d.Defs.body
+
+let print_defs ?system ppf defs =
+  let ds = Defs.fold (fun d acc -> d :: acc) defs [] in
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut print_def) (List.rev ds);
+  match system with
+  | Some p -> Fmt.pf ppf "@.@[<hov 2>system =@ %a;@]" print_proc p
+  | None -> ()
+
+let to_string ?system defs = Fmt.str "%a" (print_defs ?system) defs

@@ -1,0 +1,32 @@
+(** A concrete textual syntax for ACSR (in the spirit of the VERSA input
+    language), with a round-tripping parser and printer.
+
+    Example:
+    {[
+      Simple = {(cpu,1)} : {(cpu,1),(bus,1)} : done! . Simple;
+      Wait(k) = [k < 4] -> {} : Wait(k + 1) + dispatch? . Wait(0);
+      system = (Simple || Wait(0)) \ {dispatch, done};
+    ]} *)
+
+exception Parse_error of string * int
+(** message and source line *)
+
+val parse_string : string -> Defs.t * Proc.t option
+(** Parse a file of definitions, optionally ending with a
+    [system = proc;] entry. *)
+
+val parse_proc_string : string -> Proc.t
+(** Parse a single process expression. *)
+
+val print_expr : Expr.t Fmt.t
+val print_guard : Guard.t Fmt.t
+val print_action : Action.t Fmt.t
+val print_event : Event.t Fmt.t
+val print_proc : Proc.t Fmt.t
+val proc_to_string : Proc.t -> string
+val print_def : Defs.def Fmt.t
+
+val print_defs : ?system:Proc.t -> Defs.t Fmt.t
+val to_string : ?system:Proc.t -> Defs.t -> string
+(** [parse_string (to_string ?system defs)] reconstructs the same
+    definitions (structurally equal bodies). *)

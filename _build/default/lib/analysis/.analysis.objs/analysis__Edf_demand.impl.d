@@ -1,0 +1,1 @@
+lib/analysis/edf_demand.ml: Aadl Fmt Int List Option Translate

@@ -1,0 +1,1 @@
+lib/analysis/edf_demand.mli: Fmt Translate

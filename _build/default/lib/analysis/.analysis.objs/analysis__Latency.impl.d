@@ -1,0 +1,1 @@
+lib/analysis/latency.ml: Aadl Acsr Action Defs Expr Fmt Guard Label List Proc Raise_trace Translate Versa

@@ -1,0 +1,1 @@
+lib/analysis/latency.mli: Aadl Fmt Raise_trace Translate Versa

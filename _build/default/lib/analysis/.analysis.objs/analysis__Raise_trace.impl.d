@@ -1,0 +1,1 @@
+lib/analysis/raise_trace.ml: Aadl Acsr Action Fmt Label List Resource Step Translate Versa

@@ -1,0 +1,1 @@
+lib/analysis/raise_trace.mli: Fmt Translate Versa

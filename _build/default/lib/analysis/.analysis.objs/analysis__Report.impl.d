@@ -1,0 +1,1 @@
+lib/analysis/report.ml: Aadl Buffer Edf_demand Fmt Fun Latency List Option Printf Raise_trace Response Rta Schedulability Simulator Translate Utilization Versa

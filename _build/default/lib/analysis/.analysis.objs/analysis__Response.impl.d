@@ -1,0 +1,1 @@
+lib/analysis/response.ml: Aadl Fmt Latency Translate

@@ -1,0 +1,1 @@
+lib/analysis/response.mli: Aadl Fmt Latency

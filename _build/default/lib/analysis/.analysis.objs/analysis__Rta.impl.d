@@ -1,0 +1,1 @@
+lib/analysis/rta.ml: Aadl Acsr Fmt Int List Option Translate

@@ -1,0 +1,1 @@
+lib/analysis/schedulability.ml: Aadl Fmt List Raise_trace Translate Versa

@@ -1,0 +1,1 @@
+lib/analysis/schedulability.mli: Aadl Fmt Raise_trace Translate Versa

@@ -1,0 +1,1 @@
+lib/analysis/sensitivity.ml: Aadl Fmt List Option Schedulability String Translate

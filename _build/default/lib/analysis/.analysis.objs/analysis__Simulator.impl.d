@@ -1,0 +1,1 @@
+lib/analysis/simulator.ml: Aadl Acsr Array Fmt Hashtbl List Stdlib Translate

@@ -1,0 +1,1 @@
+lib/analysis/simulator.mli: Aadl Fmt Translate

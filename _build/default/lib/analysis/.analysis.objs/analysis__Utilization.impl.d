@@ -1,0 +1,1 @@
+lib/analysis/utilization.ml: Fmt List Translate

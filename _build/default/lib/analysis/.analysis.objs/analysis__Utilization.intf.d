@@ -1,0 +1,1 @@
+lib/analysis/utilization.mli: Fmt Translate

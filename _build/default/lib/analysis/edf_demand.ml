@@ -1,0 +1,123 @@
+(* Processor-demand analysis for EDF scheduling of synchronous periodic
+   tasks (Baruah, Rosier & Howell): the task set is EDF-schedulable on one
+   processor iff U <= 1 and, for every absolute deadline d within the
+   analysis interval, the demand bound function
+
+     dbf(d) = sum_i max(0, floor((d - D_i) / T_i) + 1) * C_i
+
+   does not exceed d.  It suffices to check the deadline points up to the
+   hyperperiod (synchronous release, D <= T).  This provides the exact
+   EDF baseline against the state-exploration verdict. *)
+
+type violation = { at : int; demand : int }
+
+type t = {
+  applicable : bool;
+  reason : string option;
+  utilization : float;
+  schedulable : bool;
+  first_violation : violation option;
+  checked_points : int;
+}
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+let lcm a b = a / gcd a b * b
+
+let in_task_model (tasks : Translate.Workload.task list) =
+  List.for_all
+    (fun (t : Translate.Workload.task) ->
+      match (t.Translate.Workload.dispatch, t.Translate.Workload.period) with
+      | Aadl.Props.Periodic, Some p -> t.Translate.Workload.deadline <= p
+      | _, _ -> false)
+    tasks
+
+let demand tasks d =
+  List.fold_left
+    (fun acc (t : Translate.Workload.task) ->
+      let di = t.Translate.Workload.deadline in
+      let p = Option.get t.Translate.Workload.period in
+      if d < di then acc
+      else acc + ((((d - di) / p) + 1) * t.Translate.Workload.cmax))
+    0 tasks
+
+let analyze (tasks : Translate.Workload.task list) : t =
+  if tasks = [] then
+    {
+      applicable = true;
+      reason = None;
+      utilization = 0.0;
+      schedulable = true;
+      first_violation = None;
+      checked_points = 0;
+    }
+  else if not (in_task_model tasks) then
+    {
+      applicable = false;
+      reason = Some "demand analysis needs periodic tasks with D <= T";
+      utilization = Translate.Workload.utilization tasks;
+      schedulable = false;
+      first_violation = None;
+      checked_points = 0;
+    }
+  else
+    let u = Translate.Workload.utilization tasks in
+    if u > 1.0 +. 1e-9 then
+      {
+        applicable = true;
+        reason = None;
+        utilization = u;
+        schedulable = false;
+        first_violation = None;
+        checked_points = 0;
+      }
+    else begin
+      let hyper =
+        List.fold_left
+          (fun acc (t : Translate.Workload.task) ->
+            lcm acc (Option.get t.Translate.Workload.period))
+          1 tasks
+      in
+      (* all absolute deadlines k*T_i + D_i within the hyperperiod *)
+      let points =
+        List.concat_map
+          (fun (t : Translate.Workload.task) ->
+            let p = Option.get t.Translate.Workload.period in
+            let di = t.Translate.Workload.deadline in
+            let rec go k acc =
+              let d = (k * p) + di in
+              if d > hyper then acc else go (k + 1) (d :: acc)
+            in
+            go 0 [])
+          tasks
+        |> List.sort_uniq Int.compare
+      in
+      let violation =
+        List.find_map
+          (fun d ->
+            let dem = demand tasks d in
+            if dem > d then Some { at = d; demand = dem } else None)
+          points
+      in
+      {
+        applicable = true;
+        reason = None;
+        utilization = u;
+        schedulable = violation = None;
+        first_violation = violation;
+        checked_points = List.length points;
+      }
+    end
+
+let pp ppf t =
+  if not t.applicable then
+    Fmt.pf ppf "EDF demand analysis not applicable: %a"
+      Fmt.(option ~none:(any "unknown") string)
+      t.reason
+  else
+    match t.first_violation with
+    | None ->
+        Fmt.pf ppf "EDF demand: schedulable (U=%.3f, %d points checked)"
+          t.utilization t.checked_points
+    | Some v ->
+        Fmt.pf ppf "EDF demand: overload at t=%d (demand %d, U=%.3f)" v.at
+          v.demand t.utilization

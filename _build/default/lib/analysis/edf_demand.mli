@@ -1,0 +1,21 @@
+(** Processor-demand analysis for EDF over synchronous periodic tasks. *)
+
+type violation = { at : int; demand : int }
+
+type t = {
+  applicable : bool;
+  reason : string option;
+  utilization : float;
+  schedulable : bool;
+  first_violation : violation option;
+  checked_points : int;
+}
+
+val demand : Translate.Workload.task list -> int -> int
+(** [demand tasks d]: cumulative execution demand of jobs with deadlines
+    at or before [d]. *)
+
+val analyze : Translate.Workload.task list -> t
+(** Exact EDF schedulability for one processor (periodic, D <= T). *)
+
+val pp : t Fmt.t

@@ -1,0 +1,134 @@
+(* Raising ACSR failing scenarios back to the AADL level.
+
+   VERSA reports counterexamples as sequences of ACSR steps; because the
+   translation chooses names derived from the AADL model (Naming), each
+   step can be re-interpreted: a [tau@dispatch_x] is a dispatch of thread
+   x, a timed action using [cpu_p] is a quantum of execution on processor
+   p, and so on.  The result is the "convenient time line form" the
+   paper's OSATE plugin presents to the user (Sections 1 and 5). *)
+
+open Acsr
+
+type happening =
+  | Dispatched of string list
+  | Completed of string list
+  | Event_queued of string
+  | Event_consumed of string
+  | Queue_overflowed of string
+  | Activated of string list
+  | Deactivated of string list
+  | Mode_transition of string
+  | Probe of string  (** observer probes and other unregistered labels *)
+
+let pp_happening ppf = function
+  | Dispatched p -> Fmt.pf ppf "dispatch %a" Aadl.Instance.pp_path p
+  | Completed p -> Fmt.pf ppf "complete %a" Aadl.Instance.pp_path p
+  | Event_queued c -> Fmt.pf ppf "event queued on %s" c
+  | Event_consumed c -> Fmt.pf ppf "event consumed from %s" c
+  | Queue_overflowed c -> Fmt.pf ppf "queue overflow on %s" c
+  | Activated p -> Fmt.pf ppf "activate %a" Aadl.Instance.pp_path p
+  | Deactivated p -> Fmt.pf ppf "deactivate %a" Aadl.Instance.pp_path p
+  | Mode_transition t -> Fmt.pf ppf "mode switch %s" t
+  | Probe l -> Fmt.pf ppf "event %s" l
+
+type usage = {
+  processors : string list list;  (** busy processors this quantum *)
+  buses : string list list;
+  data : string list list;
+}
+
+type quantum_view = {
+  at_time : int;
+  happenings : happening list;  (** instantaneous steps of the quantum *)
+  usage : usage option;  (** [None] for the final partial quantum *)
+}
+
+type t = {
+  quanta : quantum_view list;
+  violation_time : int;  (** time of the deadlock *)
+}
+
+let happening_of_label registry name =
+  match Translate.Naming.lookup registry name with
+  | Some (Translate.Naming.Dispatch_of p) -> Dispatched p
+  | Some (Translate.Naming.Done_of p) | Some (Translate.Naming.Complete_of p) -> Completed p
+  | Some (Translate.Naming.Enqueue_on c) -> Event_queued c
+  | Some (Translate.Naming.Dequeue_on c) -> Event_consumed c
+  | Some (Translate.Naming.Overflow_on c) -> Queue_overflowed c
+  | Some (Translate.Naming.Activate_of p) -> Activated p
+  | Some (Translate.Naming.Deactivate_of p) -> Deactivated p
+  | Some (Translate.Naming.Mode_trigger t) -> Mode_transition t
+  | Some (Translate.Naming.Processor_use _ | Translate.Naming.Bus_use _ | Translate.Naming.Data_use _)
+  | None ->
+      Probe name
+
+let happening_of_step registry (step : Step.t) =
+  match step with
+  | Step.Tau (Some l, _) -> Some (happening_of_label registry (Label.name l))
+  | Step.Event (l, _, _) -> Some (happening_of_label registry (Label.name l))
+  | Step.Tau (None, _) | Step.Action _ -> None
+
+let usage_of_action registry (a : Action.ground) =
+  let processors = ref [] and buses = ref [] and data = ref [] in
+  List.iter
+    (fun (r, _) ->
+      match Translate.Naming.lookup registry (Resource.name r) with
+      | Some (Translate.Naming.Processor_use p) -> processors := p :: !processors
+      | Some (Translate.Naming.Bus_use p) -> buses := p :: !buses
+      | Some (Translate.Naming.Data_use p) -> data := p :: !data
+      | Some _ | None -> ())
+    a;
+  {
+    processors = List.rev !processors;
+    buses = List.rev !buses;
+    data = List.rev !data;
+  }
+
+let raise_trace ~(registry : Translate.Naming.registry) (trace : Versa.Trace.t) : t =
+  let quanta =
+    List.map
+      (fun (q : Versa.Trace.quantum) ->
+        let happenings =
+          List.filter_map (happening_of_step registry) q.Versa.Trace.instant
+        in
+        let usage =
+          match q.Versa.Trace.tick with
+          | Some (Step.Action a) -> Some (usage_of_action registry a)
+          | Some _ | None -> None
+        in
+        { at_time = q.Versa.Trace.at_time; happenings; usage })
+      (Versa.Trace.quanta trace)
+  in
+  { quanta; violation_time = Versa.Trace.duration trace }
+
+let pp_usage ppf u =
+  let section name ppf = function
+    | [] -> ()
+    | ps ->
+        Fmt.pf ppf " %s %a" name
+          Fmt.(list ~sep:comma Aadl.Instance.pp_path)
+          ps
+  in
+  if u.processors = [] && u.buses = [] && u.data = [] then
+    Fmt.string ppf " (all idle)"
+  else begin
+    section "run on" ppf u.processors;
+    section "bus" ppf u.buses;
+    section "shared data" ppf u.data
+  end
+
+let pp_quantum_view ppf q =
+  let pp_happenings ppf = function
+    | [] -> ()
+    | hs -> Fmt.pf ppf "%a;" Fmt.(list ~sep:semi pp_happening) hs
+  in
+  match q.usage with
+  | Some u ->
+      Fmt.pf ppf "@[<h>t=%-3d %a%a@]" q.at_time pp_happenings q.happenings
+        pp_usage u
+  | None ->
+      Fmt.pf ppf "@[<h>t=%-3d %a DEADLOCK: timing violation@]" q.at_time
+        pp_happenings q.happenings
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut pp_quantum_view) t.quanta

@@ -1,0 +1,32 @@
+(** Raising ACSR counterexample traces to AADL-level timelines. *)
+
+type happening =
+  | Dispatched of string list
+  | Completed of string list
+  | Event_queued of string
+  | Event_consumed of string
+  | Queue_overflowed of string
+  | Activated of string list
+  | Deactivated of string list
+  | Mode_transition of string
+  | Probe of string
+
+val pp_happening : happening Fmt.t
+
+type usage = {
+  processors : string list list;
+  buses : string list list;
+  data : string list list;
+}
+
+type quantum_view = {
+  at_time : int;
+  happenings : happening list;
+  usage : usage option;
+}
+
+type t = { quanta : quantum_view list; violation_time : int }
+
+val raise_trace : registry:Translate.Naming.registry -> Versa.Trace.t -> t
+val pp_quantum_view : quantum_view Fmt.t
+val pp : t Fmt.t

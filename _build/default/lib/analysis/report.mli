@@ -1,0 +1,13 @@
+(** Markdown analysis reports: model inventory, verdict with failing
+    scenario, baselines, optional observed response times. *)
+
+type options = {
+  schedulability : Schedulability.options;
+  with_responses : bool;
+  title : string option;
+}
+
+val default_options : options
+
+val generate : ?options:options -> Aadl.Instance.t -> string
+val write_file : ?options:options -> string -> Aadl.Instance.t -> unit

@@ -1,0 +1,29 @@
+(** Classical response-time analysis for fixed-priority scheduling — the
+    MetaH-style baseline (paper, Section 6). *)
+
+type task_result = {
+  task : Translate.Workload.task;
+  response : int option;
+  met : bool;
+}
+
+type t = {
+  per_task : task_result list;
+  schedulable : bool;
+  applicable : bool;
+  reason : string option;
+}
+
+val analyze :
+  protocol:Aadl.Props.scheduling_protocol -> Translate.Workload.task list -> t
+(** Analyze the tasks of one processor.  Applicable to fixed-priority
+    protocols over synchronous periodic tasks with deadlines within
+    periods; [applicable = false] otherwise. *)
+
+val response_time :
+  hp:Translate.Workload.task list -> Translate.Workload.task -> int option
+(** Worst-case response time of a task given the set of higher-priority
+    tasks; [None] when the recurrence exceeds the deadline. *)
+
+val pp_task_result : task_result Fmt.t
+val pp : t Fmt.t

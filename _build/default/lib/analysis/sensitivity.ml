@@ -1,0 +1,140 @@
+(* Sensitivity analysis: how much can a thread's execution time grow
+   before the system stops being schedulable?
+
+   The exploration verdict is a monotone function of each thread's
+   execution time (more computation can only add behaviours that miss
+   deadlines: the Compute process's completion window only moves right),
+   so binary search over a synthetic Compute_Execution_Time override
+   finds the breakdown point exactly.  This is the "design exploration"
+   use the paper's introduction motivates: analyze alternatives early, at
+   the architecture level. *)
+
+type t = {
+  thread : string list;
+  original_cmax : int;  (** quanta *)
+  breakdown_cmax : int option;
+      (** the largest cet (quanta) that keeps the whole system
+          schedulable; [None] when the system is unschedulable already at
+          cet = 1 *)
+  slack : int option;  (** breakdown - original, when both exist *)
+}
+
+type options = {
+  schedulability : Schedulability.options;
+  max_cmax : int option;
+      (** search ceiling; defaults to the thread's deadline *)
+}
+
+let default_options =
+  { schedulability = Schedulability.default_options; max_cmax = None }
+
+exception Error of string
+
+(* Rebuild the workload with the thread's cet forced to [cet] quanta, by
+   overriding the instance property before translation.  We synthesize a
+   property in quanta-sized time units appended to the thread's
+   association list (later associations win). *)
+let with_cet ~(quantum : Aadl.Time.t) ~(thread : string list) ~cet
+    (root : Aadl.Instance.t) : Aadl.Instance.t =
+  let cet_time = Aadl.Time.of_ns (cet * Aadl.Time.to_ns quantum) in
+  let prop =
+    {
+      Aadl.Ast.pname = "compute_execution_time";
+      pvalue = Aadl.Ast.Ptime cet_time;
+      applies_to = [];
+      ploc = Aadl.Ast.no_loc;
+    }
+  in
+  let rec update (inst : Aadl.Instance.t) path =
+    match path with
+    | [] -> { inst with Aadl.Instance.props = inst.Aadl.Instance.props @ [ prop ] }
+    | seg :: rest ->
+        {
+          inst with
+          Aadl.Instance.children =
+            List.map
+              (fun (c : Aadl.Instance.t) ->
+                if
+                  String.lowercase_ascii c.Aadl.Instance.name
+                  = String.lowercase_ascii seg
+                then update c rest
+                else c)
+              inst.Aadl.Instance.children;
+        }
+  in
+  update root thread
+
+let schedulable_with ~options ~quantum ~thread ~cet root =
+  let root' = with_cet ~quantum ~thread ~cet root in
+  let sched_options =
+    {
+      options.schedulability with
+      Schedulability.translation_options =
+        {
+          options.schedulability.Schedulability.translation_options with
+          Translate.Pipeline.quantum = Some quantum;
+        };
+    }
+  in
+  match Schedulability.analyze ~options:sched_options root' with
+  | r -> Schedulability.is_schedulable r
+  | exception Translate.Pipeline.Error _ ->
+      (* cet beyond the deadline is trivially unschedulable *)
+      false
+
+let breakdown ?(options = default_options) ~(thread : string list)
+    (root : Aadl.Instance.t) : t =
+  let quantum =
+    match
+      options.schedulability.Schedulability.translation_options
+        .Translate.Pipeline.quantum
+    with
+    | Some q -> q
+    | None -> Translate.Workload.suggest_quantum root
+  in
+  let wl = Translate.Workload.extract ~quantum root in
+  let task =
+    match Translate.Workload.find_task wl thread with
+    | Some t -> t
+    | None ->
+        raise
+          (Error
+             (Fmt.str "no thread %a in the model" Aadl.Instance.pp_path thread))
+  in
+  let original_cmax = task.Translate.Workload.cmax in
+  let ceiling =
+    match options.max_cmax with
+    | Some m -> m
+    | None -> task.Translate.Workload.deadline
+  in
+  let ok cet = schedulable_with ~options ~quantum ~thread ~cet root in
+  if not (ok 1) then
+    { thread; original_cmax; breakdown_cmax = None; slack = None }
+  else begin
+    (* largest passing cet in [1, ceiling]: binary search on the monotone
+       boundary *)
+    let rec search lo hi =
+      (* invariant: lo passes; hi + 1 fails or hi = ceiling *)
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi + 1) / 2 in
+        if ok mid then search mid hi else search lo (mid - 1)
+    in
+    let b = search 1 ceiling in
+    {
+      thread;
+      original_cmax;
+      breakdown_cmax = Some b;
+      slack = Some (b - original_cmax);
+    }
+  end
+
+let pp ppf t =
+  match t.breakdown_cmax with
+  | None ->
+      Fmt.pf ppf "%a: unschedulable even at cet=1 (original %d)"
+        Aadl.Instance.pp_path t.thread t.original_cmax
+  | Some b ->
+      Fmt.pf ppf "%a: cet %d, breakdown %d (slack %d quanta)"
+        Aadl.Instance.pp_path t.thread t.original_cmax b
+        (Option.value t.slack ~default:0)

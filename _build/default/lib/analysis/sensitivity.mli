@@ -1,0 +1,33 @@
+(** Sensitivity analysis: the breakdown execution time of a thread — the
+    largest cet that keeps the whole system schedulable — found by binary
+    search over exploration verdicts. *)
+
+type t = {
+  thread : string list;
+  original_cmax : int;
+  breakdown_cmax : int option;
+  slack : int option;
+}
+
+type options = {
+  schedulability : Schedulability.options;
+  max_cmax : int option;
+}
+
+val default_options : options
+
+exception Error of string
+
+val with_cet :
+  quantum:Aadl.Time.t ->
+  thread:string list ->
+  cet:int ->
+  Aadl.Instance.t ->
+  Aadl.Instance.t
+(** A copy of the instance tree with the thread's
+    [Compute_Execution_Time] overridden to [cet] quanta. *)
+
+val breakdown :
+  ?options:options -> thread:string list -> Aadl.Instance.t -> t
+
+val pp : t Fmt.t

@@ -1,0 +1,208 @@
+(* A Cheddar-style discrete-time scheduling simulator (paper, Section 6
+   relates the exploration approach to "simulation-based methods offered
+   by tools such as Cheddar").
+
+   The simulator executes one deterministic trajectory of the task set on
+   each processor: synchronous release, worst-case execution times, and a
+   deterministic tie-break.  Unlike the ACSR exploration it covers a
+   single behaviour, so it can miss violations that only occur under
+   other interleavings or execution-time choices — exactly the contrast
+   the paper draws.  It is exact for independent synchronous periodic
+   tasks under the policies below. *)
+
+type job = {
+  task : Translate.Workload.task;
+  released : int;
+  abs_deadline : int;
+  mutable remaining : int;
+}
+
+type miss = { miss_task : Translate.Workload.task; at_time : int }
+
+type slot = Idle | Running of string list  (** thread path *)
+
+type t = {
+  horizon : int;
+  timeline : slot array;  (** who occupied the processor at each quantum *)
+  misses : miss list;
+  response_times : (string list * int list) list;
+      (** per task, observed response times of completed jobs *)
+  schedulable : bool;
+  preemptions : int;
+}
+
+exception Not_simulable of string
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+let lcm a b = a / gcd a b * b
+
+let hyperperiod (tasks : Translate.Workload.task list) =
+  List.fold_left
+    (fun acc (t : Translate.Workload.task) ->
+      match t.Translate.Workload.period with
+      | Some p -> lcm acc p
+      | None -> acc)
+    1 tasks
+
+(* Priority of a ready job at time [now] under the given protocol: larger
+   wins; ties broken by task path for determinism. *)
+let job_priority ~protocol ~static now job =
+  match protocol with
+  | Aadl.Props.Edf -> -job.abs_deadline
+  | Aadl.Props.Llf ->
+      let laxity = job.abs_deadline - now - job.remaining in
+      -laxity
+  | Aadl.Props.Rate_monotonic | Aadl.Props.Deadline_monotonic
+  | Aadl.Props.Highest_priority_first ->
+      List.assoc job.task.Translate.Workload.path static
+  | Aadl.Props.Hierarchical ->
+      raise (Not_simulable "hierarchical scheduling is not simulated")
+
+let static_priorities ~protocol tasks =
+  match protocol with
+  | Aadl.Props.Edf | Aadl.Props.Llf -> []
+  | Aadl.Props.Hierarchical ->
+      raise (Not_simulable "hierarchical scheduling is not simulated")
+  | Aadl.Props.Rate_monotonic | Aadl.Props.Deadline_monotonic
+  | Aadl.Props.Highest_priority_first ->
+      Translate.Sched_policy.assign protocol tasks
+      |> List.map (fun (a : Translate.Sched_policy.assignment) ->
+             match a.Translate.Sched_policy.cpu_priority with
+             | Acsr.Expr.Int n -> (a.Translate.Sched_policy.task.Translate.Workload.path, n)
+             | _ -> assert false)
+
+let simulate ?horizon ~(protocol : Aadl.Props.scheduling_protocol)
+    (tasks : Translate.Workload.task list) : t =
+  List.iter
+    (fun (t : Translate.Workload.task) ->
+      match (t.Translate.Workload.dispatch, t.Translate.Workload.period) with
+      | (Aadl.Props.Periodic | Aadl.Props.Sporadic), Some _ -> ()
+      | d, _ ->
+          raise
+            (Not_simulable
+               (Fmt.str "%a: %a threads are not simulated deterministically"
+                  Aadl.Instance.pp_path t.Translate.Workload.path
+                  Aadl.Props.pp_dispatch_protocol d)))
+    tasks;
+  let horizon =
+    match horizon with Some h -> h | None -> max 1 (hyperperiod tasks)
+  in
+  let static = static_priorities ~protocol tasks in
+  let timeline = Array.make horizon Idle in
+  let ready : job list ref = ref [] in
+  let misses = ref [] in
+  let responses = Hashtbl.create 8 in
+  let preemptions = ref 0 in
+  let last_running = ref None in
+  (* sporadic threads are simulated at their maximum rate (minimum
+     separation = period): the worst case for processor demand *)
+  for now = 0 to horizon - 1 do
+    (* releases at this instant *)
+    List.iter
+      (fun (t : Translate.Workload.task) ->
+        match t.Translate.Workload.period with
+        | Some p when now mod p = 0 ->
+            ready :=
+              {
+                task = t;
+                released = now;
+                abs_deadline = now + t.Translate.Workload.deadline;
+                remaining = t.Translate.Workload.cmax;
+              }
+              :: !ready
+        | Some _ | None -> ())
+      tasks;
+    (* deadline misses: a job whose absolute deadline has arrived with
+       work left *)
+    let missed, alive =
+      List.partition (fun j -> now >= j.abs_deadline && j.remaining > 0) !ready
+    in
+    List.iter
+      (fun j ->
+        misses := { miss_task = j.task; at_time = j.abs_deadline } :: !misses)
+      missed;
+    ready := alive;
+    (* pick the highest-priority ready job *)
+    let best =
+      List.fold_left
+        (fun acc j ->
+          match acc with
+          | None -> Some j
+          | Some b ->
+              let pj = job_priority ~protocol ~static now j
+              and pb = job_priority ~protocol ~static now b in
+              if
+                pj > pb
+                || pj = pb
+                   && j.task.Translate.Workload.path
+                      < b.task.Translate.Workload.path
+              then Some j
+              else acc)
+        None !ready
+    in
+    (match best with
+    | None ->
+        timeline.(now) <- Idle;
+        last_running := None
+    | Some job ->
+        timeline.(now) <- Running job.task.Translate.Workload.path;
+        (match !last_running with
+        | Some (prev, released) when prev <> job.task.Translate.Workload.path
+          -> (
+            (* count a preemption when the displaced job still has work *)
+            match
+              List.find_opt
+                (fun j ->
+                  j.task.Translate.Workload.path = prev
+                  && j.released = released && j.remaining > 0)
+                !ready
+            with
+            | Some _ -> incr preemptions
+            | None -> ())
+        | Some _ | None -> ());
+        last_running := Some (job.task.Translate.Workload.path, job.released);
+        job.remaining <- job.remaining - 1;
+        if job.remaining = 0 then begin
+          let rt = now + 1 - job.released in
+          let key = job.task.Translate.Workload.path in
+          Hashtbl.replace responses key
+            (rt :: (try Hashtbl.find responses key with Not_found -> []));
+          ready := List.filter (fun j -> j != job) !ready
+        end)
+  done;
+  (* a final check catches jobs whose deadline falls exactly on the
+     horizon (e.g. released at h - p with D = p): they had their last
+     chance to execute at instant h - 1 *)
+  List.iter
+    (fun j ->
+      if j.remaining > 0 && j.abs_deadline <= horizon then
+        misses := { miss_task = j.task; at_time = j.abs_deadline } :: !misses)
+    !ready;
+  let response_times =
+    Hashtbl.fold (fun k v acc -> (k, List.rev v) :: acc) responses []
+    |> List.sort Stdlib.compare
+  in
+  {
+    horizon;
+    timeline;
+    misses = List.rev !misses;
+    response_times;
+    schedulable = !misses = [];
+    preemptions = !preemptions;
+  }
+
+let worst_response t path =
+  match List.assoc_opt path t.response_times with
+  | Some (_ :: _ as rts) -> Some (List.fold_left max 0 rts)
+  | Some [] | None -> None
+
+let pp_miss ppf m =
+  Fmt.pf ppf "%a misses its deadline at t=%d" Aadl.Instance.pp_path
+    m.miss_task.Translate.Workload.path m.at_time
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>horizon=%d, %s, %d preemptions%a@]" t.horizon
+    (if t.schedulable then "no deadline miss" else "deadline misses")
+    t.preemptions
+    Fmt.(list ~sep:nop (cut ++ pp_miss))
+    t.misses

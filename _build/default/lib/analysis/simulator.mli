@@ -1,0 +1,41 @@
+(** Cheddar-style deterministic scheduling simulator: one trajectory per
+    processor, worst-case execution times, synchronous release (paper,
+    Section 6 baseline). *)
+
+type job = {
+  task : Translate.Workload.task;
+  released : int;
+  abs_deadline : int;
+  mutable remaining : int;
+}
+
+type miss = { miss_task : Translate.Workload.task; at_time : int }
+
+type slot = Idle | Running of string list
+
+type t = {
+  horizon : int;
+  timeline : slot array;
+  misses : miss list;
+  response_times : (string list * int list) list;
+  schedulable : bool;
+  preemptions : int;
+}
+
+exception Not_simulable of string
+
+val hyperperiod : Translate.Workload.task list -> int
+
+val simulate :
+  ?horizon:int ->
+  protocol:Aadl.Props.scheduling_protocol ->
+  Translate.Workload.task list ->
+  t
+(** Simulate the tasks of one processor up to [horizon] (default: the
+    hyperperiod).  Periodic and sporadic tasks only — sporadic tasks are
+    driven at their maximum rate.
+    @raise Not_simulable for aperiodic or background threads. *)
+
+val worst_response : t -> string list -> int option
+val pp_miss : miss Fmt.t
+val pp : t Fmt.t

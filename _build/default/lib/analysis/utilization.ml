@@ -1,0 +1,58 @@
+(* Utilization-based schedulability bounds: the Liu & Layland bound for
+   rate-monotonic priorities and the exact U <= 1 condition for EDF with
+   deadlines equal to periods.  These are the quickest (and coarsest)
+   baselines: sufficient but not necessary for RM, so the three-valued
+   verdict distinguishes guaranteed, unknown, and impossible. *)
+
+type verdict = Schedulable | Unknown | Overloaded
+
+type t = {
+  utilization : float;
+  bound : float;
+  num_tasks : int;
+  verdict : verdict;
+}
+
+let ll_bound n =
+  if n <= 0 then 1.0 else float_of_int n *. ((2.0 ** (1.0 /. float_of_int n)) -. 1.0)
+
+let rate_monotonic (tasks : Translate.Workload.task list) =
+  let periodic =
+    List.filter
+      (fun (t : Translate.Workload.task) ->
+        t.Translate.Workload.period <> None)
+      tasks
+  in
+  let n = List.length periodic in
+  let u = Translate.Workload.utilization periodic in
+  let bound = ll_bound n in
+  let verdict =
+    if u <= bound +. 1e-12 then Schedulable
+    else if u > 1.0 +. 1e-12 then Overloaded
+    else Unknown
+  in
+  { utilization = u; bound; num_tasks = n; verdict }
+
+let edf (tasks : Translate.Workload.task list) =
+  let implicit_deadline (t : Translate.Workload.task) =
+    match t.Translate.Workload.period with
+    | Some p -> t.Translate.Workload.deadline >= p
+    | None -> false
+  in
+  let u = Translate.Workload.utilization tasks in
+  let exact = List.for_all implicit_deadline tasks in
+  let verdict =
+    if u > 1.0 +. 1e-12 then Overloaded
+    else if exact then Schedulable
+    else Unknown
+  in
+  { utilization = u; bound = 1.0; num_tasks = List.length tasks; verdict }
+
+let pp_verdict ppf = function
+  | Schedulable -> Fmt.string ppf "schedulable"
+  | Unknown -> Fmt.string ppf "unknown (bound exceeded, not overloaded)"
+  | Overloaded -> Fmt.string ppf "overloaded (U > 1)"
+
+let pp ppf t =
+  Fmt.pf ppf "U=%.3f bound=%.3f (n=%d): %a" t.utilization t.bound t.num_tasks
+    pp_verdict t.verdict

@@ -1,0 +1,18 @@
+(** Utilization-based bounds: Liu & Layland for RM, U <= 1 for EDF. *)
+
+type verdict = Schedulable | Unknown | Overloaded
+
+type t = {
+  utilization : float;
+  bound : float;
+  num_tasks : int;
+  verdict : verdict;
+}
+
+val ll_bound : int -> float
+(** The Liu & Layland bound n(2^{1/n} - 1). *)
+
+val rate_monotonic : Translate.Workload.task list -> t
+val edf : Translate.Workload.task list -> t
+val pp_verdict : verdict Fmt.t
+val pp : t Fmt.t

@@ -1,0 +1,15 @@
+(* Umbrella module: the full public API of the library under one root.
+
+   - [Acsr]      the process algebra kernel (S1)
+   - [Versa]     state-space exploration and deadlock detection (S2)
+   - [Aadl]      the AADL frontend (S3)
+   - [Translate] the AADL-to-ACSR translation, Algorithm 1 (S4a)
+   - [Analysis]  schedulability, latency, and classical baselines (S4b/S5)
+   - [Gen]       reference models and synthetic workload generation *)
+
+module Acsr = Acsr
+module Versa = Versa
+module Aadl = Aadl
+module Translate = Translate
+module Analysis = Analysis
+module Gen = Gen

@@ -1,0 +1,1 @@
+lib/gen/gen.ml: Aadl Array Buffer Float List Option Paper_figs Printf Random

@@ -1,0 +1,1 @@
+lib/gen/gen.mli: Aadl Acsr Random Versa

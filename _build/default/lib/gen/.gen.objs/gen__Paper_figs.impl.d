@@ -1,0 +1,1 @@
+lib/gen/paper_figs.ml: Acsr Action Array Defs Expr Label List Proc Resource Step Versa

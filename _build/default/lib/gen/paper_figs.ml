@@ -1,0 +1,130 @@
+(* The ACSR example processes of the paper's Figures 2 and 3, shared by
+   the examples and the benchmark harness. *)
+
+open Acsr
+
+let cpu = Resource.make "cpu"
+let bus = Resource.make "bus"
+let done_l = Label.make "done"
+let interrupt = Label.make "interrupt"
+let exc = Label.make "exception"
+let exception_handled = Label.make "exception_handled"
+let interrupt_handled = Label.make "interrupt_handled"
+
+let action accesses =
+  Action.of_list (List.map (fun (r, p) -> (r, Expr.Int p)) accesses)
+
+(* Figure 2a: Simple = {(cpu,1)} : {(cpu,1),(bus,1)} : done!.Simple *)
+let fig2a_defs =
+  Defs.of_list
+    [
+      ( "Simple",
+        [],
+        Proc.(
+          act
+            (action [ (cpu, 1) ])
+            (act
+               (action [ (cpu, 1); (bus, 1) ])
+               (send done_l (call "Simple" [])))) );
+    ]
+
+let fig2a_initial = Proc.call "Simple" []
+
+(* Figure 2b: an idling step lets Simple wait for the bus. *)
+let fig2b_defs =
+  Defs.of_list
+    [
+      ("Simple", [], Proc.(act (action [ (cpu, 1) ]) (call "Wait" [])));
+      ( "Wait",
+        [],
+        Proc.(
+          choice
+            (act
+               (action [ (cpu, 1); (bus, 1) ])
+               (send done_l (call "Simple" [])))
+            (act Action.idle (call "Wait" []))) );
+    ]
+
+let fig2b_initial = Proc.call "Simple" []
+
+(* Figure 3: Simple (one full iteration, then a second iteration inside a
+   temporal scope with exception and interrupt exits) composed with the
+   driver that preempts the bus and later either forces the interrupt or
+   preempts Simple into its exception alternative. *)
+let fig3_defs =
+  Defs.of_list
+    [
+      ("S0", [], Proc.(act (action [ (cpu, 1) ]) (call "S1" [])));
+      ( "S1",
+        [],
+        Proc.(
+          choice
+            (act
+               (action [ (cpu, 1); (bus, 1) ])
+               (send ~prio:(Expr.Int 1) done_l (call "S2" [])))
+            (act Action.idle (call "S1" []))) );
+      ( "S2",
+        [],
+        Proc.scope
+          ~exc:(exc, Proc.send exception_handled (Proc.call "Stop" []))
+          ~interrupt:
+            (Proc.receive interrupt
+               (Proc.send interrupt_handled (Proc.call "Stop" [])))
+          (Proc.call "B0" []) );
+      ( "B0",
+        [],
+        Proc.(
+          choice
+            (act (action [ (cpu, 1) ]) (call "B1" []))
+            (act Action.idle (send exc nil))) );
+      ( "B1",
+        [],
+        Proc.(
+          choice
+            (act
+               (action [ (cpu, 1); (bus, 1) ])
+               (send ~prio:(Expr.Int 1) done_l (call "Stop" [])))
+            (act Action.idle (call "B1" []))) );
+      ("Stop", [], Proc.(act Action.idle (call "Stop" [])));
+      ( "D0",
+        [],
+        Proc.(
+          act
+            (action [ (bus, 2) ])
+            (act (action [ (bus, 2) ]) (call "DWait" []))) );
+      ( "DWait",
+        [],
+        Proc.(
+          choice
+            (receive done_l (call "DChoice" []))
+            (act Action.idle (call "DWait" []))) );
+      ( "DChoice",
+        [],
+        Proc.(
+          choice
+            (act
+               (action [ (bus, 2) ])
+               (send ~prio:(Expr.Int 1) interrupt (call "Stop" [])))
+            (act (action [ (cpu, 2) ]) (call "Stop" []))) );
+    ]
+
+let fig3_system =
+  Proc.restrict
+    (Label.Set.of_list [ done_l; interrupt ])
+    (Proc.par (Proc.call "S0" []) (Proc.call "D0" []))
+
+(* Does the LTS offer a step labeled [label] anywhere? *)
+let label_reachable lts label =
+  let n = Versa.Lts.num_states lts in
+  let rec scan i =
+    i < n
+    && (Array.exists
+          (fun (step, _) ->
+            match step with
+            | Step.Event (l, _, _) -> Label.equal l label
+            | Step.Tau (Some l, _) -> Label.equal l label
+            | Step.Action _ | Step.Tau (None, _) -> false)
+          (Versa.Lts.successors lts i)
+       || scan (i + 1))
+  in
+  scan 0

@@ -1,0 +1,1 @@
+lib/translate/dispatcher.ml: Aadl Acsr Action Expr Fmt Guard Label List Naming Proc Workload

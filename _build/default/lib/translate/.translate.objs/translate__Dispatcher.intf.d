@@ -1,0 +1,1 @@
+lib/translate/dispatcher.mli: Acsr Label Naming Proc Workload

@@ -1,0 +1,1 @@
+lib/translate/equeue.ml: Aadl Acsr Action Expr Guard Naming Option Proc

@@ -1,0 +1,1 @@
+lib/translate/equeue.mli: Aadl Acsr Naming

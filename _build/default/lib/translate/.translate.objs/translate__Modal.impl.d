@@ -1,0 +1,1 @@
+lib/translate/modal.ml: Aadl Acsr Action Expr Fmt Guard Label List Naming Option Proc Stdlib String

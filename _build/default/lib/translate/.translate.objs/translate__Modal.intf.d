@@ -1,0 +1,1 @@
+lib/translate/modal.mli: Aadl Acsr Label Naming Proc

@@ -1,0 +1,1 @@
+lib/translate/naming.ml: Aadl Acsr Fmt Hashtbl Label Resource String

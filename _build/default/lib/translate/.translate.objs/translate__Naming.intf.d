@@ -1,0 +1,1 @@
+lib/translate/naming.mli: Acsr Fmt Label Resource

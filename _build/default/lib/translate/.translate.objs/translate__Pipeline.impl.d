@@ -1,0 +1,1 @@
+lib/translate/pipeline.ml: Aadl Acsr Defs Dispatcher Equeue Fmt Hashtbl Label List Modal Naming Option Proc Sched_policy Skeleton Stdlib String Workload

@@ -1,0 +1,1 @@
+lib/translate/pipeline.mli: Aadl Acsr Defs Fmt Label Naming Proc Sched_policy Workload

@@ -1,0 +1,1 @@
+lib/translate/sched_policy.ml: Aadl Acsr Expr Fmt Int List Stdlib Workload

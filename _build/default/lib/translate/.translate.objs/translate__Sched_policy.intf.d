@@ -1,0 +1,1 @@
+lib/translate/sched_policy.mli: Aadl Acsr Expr Fmt Workload

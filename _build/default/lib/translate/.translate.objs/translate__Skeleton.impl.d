@@ -1,0 +1,1 @@
+lib/translate/skeleton.ml: Aadl Acsr Action Expr Guard Label List Naming Proc Stdlib Workload

@@ -1,0 +1,1 @@
+lib/translate/skeleton.mli: Acsr Expr Label Naming Proc Workload

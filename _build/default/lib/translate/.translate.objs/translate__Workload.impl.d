@@ -1,0 +1,1 @@
+lib/translate/workload.ml: Aadl Fmt List Naming Option Stdlib String

@@ -1,0 +1,1 @@
+lib/translate/workload.mli: Aadl Fmt

@@ -1,0 +1,113 @@
+(* Queue processes for semantic event and event-data connections, and
+   stimulus generators closing the model over device-driven connections
+   (paper, Section 4.4).
+
+   A queue is a counter process: we do not model the attributes of the
+   individual events, only their number (the counter abstraction the paper
+   uses).  The counter is incremented by [e_q] from the ultimate source
+   and decremented by [e_deq], consumed by the destination's dispatcher.
+   Overflow behaviour follows Overflow_Handling_Protocol: dropping keeps
+   the counter at its maximum (under the counter abstraction DropNewest
+   and DropOldest coincide), while Error moves to an error state that
+   blocks time and therefore surfaces as a deadlock. *)
+
+open Acsr
+
+type t = { defs : (string * string list * Proc.t) list; initial : Proc.t }
+
+let var_n = Expr.Var "n"
+
+let queue ~(registry : Naming.registry) ~(root : Aadl.Instance.t)
+    (sc : Aadl.Semconn.t) : t =
+  let cname = Aadl.Semconn.name sc in
+  let enq = Naming.enqueue_label cname in
+  let deq = Naming.dequeue_label cname in
+  Naming.register_label registry enq (Naming.Enqueue_on cname);
+  Naming.register_label registry deq (Naming.Dequeue_on cname);
+  (* Queue_Size and Overflow_Handling_Protocol come from the last port of
+     the connection (the ultimate destination feature). *)
+  let dst_props =
+    match Aadl.Semconn.dst_feature root sc with
+    | Some f -> f.Aadl.Ast.fprops
+    | None -> []
+  in
+  let size = max 1 (Aadl.Props.queue_size dst_props) in
+  let overflow = Aadl.Props.overflow_handling dst_props in
+  let urgency =
+    match Aadl.Props.urgency (Aadl.Semconn.props sc) with
+    | Some u -> max 1 u
+    | None -> 1
+  in
+  let qname = Naming.queue cname in
+  let on_overflow =
+    match overflow with
+    | Aadl.Props.Drop_newest | Aadl.Props.Drop_oldest ->
+        Proc.call qname [ var_n ]
+    | Aadl.Props.Error -> Proc.nil
+  in
+  let body =
+    Proc.choice_list
+      [
+        Proc.if_
+          Guard.(lt var_n (Expr.Int size))
+          (Proc.receive enq (Proc.call qname [ Expr.Add (var_n, Expr.Int 1) ]));
+        Proc.if_
+          Guard.(ge var_n (Expr.Int size))
+          (Proc.receive enq on_overflow);
+        Proc.if_
+          Guard.(gt var_n (Expr.Int 0))
+          (Proc.send ~prio:(Expr.Int urgency) deq
+             (Proc.call qname [ Expr.Sub (var_n, Expr.Int 1) ]));
+        Proc.act Action.idle (Proc.call qname [ var_n ]);
+      ]
+  in
+  {
+    defs = [ (qname, [ "n" ], body) ];
+    initial = Proc.call qname [ Expr.Int 0 ];
+  }
+
+(* A stimulus process closes the model over a connection whose ultimate
+   source is a device.  A device with a Period property raises its event
+   periodically (starting at t=0); without one it may raise events at any
+   time, nondeterministically. *)
+let stimulus ~(registry : Naming.registry) ~(root : Aadl.Instance.t)
+    ~(quantum : Aadl.Time.t) (sc : Aadl.Semconn.t) : t =
+  let cname = Aadl.Semconn.name sc in
+  let enq = Naming.enqueue_label cname in
+  Naming.register_label registry enq (Naming.Enqueue_on cname);
+  let device = Aadl.Instance.find root sc.Aadl.Semconn.src.Aadl.Semconn.inst in
+  let period =
+    match device with
+    | None -> None
+    | Some dev ->
+        Option.map
+          (Aadl.Time.to_quanta_floor ~quantum)
+          (Aadl.Props.period dev.Aadl.Instance.props)
+  in
+  let sname =
+    Naming.stimulus sc.Aadl.Semconn.src.Aadl.Semconn.inst
+      sc.Aadl.Semconn.src.Aadl.Semconn.feature
+  in
+  match period with
+  | Some p when p > 0 ->
+      let var_k = Expr.Var "k" in
+      let body =
+        Proc.choice
+          (Proc.if_
+             Guard.(ge var_k (Expr.Int p))
+             (Proc.send ~prio:(Expr.Int 1) enq (Proc.call sname [ Expr.Int 0 ])))
+          (Proc.if_
+             Guard.(lt var_k (Expr.Int p))
+             (Proc.act Action.idle
+                (Proc.call sname [ Expr.Add (var_k, Expr.Int 1) ])))
+      in
+      (* start at k=p so the first event is raised immediately *)
+      { defs = [ (sname, [ "k" ], body) ]; initial = Proc.call sname [ Expr.Int p ] }
+  | Some _ | None ->
+      (* unconstrained environment: may raise an event at any instant *)
+      let body =
+        Proc.choice
+          (Proc.send enq (Proc.call sname []))
+          (Proc.act Action.idle (Proc.call sname []))
+      in
+      { defs = [ (sname, [], body) ]; initial = Proc.call sname [] }

@@ -1,0 +1,20 @@
+(** Queue processes for event connections, and stimulus generators for
+    device-driven connections (paper, Section 4.4). *)
+
+type t = { defs : (string * string list * Acsr.Proc.t) list; initial : Acsr.Proc.t }
+
+val queue :
+  registry:Naming.registry -> root:Aadl.Instance.t -> Aadl.Semconn.t -> t
+(** The counter process of a semantic event/event-data connection, sized by
+    the destination port's [Queue_Size], with its
+    [Overflow_Handling_Protocol] behaviour (Error blocks time and thus
+    surfaces as a deadlock). *)
+
+val stimulus :
+  registry:Naming.registry ->
+  root:Aadl.Instance.t ->
+  quantum:Aadl.Time.t ->
+  Aadl.Semconn.t ->
+  t
+(** An environment process raising the connection's event: periodically if
+    the source device has a [Period], nondeterministically otherwise. *)

@@ -1,0 +1,101 @@
+(* Name generation for the translation, and the registry that maps generated
+   ACSR names back to AADL entities.
+
+   "By carefully choosing the names in the translated model we make it
+   possible to present failing scenarios in terms of the original AADL
+   model" (paper, Section 1): every label and resource the translation
+   introduces is recorded here so that VERSA traces can be re-interpreted
+   as AADL-level timelines. *)
+
+open Acsr
+
+let sanitize s =
+  String.map
+    (fun c ->
+      if
+        (c >= 'a' && c <= 'z')
+        || (c >= 'A' && c <= 'Z')
+        || (c >= '0' && c <= '9')
+        || c = '_'
+      then c
+      else '_')
+    s
+
+let of_path path = sanitize (String.concat "_" path)
+
+(* {1 Process definition names} *)
+
+let thread_await path = "Th_" ^ of_path path ^ "_await"
+let thread_compute path = "Th_" ^ of_path path ^ "_compute"
+let thread_emit path = "Th_" ^ of_path path ^ "_emit"
+let dispatcher path = "Disp_" ^ of_path path
+let dispatcher_wait path = "Disp_" ^ of_path path ^ "_wait"
+let dispatcher_idle path = "Disp_" ^ of_path path ^ "_idle"
+let dispatcher_ready path = "Disp_" ^ of_path path ^ "_ready"
+let dispatcher_inactive path = "Disp_" ^ of_path path ^ "_inactive"
+let queue conn_name = "Q_" ^ sanitize conn_name
+let stimulus path feature = "Stim_" ^ of_path path ^ "_" ^ sanitize feature
+
+(* {1 Labels} *)
+
+let dispatch_label path = Label.make ("dispatch_" ^ of_path path)
+let done_label path = Label.make ("done_" ^ of_path path)
+let complete_label path = Label.make ("complete_" ^ of_path path)
+let enqueue_label conn_name = Label.make (sanitize conn_name ^ "_q")
+let dequeue_label conn_name = Label.make (sanitize conn_name ^ "_deq")
+let overflow_label conn_name = Label.make (sanitize conn_name ^ "_overflow")
+
+(* {1 Resources} *)
+
+let processor_resource path = Resource.make ("cpu_" ^ of_path path)
+let bus_resource path = Resource.make ("bus_" ^ of_path path)
+let data_resource path = Resource.make ("data_" ^ of_path path)
+
+(* {1 The back-mapping registry} *)
+
+type meaning =
+  | Dispatch_of of string list  (** thread path *)
+  | Done_of of string list
+  | Complete_of of string list
+  | Enqueue_on of string  (** semantic connection name *)
+  | Dequeue_on of string
+  | Overflow_on of string
+  | Processor_use of string list
+  | Bus_use of string list
+  | Data_use of string list
+  | Activate_of of string list  (** mode switch: thread activation *)
+  | Deactivate_of of string list
+  | Mode_trigger of string  (** mode transition, e.g. "nominal -> degraded" *)
+
+let pp_meaning ppf = function
+  | Dispatch_of p -> Fmt.pf ppf "dispatch of thread %a" Aadl.Instance.pp_path p
+  | Done_of p -> Fmt.pf ppf "completion of thread %a" Aadl.Instance.pp_path p
+  | Complete_of p ->
+      Fmt.pf ppf "complete event of thread %a" Aadl.Instance.pp_path p
+  | Enqueue_on c -> Fmt.pf ppf "event arrival on connection %s" c
+  | Dequeue_on c -> Fmt.pf ppf "event consumption on connection %s" c
+  | Overflow_on c -> Fmt.pf ppf "queue overflow on connection %s" c
+  | Processor_use p ->
+      Fmt.pf ppf "execution on processor %a" Aadl.Instance.pp_path p
+  | Bus_use p -> Fmt.pf ppf "transfer on bus %a" Aadl.Instance.pp_path p
+  | Data_use p ->
+      Fmt.pf ppf "access to shared data %a" Aadl.Instance.pp_path p
+  | Activate_of p -> Fmt.pf ppf "activation of thread %a" Aadl.Instance.pp_path p
+  | Deactivate_of p ->
+      Fmt.pf ppf "deactivation of thread %a" Aadl.Instance.pp_path p
+  | Mode_trigger t -> Fmt.pf ppf "mode transition %s" t
+
+type registry = (string, meaning) Hashtbl.t
+
+let create_registry () : registry = Hashtbl.create 64
+
+let register (reg : registry) name meaning = Hashtbl.replace reg name meaning
+
+let register_label reg label meaning = register reg (Label.name label) meaning
+
+let register_resource reg res meaning =
+  register reg (Resource.name res) meaning
+
+let lookup (reg : registry) name = Hashtbl.find_opt reg name
+let lookup_label reg label = lookup reg (Label.name label)
+let lookup_resource reg res = lookup reg (Resource.name res)

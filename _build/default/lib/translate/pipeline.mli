@@ -1,0 +1,48 @@
+(** AADL-to-ACSR translation (paper, Algorithm 1). *)
+
+open Acsr
+
+exception Error of string
+
+type t = {
+  workload : Workload.t;
+  defs : Defs.t;
+  system : Proc.t;
+  registry : Naming.registry;
+  restricted : Label.Set.t;
+  assignments : (string list * Sched_policy.assignment list) list;
+  num_thread_processes : int;
+  num_dispatchers : int;
+  num_queues : int;
+  num_stimuli : int;
+}
+
+type probe_point = Dispatched | Completed
+
+type probe = {
+  probe_thread : string list;
+  probe_point : probe_point;
+  probe_label : Label.t;
+}
+
+type options = {
+  quantum : Aadl.Time.t option;
+      (** scheduling quantum; default {!Workload.suggest_quantum} *)
+  force_protocol : Aadl.Props.scheduling_protocol option;
+      (** override every processor's Scheduling_Protocol (for policy
+          comparisons) *)
+  probes : probe list;
+      (** extra observable events fired at dispatch/completion of chosen
+          threads; not restricted, so an observer can synchronize on them *)
+}
+
+val default_options : options
+
+val translate : ?options:options -> Aadl.Instance.t -> t
+(** Translate a checked, instantiated model.  The result's [system] is the
+    closed parallel composition of thread skeletons, dispatchers, queues
+    and stimuli, restricted over all generated labels: it is deadlock-free
+    iff the model meets all its deadlines.
+    @raise Error when the model violates the translation preconditions. *)
+
+val pp_summary : t Fmt.t

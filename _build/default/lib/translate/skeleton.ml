@@ -1,0 +1,177 @@
+(* The ACSR skeleton of a thread component (paper, Figures 4 and 5).
+
+   For single-mode models (the scope of the paper's translation), the
+   semantic automaton of Fig. 4 reduces to the dispatch cycle:
+
+     AwaitDispatch --dispatch?--> Compute(0,0) --...--> emit --done!--> AwaitDispatch
+
+   Compute(e,t) follows Fig. 5: [e] accumulates execution quanta, [t]
+   counts quanta since dispatch.  A computing step claims the processor
+   resource at the priority mandated by the scheduling policy (possibly an
+   expression over [e] and [t]); a preempted quantum advances [t] only.
+   The process may exit once [e] reaches cmin and must exit at cmax.
+
+   Outgoing connections refine the skeleton (Section 4.4):
+   - connections mapped to a bus make the final computation steps claim
+     the bus resource as well ("the last computation step ... uses both
+     cpu and bus");
+   - event-data connections send their queueing event when computation
+     completes (the paper's default treatment);
+   - pure event connections may raise events at any time during
+     computation: a communication self-loop on the Compute state.
+
+   Deadline violations are detected by the dispatcher (Fig. 6), which
+   blocks when [done] does not arrive in time; the skeleton itself never
+   deadlocks. *)
+
+open Acsr
+
+type t = {
+  defs : (string * string list * Proc.t) list;
+  initial : Proc.t;  (** the AwaitDispatch state *)
+  dispatch : Label.t;
+  done_ : Label.t;
+  internal_labels : Label.t list;
+      (** labels to restrict at the system level *)
+}
+
+let var_e = Expr.Var "e"
+let var_t = Expr.Var "t"
+
+let generate ?(extra_anytime : Label.t list = [])
+    ~(completion_probes : Label.t list)
+    ~(registry : Naming.registry) ~(task : Workload.task)
+    ~(cpu_priority : Expr.t) () : t =
+  let path = task.Workload.path in
+  let cpu = Naming.processor_resource task.Workload.processor in
+  Naming.register_resource registry cpu
+    (Naming.Processor_use task.Workload.processor);
+  let data_resources =
+    List.map
+      (fun d ->
+        let r = Naming.data_resource d in
+        Naming.register_resource registry r (Naming.Data_use d);
+        r)
+      task.Workload.data_shared
+  in
+  let bus_resources =
+    List.map
+      (fun b ->
+        let r = Naming.bus_resource b in
+        Naming.register_resource registry r (Naming.Bus_use b);
+        r)
+      task.Workload.out_buses
+  in
+  let dispatch = Naming.dispatch_label path in
+  let done_ = Naming.done_label path in
+  Naming.register_label registry dispatch (Naming.Dispatch_of path);
+  Naming.register_label registry done_ (Naming.Done_of path);
+  let await_name = Naming.thread_await path in
+  let compute_name = Naming.thread_compute path in
+  let emit_name = Naming.thread_emit path in
+  (* Partition outgoing event-like connections by default treatment. *)
+  let outgoing_events =
+    List.filter Aadl.Semconn.is_event_like task.Workload.outgoing
+  in
+  let at_completion, anytime =
+    List.partition
+      (fun (sc : Aadl.Semconn.t) -> sc.Aadl.Semconn.kind = Aadl.Ast.Event_data_port)
+      outgoing_events
+  in
+  let enqueue_label sc =
+    let l = Naming.enqueue_label (Aadl.Semconn.name sc) in
+    Naming.register_label registry l (Naming.Enqueue_on (Aadl.Semconn.name sc));
+    l
+  in
+  (* timed actions of the compute state *)
+  let computing_action ~with_bus =
+    let accesses =
+      ((cpu, cpu_priority)
+      :: List.map (fun r -> (r, cpu_priority)) data_resources)
+      @
+      if with_bus then List.map (fun r -> (r, Expr.Int 1)) bus_resources
+      else []
+    in
+    Action.of_list accesses
+  in
+  let cmin = task.Workload.cmin and cmax = task.Workload.cmax in
+  let deadline = task.Workload.deadline in
+  (* [t] only influences dynamic priorities, and the dispatcher blocks at
+     the deadline anyway: capping [t] keeps threads without a bounding
+     dispatcher (e.g. background) finite-state. *)
+  let tick t = Expr.Min (Expr.Add (t, Expr.Int 1), Expr.Int deadline) in
+  let recurse ~e ~t = Proc.call compute_name [ e; t ] in
+  (* The nondeterministic execution time in [cmin, cmax] is decided during
+     the computation: any computing quantum that brings [e] into the
+     completion window may either continue computing or be the last one.
+     Branching on the timed action itself (rather than exiting through an
+     urgent event afterwards) keeps both outcomes in the prioritized
+     transition relation, and makes "the last computation step" a definite
+     step: exactly there the bus resources of outgoing connections are
+     claimed. *)
+  let continue_branch =
+    Proc.if_
+      Guard.(lt var_e (Expr.Int (cmax - 1)))
+      (Proc.act
+         (computing_action ~with_bus:false)
+         (recurse ~e:(Expr.Add (var_e, Expr.Int 1)) ~t:(tick var_t)))
+  in
+  let complete_branch =
+    Proc.if_
+      Guard.(
+        conj (ge var_e (Expr.Int (cmin - 1))) (lt var_e (Expr.Int cmax)))
+      (Proc.act (computing_action ~with_bus:true) (Proc.call emit_name []))
+  in
+  let preempted_branch =
+    (* the thread cannot progress this quantum; only [t] advances.  The
+       paper's Fig. 5 keeps the non-processor resources R in these steps;
+       we release them instead to avoid blocking unrelated threads while
+       preempted (see DESIGN.md). *)
+    Proc.if_
+      Guard.(lt var_e (Expr.Int cmax))
+      (Proc.act Action.idle (recurse ~e:var_e ~t:(tick var_t)))
+  in
+  let anytime_branches =
+    List.map
+      (fun sc -> Proc.send (enqueue_label sc) (recurse ~e:var_e ~t:var_t))
+      anytime
+    @ List.map
+        (fun l -> Proc.send l (recurse ~e:var_e ~t:var_t))
+        extra_anytime
+  in
+  let compute_body =
+    Proc.choice_list
+      ([ continue_branch; complete_branch; preempted_branch ]
+      @ anytime_branches)
+  in
+  (* emit: queue events of event-data connections, fire observer probes,
+     then announce done *)
+  let emit_body =
+    List.fold_right
+      (fun sc k -> Proc.send (enqueue_label sc) k)
+      at_completion
+      (List.fold_right
+         (fun probe k -> Proc.send ~prio:(Expr.Int 1) probe k)
+         completion_probes
+         (Proc.send ~prio:(Expr.Int 1) done_ (Proc.call await_name [])))
+  in
+  let await_body =
+    Proc.choice
+      (Proc.receive dispatch (Proc.call compute_name [ Expr.Int 0; Expr.Int 0 ]))
+      (Proc.act Action.idle (Proc.call await_name []))
+  in
+  let internal_labels =
+    dispatch :: done_ :: List.map enqueue_label outgoing_events
+  in
+  {
+    defs =
+      [
+        (await_name, [], await_body);
+        (compute_name, [ "e"; "t" ], compute_body);
+        (emit_name, [], emit_body);
+      ];
+    initial = Proc.call await_name [];
+    dispatch;
+    done_;
+    internal_labels = List.sort_uniq Stdlib.compare internal_labels;
+  }

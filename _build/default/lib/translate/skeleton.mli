@@ -1,0 +1,24 @@
+(** ACSR thread skeletons (paper, Figures 4 and 5). *)
+
+open Acsr
+
+type t = {
+  defs : (string * string list * Proc.t) list;
+  initial : Proc.t;
+  dispatch : Label.t;
+  done_ : Label.t;
+  internal_labels : Label.t list;
+}
+
+val generate :
+  ?extra_anytime:Label.t list ->
+  completion_probes:Label.t list ->
+  registry:Naming.registry ->
+  task:Workload.task ->
+  cpu_priority:Expr.t ->
+  unit ->
+  t
+(** Generate the await/compute/emit process definitions for a thread: the
+    dispatch cycle of Fig. 4 reduced to single-mode models, with the
+    parameterized Compute process of Fig. 5 ([e] = accumulated execution,
+    [t] = time since dispatch, capped at the deadline). *)

@@ -1,0 +1,1 @@
+lib/versa/bisim.ml: Acsr Array Fmt Fun Hashtbl Int List Lts Stdlib Step

@@ -1,0 +1,1 @@
+lib/versa/bisim.mli: Acsr Fmt Lts Step

@@ -1,0 +1,1 @@
+lib/versa/dot.ml: Acsr Array Bisim Buffer Fmt Fun List Lts Proc Step String

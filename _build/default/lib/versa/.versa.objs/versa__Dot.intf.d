@@ -1,0 +1,1 @@
+lib/versa/dot.mli: Bisim Fmt Lts

@@ -1,0 +1,1 @@
+lib/versa/explorer.ml: Fmt Lts Trace Unix

@@ -1,0 +1,1 @@
+lib/versa/explorer.mli: Acsr Defs Fmt Lts Proc Trace

@@ -1,0 +1,1 @@
+lib/versa/lts.ml: Acsr Array Fmt Hashtbl List Proc Queue Semantics Step

@@ -1,0 +1,1 @@
+lib/versa/lts.mli: Acsr Defs Fmt Proc Step

@@ -1,0 +1,1 @@
+lib/versa/trace.ml: Acsr Fmt List Lts Step

@@ -1,0 +1,1 @@
+lib/versa/trace.mli: Acsr Fmt Lts Step

@@ -1,0 +1,237 @@
+(* Strong-bisimulation quotient of an LTS by naive partition refinement.
+
+   The paper's future-work section calls for "ACSR models with more compact
+   state spaces" and better exploration efficiency; quotienting modulo
+   strong bisimulation is the standard state-space reduction that preserves
+   deadlock reachability, so we provide it as part of the VERSA substrate.
+
+   The algorithm is the classic Kanellakis–Smolka refinement: start from a
+   single block and split blocks by the signature of their states, where a
+   state's signature is the set of (step, target block) pairs it can reach.
+   O(m·n) worst case, ample for the models we analyze. *)
+
+open Acsr
+
+type partition = { block_of : int array; num_blocks : int }
+
+let signature block_of (succs : (Step.t * Lts.state_id) array) =
+  Array.to_list succs
+  |> List.map (fun (step, target) -> (step, block_of.(target)))
+  |> List.sort_uniq Stdlib.compare
+
+let refine lts =
+  let n = Lts.num_states lts in
+  let block_of = Array.make n 0 in
+  let num_blocks = ref (if n = 0 then 0 else 1) in
+  let changed = ref (n > 0) in
+  while !changed do
+    changed := false;
+    (* Split every block by state signatures. *)
+    let sig_table : (int * (Step.t * int) list, int) Hashtbl.t =
+      Hashtbl.create (2 * n)
+    in
+    let next_blocks = ref 0 in
+    let new_block_of = Array.make n 0 in
+    for s = 0 to n - 1 do
+      let key = (block_of.(s), signature block_of (Lts.successors lts s)) in
+      let b =
+        match Hashtbl.find_opt sig_table key with
+        | Some b -> b
+        | None ->
+            let b = !next_blocks in
+            incr next_blocks;
+            Hashtbl.add sig_table key b;
+            b
+      in
+      new_block_of.(s) <- b
+    done;
+    if !next_blocks <> !num_blocks then begin
+      changed := true;
+      num_blocks := !next_blocks
+    end;
+    Array.blit new_block_of 0 block_of 0 n
+  done;
+  { block_of; num_blocks = !num_blocks }
+
+(* A compact view of the quotient automaton (not an [Lts.t], which is tied
+   to process terms): block ids with deduplicated labeled edges. *)
+type quotient = {
+  num_states : int;
+  initial : int;
+  edges : (Step.t * int) list array;
+  representative : Lts.state_id array;  (** one original state per block *)
+}
+
+let quotient lts =
+  let part = refine lts in
+  let n = Lts.num_states lts in
+  let edges = Array.make part.num_blocks [] in
+  let representative = Array.make part.num_blocks 0 in
+  let seen = Array.make part.num_blocks false in
+  for s = n - 1 downto 0 do
+    let b = part.block_of.(s) in
+    representative.(b) <- s;
+    seen.(b) <- true
+  done;
+  assert (Array.for_all Fun.id seen || part.num_blocks = 0);
+  Array.iteri
+    (fun b s -> edges.(b) <- signature part.block_of (Lts.successors lts s))
+    representative;
+  {
+    num_states = part.num_blocks;
+    initial = (if n = 0 then 0 else part.block_of.(Lts.initial lts));
+    edges;
+    representative;
+  }
+
+let num_transitions q =
+  Array.fold_left (fun acc row -> acc + List.length row) 0 q.edges
+
+(* Two LTSs are strongly bisimilar iff the refinement of their disjoint
+   union puts their initial states in the same block. *)
+let equivalent lts_a lts_b =
+  let na = Lts.num_states lts_a and nb = Lts.num_states lts_b in
+  if na = 0 || nb = 0 then na = nb
+  else begin
+    let n = na + nb in
+    let succs s =
+      if s < na then Lts.successors lts_a s
+      else
+        Array.map
+          (fun (step, t) -> (step, t + na))
+          (Lts.successors lts_b (s - na))
+    in
+    let block_of = Array.make n 0 in
+    let num_blocks = ref 1 in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      let sig_table = Hashtbl.create (2 * n) in
+      let next = ref 0 in
+      let fresh = Array.make n 0 in
+      for s = 0 to n - 1 do
+        let key = (block_of.(s), signature block_of (succs s)) in
+        let b =
+          match Hashtbl.find_opt sig_table key with
+          | Some b -> b
+          | None ->
+              let b = !next in
+              incr next;
+              Hashtbl.add sig_table key b;
+              b
+        in
+        fresh.(s) <- b
+      done;
+      if !next <> !num_blocks then begin
+        changed := true;
+        num_blocks := !next
+      end;
+      Array.blit fresh 0 block_of 0 n
+    done;
+    block_of.(Lts.initial lts_a) = block_of.(Lts.initial lts_b + na)
+  end
+
+let pp_quotient ppf q =
+  Fmt.pf ppf "%d blocks, %d transitions" q.num_states (num_transitions q)
+
+(* {1 Weak bisimulation}
+
+   Internal (tau) steps are abstracted: states are weakly bisimilar when
+   they match observable steps up to surrounding tau sequences.  Computed
+   as strong refinement over the tau-saturated transition relation.  Note
+   that weak bisimilarity does not preserve deadlock reachability (a
+   deadlock reached only through tau steps collapses), so schedulability
+   verdicts must use the strong quotient; the weak one is for comparing
+   observable protocols. *)
+module Weak = struct
+  let is_tau = function Step.Tau _ -> true | _ -> false
+
+  (* tau-closure of every state, including the state itself *)
+  let tau_closures num_states succs =
+    Array.init num_states (fun s ->
+        let visited = Hashtbl.create 8 in
+        let rec go s =
+          if not (Hashtbl.mem visited s) then begin
+            Hashtbl.add visited s ();
+            Array.iter
+              (fun (step, t) -> if is_tau step then go t)
+              (succs s)
+          end
+        in
+        go s;
+        Hashtbl.fold (fun k () acc -> k :: acc) visited []
+        |> List.sort Int.compare)
+
+  (* weak observable steps: tau* a tau*; observable labels keep their
+     identity (including priorities), only internal steps are erased *)
+  let weak_edges num_states succs closures =
+    Array.init num_states (fun s ->
+        List.concat_map
+          (fun s' ->
+            Array.to_list (succs s')
+            |> List.concat_map (fun (step, t) ->
+                   if is_tau step then []
+                   else List.map (fun t' -> (step, t')) closures.(t)))
+          closures.(s)
+        |> List.sort_uniq Stdlib.compare)
+
+  let refine_generic num_states initial_pair succs =
+    let closures = tau_closures num_states succs in
+    let weak = weak_edges num_states succs closures in
+    let block_of = Array.make num_states 0 in
+    let num_blocks = ref (if num_states = 0 then 0 else 1) in
+    let changed = ref (num_states > 0) in
+    while !changed do
+      changed := false;
+      let table = Hashtbl.create (2 * num_states) in
+      let next = ref 0 in
+      let fresh = Array.make num_states 0 in
+      for s = 0 to num_states - 1 do
+        let obs_sig =
+          List.map (fun (step, t) -> (step, block_of.(t))) weak.(s)
+          |> List.sort_uniq Stdlib.compare
+        in
+        let tau_sig =
+          List.map (fun t -> block_of.(t)) closures.(s)
+          |> List.sort_uniq Int.compare
+        in
+        let key = (block_of.(s), obs_sig, tau_sig) in
+        let b =
+          match Hashtbl.find_opt table key with
+          | Some b -> b
+          | None ->
+              let b = !next in
+              incr next;
+              Hashtbl.add table key b;
+              b
+        in
+        fresh.(s) <- b
+      done;
+      if !next <> !num_blocks then begin
+        changed := true;
+        num_blocks := !next
+      end;
+      Array.blit fresh 0 block_of 0 num_states
+    done;
+    ignore initial_pair;
+    { block_of; num_blocks = !num_blocks }
+
+  let refine lts =
+    refine_generic (Lts.num_states lts) None (Lts.successors lts)
+
+  let equivalent lts_a lts_b =
+    let na = Lts.num_states lts_a and nb = Lts.num_states lts_b in
+    if na = 0 || nb = 0 then na = nb
+    else begin
+      let succs s =
+        if s < na then Lts.successors lts_a s
+        else
+          Array.map
+            (fun (step, t) -> (step, t + na))
+            (Lts.successors lts_b (s - na))
+      in
+      let part = refine_generic (na + nb) None succs in
+      part.block_of.(Lts.initial lts_a)
+      = part.block_of.(Lts.initial lts_b + na)
+    end
+end

@@ -1,0 +1,34 @@
+(** Strong-bisimulation partition refinement over explored LTSs. *)
+
+open Acsr
+
+type partition = { block_of : int array; num_blocks : int }
+
+val refine : Lts.t -> partition
+(** Coarsest strong-bisimulation partition of the LTS's states. *)
+
+type quotient = {
+  num_states : int;
+  initial : int;
+  edges : (Step.t * int) list array;
+  representative : Lts.state_id array;
+}
+
+val quotient : Lts.t -> quotient
+(** The quotient automaton modulo strong bisimulation; preserves deadlock
+    reachability. *)
+
+val num_transitions : quotient -> int
+
+val equivalent : Lts.t -> Lts.t -> bool
+(** Strong bisimilarity of the initial states of two LTSs. *)
+
+val pp_quotient : quotient Fmt.t
+
+(** Weak (observational) bisimulation: tau steps are abstracted.  Does not
+    preserve deadlock reachability — use the strong quotient for
+    schedulability; this one compares observable protocols. *)
+module Weak : sig
+  val refine : Lts.t -> partition
+  val equivalent : Lts.t -> Lts.t -> bool
+end

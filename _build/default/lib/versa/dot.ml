@@ -1,0 +1,82 @@
+(* Graphviz export of explored LTSs, for visual inspection of small state
+   spaces and of bisimulation quotients.  Deadlock states are highlighted;
+   the initial state is marked with an incoming arrow. *)
+
+open Acsr
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let step_label step = escape (Fmt.str "%a" Step.pp step)
+
+(* [max_label] truncates long state terms so graphs stay readable. *)
+let state_label ?(max_label = 60) lts id =
+  let s = Fmt.str "%a" Proc.pp (Lts.term lts id) in
+  let s =
+    if String.length s > max_label then String.sub s 0 (max_label - 3) ^ "..."
+    else s
+  in
+  escape (Fmt.str "s%d: %s" id s)
+
+let pp ?(show_terms = false) ppf lts =
+  Fmt.pf ppf "digraph lts {@.";
+  Fmt.pf ppf "  rankdir=LR;@.";
+  Fmt.pf ppf "  node [shape=circle, fontsize=10];@.";
+  Fmt.pf ppf "  init [shape=point];@.";
+  Fmt.pf ppf "  init -> s%d;@." (Lts.initial lts);
+  for id = 0 to Lts.num_states lts - 1 do
+    let label =
+      if show_terms then state_label lts id else Fmt.str "s%d" id
+    in
+    let attrs =
+      if Lts.is_deadlock lts id then
+        ", shape=doublecircle, color=red, style=filled, fillcolor=mistyrose"
+      else ""
+    in
+    Fmt.pf ppf "  s%d [label=\"%s\"%s];@." id label attrs
+  done;
+  for id = 0 to Lts.num_states lts - 1 do
+    Array.iter
+      (fun (step, target) ->
+        Fmt.pf ppf "  s%d -> s%d [label=\"%s\"];@." id target
+          (step_label step))
+      (Lts.successors lts id)
+  done;
+  Fmt.pf ppf "}@."
+
+let pp_quotient ppf (q : Bisim.quotient) =
+  Fmt.pf ppf "digraph quotient {@.";
+  Fmt.pf ppf "  rankdir=LR;@.";
+  Fmt.pf ppf "  node [shape=circle, fontsize=10];@.";
+  Fmt.pf ppf "  init [shape=point];@.";
+  Fmt.pf ppf "  init -> b%d;@." q.Bisim.initial;
+  Array.iteri
+    (fun b row ->
+      if row = [] then
+        Fmt.pf ppf
+          "  b%d [shape=doublecircle, color=red, style=filled, \
+           fillcolor=mistyrose];@."
+          b;
+      List.iter
+        (fun (step, target) ->
+          Fmt.pf ppf "  b%d -> b%d [label=\"%s\"];@." b target
+            (step_label step))
+        row)
+    q.Bisim.edges;
+  Fmt.pf ppf "}@."
+
+let to_string ?show_terms lts = Fmt.str "%a" (pp ?show_terms) lts
+let write_file ?show_terms path lts =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string ?show_terms lts))

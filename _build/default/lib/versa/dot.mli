@@ -1,0 +1,9 @@
+(** Graphviz export of explored LTSs and bisimulation quotients. *)
+
+val pp : ?show_terms:bool -> Lts.t Fmt.t
+(** DOT rendering; deadlock states are highlighted.  [show_terms] labels
+    states with (truncated) process terms. *)
+
+val pp_quotient : Bisim.quotient Fmt.t
+val to_string : ?show_terms:bool -> Lts.t -> string
+val write_file : ?show_terms:bool -> string -> Lts.t -> unit

@@ -1,0 +1,50 @@
+(* The VERSA-style analysis entry point: explore the prioritized state space
+   of a closed ACSR term and look for deadlocks.  A deadlock is reported
+   with its shortest trace, which serves as the failing scenario raised back
+   to the AADL model by the analysis layer (paper, Section 5). *)
+
+
+type verdict =
+  | Deadlock_free
+      (** exhaustive exploration found no deadlock: every timing
+          constraint of the model is met *)
+  | Deadlock of { state : Lts.state_id; trace : Trace.t }
+      (** a reachable state with no outgoing prioritized transition *)
+  | Inconclusive of string
+      (** exploration was truncated before finding a deadlock *)
+
+type result = { lts : Lts.t; verdict : verdict; elapsed : float }
+
+let deadlock_verdict lts =
+  match Lts.deadlocks lts with
+  | state :: _ -> Deadlock { state; trace = Trace.to_deadlock lts state }
+  | [] ->
+      if Lts.truncated lts then
+        Inconclusive
+          (Fmt.str "state budget exhausted after %d states"
+             (Lts.num_states lts))
+      else Deadlock_free
+
+let check_deadlock ?(max_states = 2_000_000) ?(stop_at_deadlock = true) defs
+    root =
+  let t0 = Unix.gettimeofday () in
+  let config = { Lts.max_states = Some max_states; stop_at_deadlock } in
+  let lts = Lts.build ~config ~semantics:Lts.Prioritized defs root in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  { lts; verdict = deadlock_verdict lts; elapsed }
+
+let is_deadlock_free result =
+  match result.verdict with
+  | Deadlock_free -> true
+  | Deadlock _ | Inconclusive _ -> false
+
+let pp_verdict ppf = function
+  | Deadlock_free -> Fmt.string ppf "deadlock-free"
+  | Deadlock { state; trace } ->
+      Fmt.pf ppf "@[<v>deadlock at state %d (time %d):@,%a@]" state
+        (Trace.duration trace) Trace.pp trace
+  | Inconclusive reason -> Fmt.pf ppf "inconclusive: %s" reason
+
+let pp_result ppf r =
+  Fmt.pf ppf "@[<v>%a@,%a in %.3fs@]" Lts.pp_summary r.lts pp_verdict
+    r.verdict r.elapsed

@@ -1,0 +1,23 @@
+(** VERSA-style deadlock detection over the prioritized state space. *)
+
+open Acsr
+
+type verdict =
+  | Deadlock_free
+  | Deadlock of { state : Lts.state_id; trace : Trace.t }
+  | Inconclusive of string
+
+type result = { lts : Lts.t; verdict : verdict; elapsed : float }
+
+val deadlock_verdict : Lts.t -> verdict
+(** Verdict from an already-built LTS. *)
+
+val check_deadlock :
+  ?max_states:int -> ?stop_at_deadlock:bool -> Defs.t -> Proc.t -> result
+(** Explore the prioritized state space of a closed term looking for
+    deadlocks.  [stop_at_deadlock] (default true) stops at the first
+    deadlock; the reported trace is then the shortest failing scenario. *)
+
+val is_deadlock_free : result -> bool
+val pp_verdict : verdict Fmt.t
+val pp_result : result Fmt.t

@@ -1,0 +1,170 @@
+(* Explicit labeled transition systems produced by state-space exploration
+   of ACSR terms.
+
+   States are closed process terms, interned into integer ids in BFS
+   discovery order (the initial state has id 0).  Each state records its
+   outgoing (step, successor) row and its BFS parent, so that shortest
+   diagnostic traces can be rebuilt without re-exploration — this mirrors
+   what the VERSA tool reports to the user (paper, Section 5). *)
+
+open Acsr
+
+type semantics = Prioritized | Unprioritized
+
+type state_id = int
+
+type t = {
+  term_of : Proc.t array;  (** state id -> term *)
+  edges : (Step.t * state_id) array array;  (** outgoing transitions *)
+  expanded : bool array;
+      (** whether the state's successors were computed; frontier states of
+          a truncated exploration are not expanded *)
+  parent : (state_id * Step.t) option array;  (** BFS tree, for traces *)
+  depth : int array;  (** BFS depth *)
+  truncated : bool;  (** true if exploration stopped before exhaustion *)
+  semantics : semantics;
+}
+
+let num_states lts = Array.length lts.term_of
+
+let num_transitions lts =
+  Array.fold_left (fun n row -> n + Array.length row) 0 lts.edges
+
+let initial (_ : t) : state_id = 0
+let term lts id = lts.term_of.(id)
+let successors lts id = lts.edges.(id)
+let depth lts id = lts.depth.(id)
+let truncated lts = lts.truncated
+let semantics_of lts = lts.semantics
+
+let is_deadlock lts id = lts.expanded.(id) && Array.length lts.edges.(id) = 0
+
+let deadlocks lts =
+  let acc = ref [] in
+  for id = num_states lts - 1 downto 0 do
+    if is_deadlock lts id then acc := id :: !acc
+  done;
+  !acc
+
+(* Rebuild the BFS-shortest path from the initial state to [id] as a list
+   of (step, reached state). *)
+let path_to lts id =
+  let rec up id acc =
+    match lts.parent.(id) with
+    | None -> acc
+    | Some (pred, step) -> up pred ((step, id) :: acc)
+  in
+  up id []
+
+type build_config = {
+  max_states : int option;  (** stop after discovering this many states *)
+  stop_at_deadlock : bool;
+      (** stop expanding as soon as one deadlock has been discovered *)
+}
+
+let default_config = { max_states = Some 2_000_000; stop_at_deadlock = false }
+
+let step_function semantics defs =
+  match semantics with
+  | Prioritized -> Semantics.prioritized defs
+  | Unprioritized -> Semantics.steps defs
+
+(* Growable state table. *)
+module Table = struct
+  type entry = {
+    mutable row : (Step.t * state_id) array;
+    mutable was_expanded : bool;
+    mutable par : (state_id * Step.t) option;
+    mutable dep : int;
+    tm : Proc.t;
+  }
+
+  type nonrec t = {
+    ids : (Proc.t, state_id) Hashtbl.t;
+    mutable entries : entry array;
+    mutable len : int;
+  }
+
+  let dummy_entry =
+    { row = [||]; was_expanded = false; par = None; dep = 0; tm = Proc.Nil }
+
+  let create () =
+    { ids = Hashtbl.create 4096; entries = Array.make 1024 dummy_entry; len = 0 }
+
+  let get t id = t.entries.(id)
+
+  let intern t term =
+    match Hashtbl.find_opt t.ids term with
+    | Some id -> (id, false)
+    | None ->
+        if t.len = Array.length t.entries then begin
+          let bigger = Array.make (2 * t.len) dummy_entry in
+          Array.blit t.entries 0 bigger 0 t.len;
+          t.entries <- bigger
+        end;
+        let id = t.len in
+        t.entries.(id) <-
+          { row = [||]; was_expanded = false; par = None; dep = 0; tm = term };
+        Hashtbl.add t.ids term id;
+        t.len <- t.len + 1;
+        (id, true)
+end
+
+let build ?(config = default_config) ?(semantics = Prioritized) defs root =
+  let next = step_function semantics defs in
+  let table = Table.create () in
+  let queue = Queue.create () in
+  let truncated = ref false in
+  let deadlock_found = ref false in
+  let root_id, _ = Table.intern table root in
+  Queue.add root_id queue;
+  let over_budget () =
+    match config.max_states with
+    | Some m -> table.Table.len >= m
+    | None -> false
+  in
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    if (config.stop_at_deadlock && !deadlock_found) || over_budget () then
+      (* leave this state unexpanded; the exploration is incomplete *)
+      truncated := true
+    else begin
+      let entry = Table.get table id in
+      let succs = next entry.Table.tm in
+      if succs = [] then deadlock_found := true;
+      let row =
+        List.map
+          (fun (step, term') ->
+            let id', fresh = Table.intern table term' in
+            if fresh then begin
+              let e' = Table.get table id' in
+              e'.Table.par <- Some (id, step);
+              e'.Table.dep <- entry.Table.dep + 1;
+              Queue.add id' queue
+            end;
+            (step, id'))
+          succs
+      in
+      entry.Table.row <- Array.of_list row;
+      entry.Table.was_expanded <- true
+    end
+  done;
+  let n = table.Table.len in
+  let entry i = table.Table.entries.(i) in
+  {
+    term_of = Array.init n (fun i -> (entry i).Table.tm);
+    edges = Array.init n (fun i -> (entry i).Table.row);
+    expanded = Array.init n (fun i -> (entry i).Table.was_expanded);
+    parent = Array.init n (fun i -> (entry i).Table.par);
+    depth = Array.init n (fun i -> (entry i).Table.dep);
+    truncated = !truncated;
+    semantics;
+  }
+
+let pp_summary ppf lts =
+  Fmt.pf ppf "%d states, %d transitions%s (%s semantics)" (num_states lts)
+    (num_transitions lts)
+    (if lts.truncated then " [truncated]" else "")
+    (match lts.semantics with
+    | Prioritized -> "prioritized"
+    | Unprioritized -> "unprioritized")

@@ -1,0 +1,50 @@
+(** Explicit labeled transition systems of ACSR terms, built by breadth-first
+    state-space exploration. *)
+
+open Acsr
+
+type semantics = Prioritized | Unprioritized
+
+type state_id = int
+
+type t
+
+val num_states : t -> int
+val num_transitions : t -> int
+
+val initial : t -> state_id
+(** Always state 0. *)
+
+val term : t -> state_id -> Proc.t
+val successors : t -> state_id -> (Step.t * state_id) array
+val depth : t -> state_id -> int
+
+val truncated : t -> bool
+(** True when exploration stopped early (state budget exhausted or
+    [stop_at_deadlock] fired); absence of deadlocks is then inconclusive. *)
+
+val semantics_of : t -> semantics
+
+val is_deadlock : t -> state_id -> bool
+(** The state was expanded and has no outgoing transition. *)
+
+val deadlocks : t -> state_id list
+(** All deadlock states, in discovery order. *)
+
+val path_to : t -> state_id -> (Step.t * state_id) list
+(** BFS-shortest path from the initial state, as (step, reached state). *)
+
+type build_config = {
+  max_states : int option;
+  stop_at_deadlock : bool;
+}
+
+val default_config : build_config
+(** 2M states, explore exhaustively. *)
+
+val build :
+  ?config:build_config -> ?semantics:semantics -> Defs.t -> Proc.t -> t
+(** Explore the state space of a closed term breadth-first.  [semantics]
+    defaults to [Prioritized]. *)
+
+val pp_summary : t Fmt.t

@@ -1,0 +1,32 @@
+(** Executions extracted from an LTS, presented as timelines. *)
+
+open Acsr
+
+type entry = { step : Step.t; state : Lts.state_id }
+
+type t = { lts : Lts.t; entries : entry list }
+
+val of_path : Lts.t -> (Step.t * Lts.state_id) list -> t
+
+val to_deadlock : Lts.t -> Lts.state_id -> t
+(** Shortest trace from the initial state to the given state. *)
+
+val steps : t -> Step.t list
+val length : t -> int
+val final_state : t -> Lts.state_id
+
+val duration : t -> int
+(** Number of time quanta elapsed along the trace. *)
+
+type quantum = { at_time : int; instant : Step.t list; tick : Step.t option }
+
+val quanta : t -> quantum list
+(** The trace grouped by time quantum: the instantaneous steps occurring at
+    [at_time], then the timed action advancing the clock ([None] if the
+    trace ends within the quantum). *)
+
+val pp : t Fmt.t
+(** Timeline rendering, one line per quantum. *)
+
+val pp_raw : t Fmt.t
+(** One step per line, ungrouped. *)

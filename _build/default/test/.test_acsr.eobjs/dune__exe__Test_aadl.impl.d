@@ -1,0 +1,1 @@
+test/test_aadl.ml: Aadl Acsr Alcotest Bytes Char Fmt List Option Random String

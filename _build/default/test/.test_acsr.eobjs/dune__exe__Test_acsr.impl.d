@@ -1,0 +1,1 @@
+test/test_acsr.ml: Acsr Action Alcotest Array Defs Event Expr Guard Label List Proc QCheck2 QCheck_alcotest Resource Semantics Step

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Aadl Alcotest Analysis Array Buffer Fmt Gen List Option QCheck2 QCheck_alcotest String Translate

@@ -1,0 +1,1 @@
+test/test_invariants.ml: Aadl Acsr Alcotest Analysis Array Gen Hashtbl List QCheck2 QCheck_alcotest Translate Versa

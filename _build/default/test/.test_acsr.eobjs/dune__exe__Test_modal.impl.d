@@ -1,0 +1,1 @@
+test/test_modal.ml: Aadl Alcotest Analysis Gen List Option Translate

@@ -1,0 +1,1 @@
+test/test_syntax.ml: Aadl Acsr Action Alcotest Defs Event Expr Fmt Gen Guard Label List Proc QCheck2 QCheck_alcotest Resource Syntax Translate

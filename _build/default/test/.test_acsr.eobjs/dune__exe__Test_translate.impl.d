@@ -1,0 +1,1 @@
+test/test_translate.ml: Aadl Acsr Alcotest Analysis Array Fmt Gen Hashtbl Int List Naming Option Pipeline Printf Sched_policy Skeleton String Translate Versa Workload

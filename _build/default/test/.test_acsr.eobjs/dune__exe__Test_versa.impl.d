@@ -1,0 +1,1 @@
+test/test_versa.ml: Acsr Action Alcotest Array Defs Expr Label List Proc QCheck2 QCheck_alcotest Resource Semantics Step String Versa

@@ -1,0 +1,1 @@
+test/test_xml.ml: Aadl Alcotest Analysis Gen List String Versa

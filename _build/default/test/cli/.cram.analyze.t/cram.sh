@@ -1,0 +1,44 @@
+  $ cat > light.aadl <<'AADL'
+  > processor cpu
+  > properties
+  >   Scheduling_Protocol => RATE_MONOTONIC_PROTOCOL;
+  > end cpu;
+  > thread t1
+  > properties
+  >   Dispatch_Protocol => Periodic;
+  >   Period => 4 ms;
+  >   Compute_Execution_Time => 1 ms;
+  >   Compute_Deadline => 4 ms;
+  > end t1;
+  > thread t2
+  > properties
+  >   Dispatch_Protocol => Periodic;
+  >   Period => 6 ms;
+  >   Compute_Execution_Time => 2 ms;
+  >   Compute_Deadline => 6 ms;
+  > end t2;
+  > system s
+  > end s;
+  > system implementation s.impl
+  > subcomponents
+  >   cpu1: processor cpu;
+  >   a: thread t1;
+  >   b: thread t2;
+  > properties
+  >   Actual_Processor_Binding => reference (cpu1) applies to a;
+  >   Actual_Processor_Binding => reference (cpu1) applies to b;
+  > end s.impl;
+  > AADL
+  $ aadl_sched check light.aadl
+  $ aadl_sched analyze light.aadl | sed 's/([0-9.]*s)/(TIME)/'
+  $ sed -e 's/Period => 4 ms;/Period => 5 ms;/' \
+  >     -e 's/Period => 6 ms;/Period => 7 ms;/' \
+  >     -e 's/Compute_Deadline => 4 ms;/Compute_Deadline => 5 ms;/' \
+  >     -e 's/Compute_Deadline => 6 ms;/Compute_Deadline => 7 ms;/' \
+  >     -e 's/Compute_Execution_Time => 2 ms;/Compute_Execution_Time => 4 ms;/' \
+  >     -e 's/Compute_Execution_Time => 1 ms;/Compute_Execution_Time => 2 ms;/' \
+  >     light.aadl > crossover.aadl
+  $ aadl_sched analyze crossover.aadl | sed 's/([0-9.]*s)/(TIME)/'
+  $ aadl_sched analyze crossover.aadl -p edf | tail -n 1
+  $ aadl_sched translate light.aadl -o light.acsr
+  $ aadl_sched acsr light.acsr | head -n 2

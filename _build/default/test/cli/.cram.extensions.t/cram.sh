@@ -1,0 +1,47 @@
+  $ cat > modal.aadl <<'AADL'
+  > processor cpu
+  > properties
+  >   Scheduling_Protocol => RATE_MONOTONIC_PROTOCOL;
+  > end cpu;
+  > thread ctl
+  > features
+  >   alarm: out event port;
+  > properties
+  >   Dispatch_Protocol => Periodic;
+  >   Period => 10 ms;
+  >   Compute_Execution_Time => 2 ms;
+  >   Compute_Deadline => 10 ms;
+  > end ctl;
+  > thread work
+  > properties
+  >   Dispatch_Protocol => Periodic;
+  >   Period => 10 ms;
+  >   Compute_Execution_Time => 6 ms;
+  >   Compute_Deadline => 10 ms;
+  > end work;
+  > system s
+  > end s;
+  > system implementation s.impl
+  > subcomponents
+  >   cpu1: processor cpu;
+  >   c: thread ctl;
+  >   wn: thread work in modes (nominal);
+  >   wd: thread work in modes (degraded);
+  > modes
+  >   nominal: initial mode;
+  >   degraded: mode;
+  >   nominal -[ c.alarm ]-> degraded;
+  > properties
+  >   Actual_Processor_Binding => reference (cpu1) applies to c;
+  >   Actual_Processor_Binding => reference (cpu1) applies to wn;
+  >   Actual_Processor_Binding => reference (cpu1) applies to wd;
+  > end s.impl;
+  > AADL
+  $ aadl_sched analyze modal.aadl | tail -n 1
+  $ aadl_sched info modal.aadl --export-xml modal.xml | head -n 1
+  $ aadl_sched analyze modal.xml | tail -n 1
+  $ printf 'thread t\nfeatures\n  zap zap;\nend t;\n' > bad.aadl
+  $ aadl_sched check bad.aadl
+  $ printf 'X = {(cpu,} : NIL;\n' > bad.acsr
+  $ aadl_sched acsr bad.acsr
+  $ aadl_sched sensitivity modal.aadl --thread wn

@@ -1,0 +1,44 @@
+  $ cat > pipeline.aadl <<'AADL'
+  > processor cpu
+  > properties
+  >   Scheduling_Protocol => DEADLINE_MONOTONIC_PROTOCOL;
+  > end cpu;
+  > thread sensor
+  > features
+  >   sample: out data port;
+  > properties
+  >   Dispatch_Protocol => Periodic;
+  >   Period => 5 ms;
+  >   Compute_Execution_Time => 1 ms;
+  >   Compute_Deadline => 5 ms;
+  > end sensor;
+  > thread filter
+  > features
+  >   raw: in data port;
+  >   clean: out data port;
+  > properties
+  >   Dispatch_Protocol => Periodic;
+  >   Period => 5 ms;
+  >   Compute_Execution_Time => 2 ms;
+  >   Compute_Deadline => 5 ms;
+  > end filter;
+  > system s
+  > end s;
+  > system implementation s.impl
+  > subcomponents
+  >   cpu1: processor cpu;
+  >   sense: thread sensor;
+  >   filt: thread filter;
+  > connections
+  >   c1: port sense.sample -> filt.raw;
+  > properties
+  >   Actual_Processor_Binding => reference (cpu1) applies to sense;
+  >   Actual_Processor_Binding => reference (cpu1) applies to filt;
+  > end s.impl;
+  > AADL
+  $ aadl_sched latency pipeline.aadl --from sense --to filt --bound 5000
+  $ aadl_sched latency pipeline.aadl --from sense --to filt --bound 1000 | head -n 1
+  $ aadl_sched simulate pipeline.aadl
+  $ aadl_sched report pipeline.aadl -o report.md
+  $ grep -c '^##' report.md
+  $ grep 'Verdict' report.md

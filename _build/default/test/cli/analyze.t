@@ -1,0 +1,77 @@
+A schedulable two-task model under rate-monotonic priorities:
+
+  $ cat > light.aadl <<'AADL'
+  > processor cpu
+  > properties
+  >   Scheduling_Protocol => RATE_MONOTONIC_PROTOCOL;
+  > end cpu;
+  > thread t1
+  > properties
+  >   Dispatch_Protocol => Periodic;
+  >   Period => 4 ms;
+  >   Compute_Execution_Time => 1 ms;
+  >   Compute_Deadline => 4 ms;
+  > end t1;
+  > thread t2
+  > properties
+  >   Dispatch_Protocol => Periodic;
+  >   Period => 6 ms;
+  >   Compute_Execution_Time => 2 ms;
+  >   Compute_Deadline => 6 ms;
+  > end t2;
+  > system s
+  > end s;
+  > system implementation s.impl
+  > subcomponents
+  >   cpu1: processor cpu;
+  >   a: thread t1;
+  >   b: thread t2;
+  > properties
+  >   Actual_Processor_Binding => reference (cpu1) applies to a;
+  >   Actual_Processor_Binding => reference (cpu1) applies to b;
+  > end s.impl;
+  > AADL
+
+  $ aadl_sched check light.aadl
+  model is well-formed
+
+  $ aadl_sched analyze light.aadl | sed 's/([0-9.]*s)/(TIME)/'
+  2 thread processes, 2 dispatchers, 0 queues, 0 stimuli; 12 definitions; quantum 1 ms
+  state space: 27 states, 30 transitions (prioritized semantics) (TIME)
+  schedulable: all deadlines are met
+
+The RM/EDF crossover set (U = 0.971, above the Liu-Layland bound): RM
+misses t2's first deadline and the failing scenario is raised to AADL
+terms; EDF schedules the same set.
+
+  $ sed -e 's/Period => 4 ms;/Period => 5 ms;/' \
+  >     -e 's/Period => 6 ms;/Period => 7 ms;/' \
+  >     -e 's/Compute_Deadline => 4 ms;/Compute_Deadline => 5 ms;/' \
+  >     -e 's/Compute_Deadline => 6 ms;/Compute_Deadline => 7 ms;/' \
+  >     -e 's/Compute_Execution_Time => 2 ms;/Compute_Execution_Time => 4 ms;/' \
+  >     -e 's/Compute_Execution_Time => 1 ms;/Compute_Execution_Time => 2 ms;/' \
+  >     light.aadl > crossover.aadl
+
+  $ aadl_sched analyze crossover.aadl | sed 's/([0-9.]*s)/(TIME)/'
+  2 thread processes, 2 dispatchers, 0 queues, 0 stimuli; 12 definitions; quantum 1 ms
+  state space: 14 states, 14 transitions (prioritized semantics) (TIME)
+  NOT schedulable: timing violation at t=7; failing scenario:
+  t=0   dispatch a; dispatch b; run on cpu1
+  t=1    run on cpu1
+  t=2   complete a; run on cpu1
+  t=3    run on cpu1
+  t=4    run on cpu1
+  t=5   dispatch a; run on cpu1
+  t=6    run on cpu1
+  t=7   complete a; DEADLOCK: timing violation
+
+  $ aadl_sched analyze crossover.aadl -p edf | tail -n 1
+  schedulable: all deadlines are met
+
+The generated ACSR model round-trips through the concrete syntax:
+
+  $ aadl_sched translate light.aadl -o light.acsr
+  ACSR model written to light.acsr
+  $ aadl_sched acsr light.acsr | head -n 2
+  27 states, 30 transitions (prioritized semantics)
+  deadlock-free

@@ -1,0 +1,71 @@
+Modes, hierarchical scheduling, XML interchange, and error handling.
+
+  $ cat > modal.aadl <<'AADL'
+  > processor cpu
+  > properties
+  >   Scheduling_Protocol => RATE_MONOTONIC_PROTOCOL;
+  > end cpu;
+  > thread ctl
+  > features
+  >   alarm: out event port;
+  > properties
+  >   Dispatch_Protocol => Periodic;
+  >   Period => 10 ms;
+  >   Compute_Execution_Time => 2 ms;
+  >   Compute_Deadline => 10 ms;
+  > end ctl;
+  > thread work
+  > properties
+  >   Dispatch_Protocol => Periodic;
+  >   Period => 10 ms;
+  >   Compute_Execution_Time => 6 ms;
+  >   Compute_Deadline => 10 ms;
+  > end work;
+  > system s
+  > end s;
+  > system implementation s.impl
+  > subcomponents
+  >   cpu1: processor cpu;
+  >   c: thread ctl;
+  >   wn: thread work in modes (nominal);
+  >   wd: thread work in modes (degraded);
+  > modes
+  >   nominal: initial mode;
+  >   degraded: mode;
+  >   nominal -[ c.alarm ]-> degraded;
+  > properties
+  >   Actual_Processor_Binding => reference (cpu1) applies to c;
+  >   Actual_Processor_Binding => reference (cpu1) applies to wn;
+  >   Actual_Processor_Binding => reference (cpu1) applies to wd;
+  > end s.impl;
+  > AADL
+
+Both workers would overload the processor together; mode exclusion keeps
+the system schedulable:
+
+  $ aadl_sched analyze modal.aadl | tail -n 1
+  schedulable: all deadlines are met
+
+The instance model exports to XML and every subcommand accepts it back:
+
+  $ aadl_sched info modal.aadl --export-xml modal.xml | head -n 1
+  instance model written to modal.xml
+  $ aadl_sched analyze modal.xml | tail -n 1
+  schedulable: all deadlines are met
+
+Parse errors carry positions and a non-zero exit:
+
+  $ printf 'thread t\nfeatures\n  zap zap;\nend t;\n' > bad.aadl
+  $ aadl_sched check bad.aadl
+  syntax error (line 3, col 7): expected ':' after feature name but found identifier "zap"
+  [2]
+
+  $ printf 'X = {(cpu,} : NIL;\n' > bad.acsr
+  $ aadl_sched acsr bad.acsr
+  parse error (line 1): expected an expression, found '}'
+  [2]
+
+Sensitivity from the CLI (breakdown execution times):
+
+  $ aadl_sched sensitivity modal.aadl --thread wn
+  wn: cet 3, breakdown 4 (slack 1 quanta)

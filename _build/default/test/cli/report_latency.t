@@ -1,0 +1,57 @@
+Reports, latency observers and the deterministic simulator.
+
+  $ cat > pipeline.aadl <<'AADL'
+  > processor cpu
+  > properties
+  >   Scheduling_Protocol => DEADLINE_MONOTONIC_PROTOCOL;
+  > end cpu;
+  > thread sensor
+  > features
+  >   sample: out data port;
+  > properties
+  >   Dispatch_Protocol => Periodic;
+  >   Period => 5 ms;
+  >   Compute_Execution_Time => 1 ms;
+  >   Compute_Deadline => 5 ms;
+  > end sensor;
+  > thread filter
+  > features
+  >   raw: in data port;
+  >   clean: out data port;
+  > properties
+  >   Dispatch_Protocol => Periodic;
+  >   Period => 5 ms;
+  >   Compute_Execution_Time => 2 ms;
+  >   Compute_Deadline => 5 ms;
+  > end filter;
+  > system s
+  > end s;
+  > system implementation s.impl
+  > subcomponents
+  >   cpu1: processor cpu;
+  >   sense: thread sensor;
+  >   filt: thread filter;
+  > connections
+  >   c1: port sense.sample -> filt.raw;
+  > properties
+  >   Actual_Processor_Binding => reference (cpu1) applies to sense;
+  >   Actual_Processor_Binding => reference (cpu1) applies to filt;
+  > end s.impl;
+  > AADL
+
+  $ aadl_sched latency pipeline.aadl --from sense --to filt --bound 5000
+  bound=5 quanta: latency bound met on every path
+
+  $ aadl_sched latency pipeline.aadl --from sense --to filt --bound 1000 | head -n 1
+  bound=1 quanta: latency VIOLATED; scenario:
+
+  $ aadl_sched simulate pipeline.aadl
+  == processor cpu1 (DEADLINE_MONOTONIC_PROTOCOL) ==
+  horizon=5, no deadline miss, 0 preemptions
+
+  $ aadl_sched report pipeline.aadl -o report.md
+  report written to report.md
+  $ grep -c '^##' report.md
+  6
+  $ grep 'Verdict' report.md
+  **Verdict: schedulable** — every deadline is met on every path.

@@ -1,0 +1,146 @@
+(* Whole-pipeline invariants, checked on randomly generated AADL models:
+   structural properties every correct translation must satisfy, and
+   temporal sanity of the explored state spaces. *)
+
+let translate_specs ?protocol specs =
+  let root = Aadl.Instantiate.of_string (Gen.periodic_system specs) in
+  let options =
+    {
+      Translate.Pipeline.default_options with
+      quantum = Some (Aadl.Time.of_ms 1);
+      force_protocol = protocol;
+    }
+  in
+  Translate.Pipeline.translate ~options root
+
+let lts_of tr =
+  Versa.Lts.build tr.Translate.Pipeline.defs tr.Translate.Pipeline.system
+
+let gen_specs =
+  QCheck2.Gen.(
+    let* seed = int_range 0 10_000 in
+    let* n = int_range 1 3 in
+    let* u10 = int_range 3 10 in
+    return (Gen.random_specs ~seed ~n ~u:(float_of_int u10 /. 10.0)))
+
+(* The translated system term is closed and every definition instantiates. *)
+let prop_translation_well_formed =
+  QCheck2.Test.make ~name:"translated system is closed and instantiable"
+    ~count:40 gen_specs (fun specs ->
+      let tr = translate_specs specs in
+      Acsr.Proc.is_ground tr.Translate.Pipeline.system
+      && Acsr.Defs.fold
+           (fun d acc ->
+             acc
+             && Acsr.Proc.is_ground
+                  (Acsr.Defs.instantiate tr.Translate.Pipeline.defs
+                     d.Acsr.Defs.name
+                     (List.map (fun _ -> 0) d.Acsr.Defs.formals)))
+           tr.Translate.Pipeline.defs true)
+
+(* Deterministic workloads (cmin = cmax) under a fixed-priority policy with
+   distinct priorities have a deterministic prioritized schedule: at most
+   one timed successor per state. *)
+let prop_deterministic_schedule =
+  QCheck2.Test.make ~name:"RM schedule is deterministic per state" ~count:30
+    gen_specs (fun specs ->
+      let tr = translate_specs ~protocol:Aadl.Props.Rate_monotonic specs in
+      let lts = lts_of tr in
+      let ok = ref true in
+      for s = 0 to Versa.Lts.num_states lts - 1 do
+        let timed =
+          Array.to_list (Versa.Lts.successors lts s)
+          |> List.filter (fun (step, _) -> Acsr.Step.is_timed step)
+        in
+        if List.length timed > 1 then ok := false
+      done;
+      !ok)
+
+(* No zeno confinement: from every expanded state, a timed step or a
+   deadlock is reachable through instantaneous steps only — the system can
+   never be trapped in an infinite instantaneous loop with no exit. *)
+let no_zeno_confinement lts =
+  let n = Versa.Lts.num_states lts in
+  let ok = ref true in
+  for s = 0 to n - 1 do
+    if not (Versa.Lts.is_deadlock lts s) then begin
+      (* BFS through instantaneous edges looking for a timed edge *)
+      let visited = Hashtbl.create 8 in
+      let rec search frontier =
+        match frontier with
+        | [] -> false
+        | x :: rest ->
+            if Hashtbl.mem visited x then search rest
+            else begin
+              Hashtbl.add visited x ();
+              let succs = Versa.Lts.successors lts x in
+              if
+                Array.exists (fun (step, _) -> Acsr.Step.is_timed step) succs
+                || Versa.Lts.is_deadlock lts x
+              then true
+              else
+                search
+                  (rest
+                  @ (Array.to_list succs |> List.map snd))
+            end
+      in
+      if not (search [ s ]) then ok := false
+    end
+  done;
+  !ok
+
+let prop_no_zeno_confinement =
+  QCheck2.Test.make ~name:"timed progress reachable from every state"
+    ~count:30 gen_specs (fun specs ->
+      no_zeno_confinement (lts_of (translate_specs specs)))
+
+(* The same invariants hold for the richer fixture models. *)
+let test_fixtures_invariants () =
+  List.iter
+    (fun (name, text) ->
+      let root = Aadl.Instantiate.of_string text in
+      let tr = Translate.Pipeline.translate root in
+      Alcotest.(check bool) (name ^ " closed") true
+        (Acsr.Proc.is_ground tr.Translate.Pipeline.system);
+      let lts = lts_of tr in
+      Alcotest.(check bool)
+        (name ^ " no zeno confinement")
+        true (no_zeno_confinement lts))
+    [
+      ("cruise control", Gen.cruise_control ());
+      ("event driven", Gen.event_driven ());
+      ("modal", Gen.modal_system ());
+      ("hierarchical", Gen.hierarchical_system ());
+      ("shared data", Gen.shared_data_system ());
+      ("avionics", Gen.avionics ());
+    ]
+
+(* Verdicts are stable under re-analysis (no hidden global state). *)
+let prop_analysis_idempotent =
+  QCheck2.Test.make ~name:"analysis is reproducible" ~count:20 gen_specs
+    (fun specs ->
+      let run () =
+        let root = Aadl.Instantiate.of_string (Gen.periodic_system specs) in
+        let r = Analysis.Schedulability.analyze root in
+        ( Analysis.Schedulability.is_schedulable r,
+          Versa.Lts.num_states
+            r.Analysis.Schedulability.exploration.Versa.Explorer.lts )
+      in
+      run () = run ())
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_translation_well_formed;
+      prop_deterministic_schedule;
+      prop_no_zeno_confinement;
+      prop_analysis_idempotent;
+    ]
+
+let () =
+  Alcotest.run "invariants"
+    [
+      ( "fixtures",
+        [ Alcotest.test_case "all fixture models" `Quick test_fixtures_invariants ] );
+      ("random models", qcheck_cases);
+    ]

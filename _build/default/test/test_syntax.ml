@@ -1,0 +1,315 @@
+(* Tests for the ACSR concrete syntax: parsing of the VERSA-style input
+   language, error reporting, and the parse-print round-trip, both on
+   hand-written models and on randomly generated terms. *)
+
+open Acsr
+
+let proc_testable = Alcotest.testable Syntax.print_proc Proc.equal
+
+(* {1 Parsing} *)
+
+let test_parse_simple_def () =
+  let defs, system =
+    Syntax.parse_string
+      {|
+-- the Simple process of the paper's Fig. 2
+Simple = {(cpu,1)} : {(cpu,1),(bus,1)} : done! . Simple;
+system = Simple;
+|}
+  in
+  Alcotest.(check (list string)) "one def" [ "Simple" ] (Defs.names defs);
+  (match system with
+  | Some (Proc.Call ("Simple", [])) -> ()
+  | _ -> Alcotest.fail "system entry expected");
+  let d = Defs.find defs "Simple" in
+  match d.Defs.body with
+  | Proc.Act (a1, Proc.Act (a2, Proc.Ev (e, Proc.Call ("Simple", [])))) ->
+      Alcotest.(check int) "first action one access" 1
+        (List.length (Action.accesses a1));
+      Alcotest.(check int) "second action two accesses" 2
+        (List.length (Action.accesses a2));
+      Alcotest.(check string) "done label" "done"
+        (Label.name (Event.label e))
+  | _ -> Alcotest.fail "unexpected structure for Simple"
+
+let test_parse_parameterized () =
+  let defs, _ =
+    Syntax.parse_string
+      "Wait(k) = [k < 4] -> {} : Wait(k + 1) + dispatch? . Wait(0);"
+  in
+  let d = Defs.find defs "Wait" in
+  Alcotest.(check (list string)) "formal k" [ "k" ] d.Defs.formals;
+  match d.Defs.body with
+  | Proc.Choice (Proc.If (Guard.Cmp (Guard.Lt, Expr.Var "k", Expr.Int 4), _), Proc.Ev (_, _)) ->
+      ()
+  | _ -> Alcotest.fail "unexpected structure for Wait"
+
+let test_parse_restriction_and_par () =
+  let p = Syntax.parse_proc_string "(A || B) \\ {a, b}" in
+  match p with
+  | Proc.Restrict (labels, Proc.Par (Proc.Call ("A", []), Proc.Call ("B", [])))
+    ->
+      Alcotest.(check int) "two labels" 2 (Label.Set.cardinal labels)
+  | _ -> Alcotest.fail "unexpected structure"
+
+let test_parse_scope () =
+  let p =
+    Syntax.parse_proc_string
+      "scope B bound 5 exception e -> H timeout -> T interrupt -> I end"
+  in
+  match p with
+  | Proc.Scope s ->
+      Alcotest.(check bool) "bound" true (s.Proc.bound = Some (Expr.Int 5));
+      (match s.Proc.exc with
+      | Some (l, Proc.Call ("H", [])) ->
+          Alcotest.(check string) "exc label" "e" (Label.name l)
+      | _ -> Alcotest.fail "bad exception clause");
+      (match s.Proc.timeout with
+      | Proc.Call ("T", []) -> ()
+      | _ -> Alcotest.fail "bad timeout clause");
+      (match s.Proc.interrupt with
+      | Some (Proc.Call ("I", [])) -> ()
+      | _ -> Alcotest.fail "bad interrupt clause")
+  | _ -> Alcotest.fail "expected a scope"
+
+let test_parse_close_and_prio_event () =
+  let p = Syntax.parse_proc_string "close((a!, 2) . NIL, {cpu})" in
+  match p with
+  | Proc.Close (rs, Proc.Ev (e, Proc.Nil)) ->
+      Alcotest.(check int) "one resource" 1 (Resource.Set.cardinal rs);
+      Alcotest.(check bool) "priority 2" true
+        (Expr.equal (Event.priority e) (Expr.Int 2))
+  | _ -> Alcotest.fail "unexpected structure"
+
+let test_parse_guard_forms () =
+  let p =
+    Syntax.parse_proc_string
+      "[k < 4 && not (e == 0) or true] -> NIL"
+  in
+  match p with
+  | Proc.If (Guard.Or (Guard.And (_, Guard.Not _), Guard.True), Proc.Nil) -> ()
+  | Proc.If (g, _) ->
+      Alcotest.fail (Fmt.str "unexpected guard %a" Guard.pp g)
+  | _ -> Alcotest.fail "expected a guarded process"
+
+let test_parse_paren_event_process () =
+  (* '(' NAME '!' can open a parenthesized process too *)
+  let p = Syntax.parse_proc_string "(a! . NIL) || B" in
+  match p with
+  | Proc.Par (Proc.Ev (_, Proc.Nil), Proc.Call ("B", [])) -> ()
+  | _ -> Alcotest.fail "unexpected structure"
+
+let test_parse_error_line () =
+  try
+    ignore (Syntax.parse_string "X = NIL;\nY = {(cpu,} : NIL;");
+    Alcotest.fail "expected parse error"
+  with Syntax.Parse_error (_, l) -> Alcotest.(check int) "line 2" 2 l
+
+let test_parse_duplicate_def () =
+  Alcotest.(check bool) "duplicate rejected" true
+    (try
+       ignore (Syntax.parse_string "X = NIL; X = NIL;");
+       false
+     with Syntax.Parse_error _ -> true)
+
+(* {1 Round-trips on reference models} *)
+
+let test_roundtrip_fig2 () =
+  let d = Defs.find Gen.Paper_figs.fig2a_defs "Simple" in
+  let printed = Syntax.proc_to_string d.Defs.body in
+  Alcotest.check proc_testable "fig2a body" d.Defs.body
+    (Syntax.parse_proc_string printed);
+  (* the whole Fig. 3 composition, scopes included *)
+  let printed3 = Syntax.proc_to_string Gen.Paper_figs.fig3_system in
+  Alcotest.check proc_testable "fig3 system" Gen.Paper_figs.fig3_system
+    (Syntax.parse_proc_string printed3)
+
+let test_roundtrip_translated_model () =
+  (* the generated cruise-control ACSR model must round-trip through the
+     concrete syntax *)
+  let root = Aadl.Instantiate.of_string (Gen.cruise_control ()) in
+  let tr = Translate.Pipeline.translate root in
+  let text =
+    Syntax.to_string ~system:tr.Translate.Pipeline.system
+      tr.Translate.Pipeline.defs
+  in
+  let defs', system' = Syntax.parse_string text in
+  Alcotest.(check int) "same number of defs"
+    (List.length (Defs.names tr.Translate.Pipeline.defs))
+    (List.length (Defs.names defs'));
+  (match system' with
+  | Some s ->
+      Alcotest.check proc_testable "system round-trips"
+        tr.Translate.Pipeline.system s
+  | None -> Alcotest.fail "system entry lost");
+  Defs.fold
+    (fun d () ->
+      let d' = Defs.find defs' d.Defs.name in
+      Alcotest.check proc_testable (d.Defs.name ^ " body") d.Defs.body
+        d'.Defs.body)
+    tr.Translate.Pipeline.defs ()
+
+(* {1 Random round-trips} *)
+
+let gen_expr =
+  QCheck2.Gen.(
+    sized_size (int_range 0 3) @@ fix (fun self n ->
+        if n = 0 then
+          oneof [ map (fun i -> Expr.Int i) (int_range (-5) 20); oneofl [ Expr.Var "e"; Expr.Var "t" ] ]
+        else
+          let sub = self (n / 2) in
+          oneof
+            [
+              map (fun i -> Expr.Int i) (int_range (-5) 20);
+              map2 (fun a b -> Expr.Add (a, b)) sub sub;
+              map2 (fun a b -> Expr.Sub (a, b)) sub sub;
+              map2 (fun a b -> Expr.Mul (a, b)) sub sub;
+              map2 (fun a b -> Expr.Min (a, b)) sub sub;
+              map2 (fun a b -> Expr.Max (a, b)) sub sub;
+              map (fun e -> Expr.Neg e) sub;
+            ]))
+
+let gen_guard =
+  QCheck2.Gen.(
+    sized_size (int_range 0 3) @@ fix (fun self n ->
+        let cmp =
+          let* op =
+            oneofl Guard.[ Eq; Ne; Lt; Le; Gt; Ge ]
+          in
+          let* a = gen_expr in
+          let* b = gen_expr in
+          return (Guard.Cmp (op, a, b))
+        in
+        if n = 0 then oneof [ return Guard.True; return Guard.False; cmp ]
+        else
+          let sub = self (n / 2) in
+          oneof
+            [
+              cmp;
+              map2 (fun a b -> Guard.And (a, b)) sub sub;
+              map2 (fun a b -> Guard.Or (a, b)) sub sub;
+              map (fun g -> Guard.Not g) sub;
+            ]))
+
+let gen_action =
+  QCheck2.Gen.(
+    let* mask = int_range 0 7 in
+    let* p1 = gen_expr and* p2 = gen_expr and* p3 = gen_expr in
+    let resources =
+      [ ("r0", p1); ("r1", p2); ("r2", p3) ]
+      |> List.filteri (fun i _ -> mask land (1 lsl i) <> 0)
+      |> List.map (fun (r, p) -> (Resource.make r, p))
+    in
+    return (Action.of_list resources))
+
+let gen_event =
+  QCheck2.Gen.(
+    let* l = oneofl [ "a"; "b"; "sig" ] in
+    let* out = bool in
+    let* prio = oneof [ return (Expr.Int 0); gen_expr ] in
+    return
+      {
+        Event.label = Label.make l;
+        dir = (if out then Event.Out else Event.In);
+        prio;
+      })
+
+let gen_proc =
+  QCheck2.Gen.(
+    sized_size (int_range 0 6) @@ fix (fun self n ->
+        if n = 0 then
+          oneof
+            [
+              return Proc.Nil;
+              map (fun name -> Proc.Call (name, [])) (oneofl [ "P"; "Q" ]);
+              ( let* args = list_size (int_range 1 2) gen_expr in
+                return (Proc.Call ("R", args)) );
+            ]
+        else
+          let sub = self (n - 1) in
+          let half = self (n / 2) in
+          oneof
+            [
+              map2 (fun a k -> Proc.Act (a, k)) gen_action sub;
+              map2 (fun e k -> Proc.Ev (e, k)) gen_event sub;
+              map2 (fun a b -> Proc.Choice (a, b)) half half;
+              map2 (fun a b -> Proc.Par (a, b)) half half;
+              map2 (fun g k -> Proc.If (g, k)) gen_guard sub;
+              ( let* k = sub in
+                let* labels = list_size (int_range 0 2) (oneofl [ "a"; "b" ]) in
+                return
+                  (Proc.Restrict
+                     (Label.set_of_list (List.map Label.make labels), k)) );
+              ( let* k = sub in
+                return
+                  (Proc.Close (Resource.Set.singleton (Resource.make "r0"), k))
+              );
+              ( let* body = half in
+                let* bound = option gen_expr in
+                let* timeout = half in
+                let* has_exc = bool in
+                let* exc_h = half in
+                let* has_int = bool in
+                let* int_h = half in
+                return
+                  (Proc.Scope
+                     {
+                       Proc.body;
+                       bound;
+                       exc =
+                         (if has_exc then Some (Label.make "exc", exc_h)
+                          else None);
+                       timeout;
+                       interrupt = (if has_int then Some int_h else None);
+                     }) );
+            ]))
+
+let prop_print_parse_roundtrip =
+  QCheck2.Test.make ~name:"print/parse round-trip" ~count:500
+    ~print:Syntax.proc_to_string gen_proc (fun p ->
+      let printed = Syntax.proc_to_string p in
+      match Syntax.parse_proc_string printed with
+      | p' -> Proc.equal p p'
+      | exception Syntax.Parse_error (msg, l) ->
+          QCheck2.Test.fail_reportf "parse error at line %d: %s on %s" l msg
+            printed)
+
+let prop_expr_roundtrip =
+  QCheck2.Test.make ~name:"expr print/parse round-trip" ~count:500 gen_expr
+    (fun e ->
+      let printed = Fmt.str "%a" Syntax.print_expr e in
+      (* embed in a process argument to reuse the parser *)
+      match Syntax.parse_proc_string ("R(" ^ printed ^ ")") with
+      | Proc.Call ("R", [ e' ]) -> Expr.equal e e'
+      | _ -> false)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_print_parse_roundtrip; prop_expr_roundtrip ]
+
+let () =
+  Alcotest.run "syntax"
+    [
+      ( "parse",
+        [
+          Alcotest.test_case "simple def" `Quick test_parse_simple_def;
+          Alcotest.test_case "parameterized" `Quick test_parse_parameterized;
+          Alcotest.test_case "restriction and par" `Quick
+            test_parse_restriction_and_par;
+          Alcotest.test_case "scope" `Quick test_parse_scope;
+          Alcotest.test_case "close and prio event" `Quick
+            test_parse_close_and_prio_event;
+          Alcotest.test_case "guard forms" `Quick test_parse_guard_forms;
+          Alcotest.test_case "paren event process" `Quick
+            test_parse_paren_event_process;
+          Alcotest.test_case "error line" `Quick test_parse_error_line;
+          Alcotest.test_case "duplicate def" `Quick test_parse_duplicate_def;
+        ] );
+      ( "roundtrip",
+        [
+          Alcotest.test_case "fig2" `Quick test_roundtrip_fig2;
+          Alcotest.test_case "translated model" `Quick
+            test_roundtrip_translated_model;
+        ] );
+      ("properties", qcheck_cases);
+    ]
