@@ -1,0 +1,38 @@
+# Developer entry points.  `make check` is the tier-1 gate: it always
+# builds and runs the tests, and additionally builds the API docs and
+# verifies formatting when the respective tools are installed (odoc and
+# ocamlformat are dev-time tools, not build dependencies — the gate
+# degrades gracefully where they are absent).
+
+.PHONY: all build test doc fmt-check check bench-explore clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+doc:
+	@if command -v odoc >/dev/null 2>&1; then \
+	  dune build @doc; \
+	else \
+	  echo "odoc not installed; skipping documentation build"; \
+	fi
+
+fmt-check:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  dune build @fmt; \
+	else \
+	  echo "ocamlformat not installed; skipping format check"; \
+	fi
+
+check: build test doc fmt-check
+
+# Regenerate the exploration-engine telemetry (BENCH_explore.json).
+bench-explore:
+	dune exec bench/main.exe -- explore
+
+clean:
+	dune clean

@@ -1,0 +1,93 @@
+(* The pre-hash-consing explorer, kept verbatim from the original
+   [Versa.Lts.build] as the benchmark baseline: a structural [Hashtbl]
+   over [Proc.t] terms fed by the reference [Semantics.prioritized]
+   relation.  Every cost the current engine removes — full-depth
+   [Hashtbl.hash] over deep [Par] trees, structural equality on bucket
+   collisions, re-instantiation of process calls — is still paid here,
+   so (baseline states/sec) vs ([Versa.Lts.build] states/sec) measures
+   exactly the tentpole optimization. *)
+
+open Acsr
+
+type result = {
+  states : int;
+  transitions : int;
+  deadlocks : int;
+  truncated : bool;
+}
+
+module Table = struct
+  type entry = {
+    mutable row_len : int;
+    mutable was_expanded : bool;
+    tm : Proc.t;
+  }
+
+  type nonrec t = {
+    ids : (Proc.t, int) Hashtbl.t;
+    mutable entries : entry array;
+    mutable len : int;
+  }
+
+  let dummy_entry = { row_len = 0; was_expanded = false; tm = Proc.Nil }
+
+  let create () =
+    { ids = Hashtbl.create 4096; entries = Array.make 1024 dummy_entry; len = 0 }
+
+  let get t id = t.entries.(id)
+
+  let intern t term =
+    match Hashtbl.find_opt t.ids term with
+    | Some id -> (id, false)
+    | None ->
+        if t.len = Array.length t.entries then begin
+          let bigger = Array.make (2 * t.len) dummy_entry in
+          Array.blit t.entries 0 bigger 0 t.len;
+          t.entries <- bigger
+        end;
+        let id = t.len in
+        t.entries.(id) <- { row_len = 0; was_expanded = false; tm = term };
+        Hashtbl.add t.ids term id;
+        t.len <- t.len + 1;
+        (id, true)
+end
+
+let explore ?(max_states = 2_000_000) ?(stop_at_deadlock = false) defs root :
+    result =
+  let next = Semantics.prioritized defs in
+  let table = Table.create () in
+  let queue = Queue.create () in
+  let truncated = ref false in
+  let deadlock_found = ref false in
+  let root_id, _ = Table.intern table root in
+  Queue.add root_id queue;
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    if (stop_at_deadlock && !deadlock_found) || table.Table.len >= max_states
+    then truncated := true
+    else begin
+      let entry = Table.get table id in
+      let succs = next entry.Table.tm in
+      if succs = [] then deadlock_found := true;
+      List.iter
+        (fun (_, term') ->
+          let id', fresh = Table.intern table term' in
+          if fresh then Queue.add id' queue)
+        succs;
+      entry.Table.row_len <- List.length succs;
+      entry.Table.was_expanded <- true
+    end
+  done;
+  let states = table.Table.len in
+  let transitions = ref 0 and deadlocks = ref 0 in
+  for id = 0 to states - 1 do
+    let e = Table.get table id in
+    transitions := !transitions + e.Table.row_len;
+    if e.Table.was_expanded && e.Table.row_len = 0 then incr deadlocks
+  done;
+  {
+    states;
+    transitions = !transitions;
+    deadlocks = !deadlocks;
+    truncated = !truncated;
+  }

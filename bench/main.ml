@@ -21,6 +21,7 @@ let analyze_text ?protocol ?quantum ?(max_states = 2_000_000) text =
         };
       max_states;
       all_violations = false;
+      jobs = 1;
     }
   in
   Analysis.Schedulability.analyze ~options root
@@ -486,7 +487,138 @@ let bechamel_section () =
         (Test.elements test))
     tests
 
+(* {1 Exploration engines: baseline structural hashing vs hash-consing}
+
+   Runs the seed explorer ([Baseline.explore]) and the current engine at
+   jobs=1 and jobs=4 on the larger examples, exhaustively, and records
+   the telemetry in BENCH_explore.json.  The engines must agree exactly
+   on states, transitions and deadlocks — the speedup is only meaningful
+   if the answer is identical. *)
+
+type engine_sample = {
+  engine : string;
+  states : int;
+  transitions : int;
+  deadlocks : int;
+  wall_s : float;
+  states_per_sec : float;
+}
+
+let time_run f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let explore_model (name, text) =
+  let root = Aadl.Instantiate.of_string text in
+  let tr = Translate.Pipeline.translate root in
+  let defs = tr.Translate.Pipeline.defs in
+  let system = tr.Translate.Pipeline.system in
+  let config =
+    { Versa.Lts.max_states = Some 2_000_000; stop_at_deadlock = false }
+  in
+  let base_r, base_wall = time_run (fun () -> Baseline.explore defs system) in
+  let base =
+    {
+      engine = "baseline_structural";
+      states = base_r.Baseline.states;
+      transitions = base_r.Baseline.transitions;
+      deadlocks = base_r.Baseline.deadlocks;
+      wall_s = base_wall;
+      states_per_sec = float_of_int base_r.Baseline.states /. max base_wall 1e-9;
+    }
+  in
+  let run_jobs jobs =
+    let lts = Versa.Lts.build ~config ~jobs defs system in
+    let st = Versa.Lts.stats lts in
+    {
+      engine = Printf.sprintf "hashcons_jobs%d" jobs;
+      states = Versa.Lts.num_states lts;
+      transitions = Versa.Lts.num_transitions lts;
+      deadlocks = List.length (Versa.Lts.deadlocks lts);
+      wall_s = st.Versa.Lts.wall_s;
+      states_per_sec = Versa.Lts.states_per_sec st;
+    }
+  in
+  let samples = [ base; run_jobs 1; run_jobs 4 ] in
+  let agree f = List.for_all (fun s -> f s = f base) samples in
+  (name, samples, agree (fun s -> s.states) && agree (fun s -> s.transitions),
+   agree (fun s -> s.deadlocks > 0))
+
+let explore_section ~json_path () =
+  hr "EXPLORE: baseline (structural hashing) vs hash-consed engine";
+  let results =
+    List.map explore_model
+      [
+        ("e6_seven_threads", e6_model 7);
+        ("e6_six_threads", e6_model 6);
+        ("avionics", Gen.avionics ());
+      ]
+  in
+  Fmt.pr "%-16s %-20s %8s %11s %9s %12s@." "model" "engine" "states"
+    "transitions" "wall (s)" "states/sec";
+  List.iter
+    (fun (name, samples, _, _) ->
+      List.iter
+        (fun s ->
+          Fmt.pr "%-16s %-20s %8d %11d %9.3f %12.0f@." name s.engine s.states
+            s.transitions s.wall_s s.states_per_sec)
+        samples)
+    results;
+  List.iter
+    (fun (name, samples, counts_ok, verdicts_ok) ->
+      let per e = (List.nth samples e).states_per_sec in
+      Fmt.pr
+        "%s: speedup jobs1=%.2fx jobs4=%.2fx vs baseline; counts agree: %b; \
+         verdicts agree: %b@."
+        name
+        (per 1 /. per 0)
+        (per 2 /. per 0)
+        counts_ok verdicts_ok)
+    results;
+  (* manual JSON — no JSON library in the dependency set *)
+  let buf = Buffer.create 2048 in
+  let pf fmt = Printf.bprintf buf fmt in
+  pf "{\n  \"benchmark\": \"exploration engines\",\n";
+  pf "  \"note\": \"exhaustive prioritized exploration; baseline is the \
+      pre-hash-consing structural-Hashtbl explorer\",\n";
+  pf "  \"models\": [\n";
+  List.iteri
+    (fun i (name, samples, counts_ok, verdicts_ok) ->
+      let per e = (List.nth samples e).states_per_sec in
+      pf "    {\n      \"model\": %S,\n      \"engines\": [\n" name;
+      List.iteri
+        (fun j s ->
+          pf
+            "        { \"engine\": %S, \"states\": %d, \"transitions\": %d, \
+             \"deadlocks\": %d, \"wall_s\": %.6f, \"states_per_sec\": %.1f \
+             }%s\n"
+            s.engine s.states s.transitions s.deadlocks s.wall_s
+            s.states_per_sec
+            (if j < List.length samples - 1 then "," else ""))
+        samples;
+      pf "      ],\n";
+      pf "      \"speedup_jobs1_vs_baseline\": %.3f,\n" (per 1 /. per 0);
+      pf "      \"speedup_jobs4_vs_baseline\": %.3f,\n" (per 2 /. per 0);
+      pf "      \"state_counts_agree\": %b,\n" counts_ok;
+      pf "      \"verdicts_agree\": %b\n" verdicts_ok;
+      pf "    }%s\n" (if i < List.length results - 1 then "," else ""))
+    results;
+  pf "  ]\n}\n";
+  let oc = open_out json_path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (Buffer.contents buf));
+  Fmt.pr "telemetry written to %s@." json_path
+
 let () =
+  match Array.to_list Sys.argv with
+  | _ :: "explore" :: rest ->
+      let json_path =
+        match rest with p :: _ -> p | [] -> "BENCH_explore.json"
+      in
+      explore_section ~json_path ()
+  | _ ->
   exp_f1 ();
   exp_f2_f3 ();
   exp_f5 ();

@@ -85,6 +85,22 @@ let max_states_arg =
     & info [ "max-states" ] ~docv:"N"
         ~doc:"State budget for the exploration.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Domains used to compute successors in parallel during the \
+           exploration.  The result is identical for any value.")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print exploration telemetry (states/sec, dedup hit-rate, peak \
+           frontier, per-phase wall time).")
+
 let translation_options quantum protocol =
   {
     Translate.Pipeline.default_options with
@@ -224,7 +240,8 @@ let translate_cmd =
 
 (* {1 analyze} *)
 
-let run_analyze file root_name quantum protocol max_states all baselines =
+let run_analyze file root_name quantum protocol max_states jobs stats all
+    baselines =
   handle_errors @@ fun () ->
   let root = load_root file root_name in
   let options =
@@ -233,10 +250,15 @@ let run_analyze file root_name quantum protocol max_states all baselines =
         translation_options quantum protocol;
       max_states;
       all_violations = all;
+      jobs;
     }
   in
   let result = Analysis.Schedulability.analyze ~options root in
   Fmt.pr "%a@." Analysis.Schedulability.pp result;
+  if stats then
+    Fmt.pr "@.== exploration stats ==@.%a@." Versa.Lts.pp_stats
+      (Versa.Lts.stats
+         result.Analysis.Schedulability.exploration.Versa.Explorer.lts);
   if baselines then begin
     Fmt.pr "@.== baselines ==@.";
     let wl = result.Analysis.Schedulability.translation.Translate.Pipeline.workload in
@@ -283,7 +305,7 @@ let analyze_cmd =
           detection.")
     Term.(
       const run_analyze $ file_arg $ root_arg $ quantum_arg $ protocol_arg
-      $ max_states_arg $ all_arg $ baselines_arg)
+      $ max_states_arg $ jobs_arg $ stats_arg $ all_arg $ baselines_arg)
 
 (* {1 simulate} *)
 
@@ -338,13 +360,15 @@ let path_conv =
   let parse s = Ok (String.split_on_char '.' s) in
   Arg.conv (parse, Aadl.Instance.pp_path)
 
-let run_latency file root_name quantum protocol from_thread to_thread bound_us =
+let run_latency file root_name quantum protocol jobs from_thread to_thread
+    bound_us =
   handle_errors @@ fun () ->
   let root = load_root file root_name in
   let options =
     {
       Analysis.Latency.translation_options = translation_options quantum protocol;
       max_states = 2_000_000;
+      jobs;
     }
   in
   let result =
@@ -383,7 +407,7 @@ let latency_cmd =
        ~doc:"Check an end-to-end latency bound with an observer process.")
     Term.(
       const run_latency $ file_arg $ root_arg $ quantum_arg $ protocol_arg
-      $ from_arg $ to_arg $ bound_arg)
+      $ jobs_arg $ from_arg $ to_arg $ bound_arg)
 
 (* {1 sensitivity} *)
 
@@ -443,7 +467,7 @@ let sensitivity_cmd =
 
 (* {1 report} *)
 
-let run_report file root_name quantum protocol max_states with_responses
+let run_report file root_name quantum protocol max_states jobs with_responses
     output =
   handle_errors @@ fun () ->
   let root = load_root file root_name in
@@ -455,6 +479,7 @@ let run_report file root_name quantum protocol max_states with_responses
             translation_options quantum protocol;
           max_states;
           all_violations = false;
+          jobs;
         };
       with_responses;
       title = Some (Filename.basename file);
@@ -488,11 +513,11 @@ let report_cmd =
        ~doc:"Produce a self-contained markdown analysis report.")
     Term.(
       const run_report $ file_arg $ root_arg $ quantum_arg $ protocol_arg
-      $ max_states_arg $ with_responses_arg $ report_output_arg)
+      $ max_states_arg $ jobs_arg $ with_responses_arg $ report_output_arg)
 
 (* {1 acsr: analyze a textual ACSR model directly (VERSA-style)} *)
 
-let run_acsr file entry dot unprioritized quotient max_states =
+let run_acsr file entry dot unprioritized quotient max_states jobs stats =
   handle_errors @@ fun () ->
   let contents =
     let ic = open_in_bin file in
@@ -521,8 +546,11 @@ let run_acsr file entry dot unprioritized quotient max_states =
       let config =
         { Versa.Lts.max_states = Some max_states; stop_at_deadlock = false }
       in
-      let lts = Versa.Lts.build ~config ~semantics defs root in
+      let lts = Versa.Lts.build ~config ~semantics ~jobs defs root in
       Fmt.pr "%a@." Versa.Lts.pp_summary lts;
+      if stats then
+        Fmt.pr "== exploration stats ==@.%a@." Versa.Lts.pp_stats
+          (Versa.Lts.stats lts);
       (match Versa.Explorer.deadlock_verdict lts with
       | Versa.Explorer.Deadlock_free -> Fmt.pr "deadlock-free@."
       | Versa.Explorer.Deadlock { state; trace } ->
@@ -575,7 +603,7 @@ let acsr_cmd =
           deadlock detection, diagnostic traces, DOT export.")
     Term.(
       const run_acsr $ file_arg $ entry_arg $ dot_arg $ unprioritized_arg
-      $ quotient_arg $ max_states_arg)
+      $ quotient_arg $ max_states_arg $ jobs_arg $ stats_arg)
 
 (* {1 main} *)
 

@@ -1,0 +1,91 @@
+(** Hash-consed ACSR process terms.
+
+    Every distinct term has a unique physical representative: nodes are
+    interned bottom-up into a global, sharded (domain-safe) table, and each
+    node memoizes a full-depth structural hash.  {!equal} is pointer
+    equality, {!hash} is a field read, and {!id} keys the state tables of
+    {!Versa.Lts} in O(1) — this is what makes exhaustive state-space
+    exploration scale (cf. the VERSA tool, paper Section 5).
+
+    Constructors are raw: one-to-one with {!Proc.t}, with no
+    simplification, so {!of_proc} and {!to_proc} round-trip exactly. *)
+
+type t = private { id : int; hash : int; node : node }
+
+and node =
+  | Nil
+  | Act of Action.t * t
+  | Ev of Event.t * t
+  | Choice of t * t
+  | Par of t * t
+  | Scope of scope
+  | Restrict of Label.Set.t * t
+  | Close of Resource.Set.t * t
+  | If of Guard.t * t
+  | Call of string * Expr.t list
+
+and scope = {
+  body : t;
+  bound : Expr.t option;
+  exc : (Label.t * t) option;
+  timeout : t;
+  interrupt : t option;
+}
+
+val id : t -> int
+(** Unique per distinct term within a run.  Ids depend on interning order
+    and are not deterministic across runs when several domains intern
+    concurrently; use {!compare_structural} for canonical orderings. *)
+
+val hash : t -> int
+(** Memoized full-depth structural hash: O(1). *)
+
+val node : t -> node
+
+val equal : t -> t -> bool
+(** Pointer equality — equivalent to structural equality of the underlying
+    terms, in O(1). *)
+
+val compare : t -> t -> int
+(** Total order by {!id}; fast but not canonical across runs. *)
+
+val compare_structural : t -> t -> int
+(** Mirrors [Stdlib.compare] on the corresponding {!Proc.t} values exactly,
+    short-circuiting on shared subterms.  Canonical across runs; this is
+    the order successor rows are sorted in. *)
+
+(** {1 Constructors} — raw (no simplification), interning. *)
+
+val nil : t
+val act : Action.t -> t -> t
+val ev : Event.t -> t -> t
+val choice : t -> t -> t
+val par : t -> t -> t
+
+val scope :
+  body:t ->
+  bound:Expr.t option ->
+  exc:(Label.t * t) option ->
+  timeout:t ->
+  interrupt:t option ->
+  t
+
+val restrict : Label.Set.t -> t -> t
+val close : Resource.Set.t -> t -> t
+val if_ : Guard.t -> t -> t
+val call : string -> Expr.t list -> t
+
+(** {1 Conversions} *)
+
+val of_proc : Proc.t -> t
+(** Intern a plain term, bottom-up.  Structurally equal inputs return the
+    same physical node. *)
+
+val to_proc : t -> Proc.t
+(** Rebuild the plain term; [to_proc (of_proc p) = p] structurally. *)
+
+val table_size : unit -> int
+(** Number of distinct nodes interned so far (the table is global and grows
+    monotonically for the lifetime of the process). *)
+
+val pp : t Fmt.t

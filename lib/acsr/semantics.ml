@@ -170,6 +170,247 @@ let steps defs p = dedup (steps_at 0 defs p)
 let prioritized defs p = Step.prioritize (steps defs p)
 let is_deadlocked defs p = steps defs p = []
 
+(* {1 The hash-consed engine}
+
+   A mirror of [steps_at] over [Hproc.t].  Successors are built with the
+   raw (non-simplifying) [Hproc] constructors, so each successor is the
+   hash-consed image of exactly the term the reference engine above would
+   build — the two engines agree term-for-term, which the test suite
+   checks by property.  The payoff: deduplication and the LTS state table
+   compare terms in O(1) instead of re-walking them.
+
+   Call unfolding (substitute evaluated arguments through the definition
+   body, then intern the result) is memoized per (name, arguments): the
+   translated AADL models re-enter the same few definition instances at
+   every state.  The cache is mutex-protected so the parallel explorer can
+   share one across domains. *)
+
+type cache = {
+  lock : Mutex.t;
+  unfold : (string * int list, Hproc.t) Hashtbl.t;
+  steps_memo : (int, (Step.t * Hproc.t) list) Hashtbl.t;
+      (** unprioritized step set per interned term id.  Sound because the
+          step set is a pure function of the term (and the fixed [defs]
+          the cache is used with), and hash-consing makes the key O(1).
+          This is where hash-consing pays off most: the per-thread
+          subterms of a translated AADL system recur across nearly every
+          global state, so their step sets are computed once instead of
+          once per state. *)
+}
+
+let make_cache () =
+  {
+    lock = Mutex.create ();
+    unfold = Hashtbl.create 256;
+    steps_memo = Hashtbl.create 4096;
+  }
+
+let memo_find cache id =
+  Mutex.lock cache.lock;
+  let r = Hashtbl.find_opt cache.steps_memo id in
+  Mutex.unlock cache.lock;
+  r
+
+(* Computation happens outside the lock: on a race both domains compute
+   the same (deterministic) list and the first add wins. *)
+let memo_add cache id v =
+  Mutex.lock cache.lock;
+  if not (Hashtbl.mem cache.steps_memo id) then
+    Hashtbl.add cache.steps_memo id v;
+  Mutex.unlock cache.lock
+
+let unfold_call cache defs name values =
+  let key = (name, values) in
+  Mutex.lock cache.lock;
+  match Hashtbl.find_opt cache.unfold key with
+  | Some h ->
+      Mutex.unlock cache.lock;
+      h
+  | None ->
+      (* instantiation is pure: release the lock during the expensive
+         substitution so other domains are not serialized behind it, and
+         tolerate the (idempotent) duplicated work on a race *)
+      Mutex.unlock cache.lock;
+      let h = Hproc.of_proc (Defs.instantiate defs name values) in
+      Mutex.lock cache.lock;
+      if not (Hashtbl.mem cache.unfold key) then Hashtbl.add cache.unfold key h;
+      Mutex.unlock cache.lock;
+      h
+
+let rec h_steps_at cache depth (defs : Defs.t) (p : Hproc.t) :
+    (Step.t * Hproc.t) list =
+  match Hproc.node p with
+  | Hproc.Nil -> []
+  | Hproc.Act (a, k) ->
+      let ground =
+        List.map (fun (r, e) -> (r, eval_expr "action priority" e)) a
+      in
+      [ (Step.Action ground, k) ]
+  | Hproc.Ev (e, k) ->
+      let prio = eval_expr "event priority" (Event.priority e) in
+      [ (Step.Event (Event.label e, Event.dir e, prio), k) ]
+  | _ -> (
+      match memo_find cache (Hproc.id p) with
+      | Some r -> r
+      | None ->
+          let r = h_steps_node cache depth defs p in
+          memo_add cache (Hproc.id p) r;
+          r)
+
+(* The composite constructors, behind the memo.  A failed computation
+   (unguarded recursion, unbound parameter) is never cached, so the
+   diagnostics of the reference engine are preserved. *)
+and h_steps_node cache depth (defs : Defs.t) (p : Hproc.t) :
+    (Step.t * Hproc.t) list =
+  match Hproc.node p with
+  | Hproc.Nil | Hproc.Act _ | Hproc.Ev _ -> assert false (* handled above *)
+  | Hproc.Choice (a, b) ->
+      h_steps_at cache depth defs a @ h_steps_at cache depth defs b
+  | Hproc.Par (a, b) -> h_par_steps cache depth defs a b
+  | Hproc.Scope s -> h_scope_steps cache depth defs s
+  | Hproc.Restrict (forbidden, k) ->
+      let keep (step, _) =
+        match step with
+        | Step.Event (l, _, _) -> not (Label.Set.mem l forbidden)
+        | Step.Action _ | Step.Tau _ -> true
+      in
+      h_steps_at cache depth defs k
+      |> List.filter keep
+      |> List.map (fun (s, k') -> (s, Hproc.restrict forbidden k'))
+  | Hproc.Close (owned, k) ->
+      let close_step (step, k') =
+        let step' =
+          match step with
+          | Step.Action a ->
+              let used = Action.Ground.resources a in
+              let extra =
+                Resource.Set.diff owned used
+                |> Resource.Set.elements
+                |> List.map (fun r -> (r, 0))
+              in
+              Step.Action (Action.Ground.union a extra)
+          | Step.Event _ | Step.Tau _ -> step
+        in
+        (step', Hproc.close owned k')
+      in
+      List.map close_step (h_steps_at cache depth defs k)
+  | Hproc.If (g, k) -> (
+      match Guard.eval ground_env g with
+      | true -> h_steps_at cache depth defs k
+      | false -> []
+      | exception Expr.Unbound_parameter x ->
+          raise (Not_closed (Fmt.str "guard: unbound parameter %s" x)))
+  | Hproc.Call (name, args) ->
+      if depth > max_unfold_depth then raise (Unguarded_recursion name);
+      let values = List.map (eval_expr name) args in
+      h_steps_at cache (depth + 1) defs (unfold_call cache defs name values)
+
+and h_par_steps cache depth defs a b =
+  let sa = h_steps_at cache depth defs a
+  and sb = h_steps_at cache depth defs b in
+  let left =
+    List.filter_map
+      (fun (s, a') ->
+        match s with
+        | Step.Event _ | Step.Tau _ -> Some (s, Hproc.par a' b)
+        | Step.Action _ -> None)
+      sa
+  and right =
+    List.filter_map
+      (fun (s, b') ->
+        match s with
+        | Step.Event _ | Step.Tau _ -> Some (s, Hproc.par a b')
+        | Step.Action _ -> None)
+      sb
+  in
+  let timed =
+    List.concat_map
+      (fun (s, a') ->
+        match s with
+        | Step.Action aa ->
+            List.filter_map
+              (fun (s', b') ->
+                match s' with
+                | Step.Action ab when Action.Ground.disjoint aa ab ->
+                    Some
+                      ( Step.Action (Action.Ground.union aa ab),
+                        Hproc.par a' b' )
+                | Step.Action _ | Step.Event _ | Step.Tau _ -> None)
+              sb
+        | Step.Event _ | Step.Tau _ -> [])
+      sa
+  in
+  let sync =
+    List.concat_map
+      (fun (s, a') ->
+        match s with
+        | Step.Event (l, da, pa) ->
+            List.filter_map
+              (fun (s', b') ->
+                match s' with
+                | Step.Event (l', db, pb)
+                  when Label.equal l l' && da <> db ->
+                    Some (Step.Tau (Some l, pa + pb), Hproc.par a' b')
+                | Step.Event _ | Step.Action _ | Step.Tau _ -> None)
+              sb
+        | Step.Action _ | Step.Tau _ -> [])
+      sa
+  in
+  left @ right @ timed @ sync
+
+and h_scope_steps cache depth defs (s : Hproc.scope) =
+  let bound = Option.map (eval_expr "scope bound") s.Hproc.bound in
+  match bound with
+  | Some 0 -> h_steps_at cache depth defs s.Hproc.timeout
+  | _ ->
+      let decrement =
+        match bound with
+        | Some n -> Some (Expr.Int (n - 1))
+        | None -> None
+      in
+      let of_body (step, body') =
+        match (step, s.Hproc.exc) with
+        | Step.Event (l, Event.Out, _), Some (l', handler)
+          when Label.equal l l' ->
+            [ (step, handler) ]
+        | Step.Action _, _ ->
+            [
+              ( step,
+                Hproc.scope ~body:body' ~bound:decrement ~exc:s.Hproc.exc
+                  ~timeout:s.Hproc.timeout ~interrupt:s.Hproc.interrupt );
+            ]
+        | (Step.Event _ | Step.Tau _), _ ->
+            [
+              ( step,
+                Hproc.scope ~body:body' ~bound:s.Hproc.bound ~exc:s.Hproc.exc
+                  ~timeout:s.Hproc.timeout ~interrupt:s.Hproc.interrupt );
+            ]
+      in
+      let body_steps =
+        List.concat_map of_body (h_steps_at cache depth defs s.Hproc.body)
+      in
+      let interrupt_steps =
+        match s.Hproc.interrupt with
+        | Some handler -> h_steps_at cache depth defs handler
+        | None -> []
+      in
+      body_steps @ interrupt_steps
+
+(* The canonical successor order: identical to the reference engine's
+   [sort_uniq Stdlib.compare] over [(Step.t * Proc.t)] pairs, because
+   [Hproc.compare_structural] mirrors [Stdlib.compare] on [Proc.t]. *)
+let h_pair_compare (s1, t1) (s2, t2) =
+  let c = Stdlib.compare (s1 : Step.t) s2 in
+  if c <> 0 then c else Hproc.compare_structural t1 t2
+
+let h_dedup steps = List.sort_uniq h_pair_compare steps
+
+let h_steps ?cache defs p =
+  let cache = match cache with Some c -> c | None -> make_cache () in
+  h_dedup (h_steps_at cache 0 defs p)
+
+let h_prioritized ?cache defs p = Step.prioritize (h_steps ?cache defs p)
+
 (* A process is time-stopped when no enabled (prioritized) step advances
    time; deadlocks are a special case.  Useful as a diagnostic. *)
 let is_time_stopped defs p =

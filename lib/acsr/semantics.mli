@@ -22,3 +22,29 @@ val is_deadlocked : Defs.t -> Proc.t -> bool
 
 val is_time_stopped : Defs.t -> Proc.t -> bool
 (** No prioritized step advances time. *)
+
+(** {1 Hash-consed engine}
+
+    A second implementation of the transition relation over hash-consed
+    terms ({!Hproc.t}), used by the state-space explorer: successor
+    deduplication and state-table interning become O(1) per comparison.
+    Produces, term for term and in the same canonical order, the
+    hash-consed image of what {!steps}/{!prioritized} return — the test
+    suite checks the two engines against each other by property. *)
+
+type cache
+(** Memo tables for the hash-consed engine: definition unfolding, keyed
+    by (name, argument values), and per-subterm step sets, keyed by
+    interned id.  Sound only for a fixed [Defs.t] — create one cache per
+    definition environment.  Mutex-protected: one cache may be shared by
+    several domains. *)
+
+val make_cache : unit -> cache
+
+val h_steps : ?cache:cache -> Defs.t -> Hproc.t -> (Step.t * Hproc.t) list
+(** Unprioritized transition relation over hash-consed terms.  Without
+    [?cache], a fresh unfolding memo is used for this call only. *)
+
+val h_prioritized :
+  ?cache:cache -> Defs.t -> Hproc.t -> (Step.t * Hproc.t) list
+(** Prioritized transition relation over hash-consed terms. *)

@@ -58,12 +58,14 @@ let observer_defs ~start_l ~end_l ~bound =
 type options = {
   translation_options : Translate.Pipeline.options;
   max_states : int;
+  jobs : int;  (** domains for parallel exploration *)
 }
 
 let default_options =
   {
     translation_options = Translate.Pipeline.default_options;
     max_states = 2_000_000;
+    jobs = 1;
   }
 
 exception Error of string
@@ -123,7 +125,8 @@ let check ?(options = default_options) ~(from_thread : string list)
       (Proc.par tr.Translate.Pipeline.system (Proc.call observer_name []))
   in
   let exploration =
-    Versa.Explorer.check_deadlock ~max_states:options.max_states defs system
+    Versa.Explorer.check_deadlock ~max_states:options.max_states
+      ~jobs:options.jobs defs system
   in
   let verdict =
     match exploration.Versa.Explorer.verdict with

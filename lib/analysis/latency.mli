@@ -20,6 +20,7 @@ type t = {
 type options = {
   translation_options : Translate.Pipeline.options;
   max_states : int;
+  jobs : int;  (** domains for parallel exploration (default 1) *)
 }
 
 val default_options : options

@@ -23,6 +23,7 @@ type options = {
   max_states : int;
   all_violations : bool;
       (** explore exhaustively instead of stopping at the first deadlock *)
+  jobs : int;  (** domains for parallel successor computation *)
 }
 
 let default_options =
@@ -30,13 +31,15 @@ let default_options =
     translation_options = Translate.Pipeline.default_options;
     max_states = 2_000_000;
     all_violations = false;
+    jobs = 1;
   }
 
 let analyze_translation ~options (tr : Translate.Pipeline.t) : t =
   let exploration =
     Versa.Explorer.check_deadlock ~max_states:options.max_states
       ~stop_at_deadlock:(not options.all_violations)
-      tr.Translate.Pipeline.defs tr.Translate.Pipeline.system
+      ~jobs:options.jobs tr.Translate.Pipeline.defs
+      tr.Translate.Pipeline.system
   in
   let verdict =
     match exploration.Versa.Explorer.verdict with

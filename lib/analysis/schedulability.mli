@@ -19,6 +19,7 @@ type options = {
   translation_options : Translate.Pipeline.options;
   max_states : int;
   all_violations : bool;
+  jobs : int;  (** domains for parallel exploration (default 1) *)
 }
 
 val default_options : options

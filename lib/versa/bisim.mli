@@ -3,15 +3,18 @@
 open Acsr
 
 type partition = { block_of : int array; num_blocks : int }
+(** A partition of the state ids: [block_of.(id)] is the block of state
+    [id], numbered [0 .. num_blocks - 1]. *)
 
 val refine : Lts.t -> partition
 (** Coarsest strong-bisimulation partition of the LTS's states. *)
 
 type quotient = {
-  num_states : int;
-  initial : int;
-  edges : (Step.t * int) list array;
+  num_states : int;  (** number of bisimulation classes *)
+  initial : int;  (** class of the original initial state *)
+  edges : (Step.t * int) list array;  (** class-level transitions *)
   representative : Lts.state_id array;
+      (** one original state per class, for labeling *)
 }
 
 val quotient : Lts.t -> quotient
@@ -19,16 +22,21 @@ val quotient : Lts.t -> quotient
     reachability. *)
 
 val num_transitions : quotient -> int
+(** Total number of class-level transitions. *)
 
 val equivalent : Lts.t -> Lts.t -> bool
 (** Strong bisimilarity of the initial states of two LTSs. *)
 
 val pp_quotient : quotient Fmt.t
+(** One-line summary: states and transitions of the quotient. *)
 
 (** Weak (observational) bisimulation: tau steps are abstracted.  Does not
     preserve deadlock reachability — use the strong quotient for
     schedulability; this one compares observable protocols. *)
 module Weak : sig
   val refine : Lts.t -> partition
+  (** Coarsest weak-bisimulation partition. *)
+
   val equivalent : Lts.t -> Lts.t -> bool
+  (** Weak bisimilarity of the initial states of two LTSs. *)
 end

@@ -5,5 +5,11 @@ val pp : ?show_terms:bool -> Lts.t Fmt.t
     states with (truncated) process terms. *)
 
 val pp_quotient : Bisim.quotient Fmt.t
+(** DOT rendering of a bisimulation quotient; block representatives label
+    the nodes. *)
+
 val to_string : ?show_terms:bool -> Lts.t -> string
+(** [pp] into a string. *)
+
 val write_file : ?show_terms:bool -> string -> Lts.t -> unit
+(** [write_file path lts] writes the DOT rendering to [path]. *)

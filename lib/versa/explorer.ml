@@ -25,11 +25,11 @@ let deadlock_verdict lts =
              (Lts.num_states lts))
       else Deadlock_free
 
-let check_deadlock ?(max_states = 2_000_000) ?(stop_at_deadlock = true) defs
-    root =
+let check_deadlock ?(max_states = 2_000_000) ?(stop_at_deadlock = true)
+    ?(jobs = 1) defs root =
   let t0 = Unix.gettimeofday () in
   let config = { Lts.max_states = Some max_states; stop_at_deadlock } in
-  let lts = Lts.build ~config ~semantics:Lts.Prioritized defs root in
+  let lts = Lts.build ~config ~semantics:Lts.Prioritized ~jobs defs root in
   let elapsed = Unix.gettimeofday () -. t0 in
   { lts; verdict = deadlock_verdict lts; elapsed }
 

@@ -13,10 +13,17 @@ val deadlock_verdict : Lts.t -> verdict
 (** Verdict from an already-built LTS. *)
 
 val check_deadlock :
-  ?max_states:int -> ?stop_at_deadlock:bool -> Defs.t -> Proc.t -> result
+  ?max_states:int ->
+  ?stop_at_deadlock:bool ->
+  ?jobs:int ->
+  Defs.t ->
+  Proc.t ->
+  result
 (** Explore the prioritized state space of a closed term looking for
     deadlocks.  [stop_at_deadlock] (default true) stops at the first
-    deadlock; the reported trace is then the shortest failing scenario. *)
+    deadlock; the reported trace is then the shortest failing scenario.
+    [jobs] (default 1) parallelizes successor computation across domains
+    without changing any result — see {!Lts.build}. *)
 
 val is_deadlock_free : result -> bool
 val pp_verdict : verdict Fmt.t

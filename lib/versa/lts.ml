@@ -5,7 +5,17 @@
    discovery order (the initial state has id 0).  Each state records its
    outgoing (step, successor) row and its BFS parent, so that shortest
    diagnostic traces can be rebuilt without re-exploration — this mirrors
-   what the VERSA tool reports to the user (paper, Section 5). *)
+   what the VERSA tool reports to the user (paper, Section 5).
+
+   Terms are hash-consed ([Acsr.Hproc]), so the state table keys on an
+   integer id and every successor comparison is O(1).  The builder walks
+   the BFS queue in fixed-size chunks: successor computation for a chunk —
+   the expensive, per-state-independent part — optionally fans out over a
+   pool of worker domains ([jobs] > 1), while interning, parent assignment
+   and truncation checks always run sequentially in queue order.  Because
+   every order-sensitive decision happens in that sequential merge, a
+   parallel build produces bit-identical ids, parents, depths, rows and
+   traces to the sequential one (checked by the test suite). *)
 
 open Acsr
 
@@ -13,8 +23,30 @@ type semantics = Prioritized | Unprioritized
 
 type state_id = int
 
+type stats = {
+  jobs : int;
+  wall_s : float;  (** total build time *)
+  expand_s : float;  (** computing successor sets (parallel part) *)
+  merge_s : float;  (** interning + BFS bookkeeping (sequential part) *)
+  num_states : int;
+  num_transitions : int;
+  num_deadlocks : int;
+  peak_frontier : int;  (** max discovered-but-unexpanded states *)
+  depth_levels : int;  (** deepest BFS level reached + 1 *)
+  intern_hits : int;  (** state interns that found an existing state *)
+  intern_misses : int;  (** state interns that discovered a new state *)
+  hashcons_nodes : int;  (** global hash-cons table size after the build *)
+}
+
+let states_per_sec s =
+  if s.wall_s > 0. then float_of_int s.num_states /. s.wall_s else 0.
+
+let dedup_hit_rate s =
+  let total = s.intern_hits + s.intern_misses in
+  if total = 0 then 0. else float_of_int s.intern_hits /. float_of_int total
+
 type t = {
-  term_of : Proc.t array;  (** state id -> term *)
+  term_of : Hproc.t array;  (** state id -> term *)
   edges : (Step.t * state_id) array array;  (** outgoing transitions *)
   expanded : bool array;
       (** whether the state's successors were computed; frontier states of
@@ -23,28 +55,25 @@ type t = {
   depth : int array;  (** BFS depth *)
   truncated : bool;  (** true if exploration stopped before exhaustion *)
   semantics : semantics;
+  transitions : int;  (** cached at build time *)
+  deadlock_ids : state_id list;  (** cached at build time, discovery order *)
+  stats : stats;
 }
 
 let num_states lts = Array.length lts.term_of
-
-let num_transitions lts =
-  Array.fold_left (fun n row -> n + Array.length row) 0 lts.edges
+let num_transitions lts = lts.transitions
 
 let initial (_ : t) : state_id = 0
-let term lts id = lts.term_of.(id)
+let term lts id = Hproc.to_proc lts.term_of.(id)
 let successors lts id = lts.edges.(id)
 let depth lts id = lts.depth.(id)
 let truncated lts = lts.truncated
 let semantics_of lts = lts.semantics
+let stats lts = lts.stats
 
 let is_deadlock lts id = lts.expanded.(id) && Array.length lts.edges.(id) = 0
 
-let deadlocks lts =
-  let acc = ref [] in
-  for id = num_states lts - 1 downto 0 do
-    if is_deadlock lts id then acc := id :: !acc
-  done;
-  !acc
+let deadlocks lts = lts.deadlock_ids
 
 (* Rebuild the BFS-shortest path from the initial state to [id] as a list
    of (step, reached state). *)
@@ -64,39 +93,50 @@ type build_config = {
 
 let default_config = { max_states = Some 2_000_000; stop_at_deadlock = false }
 
-let step_function semantics defs =
+let step_function semantics cache defs =
   match semantics with
-  | Prioritized -> Semantics.prioritized defs
-  | Unprioritized -> Semantics.steps defs
+  | Prioritized -> Semantics.h_prioritized ~cache defs
+  | Unprioritized -> Semantics.h_steps ~cache defs
 
-(* Growable state table. *)
+(* Growable state table, keyed by the hash-cons id of the term. *)
 module Table = struct
   type entry = {
     mutable row : (Step.t * state_id) array;
     mutable was_expanded : bool;
     mutable par : (state_id * Step.t) option;
     mutable dep : int;
-    tm : Proc.t;
+    tm : Hproc.t;
   }
 
   type nonrec t = {
-    ids : (Proc.t, state_id) Hashtbl.t;
+    ids : (int, state_id) Hashtbl.t;  (* Hproc id -> state id *)
     mutable entries : entry array;
     mutable len : int;
+    mutable hits : int;
+    mutable misses : int;
   }
 
   let dummy_entry =
-    { row = [||]; was_expanded = false; par = None; dep = 0; tm = Proc.Nil }
+    { row = [||]; was_expanded = false; par = None; dep = 0; tm = Hproc.nil }
 
   let create () =
-    { ids = Hashtbl.create 4096; entries = Array.make 1024 dummy_entry; len = 0 }
+    {
+      ids = Hashtbl.create 4096;
+      entries = Array.make 1024 dummy_entry;
+      len = 0;
+      hits = 0;
+      misses = 0;
+    }
 
   let get t id = t.entries.(id)
 
   let intern t term =
-    match Hashtbl.find_opt t.ids term with
-    | Some id -> (id, false)
+    match Hashtbl.find_opt t.ids (Hproc.id term) with
+    | Some id ->
+        t.hits <- t.hits + 1;
+        (id, false)
     | None ->
+        t.misses <- t.misses + 1;
         if t.len = Array.length t.entries then begin
           let bigger = Array.make (2 * t.len) dummy_entry in
           Array.blit t.entries 0 bigger 0 t.len;
@@ -105,60 +145,133 @@ module Table = struct
         let id = t.len in
         t.entries.(id) <-
           { row = [||]; was_expanded = false; par = None; dep = 0; tm = term };
-        Hashtbl.add t.ids term id;
+        Hashtbl.add t.ids (Hproc.id term) id;
         t.len <- t.len + 1;
         (id, true)
 end
 
-let build ?(config = default_config) ?(semantics = Prioritized) defs root =
-  let next = step_function semantics defs in
+let build ?(config = default_config) ?(semantics = Prioritized) ?(jobs = 1)
+    defs root =
+  let jobs = max 1 jobs in
+  let t_start = Unix.gettimeofday () in
+  let cache = Semantics.make_cache () in
+  let next = step_function semantics cache defs in
   let table = Table.create () in
-  let queue = Queue.create () in
   let truncated = ref false in
   let deadlock_found = ref false in
-  let root_id, _ = Table.intern table root in
-  Queue.add root_id queue;
+  let deadlock_ids_rev = ref [] in
+  let transitions = ref 0 in
+  let expand_s = ref 0. in
+  let peak_frontier = ref 0 in
+  let root_id, _ = Table.intern table (Hproc.of_proc root) in
+  ignore root_id;
   let over_budget () =
     match config.max_states with
     | Some m -> table.Table.len >= m
     | None -> false
   in
-  while not (Queue.is_empty queue) do
-    let id = Queue.pop queue in
-    if (config.stop_at_deadlock && !deadlock_found) || over_budget () then
-      (* leave this state unexpanded; the exploration is incomplete *)
-      truncated := true
-    else begin
-      let entry = Table.get table id in
-      let succs = next entry.Table.tm in
-      if succs = [] then deadlock_found := true;
-      let row =
-        List.map
-          (fun (step, term') ->
-            let id', fresh = Table.intern table term' in
-            if fresh then begin
-              let e' = Table.get table id' in
-              e'.Table.par <- Some (id, step);
-              e'.Table.dep <- entry.Table.dep + 1;
-              Queue.add id' queue
+  let pool = if jobs > 1 then Some (Pool.create (jobs - 1)) else None in
+  (* Successor computation is per-state independent: fan a chunk out over
+     the pool (dynamic scheduling; the hash-cons intern table and the
+     unfolding cache are domain-safe).  With [jobs = 1] the chunk size is 1
+     and this is exactly the classic sequential BFS loop. *)
+  let chunk_size = if jobs = 1 then 1 else jobs * 32 in
+  let succs = Array.make chunk_size [] in
+  let compute_chunk head n =
+    let f i = succs.(i) <- next (Table.get table (head + i)).Table.tm in
+    match pool with
+    | None ->
+        for i = 0 to n - 1 do
+          f i
+        done
+    | Some p -> Pool.run p n f
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Pool.shutdown pool)
+    (fun () ->
+      (* The BFS queue is implicit: state ids are assigned in discovery
+         order, so the queue contents are exactly the ids [head .. len). *)
+      let head = ref 0 in
+      let stop = ref false in
+      while (not !stop) && !head < table.Table.len do
+        let frontier = table.Table.len - !head in
+        if frontier > !peak_frontier then peak_frontier := frontier;
+        let n = min chunk_size frontier in
+        let t0 = Unix.gettimeofday () in
+        compute_chunk !head n;
+        let t1 = Unix.gettimeofday () in
+        expand_s := !expand_s +. (t1 -. t0);
+        (* Sequential merge, in queue order: interning, parent/depth
+           assignment and the truncation checks are order-sensitive and
+           replicate the sequential exploration exactly. *)
+        let i = ref 0 in
+        while (not !stop) && !i < n do
+          if (config.stop_at_deadlock && !deadlock_found) || over_budget ()
+          then begin
+            (* leave this state (and every later one) unexpanded; the
+               exploration is incomplete *)
+            truncated := true;
+            stop := true
+          end
+          else begin
+            let id = !head + !i in
+            let entry = Table.get table id in
+            let s = succs.(!i) in
+            if s = [] then begin
+              deadlock_found := true;
+              deadlock_ids_rev := id :: !deadlock_ids_rev
             end;
-            (step, id'))
-          succs
-      in
-      entry.Table.row <- Array.of_list row;
-      entry.Table.was_expanded <- true
-    end
-  done;
+            let row =
+              List.map
+                (fun (step, term') ->
+                  let id', fresh = Table.intern table term' in
+                  if fresh then begin
+                    let e' = Table.get table id' in
+                    e'.Table.par <- Some (id, step);
+                    e'.Table.dep <- entry.Table.dep + 1
+                  end;
+                  (step, id'))
+                s
+            in
+            entry.Table.row <- Array.of_list row;
+            entry.Table.was_expanded <- true;
+            transitions := !transitions + Array.length entry.Table.row;
+            incr i
+          end
+        done;
+        head := !head + !i
+      done);
   let n = table.Table.len in
   let entry i = table.Table.entries.(i) in
+  let depth = Array.init n (fun i -> (entry i).Table.dep) in
+  let wall_s = Unix.gettimeofday () -. t_start in
+  let stats =
+    {
+      jobs;
+      wall_s;
+      expand_s = !expand_s;
+      merge_s = wall_s -. !expand_s;
+      num_states = n;
+      num_transitions = !transitions;
+      num_deadlocks = List.length !deadlock_ids_rev;
+      peak_frontier = !peak_frontier;
+      depth_levels = 1 + Array.fold_left max 0 depth;
+      intern_hits = table.Table.hits;
+      intern_misses = table.Table.misses;
+      hashcons_nodes = Hproc.table_size ();
+    }
+  in
   {
     term_of = Array.init n (fun i -> (entry i).Table.tm);
     edges = Array.init n (fun i -> (entry i).Table.row);
     expanded = Array.init n (fun i -> (entry i).Table.was_expanded);
     parent = Array.init n (fun i -> (entry i).Table.par);
-    depth = Array.init n (fun i -> (entry i).Table.dep);
+    depth;
     truncated = !truncated;
     semantics;
+    transitions = !transitions;
+    deadlock_ids = List.rev !deadlock_ids_rev;
+    stats;
   }
 
 let pp_summary ppf lts =
@@ -168,3 +281,17 @@ let pp_summary ppf lts =
     (match lts.semantics with
     | Prioritized -> "prioritized"
     | Unprioritized -> "unprioritized")
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "@[<v>exploration: %d states, %d transitions, %d deadlocks in %.3fs \
+     (%.0f states/sec, %d jobs)@,\
+     phases: expand %.3fs, merge %.3fs@,\
+     frontier peak %d, BFS levels %d@,\
+     state dedup: %d hits / %d misses (%.1f%% hit-rate)@,\
+     hash-cons table: %d nodes@]"
+    s.num_states s.num_transitions s.num_deadlocks s.wall_s
+    (states_per_sec s) s.jobs s.expand_s s.merge_s s.peak_frontier
+    s.depth_levels s.intern_hits s.intern_misses
+    (100. *. dedup_hit_rate s)
+    s.hashcons_nodes

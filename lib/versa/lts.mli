@@ -1,23 +1,74 @@
 (** Explicit labeled transition systems of ACSR terms, built by breadth-first
-    state-space exploration. *)
+    state-space exploration.
+
+    States are closed process terms interned in BFS discovery order (the
+    initial state is always id 0); this is the substrate on which
+    schedulability analysis performs VERSA-style deadlock detection
+    (paper, Section 5).  Terms are hash-consed ({!Acsr.Hproc}), so state
+    interning and successor deduplication cost O(1) per comparison, and
+    the builder can fan successor computation out over several domains
+    ([?jobs]) while keeping results bit-identical to a sequential build. *)
 
 open Acsr
 
 type semantics = Prioritized | Unprioritized
 
 type state_id = int
+(** Dense state identifiers, assigned in BFS discovery order. *)
 
 type t
 
+(** {1 Exploration telemetry}
+
+    Collected during the build at negligible cost; surfaced by the
+    [--stats] CLI flag and the bench harness ([BENCH_explore.json]). *)
+
+type stats = {
+  jobs : int;  (** parallelism the LTS was built with *)
+  wall_s : float;  (** total build time, seconds *)
+  expand_s : float;  (** successor computation (the parallel phase) *)
+  merge_s : float;  (** interning and BFS bookkeeping (sequential phase) *)
+  num_states : int;
+  num_transitions : int;
+  num_deadlocks : int;
+  peak_frontier : int;  (** max states discovered but not yet expanded *)
+  depth_levels : int;  (** deepest BFS level reached + 1 *)
+  intern_hits : int;  (** successor interns that found an existing state *)
+  intern_misses : int;  (** interns that discovered a new state *)
+  hashcons_nodes : int;  (** global hash-cons table size after the build *)
+}
+
+val stats : t -> stats
+
+val states_per_sec : stats -> float
+(** [num_states / wall_s]; the throughput figure tracked across PRs. *)
+
+val dedup_hit_rate : stats -> float
+(** Fraction of successor interns that deduplicated into an existing
+    state, in [0,1].  High values mean the state graph re-converges often
+    (typical of periodic workloads). *)
+
+val pp_stats : stats Fmt.t
+
+(** {1 Accessors} *)
+
 val num_states : t -> int
+
 val num_transitions : t -> int
+(** Cached at build time: O(1). *)
 
 val initial : t -> state_id
 (** Always state 0. *)
 
 val term : t -> state_id -> Proc.t
+(** The process term of a state (rebuilt from its hash-consed form). *)
+
 val successors : t -> state_id -> (Step.t * state_id) array
+(** Outgoing transitions, in the canonical successor order (sorted by
+    step, then structurally by target term). *)
+
 val depth : t -> state_id -> int
+(** BFS depth: the length of the shortest path from the initial state. *)
 
 val truncated : t -> bool
 (** True when exploration stopped early (state budget exhausted or
@@ -29,22 +80,38 @@ val is_deadlock : t -> state_id -> bool
 (** The state was expanded and has no outgoing transition. *)
 
 val deadlocks : t -> state_id list
-(** All deadlock states, in discovery order. *)
+(** All deadlock states, in discovery order.  Cached at build time: O(1). *)
 
 val path_to : t -> state_id -> (Step.t * state_id) list
 (** BFS-shortest path from the initial state, as (step, reached state). *)
 
+(** {1 Building} *)
+
 type build_config = {
-  max_states : int option;
+  max_states : int option;  (** stop after discovering this many states *)
   stop_at_deadlock : bool;
+      (** stop expanding as soon as one deadlock has been discovered *)
 }
 
 val default_config : build_config
 (** 2M states, explore exhaustively. *)
 
 val build :
-  ?config:build_config -> ?semantics:semantics -> Defs.t -> Proc.t -> t
+  ?config:build_config ->
+  ?semantics:semantics ->
+  ?jobs:int ->
+  Defs.t ->
+  Proc.t ->
+  t
 (** Explore the state space of a closed term breadth-first.  [semantics]
-    defaults to [Prioritized]. *)
+    defaults to [Prioritized].
+
+    [jobs] (default 1) sets the number of domains computing successor
+    sets.  Parallelism only affects throughput, never results: interning,
+    parent assignment, truncation and budget checks run sequentially in
+    queue order, so state ids, parents, depths, successor rows, verdicts
+    and shortest traces are identical for every [jobs] value (asserted by
+    the test suite). *)
 
 val pp_summary : t Fmt.t
+(** One-line summary: state/transition counts, truncation, semantics. *)

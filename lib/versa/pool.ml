@@ -1,0 +1,125 @@
+(* A small persistent pool of worker domains for data-parallel loops.
+
+   [Lts.build] expands BFS frontiers in chunks; each chunk is a
+   [run pool n f] call that evaluates [f 0 .. f (n-1)] across the workers
+   plus the calling domain, pulling indices from a shared atomic counter
+   (dynamic scheduling — successor computation is highly irregular, some
+   states unfold far more definitions than others).  Workers persist
+   across [run] calls, so per-chunk overhead is a broadcast on a condition
+   variable rather than a domain spawn.
+
+   Exceptions raised by [f] (e.g. [Semantics.Unguarded_recursion]) are
+   captured — first one wins — and re-raised in the caller once the batch
+   has drained, so a failing exploration does not leave domains running. *)
+
+type t = {
+  workers : int;  (* worker domains, excluding the caller *)
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable generation : int;  (* bumped once per batch *)
+  mutable task : (int -> unit) option;
+  mutable count : int;  (* size of the current batch *)
+  next : int Atomic.t;  (* next index to claim *)
+  mutable active : int;  (* workers still inside the current batch *)
+  mutable stopping : bool;
+  mutable error : exn option;
+  mutable domains : unit Domain.t list;
+}
+
+let record_error pool e =
+  Mutex.lock pool.mutex;
+  if pool.error = None then pool.error <- Some e;
+  Mutex.unlock pool.mutex
+
+(* Claim and run indices until the batch is exhausted.  On an error the
+   remaining indices are drained without running [f]: the batch still
+   terminates promptly and deterministically. *)
+let drain pool f n =
+  let continue = ref true in
+  while !continue do
+    let i = Atomic.fetch_and_add pool.next 1 in
+    if i >= n then continue := false
+    else
+      match f i with
+      | () -> ()
+      | exception e ->
+          record_error pool e;
+          continue := false
+  done
+
+let worker pool () =
+  let seen_generation = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock pool.mutex;
+    while pool.generation = !seen_generation && not pool.stopping do
+      Condition.wait pool.work_ready pool.mutex
+    done;
+    if pool.stopping then begin
+      Mutex.unlock pool.mutex;
+      running := false
+    end
+    else begin
+      seen_generation := pool.generation;
+      let f = Option.get pool.task and n = pool.count in
+      Mutex.unlock pool.mutex;
+      drain pool f n;
+      Mutex.lock pool.mutex;
+      pool.active <- pool.active - 1;
+      if pool.active = 0 then Condition.broadcast pool.work_done;
+      Mutex.unlock pool.mutex
+    end
+  done
+
+let create workers =
+  let workers = max 0 workers in
+  let pool =
+    {
+      workers;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      generation = 0;
+      task = None;
+      count = 0;
+      next = Atomic.make 0;
+      active = 0;
+      stopping = false;
+      error = None;
+      domains = [];
+    }
+  in
+  pool.domains <- List.init workers (fun _ -> Domain.spawn (worker pool));
+  pool
+
+let run pool n f =
+  if n > 0 then begin
+    Mutex.lock pool.mutex;
+    pool.task <- Some f;
+    pool.count <- n;
+    pool.error <- None;
+    Atomic.set pool.next 0;
+    pool.active <- pool.workers;
+    pool.generation <- pool.generation + 1;
+    Condition.broadcast pool.work_ready;
+    Mutex.unlock pool.mutex;
+    (* the caller is a participant too *)
+    drain pool f n;
+    Mutex.lock pool.mutex;
+    while pool.active > 0 do
+      Condition.wait pool.work_done pool.mutex
+    done;
+    let err = pool.error in
+    pool.task <- None;
+    Mutex.unlock pool.mutex;
+    match err with Some e -> raise e | None -> ()
+  end
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.stopping <- true;
+  Condition.broadcast pool.work_ready;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join pool.domains;
+  pool.domains <- []

@@ -1,0 +1,23 @@
+(** A persistent pool of worker domains for data-parallel loops.
+
+    Used by {!Lts.build} to fan successor computation of a BFS frontier
+    chunk out over several domains.  Workers live for the lifetime of the
+    pool, so issuing a batch costs a condition-variable broadcast, not a
+    domain spawn. *)
+
+type t
+
+val create : int -> t
+(** [create w] spawns [w] worker domains (clamped below at 0 — a pool with
+    0 workers still works, every batch then runs on the caller). *)
+
+val run : t -> int -> (int -> unit) -> unit
+(** [run pool n f] evaluates [f i] for every [0 <= i < n], distributing
+    indices dynamically over the workers and the calling domain, and
+    returns when all are done.  [f] must be safe to call concurrently from
+    several domains.  If any [f i] raises, the first exception is
+    re-raised here after the batch drains (remaining indices are skipped).
+    Batches must not be issued concurrently from several domains. *)
+
+val shutdown : t -> unit
+(** Stop and join the workers.  The pool must be idle. *)

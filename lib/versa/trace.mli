@@ -3,17 +3,26 @@
 open Acsr
 
 type entry = { step : Step.t; state : Lts.state_id }
+(** One transition of the execution: the step taken and the state it
+    reached. *)
 
 type t = { lts : Lts.t; entries : entry list }
+(** An execution of [lts] starting at its initial state. *)
 
 val of_path : Lts.t -> (Step.t * Lts.state_id) list -> t
+(** Wrap a path (as returned by {!Lts.path_to}) as a trace. *)
 
 val to_deadlock : Lts.t -> Lts.state_id -> t
 (** Shortest trace from the initial state to the given state. *)
 
 val steps : t -> Step.t list
+(** The steps of the trace, in order. *)
+
 val length : t -> int
+(** Number of steps (timed and instantaneous). *)
+
 val final_state : t -> Lts.state_id
+(** The state the trace ends in; the initial state if it is empty. *)
 
 val duration : t -> int
 (** Number of time quanta elapsed along the trace. *)

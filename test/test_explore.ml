@@ -1,0 +1,262 @@
+(* Tests for the hash-consed parallel explorer.
+
+   Two families of guarantees:
+   - a parallel build ([~jobs:4]) is bit-identical to the sequential one —
+     same state numbering, edges, depths, deadlocks and shortest traces —
+     on the reference models and on random terms;
+   - the hash-consed semantics engine agrees term-for-term with the
+     reference engine ([Semantics.steps]/[prioritized]), and the [Hproc]
+     layer is a faithful embedding of [Proc]. *)
+
+open Acsr
+
+let cpu = Resource.make "cpu"
+
+let e_int n = Expr.Int n
+
+let action accesses =
+  Action.of_list (List.map (fun (r, p) -> (r, e_int p)) accesses)
+
+(* {1 Sequential vs parallel builds on the reference models} *)
+
+let check_identical name (a : Versa.Lts.t) (b : Versa.Lts.t) =
+  Alcotest.(check int)
+    (name ^ ": states") (Versa.Lts.num_states a) (Versa.Lts.num_states b);
+  Alcotest.(check int)
+    (name ^ ": transitions")
+    (Versa.Lts.num_transitions a)
+    (Versa.Lts.num_transitions b);
+  Alcotest.(check bool)
+    (name ^ ": truncated") (Versa.Lts.truncated a) (Versa.Lts.truncated b);
+  Alcotest.(check (list int))
+    (name ^ ": deadlocks") (Versa.Lts.deadlocks a) (Versa.Lts.deadlocks b);
+  for id = 0 to Versa.Lts.num_states a - 1 do
+    if Versa.Lts.depth a id <> Versa.Lts.depth b id then
+      Alcotest.failf "%s: depth of state %d differs" name id;
+    if Versa.Lts.successors a id <> Versa.Lts.successors b id then
+      Alcotest.failf "%s: successors of state %d differ" name id
+  done;
+  List.iter
+    (fun d ->
+      if Versa.Lts.path_to a d <> Versa.Lts.path_to b d then
+        Alcotest.failf "%s: shortest trace to deadlock %d differs" name d)
+    (Versa.Lts.deadlocks a)
+
+let tr_of text =
+  let tr = Translate.Pipeline.translate (Aadl.Instantiate.of_string text) in
+  (tr.Translate.Pipeline.defs, tr.Translate.Pipeline.system)
+
+let reference_models () =
+  let exhaustive =
+    { Versa.Lts.max_states = Some 100_000; stop_at_deadlock = false }
+  in
+  let stop = { Versa.Lts.max_states = Some 100_000; stop_at_deadlock = true } in
+  let tiny = { Versa.Lts.max_states = Some 40; stop_at_deadlock = false } in
+  let cruise = tr_of (Gen.cruise_control ()) in
+  let overload = tr_of (Gen.cruise_control ~overload:true ()) in
+  let crossover = tr_of (Gen.periodic_system Gen.crossover_set) in
+  [
+    ( "fig3",
+      (Gen.Paper_figs.fig3_defs, Gen.Paper_figs.fig3_system),
+      exhaustive );
+    ("cruise control", cruise, exhaustive);
+    ("cruise control truncated", cruise, tiny);
+    ("cruise control overloaded", overload, stop);
+    ("crossover set", crossover, stop);
+  ]
+
+let test_parallel_build_identical () =
+  List.iter
+    (fun (name, (defs, system), config) ->
+      let seq = Versa.Lts.build ~config ~jobs:1 defs system in
+      let par4 = Versa.Lts.build ~config ~jobs:4 defs system in
+      let par2 = Versa.Lts.build ~config ~jobs:2 defs system in
+      check_identical (name ^ " (jobs=4)") seq par4;
+      check_identical (name ^ " (jobs=2)") seq par2)
+    (reference_models ())
+
+let test_parallel_verdict_identical () =
+  List.iter
+    (fun (name, (defs, system), _) ->
+      let seq = Versa.Explorer.check_deadlock ~jobs:1 defs system in
+      let par = Versa.Explorer.check_deadlock ~jobs:4 defs system in
+      let describe (r : Versa.Explorer.result) =
+        match r.Versa.Explorer.verdict with
+        | Versa.Explorer.Deadlock_free -> "deadlock-free"
+        | Versa.Explorer.Deadlock { state; trace } ->
+            Fmt.str "deadlock at %d, trace length %d" state
+              (Versa.Trace.length trace)
+        | Versa.Explorer.Inconclusive why -> "inconclusive: " ^ why
+      in
+      Alcotest.(check string) (name ^ ": verdict") (describe seq) (describe par))
+    (reference_models ())
+
+(* {1 Hash-consed semantics vs the reference engine, on LTS states} *)
+
+let test_engines_agree_on_reachable_states () =
+  List.iter
+    (fun (name, (defs, system), config) ->
+      let lts = Versa.Lts.build ~config defs system in
+      let cache = Semantics.make_cache () in
+      for id = 0 to Versa.Lts.num_states lts - 1 do
+        let t = Versa.Lts.term lts id in
+        let reference = Semantics.prioritized defs t in
+        let hashconsed =
+          List.map
+            (fun (s, h) -> (s, Hproc.to_proc h))
+            (Semantics.h_prioritized ~cache defs (Hproc.of_proc t))
+        in
+        if reference <> hashconsed then
+          Alcotest.failf "%s: engines disagree on state %d" name id
+      done)
+    [ List.nth (reference_models ()) 0; List.nth (reference_models ()) 1 ]
+
+(* {1 Property-based tests} *)
+
+(* A generator covering every [Proc] constructor except [Call] (the terms
+   must stay closed under an empty environment): actions, events, choice,
+   parallel, restriction, closure, guards and temporal scopes. *)
+let gen_proc_full : Proc.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  sized_size (int_range 0 6)
+  @@ fix (fun self n ->
+         if n = 0 then return Proc.nil
+         else
+           frequency
+             [
+               (2, return Proc.nil);
+               ( 3,
+                 let* p = self (n - 1) in
+                 let* prio = int_range 0 2 in
+                 return (Proc.act (action [ (cpu, prio) ]) p) );
+               ( 2,
+                 let* p = self (n - 1) in
+                 return (Proc.act Action.idle p) );
+               ( 2,
+                 let* p = self (n - 1) in
+                 let* l = oneofl [ "a"; "b" ] in
+                 let* out = bool in
+                 return
+                   (if out then Proc.send (Label.make l) p
+                    else Proc.receive (Label.make l) p) );
+               ( 2,
+                 let* p = self (n / 2) in
+                 let* q = self (n / 2) in
+                 return (Proc.choice p q) );
+               ( 2,
+                 let* p = self (n / 2) in
+                 let* q = self (n / 2) in
+                 return (Proc.par p q) );
+               ( 1,
+                 let* p = self (n - 1) in
+                 let* l = oneofl [ "a"; "b" ] in
+                 return (Proc.restrict (Label.set_of_list [ Label.make l ]) p)
+               );
+               ( 1,
+                 let* p = self (n - 1) in
+                 return (Proc.close (Resource.set_of_list [ cpu ]) p) );
+               ( 1,
+                 (* [Proc.If] directly: the [if_] smart constructor folds
+                    constant guards away *)
+                 let* p = self (n - 1) in
+                 let* a = int_range 0 2 in
+                 let* b = int_range 0 2 in
+                 return (Proc.If (Guard.lt (e_int a) (e_int b), p)) );
+               ( 1,
+                 let* body = self (n / 2) in
+                 let* timeout = self (n / 3) in
+                 let* bound = int_range 0 3 in
+                 let* with_exc = bool in
+                 let* handler = self (n / 3) in
+                 let* with_interrupt = bool in
+                 let* intr = self (n / 3) in
+                 return
+                   (Proc.scope ~bound:(e_int bound)
+                      ?exc:
+                        (if with_exc then Some (Label.make "a", handler)
+                         else None)
+                      ?interrupt:(if with_interrupt then Some intr else None)
+                      ~timeout body) );
+             ])
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"to_proc (of_proc p) = p" ~count:500 gen_proc_full
+    (fun p -> Hproc.to_proc (Hproc.of_proc p) = p)
+
+let prop_interning =
+  QCheck2.Test.make ~name:"of_proc p == of_proc q iff p = q" ~count:500
+    QCheck2.Gen.(pair gen_proc_full gen_proc_full)
+    (fun (p, q) -> Hproc.equal (Hproc.of_proc p) (Hproc.of_proc q) = (p = q))
+
+let prop_hash_respects_equality =
+  QCheck2.Test.make ~name:"equal terms have equal memoized hashes" ~count:500
+    QCheck2.Gen.(pair gen_proc_full gen_proc_full)
+    (fun (p, q) ->
+      p <> q || Hproc.hash (Hproc.of_proc p) = Hproc.hash (Hproc.of_proc q))
+
+let prop_compare_structural_mirrors_stdlib =
+  QCheck2.Test.make
+    ~name:"compare_structural has the sign of Stdlib.compare" ~count:500
+    QCheck2.Gen.(pair gen_proc_full gen_proc_full)
+    (fun (p, q) ->
+      let sign c = Stdlib.compare c 0 in
+      sign (Hproc.compare_structural (Hproc.of_proc p) (Hproc.of_proc q))
+      = sign (Stdlib.compare p q))
+
+let prop_h_steps_agree =
+  QCheck2.Test.make ~name:"h_steps = steps (term for term)" ~count:300
+    gen_proc_full (fun p ->
+      Semantics.steps Defs.empty p
+      = List.map
+          (fun (s, h) -> (s, Hproc.to_proc h))
+          (Semantics.h_steps Defs.empty (Hproc.of_proc p)))
+
+let prop_h_prioritized_agree =
+  QCheck2.Test.make ~name:"h_prioritized = prioritized" ~count:300
+    gen_proc_full (fun p ->
+      Semantics.prioritized Defs.empty p
+      = List.map
+          (fun (s, h) -> (s, Hproc.to_proc h))
+          (Semantics.h_prioritized Defs.empty (Hproc.of_proc p)))
+
+let prop_parallel_build_agrees =
+  QCheck2.Test.make ~name:"build jobs=4 = build jobs=1" ~count:25
+    gen_proc_full (fun p ->
+      let l1 = Versa.Lts.build ~jobs:1 Defs.empty p in
+      let l4 = Versa.Lts.build ~jobs:4 Defs.empty p in
+      Versa.Lts.num_states l1 = Versa.Lts.num_states l4
+      && Versa.Lts.num_transitions l1 = Versa.Lts.num_transitions l4
+      && Versa.Lts.deadlocks l1 = Versa.Lts.deadlocks l4
+      && List.for_all
+           (fun id -> Versa.Lts.successors l1 id = Versa.Lts.successors l4 id)
+           (List.init (Versa.Lts.num_states l1) Fun.id))
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_roundtrip;
+      prop_interning;
+      prop_hash_respects_equality;
+      prop_compare_structural_mirrors_stdlib;
+      prop_h_steps_agree;
+      prop_h_prioritized_agree;
+      prop_parallel_build_agrees;
+    ]
+
+let () =
+  Alcotest.run "explore"
+    [
+      ( "parallel",
+        [
+          Alcotest.test_case "builds are identical" `Quick
+            test_parallel_build_identical;
+          Alcotest.test_case "verdicts are identical" `Quick
+            test_parallel_verdict_identical;
+        ] );
+      ( "engines",
+        [
+          Alcotest.test_case "agree on reachable states" `Quick
+            test_engines_agree_on_reachable_states;
+        ] );
+      ("properties", qcheck_cases);
+    ]
