@@ -4,7 +4,7 @@
 # ocamlformat are dev-time tools, not build dependencies — the gate
 # degrades gracefully where they are absent).
 
-.PHONY: all build test doc fmt-check check bench-explore clean
+.PHONY: all build test doc fmt-check check bench-explore bench-smoke clean
 
 all: build
 
@@ -28,11 +28,17 @@ fmt-check:
 	  echo "ocamlformat not installed; skipping format check"; \
 	fi
 
-check: build test doc fmt-check
+check: build test bench-smoke doc fmt-check
 
 # Regenerate the exploration-engine telemetry (BENCH_explore.json).
 bench-explore:
 	dune exec bench/main.exe -- explore
+
+# Fast engine-agreement gate: both exploration engines must report
+# identical verdicts, counts and failing scenarios (seconds, not
+# minutes — part of `make check`).
+bench-smoke:
+	dune exec bench/main.exe -- smoke
 
 clean:
 	dune clean

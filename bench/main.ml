@@ -22,6 +22,7 @@ let analyze_text ?protocol ?quantum ?(max_states = 2_000_000) text =
       max_states;
       all_violations = false;
       jobs = 1;
+      engine = Versa.Explorer.On_the_fly;
     }
   in
   Analysis.Schedulability.analyze ~options root
@@ -33,7 +34,7 @@ let verdict_string r =
   | Analysis.Schedulability.Inconclusive _ -> "inconclusive"
 
 let states_of r =
-  Versa.Lts.num_states r.Analysis.Schedulability.exploration.Versa.Explorer.lts
+  Versa.Explorer.num_states r.Analysis.Schedulability.exploration
 
 (* {1 F1: the cruise-control system of Fig. 1} *)
 
@@ -95,9 +96,10 @@ let exp_f5 () =
           ]
       in
       let r = analyze_text ~quantum:(Aadl.Time.of_ms 1) text in
-      let lts = r.Analysis.Schedulability.exploration.Versa.Explorer.lts in
-      Fmt.pr "            [1,%d]  %6d  %11d@." cmax (Versa.Lts.num_states lts)
-        (Versa.Lts.num_transitions lts))
+      let e = r.Analysis.Schedulability.exploration in
+      Fmt.pr "            [1,%d]  %6d  %11d@." cmax
+        (Versa.Explorer.num_states e)
+        (Versa.Explorer.num_transitions e))
     [ 1; 2; 3; 4; 5; 6 ]
 
 (* {1 E1: verdict agreement, exploration vs classical baselines} *)
@@ -250,7 +252,7 @@ let exp_e5 () =
         | Analysis.Latency.Latency_inconclusive _ -> "inconclusive"
       in
       Fmt.pr "%3d ms  %-8s  %6d@." bound_ms verdict
-        (Versa.Lts.num_states r.Analysis.Latency.exploration.Versa.Explorer.lts))
+        (Versa.Explorer.num_states r.Analysis.Latency.exploration))
     [ 100; 60; 40; 30; 20 ]
 
 (* {1 E6: state-space scaling (Section 7 motivation)} *)
@@ -263,16 +265,37 @@ let e6_model n =
            ~period_ms:(4 + (2 * i))
            ~cet_ms:1 ()))
 
+(* Unschedulable variant: the highest-rate thread has a nondeterministic
+   execution time in [1,3].  Worst-case branches starve t2 out of its
+   first deadline (a shallow deadlock), while best-case branches remain
+   schedulable and keep generating states — the shape where on-the-fly
+   early exit beats exhaustive exploration. *)
+let e6_unsched n =
+  Gen.periodic_system
+    (List.init n (fun i ->
+         if i = 0 then
+           {
+             Gen.name = "t1";
+             period_ms = 4;
+             cet_min_ms = 1;
+             cet_max_ms = 3;
+             deadline_ms = 4;
+           }
+         else
+           Gen.simple_spec
+             ~name:(Printf.sprintf "t%d" (i + 1))
+             ~period_ms:(4 + (2 * i))
+             ~cet_ms:1 ()))
+
 let exp_e6 () =
   hr "E6: state-space growth with the number of threads (Section 7)";
   Fmt.pr "threads  states  transitions  time@.";
   List.iter
     (fun n ->
       let r = analyze_text (e6_model n) in
-      let lts = r.Analysis.Schedulability.exploration.Versa.Explorer.lts in
-      Fmt.pr "%7d  %6d  %11d  %.3fs@." n (Versa.Lts.num_states lts)
-        (Versa.Lts.num_transitions lts)
-        r.Analysis.Schedulability.exploration.Versa.Explorer.elapsed)
+      let e = r.Analysis.Schedulability.exploration in
+      Fmt.pr "%7d  %6d  %11d  %.3fs@." n (Versa.Explorer.num_states e)
+        (Versa.Explorer.num_transitions e) e.Versa.Explorer.elapsed)
     [ 1; 2; 3; 4; 5; 6 ]
 
 (* {1 E7: queue sizes and overflow (Section 4.4)} *)
@@ -505,18 +528,32 @@ type engine_sample = {
 }
 
 let time_run f =
+  (* settle GC debt from previous runs so single-shot timings don't
+     charge one engine with another's garbage *)
+  Gc.full_major ();
   let t0 = Unix.gettimeofday () in
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
-let explore_model (name, text) =
+let translate_text text =
   let root = Aadl.Instantiate.of_string text in
   let tr = Translate.Pipeline.translate root in
-  let defs = tr.Translate.Pipeline.defs in
-  let system = tr.Translate.Pipeline.system in
+  (tr.Translate.Pipeline.defs, tr.Translate.Pipeline.system)
+
+let explore_model (name, text) =
+  let defs, system = translate_text text in
   let config =
-    { Versa.Lts.max_states = Some 2_000_000; stop_at_deadlock = false }
+    {
+      Versa.Lts.default_config with
+      max_states = Some 2_000_000;
+      stop_at_deadlock = false;
+    }
   in
+  (* Warm the global hash-cons table before timing: the first engine to
+     intern a model's terms would otherwise be charged the one-time
+     shard-resize cost of growing the shared table — a process-global
+     side effect, not an engine property. *)
+  ignore (Versa.Lts.check ~config defs system);
   let base_r, base_wall = time_run (fun () -> Baseline.explore defs system) in
   let base =
     {
@@ -529,6 +566,7 @@ let explore_model (name, text) =
     }
   in
   let run_jobs jobs =
+    Gc.full_major ();
     let lts = Versa.Lts.build ~config ~jobs defs system in
     let st = Versa.Lts.stats lts in
     {
@@ -540,10 +578,80 @@ let explore_model (name, text) =
       states_per_sec = Versa.Lts.states_per_sec st;
     }
   in
-  let samples = [ base; run_jobs 1; run_jobs 4 ] in
+  (* the on-the-fly checker, run exhaustively so its counts must coincide
+     with the graph builders' *)
+  let run_otf jobs =
+    Gc.full_major ();
+    let c = Versa.Lts.check ~config ~jobs defs system in
+    let st = Versa.Lts.check_stats c in
+    {
+      engine = Printf.sprintf "on_the_fly_jobs%d" jobs;
+      states = Versa.Lts.check_num_states c;
+      transitions = Versa.Lts.check_num_transitions c;
+      deadlocks = List.length (Versa.Lts.check_deadlocks c);
+      wall_s = st.Versa.Lts.wall_s;
+      states_per_sec = Versa.Lts.states_per_sec st;
+    }
+  in
+  let samples = [ base; run_jobs 1; run_jobs 4; run_otf 1 ] in
   let agree f = List.for_all (fun s -> f s = f base) samples in
   (name, samples, agree (fun s -> s.states) && agree (fun s -> s.transitions),
    agree (fun s -> s.deadlocks > 0))
+
+(* Early exit: the unschedulable variant of the largest model.  The full
+   graph is built exhaustively; the on-the-fly checker stops at the first
+   deadlock and must visit a strict fraction of the space while raising
+   the identical shortest failing scenario. *)
+type early_exit_sample = {
+  ee_full_states : int;
+  ee_full_wall : float;
+  ee_otf_states : int;
+  ee_otf_wall : float;
+  ee_fraction : float;
+  ee_traces_agree : bool;
+}
+
+let early_exit_model text =
+  let defs, system = translate_text text in
+  let full_cfg =
+    {
+      Versa.Lts.default_config with
+      max_states = Some 2_000_000;
+      stop_at_deadlock = false;
+    }
+  in
+  let full, ee_full_wall =
+    time_run (fun () -> Versa.Lts.build ~config:full_cfg defs system)
+  in
+  let otf, ee_otf_wall =
+    time_run (fun () ->
+        Versa.Lts.check
+          ~config:{ full_cfg with stop_at_deadlock = true }
+          defs system)
+  in
+  let ee_full_states = Versa.Lts.num_states full in
+  let ee_otf_states = Versa.Lts.check_num_states otf in
+  let steps_full =
+    match Versa.Lts.deadlocks full with
+    | [] -> None
+    | d :: _ -> Some (Versa.Trace.steps (Versa.Trace.to_deadlock full d))
+  in
+  let steps_otf =
+    match Versa.Lts.check_deadlocks otf with
+    | [] -> None
+    | d :: _ ->
+        Some
+          (Versa.Trace.steps
+             (Versa.Trace.of_path (Versa.Lts.check_path_to otf d)))
+  in
+  {
+    ee_full_states;
+    ee_full_wall;
+    ee_otf_states;
+    ee_otf_wall;
+    ee_fraction = float_of_int ee_otf_states /. float_of_int ee_full_states;
+    ee_traces_agree = steps_full <> None && steps_full = steps_otf;
+  }
 
 let explore_section ~json_path () =
   hr "EXPLORE: baseline (structural hashing) vs hash-consed engine";
@@ -555,6 +663,8 @@ let explore_section ~json_path () =
         ("avionics", Gen.avionics ());
       ]
   in
+  let ee_name = "e6_seven_threads_unsched" in
+  let ee = early_exit_model (e6_unsched 7) in
   Fmt.pr "%-16s %-20s %8s %11s %9s %12s@." "model" "engine" "states"
     "transitions" "wall (s)" "states/sec";
   List.iter
@@ -576,6 +686,11 @@ let explore_section ~json_path () =
         (per 2 /. per 0)
         counts_ok verdicts_ok)
     results;
+  Fmt.pr
+    "%s: full %d states (%.3fs) vs on-the-fly early exit %d states \
+     (%.3fs) — %.1f%% of the space visited; scenarios agree: %b@."
+    ee_name ee.ee_full_states ee.ee_full_wall ee.ee_otf_states ee.ee_otf_wall
+    (100. *. ee.ee_fraction) ee.ee_traces_agree;
   (* manual JSON — no JSON library in the dependency set *)
   let buf = Buffer.create 2048 in
   let pf fmt = Printf.bprintf buf fmt in
@@ -604,15 +719,98 @@ let explore_section ~json_path () =
       pf "      \"verdicts_agree\": %b\n" verdicts_ok;
       pf "    }%s\n" (if i < List.length results - 1 then "," else ""))
     results;
-  pf "  ]\n}\n";
+  pf "  ],\n";
+  pf "  \"early_exit\": {\n";
+  pf "    \"model\": %S,\n" ee_name;
+  pf "    \"full_states\": %d, \"full_wall_s\": %.6f,\n" ee.ee_full_states
+    ee.ee_full_wall;
+  pf "    \"on_the_fly_states\": %d, \"on_the_fly_wall_s\": %.6f,\n"
+    ee.ee_otf_states ee.ee_otf_wall;
+  pf "    \"visited_fraction\": %.4f,\n" ee.ee_fraction;
+  pf "    \"scenarios_agree\": %b\n" ee.ee_traces_agree;
+  pf "  }\n}\n";
   let oc = open_out json_path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> output_string oc (Buffer.contents buf));
   Fmt.pr "telemetry written to %s@." json_path
 
+(* {1 Smoke: fast engine-agreement gate (the [make bench-smoke] target)}
+
+   Runs in seconds, not minutes: both engines on a handful of small
+   schedulable and unschedulable models, with early exit on and off,
+   asserting identical verdicts, state/transition counts, deadlock ids
+   and failing-scenario steps.  Exits non-zero on any mismatch. *)
+
+let smoke () =
+  hr "SMOKE: full vs on-the-fly engine agreement";
+  let failures = ref 0 in
+  let models =
+    [
+      ("cruise", Gen.cruise_control ());
+      ("cruise_overloaded", Gen.cruise_control ~overload:true ());
+      ("crossover", Gen.periodic_system Gen.crossover_set);
+      ("e6_four_threads", e6_model 4);
+      ("e6_four_unsched", e6_unsched 4);
+    ]
+  in
+  List.iter
+    (fun (name, text) ->
+      let defs, system = translate_text text in
+      List.iter
+        (fun stop ->
+          let run engine =
+            Versa.Explorer.check_deadlock ~engine ~stop_at_deadlock:stop defs
+              system
+          in
+          let rf = run Versa.Explorer.Full in
+          let ro = run Versa.Explorer.On_the_fly in
+          let verdicts_agree =
+            match (rf.Versa.Explorer.verdict, ro.Versa.Explorer.verdict) with
+            | Versa.Explorer.Deadlock_free, Versa.Explorer.Deadlock_free ->
+                true
+            | Versa.Explorer.Deadlock a, Versa.Explorer.Deadlock b ->
+                a.state = b.state
+                && Versa.Trace.steps a.trace = Versa.Trace.steps b.trace
+            | Versa.Explorer.Inconclusive _, Versa.Explorer.Inconclusive _ ->
+                true
+            | _ -> false
+          in
+          let counts_agree =
+            Versa.Explorer.num_states rf = Versa.Explorer.num_states ro
+            && Versa.Explorer.num_transitions rf
+               = Versa.Explorer.num_transitions ro
+            && Versa.Explorer.deadlocks rf = Versa.Explorer.deadlocks ro
+          in
+          let ok = verdicts_agree && counts_agree in
+          if not ok then incr failures;
+          Fmt.pr "%-18s stop_at_deadlock=%-5b %s@." name stop
+            (if ok then "OK" else "MISMATCH"))
+        [ true; false ])
+    models;
+  (* parallelism must not change on-the-fly results either *)
+  let defs, system = translate_text (e6_model 4) in
+  let otf jobs =
+    Versa.Explorer.check_deadlock ~engine:Versa.Explorer.On_the_fly
+      ~stop_at_deadlock:false ~jobs defs system
+  in
+  let r1 = otf 1 and r4 = otf 4 in
+  let jobs_ok =
+    Versa.Explorer.num_states r1 = Versa.Explorer.num_states r4
+    && Versa.Explorer.deadlocks r1 = Versa.Explorer.deadlocks r4
+  in
+  if not jobs_ok then incr failures;
+  Fmt.pr "%-18s jobs1-vs-jobs4        %s@." "e6_four_threads"
+    (if jobs_ok then "OK" else "MISMATCH");
+  if !failures = 0 then Fmt.pr "smoke: all engines agree@."
+  else begin
+    Fmt.pr "smoke: %d mismatches@." !failures;
+    exit 1
+  end
+
 let () =
   match Array.to_list Sys.argv with
+  | _ :: "smoke" :: _ -> smoke ()
   | _ :: "explore" :: rest ->
       let json_path =
         match rest with p :: _ -> p | [] -> "BENCH_explore.json"

@@ -99,7 +99,32 @@ let stats_arg =
     & info [ "stats" ]
         ~doc:
           "Print exploration telemetry (states/sec, dedup hit-rate, peak \
-           frontier, per-phase wall time).")
+           frontier, per-phase wall time, state-store footprint, early-exit \
+           depth).")
+
+let engine_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "on-the-fly" | "otf" -> Ok Versa.Explorer.On_the_fly
+    | "full" -> Ok Versa.Explorer.Full
+    | other -> Error (`Msg (Fmt.str "unknown engine %S" other))
+  in
+  let print ppf = function
+    | Versa.Explorer.On_the_fly -> Fmt.string ppf "on-the-fly"
+    | Versa.Explorer.Full -> Fmt.string ppf "full"
+  in
+  Arg.conv (parse, print)
+
+let engine_arg =
+  Arg.(
+    value
+    & opt engine_conv Versa.Explorer.On_the_fly
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Exploration engine: $(b,on-the-fly) (default) detects deadlocks \
+           with a compact parent-pointer store and exits at the first \
+           violation; $(b,full) materializes the whole graph.  Verdicts and \
+           failing scenarios are identical.")
 
 let translation_options quantum protocol =
   {
@@ -240,8 +265,8 @@ let translate_cmd =
 
 (* {1 analyze} *)
 
-let run_analyze file root_name quantum protocol max_states jobs stats all
-    baselines =
+let run_analyze file root_name quantum protocol max_states jobs engine stats
+    all baselines =
   handle_errors @@ fun () ->
   let root = load_root file root_name in
   let options =
@@ -251,14 +276,14 @@ let run_analyze file root_name quantum protocol max_states jobs stats all
       max_states;
       all_violations = all;
       jobs;
+      engine;
     }
   in
   let result = Analysis.Schedulability.analyze ~options root in
   Fmt.pr "%a@." Analysis.Schedulability.pp result;
   if stats then
     Fmt.pr "@.== exploration stats ==@.%a@." Versa.Lts.pp_stats
-      (Versa.Lts.stats
-         result.Analysis.Schedulability.exploration.Versa.Explorer.lts);
+      (Versa.Explorer.stats result.Analysis.Schedulability.exploration);
   if baselines then begin
     Fmt.pr "@.== baselines ==@.";
     let wl = result.Analysis.Schedulability.translation.Translate.Pipeline.workload in
@@ -305,7 +330,8 @@ let analyze_cmd =
           detection.")
     Term.(
       const run_analyze $ file_arg $ root_arg $ quantum_arg $ protocol_arg
-      $ max_states_arg $ jobs_arg $ stats_arg $ all_arg $ baselines_arg)
+      $ max_states_arg $ jobs_arg $ engine_arg $ stats_arg $ all_arg
+      $ baselines_arg)
 
 (* {1 simulate} *)
 
@@ -467,8 +493,8 @@ let sensitivity_cmd =
 
 (* {1 report} *)
 
-let run_report file root_name quantum protocol max_states jobs with_responses
-    output =
+let run_report file root_name quantum protocol max_states jobs engine
+    with_responses output =
   handle_errors @@ fun () ->
   let root = load_root file root_name in
   let options =
@@ -480,6 +506,7 @@ let run_report file root_name quantum protocol max_states jobs with_responses
           max_states;
           all_violations = false;
           jobs;
+          engine;
         };
       with_responses;
       title = Some (Filename.basename file);
@@ -513,7 +540,8 @@ let report_cmd =
        ~doc:"Produce a self-contained markdown analysis report.")
     Term.(
       const run_report $ file_arg $ root_arg $ quantum_arg $ protocol_arg
-      $ max_states_arg $ jobs_arg $ with_responses_arg $ report_output_arg)
+      $ max_states_arg $ jobs_arg $ engine_arg $ with_responses_arg
+      $ report_output_arg)
 
 (* {1 acsr: analyze a textual ACSR model directly (VERSA-style)} *)
 
@@ -544,7 +572,11 @@ let run_acsr file entry dot unprioritized quotient max_states jobs stats =
         if unprioritized then Versa.Lts.Unprioritized else Versa.Lts.Prioritized
       in
       let config =
-        { Versa.Lts.max_states = Some max_states; stop_at_deadlock = false }
+        {
+          Versa.Lts.default_config with
+          max_states = Some max_states;
+          stop_at_deadlock = false;
+        }
       in
       let lts = Versa.Lts.build ~config ~semantics ~jobs defs root in
       Fmt.pr "%a@." Versa.Lts.pp_summary lts;

@@ -61,8 +61,7 @@ let () =
     (fun qs ->
       let r, ok = analyze ~slow_handler:true ~queue_size:qs ~overflow:"Error" () in
       let states =
-        Versa.Lts.num_states
-          r.Analysis.Schedulability.exploration.Versa.Explorer.lts
+        Versa.Explorer.num_states r.Analysis.Schedulability.exploration
       in
       Fmt.pr "queue=%d: %-24s (%d states explored)@." qs
         (if ok then "no overflow reachable" else "overflow reachable")

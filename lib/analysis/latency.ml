@@ -124,9 +124,13 @@ let check ?(options = default_options) ~(from_thread : string list)
       (Label.Set.of_list [ start_l; end_l ])
       (Proc.par tr.Translate.Pipeline.system (Proc.call observer_name []))
   in
+  (* Observer queries keep the [Full] engine: callers such as
+     [Response.worst_response] bisect over repeated explorations and may
+     inspect the graph, and latency verdicts are inherently
+     whole-space questions. *)
   let exploration =
-    Versa.Explorer.check_deadlock ~max_states:options.max_states
-      ~jobs:options.jobs defs system
+    Versa.Explorer.check_deadlock ~engine:Versa.Explorer.Full
+      ~max_states:options.max_states ~jobs:options.jobs defs system
   in
   let verdict =
     match exploration.Versa.Explorer.verdict with

@@ -79,8 +79,8 @@ let verdict ppf (result : Schedulability.t) =
   section ppf "Schedulability (ACSR exploration)";
   pf ppf "translation: %a@.@." Translate.Pipeline.pp_summary
     result.Schedulability.translation;
-  pf ppf "state space: %a in %.3fs@.@." Versa.Lts.pp_summary
-    result.Schedulability.exploration.Versa.Explorer.lts
+  pf ppf "state space: %a in %.3fs@.@." Versa.Explorer.pp_space
+    result.Schedulability.exploration.Versa.Explorer.space
     result.Schedulability.exploration.Versa.Explorer.elapsed;
   match result.Schedulability.verdict with
   | Schedulability.Schedulable ->

@@ -24,6 +24,10 @@ type options = {
   all_violations : bool;
       (** explore exhaustively instead of stopping at the first deadlock *)
   jobs : int;  (** domains for parallel successor computation *)
+  engine : Versa.Explorer.engine;
+      (** [On_the_fly] (the default) answers the yes/no question with the
+          compact early-exit engine; [Full] materializes the graph for
+          callers that walk it afterwards (latency queries, DOT export) *)
 }
 
 let default_options =
@@ -32,11 +36,13 @@ let default_options =
     max_states = 2_000_000;
     all_violations = false;
     jobs = 1;
+    engine = Versa.Explorer.On_the_fly;
   }
 
 let analyze_translation ~options (tr : Translate.Pipeline.t) : t =
   let exploration =
-    Versa.Explorer.check_deadlock ~max_states:options.max_states
+    Versa.Explorer.check_deadlock ~engine:options.engine
+      ~max_states:options.max_states
       ~stop_at_deadlock:(not options.all_violations)
       ~jobs:options.jobs tr.Translate.Pipeline.defs
       tr.Translate.Pipeline.system
@@ -68,14 +74,14 @@ let is_schedulable t =
   | Not_schedulable _ | Inconclusive _ -> false
 
 (* All deadline-violation scenarios of an exhaustive exploration, one per
-   deadlock state. *)
+   deadlock state.  Both engines retain enough to rebuild every shortest
+   counterexample path. *)
 let all_scenarios t =
-  let lts = t.exploration.Versa.Explorer.lts in
   List.map
     (fun state ->
       Raise_trace.raise_trace ~registry:t.translation.Translate.Pipeline.registry
-        (Versa.Trace.to_deadlock lts state))
-    (Versa.Lts.deadlocks lts)
+        (Versa.Explorer.trace_to t.exploration state))
+    (Versa.Explorer.deadlocks t.exploration)
 
 let pp_verdict ppf = function
   | Schedulable -> Fmt.string ppf "schedulable: all deadlines are met"
@@ -88,6 +94,6 @@ let pp_verdict ppf = function
 
 let pp ppf t =
   Fmt.pf ppf "@[<v>%a@,state space: %a (%.3fs)@,%a@]"
-    Translate.Pipeline.pp_summary t.translation Versa.Lts.pp_summary
-    t.exploration.Versa.Explorer.lts t.exploration.Versa.Explorer.elapsed
+    Translate.Pipeline.pp_summary t.translation Versa.Explorer.pp_space
+    t.exploration.Versa.Explorer.space t.exploration.Versa.Explorer.elapsed
     pp_verdict t.verdict

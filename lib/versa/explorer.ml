@@ -1,8 +1,19 @@
 (* The VERSA-style analysis entry point: explore the prioritized state space
    of a closed ACSR term and look for deadlocks.  A deadlock is reported
    with its shortest trace, which serves as the failing scenario raised back
-   to the AADL model by the analysis layer (paper, Section 5). *)
+   to the AADL model by the analysis layer (paper, Section 5).
 
+   Two engines produce the same verdicts and traces:
+   - [Full] materializes the whole graph ([Lts.build]) — needed when the
+     caller wants to walk it afterwards (DOT export, bisimulation,
+     observer/latency queries over successor rows);
+   - [On_the_fly] ([Lts.check]) keeps only a compact parent-pointer store
+     and, with [stop_at_deadlock], terminates at the first reachable
+     deadlock — the default for plain schedulability queries, where an
+     unschedulable model is decided in time proportional to the distance
+     to the first deadline miss. *)
+
+type engine = Full | On_the_fly
 
 type verdict =
   | Deadlock_free
@@ -13,7 +24,11 @@ type verdict =
   | Inconclusive of string
       (** exploration was truncated before finding a deadlock *)
 
-type result = { lts : Lts.t; verdict : verdict; elapsed : float }
+type space =
+  | Graph of Lts.t  (** full build: every state, row and parent *)
+  | Summary of Lts.check_result  (** on-the-fly: compact store only *)
+
+type result = { space : space; verdict : verdict; elapsed : float }
 
 let deadlock_verdict lts =
   match Lts.deadlocks lts with
@@ -25,18 +40,79 @@ let deadlock_verdict lts =
              (Lts.num_states lts))
       else Deadlock_free
 
-let check_deadlock ?(max_states = 2_000_000) ?(stop_at_deadlock = true)
-    ?(jobs = 1) defs root =
+let check_verdict c =
+  match Lts.check_deadlocks c with
+  | state :: _ ->
+      Deadlock { state; trace = Trace.of_path (Lts.check_path_to c state) }
+  | [] ->
+      if Lts.check_truncated c then
+        Inconclusive
+          (Fmt.str "state budget exhausted after %d states"
+             (Lts.check_num_states c))
+      else Deadlock_free
+
+let check_deadlock ?(engine = Full) ?(max_states = 2_000_000)
+    ?(stop_at_deadlock = true) ?(jobs = 1) defs root =
   let t0 = Unix.gettimeofday () in
-  let config = { Lts.max_states = Some max_states; stop_at_deadlock } in
-  let lts = Lts.build ~config ~semantics:Lts.Prioritized ~jobs defs root in
+  let config =
+    { Lts.default_config with max_states = Some max_states; stop_at_deadlock }
+  in
+  let space, verdict =
+    match engine with
+    | Full ->
+        let lts =
+          Lts.build ~config ~semantics:Lts.Prioritized ~jobs defs root
+        in
+        (Graph lts, deadlock_verdict lts)
+    | On_the_fly ->
+        let c = Lts.check ~config ~semantics:Lts.Prioritized ~jobs defs root in
+        (Summary c, check_verdict c)
+  in
   let elapsed = Unix.gettimeofday () -. t0 in
-  { lts; verdict = deadlock_verdict lts; elapsed }
+  { space; verdict; elapsed }
 
 let is_deadlock_free result =
   match result.verdict with
   | Deadlock_free -> true
   | Deadlock _ | Inconclusive _ -> false
+
+(* {1 Engine-independent accessors} *)
+
+let lts result = match result.space with Graph l -> Some l | Summary _ -> None
+
+let num_states r =
+  match r.space with
+  | Graph l -> Lts.num_states l
+  | Summary c -> Lts.check_num_states c
+
+let num_transitions r =
+  match r.space with
+  | Graph l -> Lts.num_transitions l
+  | Summary c -> Lts.check_num_transitions c
+
+let deadlocks r =
+  match r.space with
+  | Graph l -> Lts.deadlocks l
+  | Summary c -> Lts.check_deadlocks c
+
+let truncated r =
+  match r.space with
+  | Graph l -> Lts.truncated l
+  | Summary c -> Lts.check_truncated c
+
+let stats r =
+  match r.space with
+  | Graph l -> Lts.stats l
+  | Summary c -> Lts.check_stats c
+
+let trace_to r state =
+  match r.space with
+  | Graph l -> Trace.to_deadlock l state
+  | Summary c -> Trace.of_path (Lts.check_path_to c state)
+
+let pp_space ppf = function
+  | Graph l -> Lts.pp_summary ppf l
+  | Summary c -> Lts.pp_check_summary ppf c
 
 let pp_verdict ppf = function
   | Deadlock_free -> Fmt.string ppf "deadlock-free"
@@ -46,5 +122,5 @@ let pp_verdict ppf = function
   | Inconclusive reason -> Fmt.pf ppf "inconclusive: %s" reason
 
 let pp_result ppf r =
-  Fmt.pf ppf "@[<v>%a@,%a in %.3fs@]" Lts.pp_summary r.lts pp_verdict
-    r.verdict r.elapsed
+  Fmt.pf ppf "@[<v>%a@,%a in %.3fs@]" pp_space r.space pp_verdict r.verdict
+    r.elapsed

@@ -36,6 +36,9 @@ type stats = {
   intern_hits : int;  (** state interns that found an existing state *)
   intern_misses : int;  (** state interns that discovered a new state *)
   hashcons_nodes : int;  (** global hash-cons table size after the build *)
+  store_bytes : int;  (** estimated bytes retained by the state store *)
+  early_exit_depth : int option;
+      (** BFS depth of the deadlock that stopped an early-exit run *)
 }
 
 let states_per_sec s =
@@ -44,6 +47,10 @@ let states_per_sec s =
 let dedup_hit_rate s =
   let total = s.intern_hits + s.intern_misses in
   if total = 0 then 0. else float_of_int s.intern_hits /. float_of_int total
+
+let bytes_per_state s =
+  if s.num_states = 0 then 0.
+  else float_of_int s.store_bytes /. float_of_int s.num_states
 
 type t = {
   term_of : Hproc.t array;  (** state id -> term *)
@@ -89,14 +96,79 @@ type build_config = {
   max_states : int option;  (** stop after discovering this many states *)
   stop_at_deadlock : bool;
       (** stop expanding as soon as one deadlock has been discovered *)
+  parallel_cutover : int;
+      (** frontier width below which expansion stays sequential even when
+          [jobs > 1] *)
 }
 
-let default_config = { max_states = Some 2_000_000; stop_at_deadlock = false }
+let default_config =
+  { max_states = Some 2_000_000; stop_at_deadlock = false;
+    parallel_cutover = 512 }
 
 let step_function semantics cache defs =
   match semantics with
   | Prioritized -> Semantics.h_prioritized ~cache defs
   | Unprioritized -> Semantics.h_steps ~cache defs
+
+(* Adaptive chunk scheduler shared by [build] and [check].
+
+   Successor computation for a frontier chunk is per-state independent,
+   so it can fan out over a domain pool — but domains are only worth
+   paying for on wide frontiers: spawning them costs milliseconds and,
+   once they exist, every minor GC becomes a stop-the-world rendezvous
+   across all domains, which swamps the win on small models (the
+   `avionics` jobs4 regression in BENCH_explore.json).  So expansion
+   starts sequential and only hands a chunk to the pool once the
+   frontier is at least [cutover] states wide; the pool itself is
+   spawned lazily on first parallel chunk.  A run that never crosses the
+   cutover is instruction-for-instruction the sequential build.
+
+   Chunking never affects results: interning and every order-sensitive
+   decision happen in the sequential merge, in queue order, so verdicts,
+   ids and traces are bit-identical for every [jobs]/[cutover] value. *)
+module Expander = struct
+  type t = {
+    jobs : int;
+    cutover : int;
+    max_chunk : int;
+    mutable pool : Pool.t option;
+    mutable expand_s : float;
+  }
+
+  let create ~jobs ~cutover =
+    {
+      jobs;
+      cutover = max 1 cutover;
+      max_chunk = (if jobs > 1 then jobs * 32 else 1);
+      pool = None;
+      expand_s = 0.;
+    }
+
+  let chunk_size e ~frontier =
+    if e.jobs > 1 && frontier >= e.cutover then min e.max_chunk frontier
+    else 1
+
+  let run e n f =
+    let t0 = Unix.gettimeofday () in
+    (if e.jobs > 1 && n > 1 then begin
+       let pool =
+         match e.pool with
+         | Some p -> p
+         | None ->
+             let p = Pool.create (e.jobs - 1) in
+             e.pool <- Some p;
+             p
+       in
+       Pool.run pool n f
+     end
+     else
+       for i = 0 to n - 1 do
+         f i
+       done);
+    e.expand_s <- e.expand_s +. (Unix.gettimeofday () -. t0)
+
+  let shutdown e = Option.iter Pool.shutdown e.pool
+end
 
 (* Growable state table, keyed by the hash-cons id of the term. *)
 module Table = struct
@@ -161,7 +233,6 @@ let build ?(config = default_config) ?(semantics = Prioritized) ?(jobs = 1)
   let deadlock_found = ref false in
   let deadlock_ids_rev = ref [] in
   let transitions = ref 0 in
-  let expand_s = ref 0. in
   let peak_frontier = ref 0 in
   let root_id, _ = Table.intern table (Hproc.of_proc root) in
   ignore root_id;
@@ -170,24 +241,10 @@ let build ?(config = default_config) ?(semantics = Prioritized) ?(jobs = 1)
     | Some m -> table.Table.len >= m
     | None -> false
   in
-  let pool = if jobs > 1 then Some (Pool.create (jobs - 1)) else None in
-  (* Successor computation is per-state independent: fan a chunk out over
-     the pool (dynamic scheduling; the hash-cons intern table and the
-     unfolding cache are domain-safe).  With [jobs = 1] the chunk size is 1
-     and this is exactly the classic sequential BFS loop. *)
-  let chunk_size = if jobs = 1 then 1 else jobs * 32 in
-  let succs = Array.make chunk_size [] in
-  let compute_chunk head n =
-    let f i = succs.(i) <- next (Table.get table (head + i)).Table.tm in
-    match pool with
-    | None ->
-        for i = 0 to n - 1 do
-          f i
-        done
-    | Some p -> Pool.run p n f
-  in
+  let ex = Expander.create ~jobs ~cutover:config.parallel_cutover in
+  let succs = Array.make (max 1 ex.Expander.max_chunk) [] in
   Fun.protect
-    ~finally:(fun () -> Option.iter Pool.shutdown pool)
+    ~finally:(fun () -> Expander.shutdown ex)
     (fun () ->
       (* The BFS queue is implicit: state ids are assigned in discovery
          order, so the queue contents are exactly the ids [head .. len). *)
@@ -196,11 +253,10 @@ let build ?(config = default_config) ?(semantics = Prioritized) ?(jobs = 1)
       while (not !stop) && !head < table.Table.len do
         let frontier = table.Table.len - !head in
         if frontier > !peak_frontier then peak_frontier := frontier;
-        let n = min chunk_size frontier in
-        let t0 = Unix.gettimeofday () in
-        compute_chunk !head n;
-        let t1 = Unix.gettimeofday () in
-        expand_s := !expand_s +. (t1 -. t0);
+        let n = Expander.chunk_size ex ~frontier in
+        let base = !head in
+        Expander.run ex n (fun i ->
+            succs.(i) <- next (Table.get table (base + i)).Table.tm);
         (* Sequential merge, in queue order: interning, parent/depth
            assignment and the truncation checks are order-sensitive and
            replicate the sequential exploration exactly. *)
@@ -249,8 +305,8 @@ let build ?(config = default_config) ?(semantics = Prioritized) ?(jobs = 1)
     {
       jobs;
       wall_s;
-      expand_s = !expand_s;
-      merge_s = wall_s -. !expand_s;
+      expand_s = ex.Expander.expand_s;
+      merge_s = wall_s -. ex.Expander.expand_s;
       num_states = n;
       num_transitions = !transitions;
       num_deadlocks = List.length !deadlock_ids_rev;
@@ -259,6 +315,15 @@ let build ?(config = default_config) ?(semantics = Prioritized) ?(jobs = 1)
       intern_hits = table.Table.hits;
       intern_misses = table.Table.misses;
       hashcons_nodes = Hproc.table_size ();
+      (* per state: entry record + entries/term_of/edges/expanded/parent/
+         depth array slots + hashtable binding + parent option box; per
+         transition: a (step, id) tuple in a row.  An estimate, counted
+         in words. *)
+      store_bytes = 8 * ((21 * n) + (3 * !transitions));
+      early_exit_depth =
+        (match (config.stop_at_deadlock, List.rev !deadlock_ids_rev) with
+        | true, d :: _ -> Some (entry d).Table.dep
+        | _ -> None);
     }
   in
   {
@@ -274,13 +339,220 @@ let build ?(config = default_config) ?(semantics = Prioritized) ?(jobs = 1)
     stats;
   }
 
+(* {1 On-the-fly checking}
+
+   The paper reduces schedulability to reachability of a deadlocked
+   state, so for an unschedulable model nothing past the first deadlock
+   is ever needed — and even for exhaustive sweeps, the successor rows
+   are only needed transiently.  [check] explores the same prioritized
+   transition system as [build], in the same order, but stores per state
+   only the hash-consed term (one pointer into the global intern table),
+   the BFS parent id and the arriving step — enough to rebuild the
+   shortest counterexample path — in flat growable arrays.  No successor
+   rows, no expansion flags, no per-state records. *)
+
+module Store = struct
+  type t = {
+    ids : (int, state_id) Hashtbl.t;  (* Hproc id -> state id *)
+    mutable terms : Hproc.t array;
+    mutable pred : int array;  (* BFS parent; -1 for the root *)
+    mutable steps : Step.t array;  (* step from pred; slot 0 is a dummy *)
+    mutable len : int;
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  let dummy_step = Step.Tau (None, 0)
+
+  let create () =
+    {
+      ids = Hashtbl.create 4096;
+      terms = Array.make 1024 Hproc.nil;
+      pred = Array.make 1024 (-1);
+      steps = Array.make 1024 dummy_step;
+      len = 0;
+      hits = 0;
+      misses = 0;
+    }
+
+  let grow st =
+    let n = Array.length st.terms in
+    let copy dummy src =
+      let bigger = Array.make (2 * n) dummy in
+      Array.blit src 0 bigger 0 n;
+      bigger
+    in
+    st.terms <- copy Hproc.nil st.terms;
+    st.pred <- copy (-1) st.pred;
+    st.steps <- copy dummy_step st.steps
+
+  (* Intern a successor; parent/step are recorded only on first
+     discovery, so the parent pointers always form the BFS tree. *)
+  let intern st term ~pred ~step =
+    match Hashtbl.find_opt st.ids (Hproc.id term) with
+    | Some id ->
+        st.hits <- st.hits + 1;
+        id
+    | None ->
+        st.misses <- st.misses + 1;
+        if st.len = Array.length st.terms then grow st;
+        let id = st.len in
+        st.terms.(id) <- term;
+        st.pred.(id) <- pred;
+        st.steps.(id) <- step;
+        Hashtbl.add st.ids (Hproc.id term) id;
+        st.len <- st.len + 1;
+        id
+end
+
+type check_result = {
+  c_store : Store.t;
+  c_truncated : bool;
+  c_deadlocks : state_id list;  (* discovery order *)
+  c_transitions : int;
+  c_semantics : semantics;
+  c_stats : stats;
+}
+
+let check_num_states c = c.c_store.Store.len
+let check_num_transitions c = c.c_transitions
+let check_truncated c = c.c_truncated
+let check_deadlocks c = c.c_deadlocks
+let check_semantics c = c.c_semantics
+let check_stats c = c.c_stats
+let check_term c id = Hproc.to_proc c.c_store.Store.terms.(id)
+
+let check_path_to c id =
+  let st = c.c_store in
+  let rec up id acc =
+    let p = st.Store.pred.(id) in
+    if p < 0 then acc else up p ((st.Store.steps.(id), id) :: acc)
+  in
+  up id []
+
+let check ?(config = default_config) ?(semantics = Prioritized) ?(jobs = 1)
+    defs root =
+  let jobs = max 1 jobs in
+  let t_start = Unix.gettimeofday () in
+  let cache = Semantics.make_cache () in
+  let next = step_function semantics cache defs in
+  let store = Store.create () in
+  let truncated = ref false in
+  let deadlock_found = ref false in
+  let deadlock_ids_rev = ref [] in
+  let transitions = ref 0 in
+  let peak_frontier = ref 0 in
+  ignore
+    (Store.intern store (Hproc.of_proc root) ~pred:(-1)
+       ~step:Store.dummy_step);
+  let over_budget () =
+    match config.max_states with
+    | Some m -> store.Store.len >= m
+    | None -> false
+  in
+  let ex = Expander.create ~jobs ~cutover:config.parallel_cutover in
+  let succs = Array.make (max 1 ex.Expander.max_chunk) [] in
+  (* BFS levels are contiguous id ranges (ids are assigned in discovery
+     order), so depth tracking needs two counters, not an array: when the
+     merge crosses [level_end], every state of the current depth has been
+     expanded and the states discovered so far are exactly the next
+     level. *)
+  let depth = ref 0 in
+  let level_end = ref 1 in
+  let early_exit_depth = ref None in
+  Fun.protect
+    ~finally:(fun () -> Expander.shutdown ex)
+    (fun () ->
+      let head = ref 0 in
+      let stop = ref false in
+      while (not !stop) && !head < store.Store.len do
+        let frontier = store.Store.len - !head in
+        if frontier > !peak_frontier then peak_frontier := frontier;
+        let n = Expander.chunk_size ex ~frontier in
+        let base = !head in
+        Expander.run ex n (fun i -> succs.(i) <- next store.Store.terms.(base + i));
+        (* Sequential merge, in queue order — the same decisions in the
+           same order as [build], so visited-state counts, deadlock ids
+           and parent pointers coincide exactly with a [build] under the
+           same config (asserted by the test suite). *)
+        let i = ref 0 in
+        while (not !stop) && !i < n do
+          if (config.stop_at_deadlock && !deadlock_found) || over_budget ()
+          then begin
+            truncated := true;
+            stop := true
+          end
+          else begin
+            let id = !head + !i in
+            if id >= !level_end then begin
+              incr depth;
+              level_end := store.Store.len
+            end;
+            let s = succs.(!i) in
+            if s = [] then begin
+              deadlock_found := true;
+              deadlock_ids_rev := id :: !deadlock_ids_rev;
+              if config.stop_at_deadlock && !early_exit_depth = None then
+                early_exit_depth := Some !depth
+            end;
+            List.iter
+              (fun (step, term') ->
+                ignore (Store.intern store term' ~pred:id ~step);
+                incr transitions)
+              s;
+            incr i
+          end
+        done;
+        head := !head + !i
+      done);
+  let n = store.Store.len in
+  let wall_s = Unix.gettimeofday () -. t_start in
+  let stats =
+    {
+      jobs;
+      wall_s;
+      expand_s = ex.Expander.expand_s;
+      merge_s = wall_s -. ex.Expander.expand_s;
+      num_states = n;
+      num_transitions = !transitions;
+      num_deadlocks = List.length !deadlock_ids_rev;
+      peak_frontier = !peak_frontier;
+      depth_levels = !depth + 1;
+      intern_hits = store.Store.hits;
+      intern_misses = store.Store.misses;
+      hashcons_nodes = Hproc.table_size ();
+      (* per state: term pointer + pred int + step pointer array slots,
+         plus a hashtable binding.  An estimate, counted in words. *)
+      store_bytes = 8 * 7 * n;
+      early_exit_depth = !early_exit_depth;
+    }
+  in
+  {
+    c_store = store;
+    c_truncated = !truncated;
+    c_deadlocks = List.rev !deadlock_ids_rev;
+    c_transitions = !transitions;
+    c_semantics = semantics;
+    c_stats = stats;
+  }
+
+let pp_semantics ppf = function
+  | Prioritized -> Fmt.string ppf "prioritized"
+  | Unprioritized -> Fmt.string ppf "unprioritized"
+
+let pp_check_summary ppf c =
+  Fmt.pf ppf "%d states, %d transitions%s (%a semantics, on-the-fly)"
+    (check_num_states c) (check_num_transitions c)
+    (if c.c_truncated then
+       if c.c_deadlocks <> [] then " [early exit]" else " [truncated]"
+     else "")
+    pp_semantics c.c_semantics
+
 let pp_summary ppf lts =
-  Fmt.pf ppf "%d states, %d transitions%s (%s semantics)" (num_states lts)
+  Fmt.pf ppf "%d states, %d transitions%s (%a semantics)" (num_states lts)
     (num_transitions lts)
     (if lts.truncated then " [truncated]" else "")
-    (match lts.semantics with
-    | Prioritized -> "prioritized"
-    | Unprioritized -> "unprioritized")
+    pp_semantics lts.semantics
 
 let pp_stats ppf s =
   Fmt.pf ppf
@@ -289,9 +561,13 @@ let pp_stats ppf s =
      phases: expand %.3fs, merge %.3fs@,\
      frontier peak %d, BFS levels %d@,\
      state dedup: %d hits / %d misses (%.1f%% hit-rate)@,\
-     hash-cons table: %d nodes@]"
+     state store: ~%d KiB (~%.0f bytes/state)@,\
+     hash-cons table: %d nodes%a@]"
     s.num_states s.num_transitions s.num_deadlocks s.wall_s
     (states_per_sec s) s.jobs s.expand_s s.merge_s s.peak_frontier
     s.depth_levels s.intern_hits s.intern_misses
     (100. *. dedup_hit_rate s)
-    s.hashcons_nodes
+    (s.store_bytes / 1024) (bytes_per_state s) s.hashcons_nodes
+    Fmt.(
+      option (fun ppf d -> pf ppf "@,early exit at BFS depth %d" d))
+    s.early_exit_depth

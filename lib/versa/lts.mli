@@ -36,6 +36,15 @@ type stats = {
   intern_hits : int;  (** successor interns that found an existing state *)
   intern_misses : int;  (** interns that discovered a new state *)
   hashcons_nodes : int;  (** global hash-cons table size after the build *)
+  store_bytes : int;
+      (** estimated bytes retained by the state store (successor rows and
+          bookkeeping for {!build}; flat id/parent/step arrays for
+          {!check}) — the figure behind the compact engine's
+          bytes-per-state win *)
+  early_exit_depth : int option;
+      (** BFS depth of the first deadlock when [stop_at_deadlock] fired:
+          the distance to the first deadline miss, which bounds the work
+          of an early-exit run *)
 }
 
 val stats : t -> stats
@@ -47,6 +56,9 @@ val dedup_hit_rate : stats -> float
 (** Fraction of successor interns that deduplicated into an existing
     state, in [0,1].  High values mean the state graph re-converges often
     (typical of periodic workloads). *)
+
+val bytes_per_state : stats -> float
+(** [store_bytes / num_states]. *)
 
 val pp_stats : stats Fmt.t
 
@@ -91,10 +103,16 @@ type build_config = {
   max_states : int option;  (** stop after discovering this many states *)
   stop_at_deadlock : bool;
       (** stop expanding as soon as one deadlock has been discovered *)
+  parallel_cutover : int;
+      (** frontier width below which successor expansion stays sequential
+          even when [jobs > 1]; the domain pool is spawned lazily on the
+          first chunk that crosses it.  Small state spaces never pay the
+          domain spawn + cross-domain GC cost this way, and a run that
+          never crosses the cutover is exactly the sequential build. *)
 }
 
 val default_config : build_config
-(** 2M states, explore exhaustively. *)
+(** 2M states, explore exhaustively, cutover at a 512-state frontier. *)
 
 val build :
   ?config:build_config ->
@@ -106,12 +124,69 @@ val build :
 (** Explore the state space of a closed term breadth-first.  [semantics]
     defaults to [Prioritized].
 
-    [jobs] (default 1) sets the number of domains computing successor
-    sets.  Parallelism only affects throughput, never results: interning,
-    parent assignment, truncation and budget checks run sequentially in
-    queue order, so state ids, parents, depths, successor rows, verdicts
-    and shortest traces are identical for every [jobs] value (asserted by
-    the test suite). *)
+    [jobs] (default 1) caps the number of domains computing successor
+    sets; domains are only engaged on frontiers at least
+    [config.parallel_cutover] states wide.  Parallelism only affects
+    throughput, never results: interning, parent assignment, truncation
+    and budget checks run sequentially in queue order, so state ids,
+    parents, depths, successor rows, verdicts and shortest traces are
+    identical for every [jobs] value (asserted by the test suite). *)
 
 val pp_summary : t Fmt.t
 (** One-line summary: state/transition counts, truncation, semantics. *)
+
+(** {1 On-the-fly checking}
+
+    Deadlock detection without materializing the graph: {!check} walks
+    the same transition system in the same BFS order as {!build} but
+    retains, per state, only the hash-consed term pointer, the BFS parent
+    id and the arriving step, in flat growable arrays — no successor
+    rows, no per-state records.  With [stop_at_deadlock] it answers
+    unschedulable-model queries in time (and memory) proportional to the
+    distance to the first deadline miss rather than to the whole state
+    space; run to exhaustion it yields the same verdict, deadlock ids and
+    shortest counterexample paths as a full build (asserted by the test
+    suite and the [bench-smoke] gate). *)
+
+type check_result
+(** Outcome of an on-the-fly exploration: verdict data plus the compact
+    parent-pointer store, sufficient to rebuild counterexample paths. *)
+
+val check :
+  ?config:build_config ->
+  ?semantics:semantics ->
+  ?jobs:int ->
+  Defs.t ->
+  Proc.t ->
+  check_result
+(** Same exploration order, budgets and parallelism contract as
+    {!build}; visited-state counts, deadlock ids and shortest paths
+    coincide exactly with a [build] under the same [config]. *)
+
+val check_num_states : check_result -> int
+(** States visited (discovered); for an early-exit run this is the
+    explored prefix, not the full space. *)
+
+val check_num_transitions : check_result -> int
+
+val check_truncated : check_result -> bool
+(** Exploration stopped early (budget or [stop_at_deadlock]). *)
+
+val check_deadlocks : check_result -> state_id list
+(** Deadlocks among the visited states, in discovery order.  Complete
+    exactly when [not (check_truncated c)]. *)
+
+val check_semantics : check_result -> semantics
+val check_stats : check_result -> stats
+
+val check_path_to : check_result -> state_id -> (Step.t * state_id) list
+(** BFS-shortest path from the initial state, rebuilt from the parent
+    pointers; same shape as {!path_to}. *)
+
+val check_term : check_result -> state_id -> Proc.t
+(** The process term of a visited state. *)
+
+val pp_check_summary : check_result Fmt.t
+(** One-line summary, matching {!pp_summary}'s format plus an
+    [on-the-fly] marker (and [early exit] when a deadlock stopped the
+    run). *)

@@ -10,18 +10,22 @@ open Acsr
 
 type entry = { step : Step.t; state : Lts.state_id }
 
-type t = { lts : Lts.t; entries : entry list }
+type t = { entries : entry list }
 
-let of_path lts path =
-  { lts; entries = List.map (fun (step, state) -> { step; state }) path }
+(* A trace is just the path data: it does not retain the LTS it was
+   extracted from, so the on-the-fly checker ([Lts.check]) can produce
+   traces from its compact parent-pointer store without ever
+   materializing a graph. *)
+let of_path path =
+  { entries = List.map (fun (step, state) -> { step; state }) path }
 
-let to_deadlock lts state = of_path lts (Lts.path_to lts state)
+let to_deadlock lts state = of_path (Lts.path_to lts state)
 
 let steps t = List.map (fun e -> e.step) t.entries
 let length t = List.length t.entries
 let final_state t =
   match List.rev t.entries with
-  | [] -> Lts.initial t.lts
+  | [] -> 0 (* the initial state is always id 0 *)
   | last :: _ -> last.state
 
 let duration t =

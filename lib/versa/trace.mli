@@ -6,11 +6,15 @@ type entry = { step : Step.t; state : Lts.state_id }
 (** One transition of the execution: the step taken and the state it
     reached. *)
 
-type t = { lts : Lts.t; entries : entry list }
-(** An execution of [lts] starting at its initial state. *)
+type t = { entries : entry list }
+(** An execution starting at the initial state (id 0).  Traces carry the
+    path only — not the LTS it came from — so both the full builder
+    ({!Lts.build}) and the on-the-fly checker ({!Lts.check}) produce
+    them. *)
 
-val of_path : Lts.t -> (Step.t * Lts.state_id) list -> t
-(** Wrap a path (as returned by {!Lts.path_to}) as a trace. *)
+val of_path : (Step.t * Lts.state_id) list -> t
+(** Wrap a path (as returned by {!Lts.path_to} or {!Lts.check_path_to})
+    as a trace. *)
 
 val to_deadlock : Lts.t -> Lts.state_id -> t
 (** Shortest trace from the initial state to the given state. *)

@@ -37,6 +37,14 @@ A schedulable two-task model under rate-monotonic priorities:
 
   $ aadl_sched analyze light.aadl | sed 's/([0-9.]*s)/(TIME)/'
   2 thread processes, 2 dispatchers, 0 queues, 0 stimuli; 12 definitions; quantum 1 ms
+  state space: 27 states, 30 transitions (prioritized semantics, on-the-fly) (TIME)
+  schedulable: all deadlines are met
+
+The full engine materializes the graph and reports the same verdict and
+counts:
+
+  $ aadl_sched analyze light.aadl --engine full | sed 's/([0-9.]*s)/(TIME)/'
+  2 thread processes, 2 dispatchers, 0 queues, 0 stimuli; 12 definitions; quantum 1 ms
   state space: 27 states, 30 transitions (prioritized semantics) (TIME)
   schedulable: all deadlines are met
 
@@ -54,7 +62,7 @@ terms; EDF schedules the same set.
 
   $ aadl_sched analyze crossover.aadl | sed 's/([0-9.]*s)/(TIME)/'
   2 thread processes, 2 dispatchers, 0 queues, 0 stimuli; 12 definitions; quantum 1 ms
-  state space: 14 states, 14 transitions (prioritized semantics) (TIME)
+  state space: 14 states, 14 transitions (prioritized semantics, on-the-fly) (TIME)
   NOT schedulable: timing violation at t=7; failing scenario:
   t=0   dispatch a; dispatch b; run on cpu1
   t=1    run on cpu1

@@ -48,10 +48,26 @@ let tr_of text =
 
 let reference_models () =
   let exhaustive =
-    { Versa.Lts.max_states = Some 100_000; stop_at_deadlock = false }
+    {
+      Versa.Lts.default_config with
+      max_states = Some 100_000;
+      stop_at_deadlock = false;
+    }
   in
-  let stop = { Versa.Lts.max_states = Some 100_000; stop_at_deadlock = true } in
-  let tiny = { Versa.Lts.max_states = Some 40; stop_at_deadlock = false } in
+  let stop =
+    {
+      Versa.Lts.default_config with
+      max_states = Some 100_000;
+      stop_at_deadlock = true;
+    }
+  in
+  let tiny =
+    {
+      Versa.Lts.default_config with
+      max_states = Some 40;
+      stop_at_deadlock = false;
+    }
+  in
   let cruise = tr_of (Gen.cruise_control ()) in
   let overload = tr_of (Gen.cruise_control ~overload:true ()) in
   let crossover = tr_of (Gen.periodic_system Gen.crossover_set) in
@@ -110,6 +126,136 @@ let test_engines_agree_on_reachable_states () =
           Alcotest.failf "%s: engines disagree on state %d" name id
       done)
     [ List.nth (reference_models ()) 0; List.nth (reference_models ()) 1 ]
+
+(* {1 On-the-fly checker vs the full builder}
+
+   [Lts.check] must agree with [Lts.build] under the same config on
+   everything both can answer: visited-state and transition counts,
+   truncation, deadlock ids and shortest counterexample paths. *)
+
+let check_otf_matches_build name (lts : Versa.Lts.t)
+    (c : Versa.Lts.check_result) =
+  Alcotest.(check int)
+    (name ^ ": states") (Versa.Lts.num_states lts)
+    (Versa.Lts.check_num_states c);
+  Alcotest.(check int)
+    (name ^ ": transitions")
+    (Versa.Lts.num_transitions lts)
+    (Versa.Lts.check_num_transitions c);
+  Alcotest.(check bool)
+    (name ^ ": truncated") (Versa.Lts.truncated lts)
+    (Versa.Lts.check_truncated c);
+  Alcotest.(check (list int))
+    (name ^ ": deadlocks") (Versa.Lts.deadlocks lts)
+    (Versa.Lts.check_deadlocks c);
+  List.iter
+    (fun d ->
+      if Versa.Lts.path_to lts d <> Versa.Lts.check_path_to c d then
+        Alcotest.failf "%s: shortest path to deadlock %d differs" name d)
+    (Versa.Lts.deadlocks lts);
+  for id = 0 to min 20 (Versa.Lts.num_states lts - 1) do
+    if Versa.Lts.term lts id <> Versa.Lts.check_term c id then
+      Alcotest.failf "%s: term of state %d differs" name id
+  done
+
+let test_check_matches_build () =
+  List.iter
+    (fun (name, (defs, system), config) ->
+      let lts = Versa.Lts.build ~config defs system in
+      let c = Versa.Lts.check ~config defs system in
+      check_otf_matches_build name lts c)
+    (reference_models ())
+
+(* A cutover of 1 forces every multi-state frontier through the domain
+   pool, exercising the parallel path even on small models. *)
+let test_check_parallel_identical () =
+  List.iter
+    (fun (name, (defs, system), config) ->
+      let eager = { config with Versa.Lts.parallel_cutover = 1 } in
+      let seq = Versa.Lts.check ~config ~jobs:1 defs system in
+      let par = Versa.Lts.check ~config:eager ~jobs:4 defs system in
+      Alcotest.(check int)
+        (name ^ ": states")
+        (Versa.Lts.check_num_states seq)
+        (Versa.Lts.check_num_states par);
+      Alcotest.(check (list int))
+        (name ^ ": deadlocks")
+        (Versa.Lts.check_deadlocks seq)
+        (Versa.Lts.check_deadlocks par);
+      List.iter
+        (fun d ->
+          if Versa.Lts.check_path_to seq d <> Versa.Lts.check_path_to par d
+          then Alcotest.failf "%s: path to deadlock %d differs" name d)
+        (Versa.Lts.check_deadlocks seq))
+    (reference_models ())
+
+(* {1 Engine agreement on every example AADL model}
+
+   Both engines must report the same verdict, the same raised AADL
+   scenario and — explored exhaustively — the same deadlock count, on
+   every model shipped in examples/models. *)
+
+let example_models_dir () =
+  List.find_opt Sys.file_exists
+    [ "../examples/models"; "examples/models" ]
+
+let analyze_with engine ~all root =
+  Analysis.Schedulability.analyze
+    ~options:
+      {
+        Analysis.Schedulability.default_options with
+        max_states = 300_000;
+        all_violations = all;
+        engine;
+      }
+    root
+
+let test_example_models_agree () =
+  match example_models_dir () with
+  | None -> Alcotest.fail "examples/models not found (missing dune deps?)"
+  | Some dir ->
+      let models =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".aadl")
+        |> List.sort compare
+      in
+      Alcotest.(check bool) "found example models" true (models <> []);
+      List.iter
+        (fun file ->
+          let contents =
+            let ic = open_in_bin (Filename.concat dir file) in
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          in
+          let root = Aadl.Instantiate.of_string contents in
+          let full = analyze_with Versa.Explorer.Full ~all:false root in
+          let otf = analyze_with Versa.Explorer.On_the_fly ~all:false root in
+          let describe (r : Analysis.Schedulability.t) =
+            match r.Analysis.Schedulability.verdict with
+            | Analysis.Schedulability.Schedulable -> "schedulable"
+            | Analysis.Schedulability.Not_schedulable { scenario; trace } ->
+                Fmt.str "NOT schedulable at t=%d: %a (steps %a)"
+                  scenario.Analysis.Raise_trace.violation_time
+                  Analysis.Raise_trace.pp scenario
+                  Fmt.(list ~sep:semi Acsr.Step.pp)
+                  (Versa.Trace.steps trace)
+            | Analysis.Schedulability.Inconclusive why -> "inconclusive: " ^ why
+          in
+          Alcotest.(check string)
+            (file ^ ": verdict and scenario") (describe full) (describe otf);
+          (* exhaustively: same number of violation states *)
+          let full_x = analyze_with Versa.Explorer.Full ~all:true root in
+          let otf_x = analyze_with Versa.Explorer.On_the_fly ~all:true root in
+          Alcotest.(check (list int))
+            (file ^ ": deadlock ids (exhaustive)")
+            (Versa.Explorer.deadlocks full_x.Analysis.Schedulability.exploration)
+            (Versa.Explorer.deadlocks otf_x.Analysis.Schedulability.exploration);
+          Alcotest.(check int)
+            (file ^ ": states (exhaustive)")
+            (Versa.Explorer.num_states full_x.Analysis.Schedulability.exploration)
+            (Versa.Explorer.num_states otf_x.Analysis.Schedulability.exploration))
+        models
 
 (* {1 Property-based tests} *)
 
@@ -219,6 +365,35 @@ let prop_h_prioritized_agree =
           (fun (s, h) -> (s, Hproc.to_proc h))
           (Semantics.h_prioritized Defs.empty (Hproc.of_proc p)))
 
+let prop_check_agrees_with_build =
+  QCheck2.Test.make ~name:"check = build on random terms" ~count:50
+    gen_proc_full (fun p ->
+      let lts = Versa.Lts.build Defs.empty p in
+      let c = Versa.Lts.check Defs.empty p in
+      Versa.Lts.num_states lts = Versa.Lts.check_num_states c
+      && Versa.Lts.num_transitions lts = Versa.Lts.check_num_transitions c
+      && Versa.Lts.deadlocks lts = Versa.Lts.check_deadlocks c
+      && List.for_all
+           (fun d -> Versa.Lts.path_to lts d = Versa.Lts.check_path_to c d)
+           (Versa.Lts.deadlocks lts))
+
+let prop_check_early_exit_sound =
+  (* with [stop_at_deadlock] the checker may stop early, but any deadlock
+     it reports must be the first one of the exhaustive exploration *)
+  QCheck2.Test.make ~name:"early-exit deadlock = first exhaustive deadlock"
+    ~count:50 gen_proc_full (fun p ->
+      let stop =
+        { Versa.Lts.default_config with stop_at_deadlock = true }
+      in
+      let c = Versa.Lts.check ~config:stop Defs.empty p in
+      let lts = Versa.Lts.build Defs.empty p in
+      match (Versa.Lts.check_deadlocks c, Versa.Lts.deadlocks lts) with
+      | [], [] -> true
+      | d :: _, d' :: _ ->
+          d = d'
+          && Versa.Lts.check_path_to c d = Versa.Lts.path_to lts d'
+      | [], _ :: _ | _ :: _, [] -> false)
+
 let prop_parallel_build_agrees =
   QCheck2.Test.make ~name:"build jobs=4 = build jobs=1" ~count:25
     gen_proc_full (fun p ->
@@ -241,6 +416,8 @@ let qcheck_cases =
       prop_h_steps_agree;
       prop_h_prioritized_agree;
       prop_parallel_build_agrees;
+      prop_check_agrees_with_build;
+      prop_check_early_exit_sound;
     ]
 
 let () =
@@ -257,6 +434,15 @@ let () =
         [
           Alcotest.test_case "agree on reachable states" `Quick
             test_engines_agree_on_reachable_states;
+        ] );
+      ( "on-the-fly",
+        [
+          Alcotest.test_case "check matches build" `Quick
+            test_check_matches_build;
+          Alcotest.test_case "parallel check is identical" `Quick
+            test_check_parallel_identical;
+          Alcotest.test_case "engines agree on example models" `Slow
+            test_example_models_agree;
         ] );
       ("properties", qcheck_cases);
     ]

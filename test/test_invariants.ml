@@ -123,8 +123,7 @@ let prop_analysis_idempotent =
         let root = Aadl.Instantiate.of_string (Gen.periodic_system specs) in
         let r = Analysis.Schedulability.analyze root in
         ( Analysis.Schedulability.is_schedulable r,
-          Versa.Lts.num_states
-            r.Analysis.Schedulability.exploration.Versa.Explorer.lts )
+          Versa.Explorer.num_states r.Analysis.Schedulability.exploration )
       in
       run () = run ())
 

@@ -58,7 +58,13 @@ let test_lts_max_states_truncates () =
               (call "Counter" [ Expr.Add (Expr.Var "n", Expr.Int 1) ])) );
       ]
   in
-  let config = { Versa.Lts.max_states = Some 50; stop_at_deadlock = false } in
+  let config =
+    {
+      Versa.Lts.default_config with
+      max_states = Some 50;
+      stop_at_deadlock = false;
+    }
+  in
   let lts = Versa.Lts.build ~config defs (Proc.call "Counter" [ e_int 0 ]) in
   Alcotest.(check bool) "truncated" true (Versa.Lts.truncated lts);
   Alcotest.(check bool) "around 50 states" true

@@ -126,10 +126,10 @@ let test_roundtrip_preserves_analysis () =
         (Analysis.Schedulability.is_schedulable r2);
       Alcotest.(check int)
         (name ^ " same state count")
-        (Versa.Lts.num_states
-           r1.Analysis.Schedulability.exploration.Versa.Explorer.lts)
-        (Versa.Lts.num_states
-           r2.Analysis.Schedulability.exploration.Versa.Explorer.lts))
+        (Versa.Explorer.num_states
+           r1.Analysis.Schedulability.exploration)
+        (Versa.Explorer.num_states
+           r2.Analysis.Schedulability.exploration))
     fixtures
 
 let test_instance_paths_rebuilt () =
