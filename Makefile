@@ -4,7 +4,7 @@
 # ocamlformat are dev-time tools, not build dependencies — the gate
 # degrades gracefully where they are absent).
 
-.PHONY: all build test doc fmt-check check bench-explore bench-smoke clean
+.PHONY: all build test doc fmt-check check bench-explore bench-service bench-smoke clean
 
 all: build
 
@@ -33,6 +33,11 @@ check: build test bench-smoke doc fmt-check
 # Regenerate the exploration-engine telemetry (BENCH_explore.json).
 bench-explore:
 	dune exec bench/main.exe -- explore
+
+# Regenerate the service-layer batch-throughput telemetry
+# (BENCH_service.json): verdict cache off vs on at 1 and 4 workers.
+bench-service:
+	dune exec bench/main.exe -- service
 
 # Fast engine-agreement gate: both exploration engines must report
 # identical verdicts, counts and failing scenarios (seconds, not

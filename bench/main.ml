@@ -23,6 +23,8 @@ let analyze_text ?protocol ?quantum ?(max_states = 2_000_000) text =
       all_violations = false;
       jobs = 1;
       engine = Versa.Explorer.On_the_fly;
+      deadline = None;
+      poll = None;
     }
   in
   Analysis.Schedulability.analyze ~options root
@@ -735,6 +737,142 @@ let explore_section ~json_path () =
     (fun () -> output_string oc (Buffer.contents buf));
   Fmt.pr "telemetry written to %s@." json_path
 
+(* {1 Service: batch throughput with the verdict cache on vs off}
+
+   A duplicate-heavy manifest (every distinct model submitted several
+   times — the shape of parameter sweeps and CI re-runs) pushed through
+   the service scheduler.  Records models/sec for cache off/on at 1 and
+   4 workers in BENCH_service.json, asserting that every configuration
+   produces identical verdicts. *)
+
+let service_manifest () =
+  let distinct =
+    [
+      ("cruise", Gen.cruise_control ());
+      ("cruise_over", Gen.cruise_control ~overload:true ());
+      ("crossover", Gen.periodic_system Gen.crossover_set);
+      ("light", Gen.periodic_system Gen.light_set);
+      ("e6_four", e6_model 4);
+      ("e6_five", e6_model 5);
+    ]
+  in
+  let repeats = 6 in
+  ( List.length distinct,
+    List.concat
+      (List.init repeats (fun round ->
+           List.map
+             (fun (name, text) ->
+               Service.Job.request
+                 ~id:(Printf.sprintf "%s_%d" name round)
+                 (Service.Job.Inline text))
+             distinct)) )
+
+let service_run ~cache ~workers requests =
+  Gc.full_major ();
+  let config =
+    if cache then Service.Runner.with_cache Service.Runner.default_config
+    else Service.Runner.default_config
+  in
+  let scheduler = Service.Scheduler.create ~workers config in
+  List.iter (fun r -> ignore (Service.Scheduler.submit scheduler r)) requests;
+  let t0 = Unix.gettimeofday () in
+  let outcomes = Service.Scheduler.run_all scheduler in
+  let wall = Unix.gettimeofday () -. t0 in
+  let counters = Option.map Service.Lru.counters config.Service.Runner.cache in
+  (outcomes, wall, counters)
+
+let service_section ~json_path () =
+  hr "SERVICE: batch throughput, verdict cache off vs on";
+  let num_distinct, requests = service_manifest () in
+  let n = List.length requests in
+  let configs =
+    [
+      ("cache_off_workers1", false, 1);
+      ("cache_on_workers1", true, 1);
+      ("cache_off_workers4", false, 4);
+      ("cache_on_workers4", true, 4);
+    ]
+  in
+  let runs =
+    List.map
+      (fun (name, cache, workers) ->
+        let outcomes, wall, counters = service_run ~cache ~workers requests in
+        (name, cache, workers, outcomes, wall, counters))
+      configs
+  in
+  let verdicts (outcomes : Service.Job.outcome list) =
+    List.map
+      (fun (o : Service.Job.outcome) ->
+        (o.Service.Job.id, Service.Job.verdict_tag o.Service.Job.verdict))
+      outcomes
+  in
+  let reference =
+    match runs with
+    | (_, _, _, outcomes, _, _) :: _ -> verdicts outcomes
+    | [] -> []
+  in
+  let verdicts_agree =
+    List.for_all
+      (fun (_, _, _, outcomes, _, _) -> verdicts outcomes = reference)
+      runs
+  in
+  Fmt.pr "manifest: %d jobs over %d distinct models@." n num_distinct;
+  Fmt.pr "%-22s %8s %12s %s@." "config" "wall (s)" "models/sec" "cache";
+  List.iter
+    (fun (name, _, _, _, wall, counters) ->
+      Fmt.pr "%-22s %8.3f %12.1f %a@." name wall
+        (float_of_int n /. max wall 1e-9)
+        (Fmt.option Service.Lru.pp_counters)
+        counters)
+    runs;
+  Fmt.pr "verdicts agree across configurations: %b@." verdicts_agree;
+  let counters_json = function
+    | None -> Service.Json.Null
+    | Some (c : Service.Lru.counters) ->
+        Service.Json.Obj
+          [
+            ("hits", Service.Json.Int c.Service.Lru.hits);
+            ("misses", Service.Json.Int c.Service.Lru.misses);
+            ("evictions", Service.Json.Int c.Service.Lru.evictions);
+            ("size", Service.Json.Int c.Service.Lru.size);
+          ]
+  in
+  let json =
+    Service.Json.Obj
+      [
+        ("benchmark", Service.Json.String "analysis service batch throughput");
+        ( "note",
+          Service.Json.String
+            "duplicate-heavy manifest: every distinct model submitted 6 \
+             times; cache hits skip exploration entirely" );
+        ("jobs", Service.Json.Int n);
+        ("distinct_models", Service.Json.Int num_distinct);
+        ( "runs",
+          Service.Json.List
+            (List.map
+               (fun (name, cache, workers, _, wall, counters) ->
+                 Service.Json.Obj
+                   [
+                     ("config", Service.Json.String name);
+                     ("cache", Service.Json.Bool cache);
+                     ("workers", Service.Json.Int workers);
+                     ("wall_s", Service.Json.Float wall);
+                     ( "models_per_sec",
+                       Service.Json.Float (float_of_int n /. max wall 1e-9) );
+                     ("cache_counters", counters_json counters);
+                   ])
+               runs) );
+        ("verdicts_agree", Service.Json.Bool verdicts_agree);
+      ]
+  in
+  let oc = open_out json_path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Service.Json.to_string json);
+      output_char oc '\n');
+  Fmt.pr "telemetry written to %s@." json_path
+
 (* {1 Smoke: fast engine-agreement gate (the [make bench-smoke] target)}
 
    Runs in seconds, not minutes: both engines on a handful of small
@@ -816,6 +954,11 @@ let () =
         match rest with p :: _ -> p | [] -> "BENCH_explore.json"
       in
       explore_section ~json_path ()
+  | _ :: "service" :: rest ->
+      let json_path =
+        match rest with p :: _ -> p | [] -> "BENCH_service.json"
+      in
+      service_section ~json_path ()
   | _ ->
   exp_f1 ();
   exp_f2_f3 ();

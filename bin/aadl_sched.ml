@@ -93,6 +93,16 @@ let jobs_arg =
           "Domains used to compute successors in parallel during the \
            exploration.  The result is identical for any value.")
 
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECS"
+        ~doc:
+          "Wall-clock budget for the exploration, in seconds.  Past it \
+           the verdict is inconclusive (never a hang); the $(b,batch) and \
+           $(b,serve) subcommands degrade such jobs to analytic bounds.")
+
 let stats_arg =
   Arg.(
     value & flag
@@ -265,8 +275,8 @@ let translate_cmd =
 
 (* {1 analyze} *)
 
-let run_analyze file root_name quantum protocol max_states jobs engine stats
-    all baselines =
+let run_analyze file root_name quantum protocol max_states jobs engine
+    timeout stats all baselines =
   handle_errors @@ fun () ->
   let root = load_root file root_name in
   let options =
@@ -277,6 +287,8 @@ let run_analyze file root_name quantum protocol max_states jobs engine stats
       all_violations = all;
       jobs;
       engine;
+      deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout;
+      poll = None;
     }
   in
   let result = Analysis.Schedulability.analyze ~options root in
@@ -330,8 +342,8 @@ let analyze_cmd =
           detection.")
     Term.(
       const run_analyze $ file_arg $ root_arg $ quantum_arg $ protocol_arg
-      $ max_states_arg $ jobs_arg $ engine_arg $ stats_arg $ all_arg
-      $ baselines_arg)
+      $ max_states_arg $ jobs_arg $ engine_arg $ timeout_arg $ stats_arg
+      $ all_arg $ baselines_arg)
 
 (* {1 simulate} *)
 
@@ -507,6 +519,8 @@ let run_report file root_name quantum protocol max_states jobs engine
           all_violations = false;
           jobs;
           engine;
+          deadline = None;
+          poll = None;
         };
       with_responses;
       title = Some (Filename.basename file);
@@ -637,6 +651,147 @@ let acsr_cmd =
       const run_acsr $ file_arg $ entry_arg $ dot_arg $ unprioritized_arg
       $ quotient_arg $ max_states_arg $ jobs_arg $ stats_arg)
 
+(* {1 batch / serve: the analysis service layer} *)
+
+let service_config engine no_cache cache_size exploration_jobs =
+  let config =
+    {
+      Service.Runner.default_config with
+      engine;
+      jobs = exploration_jobs;
+    }
+  in
+  if no_cache then config
+  else Service.Runner.with_cache ~capacity:cache_size config
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ] ~doc:"Disable the content-addressed verdict cache.")
+
+let cache_size_arg =
+  Arg.(
+    value & opt int 256
+    & info [ "cache-size" ] ~docv:"N"
+        ~doc:"Capacity of the verdict cache (LRU eviction).")
+
+let workers_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Analysis jobs run concurrently, each on its own domain.  \
+           Output order is always manifest order.")
+
+let run_batch manifest workers engine no_cache cache_size timeout =
+  let contents =
+    try
+      let ic = open_in_bin manifest in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with Sys_error msg ->
+      Fmt.epr "%s@." msg;
+      exit 2
+  in
+  match Service.Job.parse_manifest contents with
+  | Error msg ->
+      Fmt.epr "manifest error: %s@." msg;
+      2
+  | Ok requests ->
+      (* relative model paths are relative to the manifest, not the cwd *)
+      let dir = Filename.dirname manifest in
+      let requests =
+        List.map
+          (fun (r : Service.Job.request) ->
+            let r =
+              match r.source with
+              | Service.Job.File p when Filename.is_relative p ->
+                  { r with source = Service.Job.File (Filename.concat dir p) }
+              | _ -> r
+            in
+            match r.timeout_s with
+            | None -> { r with timeout_s = timeout }
+            | Some _ -> r)
+          requests
+      in
+      let config = service_config engine no_cache cache_size 1 in
+      let scheduler = Service.Scheduler.create ~workers config in
+      List.iter
+        (fun r -> ignore (Service.Scheduler.submit scheduler r))
+        requests;
+      let t0 = Unix.gettimeofday () in
+      let outcomes = Service.Scheduler.run_all scheduler in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      List.iter
+        (fun o ->
+          print_endline (Service.Json.to_string (Service.Job.outcome_to_json o)))
+        outcomes;
+      let count tag =
+        List.length
+          (List.filter
+             (fun (o : Service.Job.outcome) ->
+               Service.Job.verdict_tag o.verdict = tag)
+             outcomes)
+      in
+      Fmt.epr "batch: %d jobs (%d schedulable, %d not schedulable, %d bounded, \
+               %d unknown, %d cancelled, %d errors) in %.2fs@."
+        (List.length outcomes) (count "schedulable") (count "not_schedulable")
+        (count "bounded") (count "unknown") (count "cancelled") (count "error")
+        elapsed;
+      (match config.Service.Runner.cache with
+      | Some cache ->
+          Fmt.epr "cache: %a@." Service.Lru.pp_counters
+            (Service.Lru.counters cache)
+      | None -> ());
+      if
+        List.exists
+          (fun (o : Service.Job.outcome) ->
+            match o.verdict with Service.Job.Failed _ -> true | _ -> false)
+          outcomes
+      then 1
+      else 0
+
+let manifest_arg =
+  Arg.(
+    required
+    & pos 0 (some non_dir_file) None
+    & info [] ~docv:"MANIFEST"
+        ~doc:
+          "JSON-lines manifest: one request object per line ($(b,id) plus \
+           $(b,file) or inline $(b,model); optional $(b,root), \
+           $(b,protocol), $(b,quantum_us), $(b,max_states), $(b,timeout_s), \
+           $(b,priority)).  Blank and $(b,#) lines are skipped; relative \
+           paths resolve against the manifest's directory.")
+
+let batch_cmd =
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Analyze a manifest of models: jobs run concurrently in priority \
+          order through the verdict cache, results stream to stdout as \
+          JSON lines in manifest order, counters go to stderr.  \
+          Budget-exhausted jobs degrade to analytic bounds.")
+    Term.(
+      const run_batch $ manifest_arg $ workers_arg $ engine_arg
+      $ no_cache_arg $ cache_size_arg $ timeout_arg)
+
+let run_serve engine no_cache cache_size exploration_jobs =
+  let config = service_config engine no_cache cache_size exploration_jobs in
+  Service.Server.serve ~config stdin stdout;
+  0
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-lived analysis service: read one JSON request per line on \
+          stdin, answer one JSON outcome per line on stdout (same schema \
+          as $(b,batch)).  $(b,{\"op\": \"stats\"}) reports verdict-cache \
+          counters; $(b,{\"op\": \"quit\"}) ends the session.")
+    Term.(
+      const run_serve $ engine_arg $ no_cache_arg $ cache_size_arg $ jobs_arg)
+
 (* {1 main} *)
 
 let main =
@@ -656,6 +811,8 @@ let main =
       acsr_cmd;
       report_cmd;
       sensitivity_cmd;
+      batch_cmd;
+      serve_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

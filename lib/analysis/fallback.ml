@@ -1,0 +1,138 @@
+(* Analytic fallback verdicts: the bottom rung of the degradation
+   ladder.  A budget-exhausted exploration leaves the exact question
+   open; the classical per-processor tests still answer in microseconds
+   on the extracted workload, so a starved job reports an analytic bound
+   instead of nothing.
+
+   Per processor, the ladder picks the strongest applicable test for the
+   scheduling protocol in effect:
+
+     fixed priority (RM/DM/HPF)  ->  exact RTA, else the Liu-Layland /
+                                     utilization bound
+     dynamic (EDF/LLF)           ->  exact processor-demand analysis,
+                                     else U <= 1
+     hierarchical / none decide  ->  unknown
+
+   The composition over processors is conservative: one provably
+   overloaded processor makes the system analytically unschedulable; one
+   undecided processor makes it unknown; only if every processor passes
+   an applicable test is the system "likely schedulable".  The tests
+   assume independent periodic tasks per processor, so shared-data
+   contention and queue interactions are invisible here — which is
+   exactly why the verdict is qualified as a bound, not a proof. *)
+
+type verdict =
+  | Likely_schedulable of string
+  | Analytically_unschedulable of string
+  | Unknown of string
+
+type t = {
+  verdict : verdict;
+  per_processor : (string * string) list;
+}
+
+(* One processor: (outcome, test name, one-line summary). *)
+type proc_outcome = Sched | Unsched | Undecided
+
+let utilization_outcome (u : Utilization.t) ~bound_name =
+  match u.Utilization.verdict with
+  | Utilization.Schedulable ->
+      (Sched, bound_name, Fmt.str "%s: U=%.3f <= %.3f" bound_name u.Utilization.utilization u.Utilization.bound)
+  | Utilization.Overloaded ->
+      (Unsched, "utilization", Fmt.str "utilization: U=%.3f > 1" u.Utilization.utilization)
+  | Utilization.Unknown ->
+      ( Undecided,
+        bound_name,
+        Fmt.str "%s inconclusive: U=%.3f in (%.3f, 1]" bound_name
+          u.Utilization.utilization u.Utilization.bound )
+
+let fixed_priority_outcome protocol tasks =
+  let rta = Rta.analyze ~protocol tasks in
+  if rta.Rta.applicable then
+    if rta.Rta.schedulable then (Sched, "RTA", "RTA: all responses within deadlines")
+    else (Unsched, "RTA", "RTA: a response time exceeds its deadline")
+  else utilization_outcome (Utilization.rate_monotonic tasks) ~bound_name:"Liu-Layland bound"
+
+let edf_outcome tasks =
+  let d = Edf_demand.analyze tasks in
+  if d.Edf_demand.applicable then
+    if d.Edf_demand.schedulable then
+      (Sched, "EDF demand", "EDF demand: h(t) <= t at every deadline")
+    else
+      ( Unsched,
+        "EDF demand",
+        match d.Edf_demand.first_violation with
+        | Some v ->
+            Fmt.str "EDF demand: h(%d)=%d > %d" v.Edf_demand.at
+              v.Edf_demand.demand v.Edf_demand.at
+        | None -> "EDF demand: demand exceeds capacity" )
+  else utilization_outcome (Utilization.edf tasks) ~bound_name:"EDF utilization bound"
+
+let processor_outcome ?force_protocol (proc : Aadl.Instance.t) tasks =
+  let protocol =
+    match force_protocol with
+    | Some p -> Some p
+    | None -> Aadl.Props.scheduling_protocol proc.Aadl.Instance.props
+  in
+  match protocol with
+  | Some
+      ((Aadl.Props.Rate_monotonic | Aadl.Props.Deadline_monotonic
+       | Aadl.Props.Highest_priority_first) as p) ->
+      fixed_priority_outcome p tasks
+  | Some (Aadl.Props.Edf | Aadl.Props.Llf) -> edf_outcome tasks
+  | Some Aadl.Props.Hierarchical ->
+      (Undecided, "hierarchical", "no analytic test for hierarchical bands")
+  | None ->
+      (* the translation defaults unlabelled processors to RM *)
+      fixed_priority_outcome Aadl.Props.Rate_monotonic tasks
+
+let analyze ?force_protocol (wl : Translate.Workload.t) : t =
+  let rows =
+    List.map
+      (fun ((proc : Aadl.Instance.t), tasks) ->
+        let path = Fmt.str "%a" Aadl.Instance.pp_path proc.Aadl.Instance.path in
+        let outcome, test, summary =
+          processor_outcome ?force_protocol proc tasks
+        in
+        (path, outcome, test, summary))
+      wl.Translate.Workload.by_processor
+  in
+  let per_processor =
+    List.map (fun (path, _, _, summary) -> (path, summary)) rows
+  in
+  let verdict =
+    match
+      List.find_opt (fun (_, o, _, _) -> o = Unsched) rows,
+      List.find_opt (fun (_, o, _, _) -> o = Undecided) rows
+    with
+    | Some (path, _, test, _), _ ->
+        Analytically_unschedulable (Fmt.str "%s on processor %s" test path)
+    | None, Some (path, _, test, _) ->
+        Unknown (Fmt.str "%s undecided on processor %s" test path)
+    | None, None ->
+        if rows = [] then Unknown "no bound processors in the workload"
+        else
+          let tests =
+            List.sort_uniq compare
+              (List.map (fun (_, _, test, _) -> test) rows)
+          in
+          Likely_schedulable (String.concat "; " tests)
+  in
+  { verdict; per_processor }
+
+let verdict_name = function
+  | Likely_schedulable _ -> "likely_schedulable"
+  | Analytically_unschedulable _ -> "analytically_unschedulable"
+  | Unknown _ -> "unknown"
+
+let pp ppf t =
+  let head, detail =
+    match t.verdict with
+    | Likely_schedulable s -> ("likely schedulable (analytic bound)", s)
+    | Analytically_unschedulable s -> ("analytically unschedulable", s)
+    | Unknown s -> ("unknown", s)
+  in
+  Fmt.pf ppf "@[<v>%s: %s@,%a@]" head detail
+    Fmt.(
+      list ~sep:cut (fun ppf (p, s) -> pf ppf "  processor %s: %s" p s))
+    t.per_processor

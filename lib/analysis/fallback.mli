@@ -1,0 +1,47 @@
+(** Analytic fallback verdicts for budget-exhausted explorations.
+
+    When an exploration runs out of its state or wall-clock budget the
+    exact answer is [Inconclusive] — but the classical per-processor
+    tests ({!Rta}, {!Edf_demand}, {!Utilization}) still run in
+    microseconds on the extracted workload.  This module composes them
+    into one qualified verdict, the bottom rung of the service layer's
+    degradation ladder: a budget-starved job answers with an analytic
+    bound instead of hanging or giving up entirely.
+
+    The analytic passes reason per processor over independent periodic
+    tasks: they do not see cross-processor shared-data contention,
+    queues, or mode interleavings (the situations where only the
+    exploration is exact — see the shared-data experiment, E8).  A
+    fallback verdict is therefore a {e bound}, never a proof, and is
+    reported as such. *)
+
+type verdict =
+  | Likely_schedulable of string
+      (** every processor passes an applicable analytic test; the string
+          names the tests (e.g. "RTA; EDF demand") *)
+  | Analytically_unschedulable of string
+      (** some processor fails a necessary condition (exact RTA miss,
+          EDF demand overflow, utilization > 1); the string names the
+          processor and test *)
+  | Unknown of string
+      (** no applicable test decides (e.g. hierarchical bands, aperiodic
+          tasks outside every test's domain) *)
+
+type t = {
+  verdict : verdict;
+  per_processor : (string * string) list;
+      (** processor path |-> one-line summary of the test applied *)
+}
+
+val analyze :
+  ?force_protocol:Aadl.Props.scheduling_protocol -> Translate.Workload.t -> t
+(** Run the analytic ladder on every processor of the workload.  The
+    protocol is [force_protocol] if given, else the processor's
+    [Scheduling_Protocol], else rate-monotonic (the translation's own
+    default). *)
+
+val verdict_name : verdict -> string
+(** ["likely_schedulable"], ["analytically_unschedulable"] or
+    ["unknown"] — the stable tag used in service JSON. *)
+
+val pp : t Fmt.t

@@ -28,6 +28,13 @@ type options = {
       (** [On_the_fly] (the default) answers the yes/no question with the
           compact early-exit engine; [Full] materializes the graph for
           callers that walk it afterwards (latency queries, DOT export) *)
+  deadline : float option;
+      (** absolute wall-clock budget for the exploration
+          ({!Versa.Lts.build_config}); past it the verdict is
+          [Inconclusive] and callers may degrade to analytic passes
+          ({!Fallback}) *)
+  poll : (unit -> bool) option;
+      (** cooperative cancellation hook threaded into the exploration *)
 }
 
 let default_options =
@@ -37,6 +44,8 @@ let default_options =
     all_violations = false;
     jobs = 1;
     engine = Versa.Explorer.On_the_fly;
+    deadline = None;
+    poll = None;
   }
 
 let analyze_translation ~options (tr : Translate.Pipeline.t) : t =
@@ -44,8 +53,8 @@ let analyze_translation ~options (tr : Translate.Pipeline.t) : t =
     Versa.Explorer.check_deadlock ~engine:options.engine
       ~max_states:options.max_states
       ~stop_at_deadlock:(not options.all_violations)
-      ~jobs:options.jobs tr.Translate.Pipeline.defs
-      tr.Translate.Pipeline.system
+      ~jobs:options.jobs ?deadline:options.deadline ?poll:options.poll
+      tr.Translate.Pipeline.defs tr.Translate.Pipeline.system
   in
   let verdict =
     match exploration.Versa.Explorer.verdict with

@@ -24,6 +24,14 @@ type options = {
       (** exploration engine (default [On_the_fly]): the compact
           early-exit checker for plain verdicts, or [Full] when the
           caller needs the materialized graph *)
+  deadline : float option;
+      (** absolute wall-clock budget ([Unix.gettimeofday] scale, default
+          none): past it the exploration truncates and the verdict is
+          [Inconclusive "wall-clock budget expired …"] — the hook the
+          service layer's graceful degradation builds on *)
+  poll : (unit -> bool) option;
+      (** cooperative cancellation hook, checked between exploration
+          merge steps (default none) *)
 }
 
 val default_options : options

@@ -5,6 +5,7 @@
    - [Aadl]      the AADL frontend (S3)
    - [Translate] the AADL-to-ACSR translation, Algorithm 1 (S4a)
    - [Analysis]  schedulability, latency, and classical baselines (S4b/S5)
+   - [Service]   batch scheduling, verdict caching, graceful degradation
    - [Gen]       reference models and synthetic workload generation *)
 
 module Acsr = Acsr
@@ -12,4 +13,5 @@ module Versa = Versa
 module Aadl = Aadl
 module Translate = Translate
 module Analysis = Analysis
+module Service = Service
 module Gen = Gen

@@ -1,0 +1,163 @@
+(* Wire schema for service jobs: request decoding, outcome encoding,
+   and the JSON-lines manifest reader.  See job.mli. *)
+
+type source = File of string | Inline of string
+
+type request = {
+  id : string;
+  source : source;
+  root : string option;
+  protocol : Aadl.Props.scheduling_protocol option;
+  quantum_us : int option;
+  max_states : int;
+  timeout_s : float option;
+  priority : int;
+}
+
+let default_max_states = 2_000_000
+
+let request ?root ?protocol ?quantum_us ?(max_states = default_max_states)
+    ?timeout_s ?(priority = 0) ~id source =
+  { id; source; root; protocol; quantum_us; max_states; timeout_s; priority }
+
+type verdict =
+  | Schedulable
+  | Not_schedulable of { violation_time : int; scenario : string }
+  | Bounded of { analytic_schedulable : bool; method_ : string }
+  | Unknown of string
+  | Cancelled
+  | Failed of string
+
+let verdict_tag = function
+  | Schedulable -> "schedulable"
+  | Not_schedulable _ -> "not_schedulable"
+  | Bounded _ -> "bounded"
+  | Unknown _ -> "unknown"
+  | Cancelled -> "cancelled"
+  | Failed _ -> "error"
+
+type outcome = {
+  id : string;
+  verdict : verdict;
+  states : int;
+  cached : bool;
+  degraded : bool;
+  wall_s : float;
+}
+
+let protocol_of_string s =
+  match String.lowercase_ascii s with
+  | "rm" | "rate_monotonic" -> Ok Aadl.Props.Rate_monotonic
+  | "dm" | "deadline_monotonic" -> Ok Aadl.Props.Deadline_monotonic
+  | "hpf" | "fixed" -> Ok Aadl.Props.Highest_priority_first
+  | "edf" -> Ok Aadl.Props.Edf
+  | "llf" -> Ok Aadl.Props.Llf
+  | "hier" | "hierarchical" -> Ok Aadl.Props.Hierarchical
+  | other -> Error (Printf.sprintf "unknown protocol %S" other)
+
+(* Result-aware field accessors over a request object. *)
+
+let ( let* ) = Result.bind
+
+let opt_field json key decode what =
+  match Json.member key json with
+  | None | Some Json.Null -> Ok None
+  | Some v -> (
+      match decode v with
+      | Some x -> Ok (Some x)
+      | None -> Error (Printf.sprintf "field %S must be %s" key what))
+
+let request_of_json json =
+  match json with
+  | Json.Obj _ ->
+      let* id =
+        match Option.bind (Json.member "id" json) Json.to_str with
+        | Some id when id <> "" -> Ok id
+        | Some _ -> Error "field \"id\" must be non-empty"
+        | None -> Error "missing string field \"id\""
+      in
+      let err msg = Error (Printf.sprintf "request %S: %s" id msg) in
+      let field key decode what =
+        Result.map_error
+          (fun m -> Printf.sprintf "request %S: %s" id m)
+          (opt_field json key decode what)
+      in
+      let* file = field "file" Json.to_str "a string" in
+      let* model = field "model" Json.to_str "a string" in
+      let* source =
+        match (file, model) with
+        | Some f, None -> Ok (File f)
+        | None, Some m -> Ok (Inline m)
+        | Some _, Some _ -> err "give either \"file\" or \"model\", not both"
+        | None, None -> err "one of \"file\" or \"model\" is required"
+      in
+      let* root = field "root" Json.to_str "a string" in
+      let* protocol_name = field "protocol" Json.to_str "a string" in
+      let* protocol =
+        match protocol_name with
+        | None -> Ok None
+        | Some name -> (
+            match protocol_of_string name with
+            | Ok p -> Ok (Some p)
+            | Error m -> err m)
+      in
+      let* quantum_us = field "quantum_us" Json.to_int "an integer" in
+      let* max_states = field "max_states" Json.to_int "an integer" in
+      let* timeout_s = field "timeout_s" Json.to_float "a number" in
+      let* priority = field "priority" Json.to_int "an integer" in
+      Ok
+        {
+          id;
+          source;
+          root;
+          protocol;
+          quantum_us;
+          max_states = Option.value max_states ~default:default_max_states;
+          timeout_s;
+          priority = Option.value priority ~default:0;
+        }
+  | _ -> Error "request must be a JSON object"
+
+let outcome_to_json (o : outcome) =
+  let specific =
+    match o.verdict with
+    | Schedulable | Cancelled -> []
+    | Not_schedulable { violation_time; scenario } ->
+        [
+          ("violation_time", Json.Int violation_time);
+          ("scenario", Json.String scenario);
+        ]
+    | Bounded { analytic_schedulable; method_ } ->
+        [
+          ("analytic_schedulable", Json.Bool analytic_schedulable);
+          ("method", Json.String method_);
+        ]
+    | Unknown reason | Failed reason -> [ ("reason", Json.String reason) ]
+  in
+  Json.Obj
+    ([ ("id", Json.String o.id); ("verdict", Json.String (verdict_tag o.verdict)) ]
+    @ specific
+    @ [
+        ("states", Json.Int o.states);
+        ("cached", Json.Bool o.cached);
+        ("degraded", Json.Bool o.degraded);
+        ("wall_s", Json.Float o.wall_s);
+      ])
+
+let parse_manifest text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        let trimmed = String.trim line in
+        if trimmed = "" || trimmed.[0] = '#' then go (lineno + 1) acc rest
+        else
+          let parsed =
+            let* json = Json.parse trimmed in
+            request_of_json json
+          in
+          (match parsed with
+          | Ok req -> go (lineno + 1) (req :: acc) rest
+          | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
+  in
+  go 1 [] lines

@@ -1,0 +1,84 @@
+(** Analysis jobs and their outcomes — the service wire schema.
+
+    One request names a model (a file path or inline AADL text) plus the
+    analysis options that affect the verdict; one outcome carries the
+    qualified verdict, the raised failing scenario when there is one,
+    and the service metadata (cache hit, degradation, timing).  The
+    JSON encodings here are the single source of truth for both the
+    [batch] manifest format and the [serve] request/response protocol. *)
+
+type source =
+  | File of string  (** path to a [.aadl] (or instance [.xml]) model *)
+  | Inline of string  (** textual AADL carried in the request itself *)
+
+type request = {
+  id : string;  (** caller-chosen; echoed in the outcome *)
+  source : source;
+  root : string option;  (** root system implementation to instantiate *)
+  protocol : Aadl.Props.scheduling_protocol option;
+      (** override every processor's Scheduling_Protocol *)
+  quantum_us : int option;
+  max_states : int;  (** state budget (default 2M) *)
+  timeout_s : float option;
+      (** wall-clock budget; expiry degrades the job to analytic bounds *)
+  priority : int;  (** scheduler priority, higher runs first (default 0) *)
+}
+
+val request :
+  ?root:string ->
+  ?protocol:Aadl.Props.scheduling_protocol ->
+  ?quantum_us:int ->
+  ?max_states:int ->
+  ?timeout_s:float ->
+  ?priority:int ->
+  id:string ->
+  source ->
+  request
+
+type verdict =
+  | Schedulable  (** exact: exhaustive exploration found no deadlock *)
+  | Not_schedulable of { violation_time : int; scenario : string }
+      (** exact: first deadline miss, with the raised AADL-level
+          scenario rendered as text *)
+  | Bounded of { analytic_schedulable : bool; method_ : string }
+      (** degraded: exploration budget exhausted, the named analytic
+          pass(es) bound the answer (per-processor, approximate) *)
+  | Unknown of string
+      (** degraded: budget exhausted and no analytic test applies *)
+  | Cancelled  (** the job was cancelled before or during exploration *)
+  | Failed of string  (** the model could not be loaded or translated *)
+
+val verdict_tag : verdict -> string
+(** The stable JSON tag: ["schedulable"], ["not_schedulable"],
+    ["bounded"], ["unknown"], ["cancelled"], ["error"]. *)
+
+type outcome = {
+  id : string;
+  verdict : verdict;
+  states : int;  (** states explored (0 when served from cache metadata
+                     is preserved from the original run) *)
+  cached : bool;  (** served from the verdict cache *)
+  degraded : bool;  (** verdict came from the analytic fallback ladder *)
+  wall_s : float;  (** time this request took in this process *)
+}
+
+(** {1 JSON encoding} *)
+
+val request_of_json : Json.t -> (request, string) result
+(** Accepts an object with fields [id] (required), exactly one of
+    [file]/[model], and optional [root], [protocol], [quantum_us],
+    [max_states], [timeout_s], [priority]. *)
+
+val outcome_to_json : outcome -> Json.t
+(** Field order is fixed (id, verdict, verdict-specific fields, states,
+    cached, degraded, wall_s) so JSON-lines output is stable. *)
+
+val protocol_of_string :
+  string -> (Aadl.Props.scheduling_protocol, string) result
+(** Same names as the CLI: rm, dm, hpf, edf, llf, hier (and long
+    forms). *)
+
+val parse_manifest : string -> (request list, string) result
+(** Parse JSON-lines manifest content: one request object per line;
+    blank lines and [#] comment lines are skipped.  The error names the
+    first offending line. *)

@@ -1,0 +1,40 @@
+(** A minimal JSON reader/writer for the service wire format.
+
+    The dependency set deliberately has no JSON library, and the service
+    schema is small (flat objects of scalars), so this module implements
+    just enough of RFC 8259: all value forms parse, strings handle the
+    standard escapes including [\uXXXX] (encoded back as UTF-8), and the
+    printer emits compact single-line documents with object fields in
+    the order given — which keeps JSON-lines output stable for tests. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse one JSON document; trailing non-whitespace is an error.  Error
+    strings include the byte offset. *)
+
+val to_string : t -> string
+(** Compact, single-line; object fields in given order; floats printed
+    with enough digits to round-trip doubles. *)
+
+(** {1 Accessors} — total, [None] on shape mismatch *)
+
+val member : string -> t -> t option
+(** Field of an object ([None] on any other form or missing field). *)
+
+val to_str : t -> string option
+
+val to_int : t -> int option
+(** [Int], or [Float] with integral value. *)
+
+val to_float : t -> float option
+(** [Float] or [Int]. *)
+
+val to_bool : t -> bool option

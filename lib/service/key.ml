@@ -1,0 +1,21 @@
+(* Cache keys: MD5 over instance XML + an options fingerprint.  The
+   fingerprint is versioned ("v1;") so a schema change invalidates old
+   keys instead of aliasing them. *)
+
+let options_fingerprint ~protocol ~quantum_us ~max_states ~timeout_s =
+  let opt f = function None -> "-" | Some v -> f v in
+  Printf.sprintf "v1;protocol=%s;quantum_us=%s;max_states=%d;timeout_s=%s"
+    (opt Aadl.Props.scheduling_protocol_to_string protocol)
+    (opt string_of_int quantum_us)
+    max_states
+    (opt (Printf.sprintf "%.17g") timeout_s)
+
+let of_instance root ~options =
+  let xml = Aadl.Instance_xml.to_string root in
+  Digest.to_hex (Digest.string (xml ^ "\x00" ^ options))
+
+let of_request root (req : Job.request) =
+  of_instance root
+    ~options:
+      (options_fingerprint ~protocol:req.protocol ~quantum_us:req.quantum_us
+         ~max_states:req.max_states ~timeout_s:req.timeout_s)

@@ -1,0 +1,27 @@
+(** Content-addressed cache keys for analysis verdicts.
+
+    A key is an MD5 hex digest over the canonical XML serialisation of
+    the {e instantiated} model ({!Aadl.Instance_xml.to_string}) plus a
+    fingerprint of every request option that can change the verdict
+    (protocol override, quantum, state budget, wall-clock budget).
+    Keying on the instance rather than the source text means two
+    manifest entries naming different files with identical systems — or
+    the same file through different relative paths — share one cache
+    entry, while any change to a property that survives instantiation
+    produces a fresh key. *)
+
+val options_fingerprint :
+  protocol:Aadl.Props.scheduling_protocol option ->
+  quantum_us:int option ->
+  max_states:int ->
+  timeout_s:float option ->
+  string
+(** Canonical, versioned text form of the analysis options. *)
+
+val of_instance : Aadl.Instance.t -> options:string -> string
+(** [of_instance root ~options] digests the serialised instance together
+    with an {!options_fingerprint} and returns the 32-char hex key. *)
+
+val of_request : Aadl.Instance.t -> Job.request -> string
+(** Key for running [request]'s analysis options against the already
+    instantiated [root]. *)

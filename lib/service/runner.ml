@@ -1,0 +1,147 @@
+(* One job, end to end: load -> cache probe -> budgeted exploration ->
+   degradation ladder -> cache fill.  See runner.mli. *)
+
+type config = {
+  cache : Job.outcome Lru.t option;
+  jobs : int;
+  engine : Versa.Explorer.engine;
+}
+
+let default_config =
+  { cache = None; jobs = 1; engine = Versa.Explorer.On_the_fly }
+
+let with_cache ?(capacity = 256) config =
+  { config with cache = Some (Lru.create ~capacity) }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_instance (req : Job.request) =
+  match req.source with
+  | Job.Inline text -> Aadl.Instantiate.of_string ?root:req.root text
+  | Job.File path ->
+      let contents = read_file path in
+      if Filename.check_suffix path ".xml" then
+        Aadl.Instance_xml.of_string contents
+      else Aadl.Instantiate.of_string ?root:req.root contents
+
+(* Load/translation failures become [Failed] outcomes, mirroring the
+   CLI's handle_errors ladder; anything else escapes (it's a bug). *)
+let load_error = function
+  | Aadl.Lexer.Error (msg, loc) ->
+      Some (Fmt.str "lexical error (%a): %s" Aadl.Ast.pp_srcloc loc msg)
+  | Aadl.Parser.Error (msg, loc) ->
+      Some (Fmt.str "syntax error (%a): %s" Aadl.Ast.pp_srcloc loc msg)
+  | Aadl.Instantiate.Error msg -> Some ("instantiation error: " ^ msg)
+  | Translate.Pipeline.Error msg -> Some ("translation error: " ^ msg)
+  | Translate.Workload.Error msg -> Some ("workload error: " ^ msg)
+  | Aadl.Instance_xml.Error msg -> Some ("instance XML error: " ^ msg)
+  | Sys_error msg -> Some msg
+  | _ -> None
+
+let analysis_options (config : config) (req : Job.request) ~now ~cancel =
+  {
+    Analysis.Schedulability.translation_options =
+      {
+        Translate.Pipeline.default_options with
+        quantum =
+          Option.map (fun us -> Aadl.Time.make us Aadl.Time.Us) req.quantum_us;
+        force_protocol = req.protocol;
+      };
+    max_states = req.max_states;
+    all_violations = false;
+    jobs = config.jobs;
+    engine = config.engine;
+    deadline = Option.map (fun s -> now +. s) req.timeout_s;
+    poll = cancel;
+  }
+
+let degrade ~reason (req : Job.request) (result : Analysis.Schedulability.t) =
+  let fb =
+    Analysis.Fallback.analyze ?force_protocol:req.protocol
+      result.translation.Translate.Pipeline.workload
+  in
+  match fb.Analysis.Fallback.verdict with
+  | Analysis.Fallback.Likely_schedulable m ->
+      Job.Bounded { analytic_schedulable = true; method_ = m }
+  | Analysis.Fallback.Analytically_unschedulable m ->
+      Job.Bounded { analytic_schedulable = false; method_ = m }
+  | Analysis.Fallback.Unknown m -> Job.Unknown (reason ^ "; " ^ m)
+
+let explore config (req : Job.request) root ~now ~cancel =
+  let options = analysis_options config req ~now ~cancel in
+  let result = Analysis.Schedulability.analyze ~options root in
+  let states = Versa.Explorer.num_states result.exploration in
+  let verdict, degraded =
+    match result.verdict with
+    | Analysis.Schedulability.Schedulable -> (Job.Schedulable, false)
+    | Analysis.Schedulability.Not_schedulable { scenario; trace = _ } ->
+        ( Job.Not_schedulable
+            {
+              violation_time = scenario.Analysis.Raise_trace.violation_time;
+              scenario = Fmt.str "%a" Analysis.Raise_trace.pp scenario;
+            },
+          false )
+    | Analysis.Schedulability.Inconclusive reason ->
+        let cancelled = match cancel with Some p -> p () | None -> false in
+        if cancelled then (Job.Cancelled, false)
+        else (degrade ~reason req result, true)
+  in
+  (verdict, degraded, states)
+
+let run ?cancel config (req : Job.request) =
+  let now = Unix.gettimeofday () in
+  let outcome verdict ~states ~degraded =
+    {
+      Job.id = req.id;
+      verdict;
+      states;
+      cached = false;
+      degraded;
+      wall_s = Unix.gettimeofday () -. now;
+    }
+  in
+  let compute root =
+    match explore config req root ~now ~cancel with
+    | verdict, degraded, states -> outcome verdict ~states ~degraded
+    | exception e -> (
+        match load_error e with
+        | Some msg -> outcome (Job.Failed msg) ~states:0 ~degraded:false
+        | None -> raise e)
+  in
+  match load_instance req with
+  | exception e -> (
+      match load_error e with
+      | Some msg -> outcome (Job.Failed msg) ~states:0 ~degraded:false
+      | None -> raise e)
+  | root -> (
+      match config.cache with
+      | None -> compute root
+      | Some cache -> (
+          let key = Key.of_request root req in
+          (* Single-flight: concurrent duplicates wait for the lease
+             holder instead of re-exploring, so a duplicate manifest
+             entry is a cache hit at any worker count. *)
+          match Lru.find_or_lease cache key with
+          | `Hit o ->
+              {
+                o with
+                Job.id = req.id;
+                cached = true;
+                wall_s = Unix.gettimeofday () -. now;
+              }
+          | `Lease ->
+              let stored = ref false in
+              Fun.protect
+                ~finally:(fun () -> if not !stored then Lru.abandon cache key)
+                (fun () ->
+                  let o = compute root in
+                  (match o.Job.verdict with
+                  | Job.Cancelled | Job.Failed _ -> ()
+                  | _ ->
+                      Lru.fulfill cache key o;
+                      stored := true);
+                  o)))

@@ -1,0 +1,43 @@
+(** Execution of a single analysis job: load, cache lookup, exploration
+    under budget, graceful degradation, cache fill.
+
+    The runner is the sequential heart of the service layer — the
+    {!Scheduler} calls it from worker domains, the [batch] and [serve]
+    CLI subcommands call it through the scheduler.  Every failure mode
+    is folded into the outcome ([Failed]/[Cancelled]/degraded verdicts);
+    [run] never raises and never hangs past the job's wall-clock
+    budget. *)
+
+type config = {
+  cache : Job.outcome Lru.t option;
+      (** shared verdict cache; [None] disables caching *)
+  jobs : int;  (** domains for parallel exploration within one job *)
+  engine : Versa.Explorer.engine;
+}
+
+val default_config : config
+(** No cache, [jobs = 1], on-the-fly engine. *)
+
+val with_cache : ?capacity:int -> config -> config
+(** [default: 256] — attach a fresh verdict cache. *)
+
+val run : ?cancel:(unit -> bool) -> config -> Job.request -> Job.outcome
+(** Run one job to completion:
+
+    + load and instantiate the model ([Failed] on any load error);
+    + look the content-addressed {!Key} up in the cache — a hit returns
+      the stored outcome (verdict {e and} raised scenario) with
+      [cached = true], skipping exploration entirely; lookups are
+      single-flight ({!Lru.find_or_lease}), so concurrent duplicates
+      wait for the first computation and then hit, at any worker count;
+    + explore with the request's state budget, wall-clock budget
+      (deadline [now + timeout_s]) and [cancel] polled between merge
+      steps;
+    + on a truncated exploration, degrade: [Cancelled] if [cancel]
+      fired, otherwise the {!Fallback} analytic ladder produces a
+      qualified [Bounded] or [Unknown] verdict ([degraded = true]);
+    + store every exact or degraded outcome back in the cache
+      ([Cancelled]/[Failed] outcomes are not cached).
+
+    [File] paths are used as given; resolve them against a manifest
+    directory before calling if needed. *)

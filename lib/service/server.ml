@@ -1,0 +1,59 @@
+(* Line-oriented JSON request loop.  See server.mli for the protocol. *)
+
+let counters_json (config : Runner.config) =
+  let c =
+    match config.cache with
+    | Some cache -> Lru.counters cache
+    | None ->
+        { Lru.hits = 0; misses = 0; evictions = 0; size = 0; capacity = 0 }
+  in
+  Json.Obj
+    [
+      ("hits", Json.Int c.Lru.hits);
+      ("misses", Json.Int c.Lru.misses);
+      ("evictions", Json.Int c.Lru.evictions);
+      ("size", Json.Int c.Lru.size);
+      ("capacity", Json.Int c.Lru.capacity);
+    ]
+
+let respond oc json =
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  flush oc
+
+let error msg = Json.Obj [ ("error", Json.String msg) ]
+
+let serve ?config ic oc =
+  let config =
+    match config with
+    | Some c -> c
+    | None -> Runner.with_cache Runner.default_config
+  in
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | line when String.trim line = "" -> loop ()
+    | line -> (
+        match Json.parse line with
+        | Error msg ->
+            respond oc (error msg);
+            loop ()
+        | Ok json -> (
+            match Option.bind (Json.member "op" json) Json.to_str with
+            | Some "stats" ->
+                respond oc (counters_json config);
+                loop ()
+            | Some "quit" -> respond oc (Json.Obj [ ("ok", Json.Bool true) ])
+            | Some op ->
+                respond oc (error (Printf.sprintf "unknown op %S" op));
+                loop ()
+            | None -> (
+                match Job.request_of_json json with
+                | Error msg ->
+                    respond oc (error msg);
+                    loop ()
+                | Ok req ->
+                    respond oc (Job.outcome_to_json (Runner.run config req));
+                    loop ())))
+  in
+  loop ()

@@ -1,0 +1,22 @@
+(** A long-lived analysis service over a line-oriented JSON protocol.
+
+    [serve config ic oc] reads one JSON document per line from [ic] and
+    writes exactly one JSON line to [oc] for each, flushed immediately,
+    until end-of-file or a [quit] op.  Three request forms:
+
+    - an analysis request ({!Job.request_of_json} schema, the same as a
+      [batch] manifest line) — answered with the {!Job.outcome} object;
+    - [{"op": "stats"}] — answered with the verdict-cache counters
+      ([{"hits": …, "misses": …, "evictions": …, "size": …,
+      "capacity": …}], all zero when the cache is disabled);
+    - [{"op": "quit"}] — answered with [{"ok": true}], then the loop
+      returns.
+
+    Malformed lines are answered with [{"error": "…"}] and the loop
+    continues; the server never terminates on bad input.  Jobs run one
+    at a time, in arrival order — a session is a conversation, not a
+    batch; use the [batch] subcommand for bulk throughput. *)
+
+val serve : ?config:Runner.config -> in_channel -> out_channel -> unit
+(** [config] defaults to {!Runner.default_config} with a verdict cache
+    attached (capacity 256). *)

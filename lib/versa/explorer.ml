@@ -30,14 +30,21 @@ type space =
 
 type result = { space : space; verdict : verdict; elapsed : float }
 
+(* The reason string tells the caller which budget truncated the run —
+   the service layer's degradation ladder keys on exactly this
+   distinction. *)
+let truncation_reason ~stats num_states =
+  if stats.Lts.deadline_expired then
+    Fmt.str "wall-clock budget expired after %d states" num_states
+  else Fmt.str "state budget exhausted after %d states" num_states
+
 let deadlock_verdict lts =
   match Lts.deadlocks lts with
   | state :: _ -> Deadlock { state; trace = Trace.to_deadlock lts state }
   | [] ->
       if Lts.truncated lts then
         Inconclusive
-          (Fmt.str "state budget exhausted after %d states"
-             (Lts.num_states lts))
+          (truncation_reason ~stats:(Lts.stats lts) (Lts.num_states lts))
       else Deadlock_free
 
 let check_verdict c =
@@ -47,15 +54,21 @@ let check_verdict c =
   | [] ->
       if Lts.check_truncated c then
         Inconclusive
-          (Fmt.str "state budget exhausted after %d states"
+          (truncation_reason ~stats:(Lts.check_stats c)
              (Lts.check_num_states c))
       else Deadlock_free
 
 let check_deadlock ?(engine = Full) ?(max_states = 2_000_000)
-    ?(stop_at_deadlock = true) ?(jobs = 1) defs root =
+    ?(stop_at_deadlock = true) ?(jobs = 1) ?deadline ?poll defs root =
   let t0 = Unix.gettimeofday () in
   let config =
-    { Lts.default_config with max_states = Some max_states; stop_at_deadlock }
+    {
+      Lts.default_config with
+      max_states = Some max_states;
+      stop_at_deadlock;
+      deadline;
+      poll;
+    }
   in
   let space, verdict =
     match engine with

@@ -38,6 +38,8 @@ val check_deadlock :
   ?max_states:int ->
   ?stop_at_deadlock:bool ->
   ?jobs:int ->
+  ?deadline:float ->
+  ?poll:(unit -> bool) ->
   Defs.t ->
   Proc.t ->
   result
@@ -46,7 +48,13 @@ val check_deadlock :
     [engine] defaults to [Full]; both engines produce identical verdicts
     and traces under the same budgets.  [stop_at_deadlock] (default
     [true]) stops at the first deadlock; with [false] the space is
-    explored exhaustively (up to [max_states], default 2M). *)
+    explored exhaustively (up to [max_states], default 2M).
+
+    [deadline] is an absolute wall-clock bound ([Unix.gettimeofday]
+    scale): past it the exploration truncates and the verdict is
+    [Inconclusive "wall-clock budget expired …"], never a hang.  [poll]
+    is a cooperative cancellation hook checked between merge steps
+    ({!Lts.build_config}). *)
 
 val deadlock_verdict : Lts.t -> verdict
 (** Derive the verdict from an already-built LTS. *)

@@ -39,6 +39,8 @@ type stats = {
   store_bytes : int;  (** estimated bytes retained by the state store *)
   early_exit_depth : int option;
       (** BFS depth of the deadlock that stopped an early-exit run *)
+  deadline_expired : bool;
+      (** the wall-clock budget ([config.deadline]) stopped the run *)
 }
 
 let states_per_sec s =
@@ -99,11 +101,32 @@ type build_config = {
   parallel_cutover : int;
       (** frontier width below which expansion stays sequential even when
           [jobs > 1] *)
+  deadline : float option;
+      (** absolute wall-clock time ([Unix.gettimeofday] scale) past which
+          the exploration stops and reports truncation — the time-domain
+          twin of [max_states] *)
+  poll : (unit -> bool) option;
+      (** cooperative stop hook, checked between merge steps: returning
+          [true] truncates the run (job cancellation in the service
+          layer) *)
 }
 
 let default_config =
   { max_states = Some 2_000_000; stop_at_deadlock = false;
-    parallel_cutover = 512 }
+    parallel_cutover = 512; deadline = None; poll = None }
+
+(* The stop predicate shared by [build] and [check].  [deadline] and
+   [poll] are evaluated in the sequential merge only, so they cannot
+   perturb parallel expansion; both are [None] on the default path and
+   then cost nothing. *)
+let budget_stop config ~len ~deadline_hit () =
+  (match config.max_states with Some m -> len >= m | None -> false)
+  || (match config.deadline with
+     | Some d when Unix.gettimeofday () > d ->
+         deadline_hit := true;
+         true
+     | Some _ | None -> false)
+  || (match config.poll with Some p -> p () | None -> false)
 
 let step_function semantics cache defs =
   match semantics with
@@ -236,10 +259,9 @@ let build ?(config = default_config) ?(semantics = Prioritized) ?(jobs = 1)
   let peak_frontier = ref 0 in
   let root_id, _ = Table.intern table (Hproc.of_proc root) in
   ignore root_id;
+  let deadline_hit = ref false in
   let over_budget () =
-    match config.max_states with
-    | Some m -> table.Table.len >= m
-    | None -> false
+    budget_stop config ~len:table.Table.len ~deadline_hit ()
   in
   let ex = Expander.create ~jobs ~cutover:config.parallel_cutover in
   let succs = Array.make (max 1 ex.Expander.max_chunk) [] in
@@ -324,6 +346,7 @@ let build ?(config = default_config) ?(semantics = Prioritized) ?(jobs = 1)
         (match (config.stop_at_deadlock, List.rev !deadlock_ids_rev) with
         | true, d :: _ -> Some (entry d).Table.dep
         | _ -> None);
+      deadline_expired = !deadline_hit;
     }
   in
   {
@@ -445,10 +468,9 @@ let check ?(config = default_config) ?(semantics = Prioritized) ?(jobs = 1)
   ignore
     (Store.intern store (Hproc.of_proc root) ~pred:(-1)
        ~step:Store.dummy_step);
+  let deadline_hit = ref false in
   let over_budget () =
-    match config.max_states with
-    | Some m -> store.Store.len >= m
-    | None -> false
+    budget_stop config ~len:store.Store.len ~deadline_hit ()
   in
   let ex = Expander.create ~jobs ~cutover:config.parallel_cutover in
   let succs = Array.make (max 1 ex.Expander.max_chunk) [] in
@@ -525,6 +547,7 @@ let check ?(config = default_config) ?(semantics = Prioritized) ?(jobs = 1)
          plus a hashtable binding.  An estimate, counted in words. *)
       store_bytes = 8 * 7 * n;
       early_exit_depth = !early_exit_depth;
+      deadline_expired = !deadline_hit;
     }
   in
   {
@@ -562,7 +585,7 @@ let pp_stats ppf s =
      frontier peak %d, BFS levels %d@,\
      state dedup: %d hits / %d misses (%.1f%% hit-rate)@,\
      state store: ~%d KiB (~%.0f bytes/state)@,\
-     hash-cons table: %d nodes%a@]"
+     hash-cons table: %d nodes%a%a@]"
     s.num_states s.num_transitions s.num_deadlocks s.wall_s
     (states_per_sec s) s.jobs s.expand_s s.merge_s s.peak_frontier
     s.depth_levels s.intern_hits s.intern_misses
@@ -571,3 +594,7 @@ let pp_stats ppf s =
     Fmt.(
       option (fun ppf d -> pf ppf "@,early exit at BFS depth %d" d))
     s.early_exit_depth
+    Fmt.(
+      fun ppf expired ->
+        if expired then pf ppf "@,wall-clock budget expired")
+    s.deadline_expired

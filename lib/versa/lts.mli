@@ -45,6 +45,10 @@ type stats = {
       (** BFS depth of the first deadlock when [stop_at_deadlock] fired:
           the distance to the first deadline miss, which bounds the work
           of an early-exit run *)
+  deadline_expired : bool;
+      (** the wall-clock budget ([build_config.deadline]) stopped the
+          exploration; [truncated] is then also true and the absence of
+          deadlocks is inconclusive *)
 }
 
 val stats : t -> stats
@@ -109,10 +113,27 @@ type build_config = {
           first chunk that crosses it.  Small state spaces never pay the
           domain spawn + cross-domain GC cost this way, and a run that
           never crosses the cutover is exactly the sequential build. *)
+  deadline : float option;
+      (** wall-clock budget as an absolute time on the
+          [Unix.gettimeofday] scale — the time-domain twin of
+          [max_states].  When it passes, the exploration stops at the
+          next merge step and reports [truncated] with
+          [stats.deadline_expired]; the explored prefix (states, parents,
+          traces) remains valid.  Unlike every other knob, a deadline
+          makes the {e amount explored} timing-dependent, so results
+          under an expiring deadline are not reproducible run-to-run —
+          the service layer qualifies such verdicts accordingly. *)
+  poll : (unit -> bool) option;
+      (** cooperative stop hook, called between sequential merge steps
+          (never from worker domains).  Returning [true] truncates the
+          run exactly like an exhausted budget; the service layer points
+          this at a job's cancellation flag.  Must be cheap and
+          side-effect-free. *)
 }
 
 val default_config : build_config
-(** 2M states, explore exhaustively, cutover at a 512-state frontier. *)
+(** 2M states, explore exhaustively, cutover at a 512-state frontier, no
+    wall-clock deadline, no poll hook. *)
 
 val build :
   ?config:build_config ->

@@ -104,22 +104,36 @@ let run pool n f =
     pool.generation <- pool.generation + 1;
     Condition.broadcast pool.work_ready;
     Mutex.unlock pool.mutex;
-    (* the caller is a participant too *)
-    drain pool f n;
-    Mutex.lock pool.mutex;
-    while pool.active > 0 do
-      Condition.wait pool.work_done pool.mutex
-    done;
-    let err = pool.error in
-    pool.task <- None;
-    Mutex.unlock pool.mutex;
-    match err with Some e -> raise e | None -> ()
+    (* The caller is a participant too.  Even if its drain dies with an
+       exception that [drain] cannot capture (Out_of_memory,
+       Stack_overflow), the batch must still be waited out: returning
+       while workers hold the task closure would let a later [run] or
+       [shutdown] race them, deadlocking the pool. *)
+    Fun.protect
+      ~finally:(fun () ->
+        Mutex.lock pool.mutex;
+        while pool.active > 0 do
+          Condition.wait pool.work_done pool.mutex
+        done;
+        pool.task <- None;
+        Mutex.unlock pool.mutex)
+      (fun () -> drain pool f n);
+    match pool.error with Some e -> raise e | None -> ()
   end
+
+(* Join every domain even if one of the joins re-raises (a worker that
+   died outside [drain] makes [Domain.join] re-raise its exception); the
+   first exception wins, but no domain is ever leaked. *)
+let rec join_all = function
+  | [] -> ()
+  | d :: rest ->
+      Fun.protect ~finally:(fun () -> join_all rest) (fun () -> Domain.join d)
 
 let shutdown pool =
   Mutex.lock pool.mutex;
   pool.stopping <- true;
   Condition.broadcast pool.work_ready;
   Mutex.unlock pool.mutex;
-  List.iter Domain.join pool.domains;
-  pool.domains <- []
+  let domains = pool.domains in
+  pool.domains <- [];
+  join_all domains

@@ -20,4 +20,8 @@ val run : t -> int -> (int -> unit) -> unit
     Batches must not be issued concurrently from several domains. *)
 
 val shutdown : t -> unit
-(** Stop and join the workers.  The pool must be idle. *)
+(** Stop and join the workers.  The pool must be idle.  Teardown is
+    exception-safe: every domain is joined even when one of the joins
+    re-raises a worker's exception (the first exception wins), so a
+    failing exploration can neither leak domains nor deadlock a
+    subsequent run.  Idempotent. *)

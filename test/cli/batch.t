@@ -1,0 +1,101 @@
+The analysis service: a JSON-lines manifest pushed through the batch
+scheduler and verdict cache.
+
+  $ cat > light.aadl <<'AADL'
+  > processor cpu
+  > properties
+  >   Scheduling_Protocol => RATE_MONOTONIC_PROTOCOL;
+  > end cpu;
+  > thread t1
+  > properties
+  >   Dispatch_Protocol => Periodic;
+  >   Period => 4 ms;
+  >   Compute_Execution_Time => 1 ms;
+  >   Compute_Deadline => 4 ms;
+  > end t1;
+  > thread t2
+  > properties
+  >   Dispatch_Protocol => Periodic;
+  >   Period => 6 ms;
+  >   Compute_Execution_Time => 2 ms;
+  >   Compute_Deadline => 6 ms;
+  > end t2;
+  > system s
+  > end s;
+  > system implementation s.impl
+  > subcomponents
+  >   cpu1: processor cpu;
+  >   a: thread t1;
+  >   b: thread t2;
+  > properties
+  >   Actual_Processor_Binding => reference (cpu1) applies to a;
+  >   Actual_Processor_Binding => reference (cpu1) applies to b;
+  > end s.impl;
+  > AADL
+
+The manifest: the same model twice (the duplicate must be served from
+the cache, with the identical verdict), an EDF variant (a different
+cache key), and a zero wall-clock budget entry that must degrade to the
+analytic verdict instead of exploring.
+
+  $ cat > manifest.jsonl <<'EOF'
+  > # comment lines and blanks are skipped
+  > {"id":"a", "file":"light.aadl"}
+  > {"id":"dup", "file":"light.aadl"}
+  > 
+  > {"id":"edf", "file":"light.aadl", "protocol":"edf"}
+  > {"id":"starved", "file":"light.aadl", "timeout_s":0}
+  > EOF
+
+  $ aadl_sched batch manifest.jsonl 2>summary.txt | sed -E 's/"wall_s":[0-9.e+-]+/"wall_s":T/'
+  {"id":"a","verdict":"schedulable","states":27,"cached":false,"degraded":false,"wall_s":T}
+  {"id":"dup","verdict":"schedulable","states":27,"cached":true,"degraded":false,"wall_s":T}
+  {"id":"edf","verdict":"schedulable","states":27,"cached":false,"degraded":false,"wall_s":T}
+  {"id":"starved","verdict":"bounded","analytic_schedulable":true,"method":"RTA","states":1,"cached":false,"degraded":true,"wall_s":T}
+
+The duplicate cost one cache hit, not a second exploration:
+
+  $ sed -E 's/in [0-9.]+s/in TIME/' summary.txt
+  batch: 4 jobs (3 schedulable, 0 not schedulable, 1 bounded, 0 unknown, 0 cancelled, 0 errors) in TIME
+  cache: 1 hits, 3 misses, 0 evictions, size 3/256
+
+An unschedulable model carries its raised failing scenario in the JSON
+outcome (the same scenario `analyze` prints):
+
+  $ sed -e 's/Period => 4 ms;/Period => 5 ms;/' \
+  >     -e 's/Period => 6 ms;/Period => 7 ms;/' \
+  >     -e 's/Compute_Deadline => 4 ms;/Compute_Deadline => 5 ms;/' \
+  >     -e 's/Compute_Deadline => 6 ms;/Compute_Deadline => 7 ms;/' \
+  >     -e 's/Compute_Execution_Time => 2 ms;/Compute_Execution_Time => 4 ms;/' \
+  >     -e 's/Compute_Execution_Time => 1 ms;/Compute_Execution_Time => 2 ms;/' \
+  >     light.aadl > crossover.aadl
+  $ echo '{"id":"cross", "file":"crossover.aadl"}' > cross.jsonl
+  $ aadl_sched batch cross.jsonl 2>/dev/null | sed -E 's/"wall_s":[0-9.e+-]+/"wall_s":T/'
+  {"id":"cross","verdict":"not_schedulable","violation_time":7,"scenario":"t=0   dispatch a; dispatch b; run on cpu1\nt=1    run on cpu1\nt=2   complete a; run on cpu1\nt=3    run on cpu1\nt=4    run on cpu1\nt=5   dispatch a; run on cpu1\nt=6    run on cpu1\nt=7   complete a; DEADLOCK: timing violation","states":14,"cached":false,"degraded":false,"wall_s":T}
+
+A missing model file is an error outcome and exit code 1, not a crash;
+a malformed manifest is exit code 2:
+
+  $ echo '{"id":"ghost", "file":"missing.aadl"}' > ghost.jsonl
+  $ aadl_sched batch ghost.jsonl 2>/dev/null | sed -E 's/"wall_s":[0-9.e+-]+/"wall_s":T/'
+  {"id":"ghost","verdict":"error","reason":"./missing.aadl: No such file or directory","states":0,"cached":false,"degraded":false,"wall_s":T}
+  $ echo 'not json' > broken.jsonl
+  $ aadl_sched batch broken.jsonl
+  manifest error: line 1: expected null at offset 0
+  [2]
+
+The serve loop answers one JSON line per request on stdin — the same
+schema as the manifest — plus stats and quit ops:
+
+  $ printf '%s\n' \
+  >   '{"id":"r1", "file":"light.aadl"}' \
+  >   '{"id":"r2", "file":"light.aadl"}' \
+  >   '{"op":"stats"}' \
+  >   'garbage' \
+  >   '{"op":"quit"}' \
+  > | aadl_sched serve | sed -E 's/"wall_s":[0-9.e+-]+/"wall_s":T/'
+  {"id":"r1","verdict":"schedulable","states":27,"cached":false,"degraded":false,"wall_s":T}
+  {"id":"r2","verdict":"schedulable","states":27,"cached":true,"degraded":false,"wall_s":T}
+  {"hits":1,"misses":1,"evictions":0,"size":1,"capacity":256}
+  {"error":"unexpected 'g' at offset 0"}
+  {"ok":true}

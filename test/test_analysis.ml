@@ -430,6 +430,39 @@ let test_queue_overflow_error_detected () =
   Alcotest.(check bool) "overflow error is a violation" false
     (Analysis.Schedulability.is_schedulable r)
 
+let test_queue_overflow_drop_absorbs () =
+  (* the same overloading producer, but dropping policies: the overflow
+     is absorbed (events are lost, no deadline is missed), so the very
+     model that Error rejects stays schedulable under both drop
+     policies *)
+  List.iter
+    (fun overflow ->
+      let text =
+        Gen.event_driven ~queue_size:1 ~overflow ()
+        |> Str_replace.replace "Period => 4 ms;" "Period => 16 ms;"
+      in
+      let r = analyze text in
+      Alcotest.(check bool)
+        (overflow ^ " absorbs the overflow")
+        true
+        (Analysis.Schedulability.is_schedulable r))
+    [ "DropNewest"; "DropOldest" ]
+
+let test_queue_overflow_drop_policies_coincide () =
+  (* the queue process abstracts contents to a fill counter, so dropping
+     the newest or the oldest event must generate the same state space *)
+  let explore overflow =
+    let text =
+      Gen.event_driven ~queue_size:1 ~overflow ()
+      |> Str_replace.replace "Period => 4 ms;" "Period => 16 ms;"
+    in
+    let r = analyze text in
+    ( Versa.Explorer.num_states r.Analysis.Schedulability.exploration,
+      Versa.Explorer.num_transitions r.Analysis.Schedulability.exploration )
+  in
+  let newest = explore "DropNewest" and oldest = explore "DropOldest" in
+  Alcotest.(check (pair int int)) "identical state spaces" newest oldest
+
 (* {1 Shared data across processors (access connections)} *)
 
 let test_shared_data_contention_detected () =
@@ -624,6 +657,10 @@ let () =
             test_event_driven_schedulable;
           Alcotest.test_case "overflow error" `Quick
             test_queue_overflow_error_detected;
+          Alcotest.test_case "overflow drop absorbs" `Quick
+            test_queue_overflow_drop_absorbs;
+          Alcotest.test_case "drop policies coincide" `Quick
+            test_queue_overflow_drop_policies_coincide;
         ] );
       ("agreement", qcheck_cases);
     ]

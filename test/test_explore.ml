@@ -420,6 +420,62 @@ let qcheck_cases =
       prop_check_early_exit_sound;
     ]
 
+(* {1 Wall-clock budgets and cooperative cancellation} *)
+
+let test_deadline_budget_truncates () =
+  let defs, system = tr_of (Gen.cruise_control ()) in
+  let expired =
+    {
+      Versa.Lts.default_config with
+      stop_at_deadlock = false;
+      deadline = Some (Unix.gettimeofday () -. 1.);
+    }
+  in
+  (* an already-expired budget: both engines must truncate at the first
+     merge step and flag it in the stats, never hang *)
+  let lts = Versa.Lts.build ~config:expired defs system in
+  Alcotest.(check bool) "build truncated" true (Versa.Lts.truncated lts);
+  Alcotest.(check bool)
+    "build stats flag" true
+    (Versa.Lts.stats lts).Versa.Lts.deadline_expired;
+  let c = Versa.Lts.check ~config:expired defs system in
+  Alcotest.(check bool) "check truncated" true (Versa.Lts.check_truncated c);
+  Alcotest.(check bool)
+    "check stats flag" true
+    (Versa.Lts.check_stats c).Versa.Lts.deadline_expired;
+  (* a generous budget must not perturb the exploration *)
+  let roomy =
+    {
+      Versa.Lts.default_config with
+      stop_at_deadlock = false;
+      deadline = Some (Unix.gettimeofday () +. 3600.);
+    }
+  in
+  let full = Versa.Lts.build ~config:roomy defs system in
+  Alcotest.(check bool) "roomy not truncated" false (Versa.Lts.truncated full);
+  Alcotest.(check bool)
+    "roomy flag clear" false
+    (Versa.Lts.stats full).Versa.Lts.deadline_expired
+
+let test_poll_cancels () =
+  let defs, system = tr_of (Gen.cruise_control ()) in
+  let config =
+    {
+      Versa.Lts.default_config with
+      stop_at_deadlock = false;
+      poll = Some (fun () -> true);
+    }
+  in
+  let lts = Versa.Lts.build ~config defs system in
+  Alcotest.(check bool) "cancelled build truncated" true
+    (Versa.Lts.truncated lts);
+  Alcotest.(check bool)
+    "cancellation is not a deadline" false
+    (Versa.Lts.stats lts).Versa.Lts.deadline_expired;
+  let c = Versa.Lts.check ~config defs system in
+  Alcotest.(check bool) "cancelled check truncated" true
+    (Versa.Lts.check_truncated c)
+
 let () =
   Alcotest.run "explore"
     [
@@ -443,6 +499,12 @@ let () =
             test_check_parallel_identical;
           Alcotest.test_case "engines agree on example models" `Slow
             test_example_models_agree;
+        ] );
+      ( "budgets",
+        [
+          Alcotest.test_case "deadline truncates" `Quick
+            test_deadline_budget_truncates;
+          Alcotest.test_case "poll cancels" `Quick test_poll_cancels;
         ] );
       ("properties", qcheck_cases);
     ]

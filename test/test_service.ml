@@ -1,0 +1,437 @@
+(* Tests for the analysis service layer: the JSON codec, the LRU verdict
+   cache, content-addressed cache keys, the runner (cache hits return the
+   stored verdict and scenario without re-exploration; exhausted budgets
+   degrade to analytic bounds instead of hanging), the priority
+   scheduler with cancellation, and the analytic fallback ladder. *)
+
+let light = Gen.periodic_system Gen.light_set
+let overloaded = Gen.periodic_system Gen.overloaded_set
+
+(* {1 JSON} *)
+
+let test_json_roundtrip () =
+  List.iter
+    (fun text ->
+      match Service.Json.parse text with
+      | Error msg -> Alcotest.failf "%s: %s" text msg
+      | Ok v ->
+          Alcotest.(check string) text text (Service.Json.to_string v))
+    [
+      "null";
+      "true";
+      "[1,-2,3]";
+      {|{"a":1,"b":[true,false,null],"c":{"d":"x"}}|};
+      {|"line\nbreak \"quoted\" back\\slash"|};
+      "[]";
+      "{}";
+    ]
+
+let test_json_escapes () =
+  (match Service.Json.parse {|"Aé€"|} with
+  | Ok (Service.Json.String s) ->
+      Alcotest.(check string) "utf-8 decoding" "A\xc3\xa9\xe2\x82\xac" s
+  | Ok _ | Error _ -> Alcotest.fail "\\u escapes");
+  match Service.Json.parse (Service.Json.to_string (Service.Json.String "\x01\ttab")) with
+  | Ok (Service.Json.String s) -> Alcotest.(check string) "control chars" "\x01\ttab" s
+  | Ok _ | Error _ -> Alcotest.fail "control-char round-trip"
+
+let test_json_numbers () =
+  (match Service.Json.parse "[0.5,1e3,-2.25]" with
+  | Ok (Service.Json.List [ a; b; c ]) ->
+      Alcotest.(check (option (float 1e-9)))
+        "floats"
+        (Some 0.5) (Service.Json.to_float a);
+      Alcotest.(check (option (float 1e-9))) "exp" (Some 1000.)
+        (Service.Json.to_float b);
+      Alcotest.(check (option (float 1e-9)))
+        "negative" (Some (-2.25)) (Service.Json.to_float c)
+  | Ok _ | Error _ -> Alcotest.fail "number forms");
+  Alcotest.(check (option int))
+    "integral float as int" (Some 7)
+    (Option.bind (Result.to_option (Service.Json.parse "7.0")) Service.Json.to_int)
+
+let test_json_errors () =
+  List.iter
+    (fun text ->
+      match Service.Json.parse text with
+      | Ok _ -> Alcotest.failf "%S should not parse" text
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; {|{"a" 1}|}; "tru"; "1 2"; {|"unterminated|}; "nul" ]
+
+(* {1 LRU cache} *)
+
+let test_lru_basics () =
+  let c = Service.Lru.create ~capacity:2 in
+  Alcotest.(check (option int)) "miss on empty" None (Service.Lru.find c "a");
+  Service.Lru.add c "a" 1;
+  Service.Lru.add c "b" 2;
+  Alcotest.(check (option int)) "hit a" (Some 1) (Service.Lru.find c "a");
+  (* "b" is now least recently used; adding "c" evicts it *)
+  Service.Lru.add c "c" 3;
+  Alcotest.(check (option int)) "b evicted" None (Service.Lru.find c "b");
+  Alcotest.(check (option int)) "a kept" (Some 1) (Service.Lru.find c "a");
+  Alcotest.(check (option int)) "c kept" (Some 3) (Service.Lru.find c "c");
+  let k = Service.Lru.counters c in
+  Alcotest.(check int) "hits" 3 k.Service.Lru.hits;
+  Alcotest.(check int) "misses" 2 k.Service.Lru.misses;
+  Alcotest.(check int) "evictions" 1 k.Service.Lru.evictions;
+  Alcotest.(check int) "size" 2 k.Service.Lru.size
+
+let test_lru_replace_is_not_eviction () =
+  let c = Service.Lru.create ~capacity:2 in
+  Service.Lru.add c "a" 1;
+  Service.Lru.add c "a" 10;
+  Alcotest.(check (option int)) "replaced" (Some 10) (Service.Lru.find c "a");
+  Alcotest.(check int)
+    "no eviction" 0
+    (Service.Lru.counters c).Service.Lru.evictions;
+  Alcotest.(check int) "one entry" 1 (Service.Lru.length c)
+
+let test_lru_capacity_clamped () =
+  let c = Service.Lru.create ~capacity:0 in
+  Alcotest.(check int) "clamped to 1" 1 (Service.Lru.capacity c);
+  Service.Lru.add c "a" 1;
+  Service.Lru.add c "b" 2;
+  Alcotest.(check int) "never over capacity" 1 (Service.Lru.length c)
+
+let test_lru_single_flight () =
+  let c = Service.Lru.create ~capacity:4 in
+  (match Service.Lru.find_or_lease c "a" with
+  | `Lease -> ()
+  | `Hit _ -> Alcotest.fail "first probe must take the lease");
+  Service.Lru.fulfill c "a" 1;
+  (match Service.Lru.find_or_lease c "a" with
+  | `Hit v -> Alcotest.(check int) "fulfilled value" 1 v
+  | `Lease -> Alcotest.fail "fulfilled key must hit");
+  (* an abandoned lease stores nothing and hands the key back *)
+  (match Service.Lru.find_or_lease c "b" with
+  | `Lease -> Service.Lru.abandon c "b"
+  | `Hit _ -> Alcotest.fail "fresh key must take the lease");
+  (match Service.Lru.find_or_lease c "b" with
+  | `Lease -> Service.Lru.abandon c "b"
+  | `Hit _ -> Alcotest.fail "abandoned key must lease again");
+  let k = Service.Lru.counters c in
+  Alcotest.(check int) "hits" 1 k.Service.Lru.hits;
+  Alcotest.(check int) "misses" 3 k.Service.Lru.misses
+
+(* {1 Cache keys} *)
+
+let test_key_stability_and_divergence () =
+  let root = Aadl.Instantiate.of_string light in
+  let req = Service.Job.request ~id:"x" (Service.Job.Inline light) in
+  let k1 = Service.Key.of_request root req in
+  let k2 =
+    Service.Key.of_request root
+      (Service.Job.request ~id:"completely-different-id" ~priority:9
+         (Service.Job.Inline light))
+  in
+  Alcotest.(check string) "id and priority do not key" k1 k2;
+  let k_edf =
+    Service.Key.of_request root
+      (Service.Job.request ~id:"x" ~protocol:Aadl.Props.Edf
+         (Service.Job.Inline light))
+  in
+  Alcotest.(check bool) "protocol keys" true (k1 <> k_edf);
+  let k_budget =
+    Service.Key.of_request root
+      (Service.Job.request ~id:"x" ~max_states:7 (Service.Job.Inline light))
+  in
+  Alcotest.(check bool) "state budget keys" true (k1 <> k_budget);
+  let other = Aadl.Instantiate.of_string overloaded in
+  Alcotest.(check bool)
+    "model keys" true
+    (k1 <> Service.Key.of_request other req)
+
+(* {1 Runner: cache hits and graceful degradation} *)
+
+let test_runner_cache_hit_identical () =
+  (* the same unschedulable model twice: the second run must be a cache
+     hit carrying the identical verdict AND raised scenario *)
+  let config = Service.Runner.with_cache Service.Runner.default_config in
+  let req id = Service.Job.request ~id (Service.Job.Inline overloaded) in
+  let first = Service.Runner.run config (req "first") in
+  let second = Service.Runner.run config (req "second") in
+  Alcotest.(check bool) "first not cached" false first.Service.Job.cached;
+  Alcotest.(check bool) "second cached" true second.Service.Job.cached;
+  Alcotest.(check string) "ids echoed" "second" second.Service.Job.id;
+  (match (first.Service.Job.verdict, second.Service.Job.verdict) with
+  | ( Service.Job.Not_schedulable { violation_time = t1; scenario = s1 },
+      Service.Job.Not_schedulable { violation_time = t2; scenario = s2 } ) ->
+      Alcotest.(check int) "same violation time" t1 t2;
+      Alcotest.(check string) "same raised scenario" s1 s2
+  | _ -> Alcotest.fail "expected two not_schedulable verdicts");
+  Alcotest.(check int)
+    "same states metadata" first.Service.Job.states second.Service.Job.states;
+  let cache = Option.get config.Service.Runner.cache in
+  let k = Service.Lru.counters cache in
+  Alcotest.(check int) "exactly one hit" 1 k.Service.Lru.hits;
+  Alcotest.(check int) "one miss" 1 k.Service.Lru.misses
+
+let test_runner_degrades_on_timeout () =
+  (* the largest example model with a zero wall-clock budget: the
+     exploration truncates at its first merge step and the runner falls
+     back to the analytic ladder — a qualified verdict, never a hang *)
+  let req =
+    Service.Job.request ~id:"starved" ~timeout_s:0.
+      (Service.Job.Inline (Gen.avionics ()))
+  in
+  let o = Service.Runner.run Service.Runner.default_config req in
+  Alcotest.(check bool) "degraded" true o.Service.Job.degraded;
+  match o.Service.Job.verdict with
+  | Service.Job.Bounded _ | Service.Job.Unknown _ -> ()
+  | v -> Alcotest.failf "expected a degraded verdict, got %s" (Service.Job.verdict_tag v)
+
+let test_runner_failure_is_an_outcome () =
+  let o =
+    Service.Runner.run Service.Runner.default_config
+      (Service.Job.request ~id:"broken"
+         (Service.Job.Inline "system s end s; garbage"))
+  in
+  match o.Service.Job.verdict with
+  | Service.Job.Failed _ -> ()
+  | v -> Alcotest.failf "expected error, got %s" (Service.Job.verdict_tag v)
+
+(* {1 Scheduler} *)
+
+let test_scheduler_priority_order_and_submission_output () =
+  let config = Service.Runner.default_config in
+  let s = Service.Scheduler.create config in
+  let submit id priority =
+    ignore
+      (Service.Scheduler.submit s
+         (Service.Job.request ~id ~priority (Service.Job.Inline light)))
+  in
+  submit "low" 0;
+  submit "high" 5;
+  submit "mid" 3;
+  let outcomes = Service.Scheduler.run_all s in
+  Alcotest.(check (list string))
+    "outcomes in submission order" [ "low"; "high"; "mid" ]
+    (List.map (fun (o : Service.Job.outcome) -> o.Service.Job.id) outcomes);
+  (* priority decides execution order: with a fresh shared cache and
+     equal models, exactly the first-executed job misses *)
+  let config = Service.Runner.with_cache Service.Runner.default_config in
+  let s = Service.Scheduler.create config in
+  let h_low =
+    Service.Scheduler.submit s
+      (Service.Job.request ~id:"low" ~priority:0 (Service.Job.Inline light))
+  in
+  let h_high =
+    Service.Scheduler.submit s
+      (Service.Job.request ~id:"high" ~priority:9 (Service.Job.Inline light))
+  in
+  ignore (Service.Scheduler.run_all s);
+  let cached h =
+    (Option.get (Service.Scheduler.outcome h)).Service.Job.cached
+  in
+  Alcotest.(check bool) "high-priority ran first" false (cached h_high);
+  Alcotest.(check bool) "low-priority hit its result" true (cached h_low)
+
+let test_scheduler_parallel_agrees () =
+  let run workers =
+    let s = Service.Scheduler.create ~workers Service.Runner.default_config in
+    List.iteri
+      (fun i text ->
+        ignore
+          (Service.Scheduler.submit s
+             (Service.Job.request
+                ~id:(string_of_int i)
+                (Service.Job.Inline text))))
+      [ light; overloaded; Gen.cruise_control (); light ];
+    List.map
+      (fun (o : Service.Job.outcome) ->
+        (o.Service.Job.id, Service.Job.verdict_tag o.Service.Job.verdict))
+      (Service.Scheduler.run_all s)
+  in
+  Alcotest.(check (list (pair string string)))
+    "1 vs 4 workers" (run 1) (run 4)
+
+let test_scheduler_concurrent_duplicates_coalesce () =
+  (* six duplicates on four workers: single-flight leasing means exactly
+     one exploration happens no matter how the workers interleave, so
+     the counters are as deterministic as a sequential run *)
+  let config = Service.Runner.with_cache Service.Runner.default_config in
+  let s = Service.Scheduler.create ~workers:4 config in
+  for i = 1 to 6 do
+    ignore
+      (Service.Scheduler.submit s
+         (Service.Job.request
+            ~id:(string_of_int i)
+            (Service.Job.Inline overloaded)))
+  done;
+  let outcomes = Service.Scheduler.run_all s in
+  let cached_flags =
+    List.map (fun (o : Service.Job.outcome) -> o.Service.Job.cached) outcomes
+  in
+  Alcotest.(check int)
+    "exactly one exploration" 1
+    (List.length (List.filter not cached_flags));
+  let tags =
+    List.sort_uniq compare
+      (List.map
+         (fun (o : Service.Job.outcome) ->
+           Service.Job.verdict_tag o.Service.Job.verdict)
+         outcomes)
+  in
+  Alcotest.(check (list string)) "all verdicts agree" [ "not_schedulable" ] tags;
+  let k = Service.Lru.counters (Option.get config.Service.Runner.cache) in
+  Alcotest.(check int) "five hits" 5 k.Service.Lru.hits;
+  Alcotest.(check int) "one miss" 1 k.Service.Lru.misses
+
+let test_scheduler_cancellation () =
+  let s = Service.Scheduler.create Service.Runner.default_config in
+  let h =
+    Service.Scheduler.submit s
+      (Service.Job.request ~id:"victim" (Service.Job.Inline light))
+  in
+  Service.Scheduler.cancel h;
+  let outcomes = Service.Scheduler.run_all s in
+  match (List.hd outcomes).Service.Job.verdict with
+  | Service.Job.Cancelled -> ()
+  | v -> Alcotest.failf "expected cancelled, got %s" (Service.Job.verdict_tag v)
+
+(* {1 Request decoding} *)
+
+let test_request_of_json () =
+  let parse text =
+    Result.bind (Service.Json.parse text) Service.Job.request_of_json
+  in
+  (match parse {|{"id":"a","file":"m.aadl","protocol":"edf","timeout_s":2.5,"priority":3}|} with
+  | Ok r ->
+      Alcotest.(check string) "id" "a" r.Service.Job.id;
+      (match r.Service.Job.source with
+      | Service.Job.File f -> Alcotest.(check string) "file" "m.aadl" f
+      | Service.Job.Inline _ -> Alcotest.fail "expected file source");
+      Alcotest.(check bool)
+        "protocol" true
+        (r.Service.Job.protocol = Some Aadl.Props.Edf);
+      Alcotest.(check (option (float 1e-9)))
+        "timeout" (Some 2.5) r.Service.Job.timeout_s;
+      Alcotest.(check int) "priority" 3 r.Service.Job.priority
+  | Error msg -> Alcotest.fail msg);
+  List.iter
+    (fun text ->
+      match parse text with
+      | Ok _ -> Alcotest.failf "%S should be rejected" text
+      | Error _ -> ())
+    [
+      {|{"file":"m.aadl"}|};
+      {|{"id":"a"}|};
+      {|{"id":"a","file":"m.aadl","model":"..."}|};
+      {|{"id":"a","file":"m.aadl","protocol":"round-robin"}|};
+      {|{"id":"a","file":"m.aadl","priority":"urgent"}|};
+      {|[1,2]|};
+    ]
+
+let test_manifest_lines () =
+  let text =
+    "# comment\n\
+     {\"id\":\"a\",\"file\":\"one.aadl\"}\n\
+     \n\
+     {\"id\":\"b\",\"model\":\"inline\"}\n"
+  in
+  (match Service.Job.parse_manifest text with
+  | Ok [ a; b ] ->
+      Alcotest.(check string) "first" "a" a.Service.Job.id;
+      Alcotest.(check string) "second" "b" b.Service.Job.id
+  | Ok _ -> Alcotest.fail "expected two requests"
+  | Error msg -> Alcotest.fail msg);
+  match Service.Job.parse_manifest "{\"id\":\"a\",\"file\":\"x\"}\nnot json\n" with
+  | Error msg ->
+      Alcotest.(check bool)
+        "error names the line" true
+        (String.length msg >= 7 && String.sub msg 0 7 = "line 2:")
+  | Ok _ -> Alcotest.fail "bad line must fail"
+
+(* {1 Analytic fallback ladder} *)
+
+let workload_of ?protocol text =
+  let root = Aadl.Instantiate.of_string text in
+  ignore protocol;
+  Translate.Workload.extract ~quantum:(Aadl.Time.of_ms 1) root
+
+let test_fallback_schedulable () =
+  let fb = Analysis.Fallback.analyze (workload_of light) in
+  match fb.Analysis.Fallback.verdict with
+  | Analysis.Fallback.Likely_schedulable _ -> ()
+  | v -> Alcotest.failf "expected likely_schedulable, got %s"
+           (Analysis.Fallback.verdict_name v)
+
+let test_fallback_unschedulable () =
+  let fb = Analysis.Fallback.analyze (workload_of overloaded) in
+  match fb.Analysis.Fallback.verdict with
+  | Analysis.Fallback.Analytically_unschedulable _ -> ()
+  | v -> Alcotest.failf "expected analytically_unschedulable, got %s"
+           (Analysis.Fallback.verdict_name v)
+
+let test_fallback_edf_crossover () =
+  (* the crossover set is over the RM utilization bound but under 1:
+     EDF demand analysis accepts what the RM ladder cannot prove *)
+  let wl = workload_of (Gen.periodic_system Gen.crossover_set) in
+  let fb = Analysis.Fallback.analyze ~force_protocol:Aadl.Props.Edf wl in
+  (match fb.Analysis.Fallback.verdict with
+  | Analysis.Fallback.Likely_schedulable _ -> ()
+  | v -> Alcotest.failf "EDF: expected likely_schedulable, got %s"
+           (Analysis.Fallback.verdict_name v));
+  let hier =
+    Analysis.Fallback.analyze ~force_protocol:Aadl.Props.Hierarchical wl
+  in
+  match hier.Analysis.Fallback.verdict with
+  | Analysis.Fallback.Unknown _ -> ()
+  | v -> Alcotest.failf "hierarchical: expected unknown, got %s"
+           (Analysis.Fallback.verdict_name v)
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "escapes" `Quick test_json_escapes;
+          Alcotest.test_case "numbers" `Quick test_json_numbers;
+          Alcotest.test_case "errors" `Quick test_json_errors;
+        ] );
+      ( "lru",
+        [
+          Alcotest.test_case "hit/miss/evict" `Quick test_lru_basics;
+          Alcotest.test_case "replace" `Quick test_lru_replace_is_not_eviction;
+          Alcotest.test_case "capacity clamp" `Quick test_lru_capacity_clamped;
+          Alcotest.test_case "single flight" `Quick test_lru_single_flight;
+        ] );
+      ( "key",
+        [
+          Alcotest.test_case "stability and divergence" `Quick
+            test_key_stability_and_divergence;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "cache hit identical" `Quick
+            test_runner_cache_hit_identical;
+          Alcotest.test_case "degrades on timeout" `Quick
+            test_runner_degrades_on_timeout;
+          Alcotest.test_case "failure is an outcome" `Quick
+            test_runner_failure_is_an_outcome;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "priority and output order" `Quick
+            test_scheduler_priority_order_and_submission_output;
+          Alcotest.test_case "parallel agrees" `Quick
+            test_scheduler_parallel_agrees;
+          Alcotest.test_case "duplicates coalesce" `Quick
+            test_scheduler_concurrent_duplicates_coalesce;
+          Alcotest.test_case "cancellation" `Quick test_scheduler_cancellation;
+        ] );
+      ( "requests",
+        [
+          Alcotest.test_case "decoding" `Quick test_request_of_json;
+          Alcotest.test_case "manifest" `Quick test_manifest_lines;
+        ] );
+      ( "fallback",
+        [
+          Alcotest.test_case "schedulable" `Quick test_fallback_schedulable;
+          Alcotest.test_case "unschedulable" `Quick test_fallback_unschedulable;
+          Alcotest.test_case "edf crossover and hierarchical" `Quick
+            test_fallback_edf_crossover;
+        ] );
+    ]
