@@ -4,7 +4,7 @@
 # ocamlformat are dev-time tools, not build dependencies — the gate
 # degrades gracefully where they are absent).
 
-.PHONY: all build test doc fmt-check check bench-explore bench-service bench-smoke clean
+.PHONY: all build test doc fmt-check check bench-explore bench-service bench-sweep bench-smoke clean
 
 all: build
 
@@ -38,6 +38,11 @@ bench-explore:
 # (BENCH_service.json): verdict cache off vs on at 1 and 4 workers.
 bench-service:
 	dune exec bench/main.exe -- service
+
+# Regenerate the incremental-sensitivity telemetry (BENCH_sweep.json):
+# cet sweeps with the fragment cache on vs off, verdicts asserted equal.
+bench-sweep:
+	dune exec bench/main.exe -- sweep
 
 # Fast engine-agreement gate: both exploration engines must report
 # identical verdicts, counts and failing scenarios (seconds, not

@@ -873,6 +873,126 @@ let service_section ~json_path () =
       output_char oc '\n');
   Fmt.pr "telemetry written to %s@." json_path
 
+(* {1 Sweep: incremental sensitivity with fragment reuse on vs off}
+
+   The fragment IR's motivating workload: a cet sweep re-translates the
+   model once per point with exactly one thread perturbed, so with
+   reuse every other translation unit comes out of the fragment cache.
+   Records sweep wall-clock and reuse counters for both modes in
+   BENCH_sweep.json, asserting point-for-point verdict agreement. *)
+
+(* best of three: single sweeps run in milliseconds, where scheduler
+   noise would otherwise drown the translation-time difference *)
+let sweep_run ~reuse ~thread ~cets root =
+  let once () =
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    let points =
+      Analysis.Sensitivity.sweep
+        ~options:{ Analysis.Sensitivity.default_options with reuse }
+        ~thread ~cets root
+    in
+    (points, Unix.gettimeofday () -. t0)
+  in
+  let runs = List.init 3 (fun _ -> once ()) in
+  let points, wall =
+    List.fold_left
+      (fun (bp, bw) (p, w) -> if w < bw then (p, w) else (bp, bw))
+      (List.hd runs) (List.tl runs)
+  in
+  let reused, rebuilt =
+    List.fold_left
+      (fun (re, rb) (p : Analysis.Sensitivity.point) ->
+        ( re + p.Analysis.Sensitivity.fragments_reused,
+          rb + p.Analysis.Sensitivity.fragments_rebuilt ))
+      (0, 0) points
+  in
+  (points, wall, reused, rebuilt)
+
+let sweep_section ~json_path () =
+  hr "SWEEP: incremental sensitivity, fragment reuse on vs off";
+  let systems =
+    [
+      ("cruise_control", Gen.cruise_control (), [ "hci"; "ref_speed" ]);
+      ("e6_five", e6_model 5, [ "t1_i" ]);
+    ]
+  in
+  let cets = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let runs =
+    List.map
+      (fun (name, text, thread) ->
+        let root = Aadl.Instantiate.of_string text in
+        let on = sweep_run ~reuse:true ~thread ~cets root in
+        let off = sweep_run ~reuse:false ~thread ~cets root in
+        let verdicts (ps, _, _, _) =
+          List.map (fun (p : Analysis.Sensitivity.point) -> p.Analysis.Sensitivity.schedulable) ps
+        in
+        if verdicts on <> verdicts off then begin
+          Fmt.pr "%s: REUSE CHANGES VERDICTS@." name;
+          exit 1
+        end;
+        (name, thread, on, off))
+      systems
+  in
+  Fmt.pr "%-16s %10s %10s %8s %s@." "system" "reuse (s)" "scratch (s)"
+    "speedup" "fragments";
+  List.iter
+    (fun (name, _, (_, w_on, reused, rebuilt), (_, w_off, _, rebuilt_off)) ->
+      Fmt.pr "%-16s %10.3f %10.3f %8.2fx %d reused, %d rebuilt (vs %d)@." name
+        w_on w_off
+        (w_off /. max w_on 1e-9)
+        reused rebuilt rebuilt_off)
+    runs;
+  let json =
+    Service.Json.Obj
+      [
+        ("benchmark", Service.Json.String "incremental sensitivity sweep");
+        ( "note",
+          Service.Json.String
+            "one thread's cet swept over 8 points; with reuse only the \
+             perturbed thread's fragment is regenerated per point" );
+        ("points", Service.Json.Int (List.length cets));
+        ( "runs",
+          Service.Json.List
+            (List.map
+               (fun ( name,
+                      thread,
+                      (_, w_on, reused, rebuilt),
+                      (_, w_off, reused_off, rebuilt_off) ) ->
+                 Service.Json.Obj
+                   [
+                     ("system", Service.Json.String name);
+                     ( "thread",
+                       Service.Json.String (String.concat "." thread) );
+                     ( "reuse_on",
+                       Service.Json.Obj
+                         [
+                           ("wall_s", Service.Json.Float w_on);
+                           ("fragments_reused", Service.Json.Int reused);
+                           ("fragments_rebuilt", Service.Json.Int rebuilt);
+                         ] );
+                     ( "reuse_off",
+                       Service.Json.Obj
+                         [
+                           ("wall_s", Service.Json.Float w_off);
+                           ("fragments_reused", Service.Json.Int reused_off);
+                           ("fragments_rebuilt", Service.Json.Int rebuilt_off);
+                         ] );
+                     ( "speedup",
+                       Service.Json.Float (w_off /. max w_on 1e-9) );
+                     ("verdicts_agree", Service.Json.Bool true);
+                   ])
+               runs) );
+      ]
+  in
+  let oc = open_out json_path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Service.Json.to_string json);
+      output_char oc '\n');
+  Fmt.pr "telemetry written to %s@." json_path
+
 (* {1 Smoke: fast engine-agreement gate (the [make bench-smoke] target)}
 
    Runs in seconds, not minutes: both engines on a handful of small
@@ -959,6 +1079,11 @@ let () =
         match rest with p :: _ -> p | [] -> "BENCH_service.json"
       in
       service_section ~json_path ()
+  | _ :: "sweep" :: rest ->
+      let json_path =
+        match rest with p :: _ -> p | [] -> "BENCH_sweep.json"
+      in
+      sweep_section ~json_path ()
   | _ ->
   exp_f1 ();
   exp_f2_f3 ();

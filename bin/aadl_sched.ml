@@ -163,6 +163,9 @@ let handle_errors f =
   | Analysis.Latency.Error msg ->
       Fmt.epr "latency error: %s@." msg;
       exit 2
+  | Analysis.Sensitivity.Error msg ->
+      Fmt.epr "sensitivity error: %s@." msg;
+      exit 2
   | Aadl.Instance_xml.Error msg ->
       Fmt.epr "instance XML error: %s@." msg;
       exit 2
@@ -407,6 +410,7 @@ let run_latency file root_name quantum protocol jobs from_thread to_thread
       Analysis.Latency.translation_options = translation_options quantum protocol;
       max_states = 2_000_000;
       jobs;
+      engine = Analysis.Latency.default_options.Analysis.Latency.engine;
     }
   in
   let result =
@@ -449,7 +453,16 @@ let latency_cmd =
 
 (* {1 sensitivity} *)
 
-let run_sensitivity file root_name quantum protocol thread =
+let parse_sweep_range s =
+  match String.split_on_char ':' s with
+  | [ lo; hi ] -> (
+      match (int_of_string_opt lo, int_of_string_opt hi) with
+      | Some lo, Some hi when lo >= 1 && hi >= lo ->
+          Ok (List.init (hi - lo + 1) (fun i -> lo + i))
+      | _ -> Error (`Msg "expected LO:HI with 1 <= LO <= HI"))
+  | _ -> Error (`Msg "expected LO:HI, e.g. 1:8")
+
+let run_sensitivity file root_name quantum protocol thread sweep no_reuse =
   handle_errors @@ fun () ->
   let root = load_root file root_name in
   let options =
@@ -460,13 +473,24 @@ let run_sensitivity file root_name quantum protocol thread =
           translation_options = translation_options quantum protocol;
         };
       max_cmax = None;
+      reuse = not no_reuse;
     }
   in
-  (match thread with
-  | Some thread ->
-      let b = Analysis.Sensitivity.breakdown ~options ~thread root in
-      Fmt.pr "%a@." Analysis.Sensitivity.pp b
-  | None ->
+  let breakdown thread =
+    let b = Analysis.Sensitivity.breakdown ~options ~thread root in
+    Fmt.pr "%a@." Analysis.Sensitivity.pp b;
+    Fmt.pr "  %a@." Analysis.Sensitivity.pp_reuse b
+  in
+  (match (sweep, thread) with
+  | Some cets, Some thread ->
+      List.iter
+        (fun p -> Fmt.pr "%a@." Analysis.Sensitivity.pp_point p)
+        (Analysis.Sensitivity.sweep ~options ~thread ~cets root)
+  | Some _, None ->
+      Fmt.epr "--sweep requires --thread@.";
+      exit 2
+  | None, Some thread -> breakdown thread
+  | None, None ->
       (* all threads *)
       let q =
         match quantum with
@@ -476,11 +500,7 @@ let run_sensitivity file root_name quantum protocol thread =
       let wl = Translate.Workload.extract ~quantum:q root in
       List.iter
         (fun (t : Translate.Workload.task) ->
-          let b =
-            Analysis.Sensitivity.breakdown ~options
-              ~thread:t.Translate.Workload.path root
-          in
-          Fmt.pr "%a@." Analysis.Sensitivity.pp b)
+          breakdown t.Translate.Workload.path)
         wl.Translate.Workload.tasks);
   0
 
@@ -493,6 +513,27 @@ let thread_arg =
           "Thread to analyze (dotted instance path); default: every \
            thread in turn.")
 
+let sweep_arg =
+  let print ppf _ = Fmt.string ppf "LO:HI" in
+  let sweep_conv = Arg.conv (parse_sweep_range, print) in
+  Arg.(
+    value
+    & opt (some sweep_conv) None
+    & info [ "sweep" ] ~docv:"LO:HI"
+        ~doc:
+          "Instead of the binary-search breakdown, probe every cet in the \
+           inclusive quanta range and print one verdict per point with its \
+           fragment reuse counters.  Requires $(b,--thread).")
+
+let no_reuse_arg =
+  Arg.(
+    value & flag
+    & info [ "no-reuse" ]
+        ~doc:
+          "Disable the fragment cache shared across probe points: every \
+           point re-generates the full translation (the from-scratch \
+           baseline the reuse counters are measured against).")
+
 let sensitivity_cmd =
   Cmd.v
     (Cmd.info "sensitivity"
@@ -501,7 +542,7 @@ let sensitivity_cmd =
           before the system becomes unschedulable.")
     Term.(
       const run_sensitivity $ file_arg $ root_arg $ quantum_arg
-      $ protocol_arg $ thread_arg)
+      $ protocol_arg $ thread_arg $ sweep_arg $ no_reuse_arg)
 
 (* {1 report} *)
 
@@ -742,7 +783,9 @@ let run_batch manifest workers engine no_cache cache_size timeout =
       (match config.Service.Runner.cache with
       | Some cache ->
           Fmt.epr "cache: %a@." Service.Lru.pp_counters
-            (Service.Lru.counters cache)
+            (Service.Lru.counters cache);
+          Fmt.epr "misses: %a@." Service.Runner.pp_attribution
+            (Service.Runner.attribution_counters config)
       | None -> ());
       if
         List.exists
@@ -796,7 +839,7 @@ let serve_cmd =
 
 let main =
   Cmd.group
-    (Cmd.info "aadl_sched" ~version:"1.0.0"
+    (Cmd.info "aadl_sched" ~version:Version.version
        ~doc:
          "Schedulability analysis of AADL models by translation to the \
           real-time process algebra ACSR (Sokolsky, Lee, Clarke; IPDPS \

@@ -59,6 +59,7 @@ type options = {
   translation_options : Translate.Pipeline.options;
   max_states : int;
   jobs : int;  (** domains for parallel exploration *)
+  engine : Versa.Explorer.engine;
 }
 
 let default_options =
@@ -66,6 +67,7 @@ let default_options =
     translation_options = Translate.Pipeline.default_options;
     max_states = 2_000_000;
     jobs = 1;
+    engine = Versa.Explorer.On_the_fly;
   }
 
 exception Error of string
@@ -124,12 +126,14 @@ let check ?(options = default_options) ~(from_thread : string list)
       (Label.Set.of_list [ start_l; end_l ])
       (Proc.par tr.Translate.Pipeline.system (Proc.call observer_name []))
   in
-  (* Observer queries keep the [Full] engine: callers such as
-     [Response.worst_response] bisect over repeated explorations and may
-     inspect the graph, and latency verdicts are inherently
-     whole-space questions. *)
+  (* The observer question is plain reachability of the deadlocked
+     observer state, so the compact on-the-fly engine is the default:
+     both engines produce identical verdicts and shortest
+     counterexamples, and no caller walks the graph afterwards
+     ([Response.worst_response] bisects over verdicts only).  [Full]
+     remains available for graph consumers (DOT export). *)
   let exploration =
-    Versa.Explorer.check_deadlock ~engine:Versa.Explorer.Full
+    Versa.Explorer.check_deadlock ~engine:options.engine
       ~max_states:options.max_states ~jobs:options.jobs defs system
   in
   let verdict =

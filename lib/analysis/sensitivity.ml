@@ -7,7 +7,21 @@
    so binary search over a synthetic Compute_Execution_Time override
    finds the breakdown point exactly.  This is the "design exploration"
    use the paper's introduction motivates: analyze alternatives early, at
-   the architecture level. *)
+   the architecture level.
+
+   Every probe re-translates the model with one thread's cet changed —
+   the motivating case for the fragment IR: all probes share one
+   Fragment_cache, so each point re-generates only the perturbed
+   thread's skeleton/dispatcher fragment (its digest covers cmin/cmax)
+   and reuses every other unit by physical identity.  The sweep quantum
+   is pinned before probing so digests stay comparable across points. *)
+
+type point = {
+  cet : int;  (** quanta *)
+  schedulable : bool;
+  fragments_reused : int;
+  fragments_rebuilt : int;
+}
 
 type t = {
   thread : string list;
@@ -17,16 +31,27 @@ type t = {
           schedulable; [None] when the system is unschedulable already at
           cet = 1 *)
   slack : int option;  (** breakdown - original, when both exist *)
+  probes : int;  (** exploration runs performed by the search *)
+  fragments_reused : int;  (** across all probes *)
+  fragments_rebuilt : int;
 }
 
 type options = {
   schedulability : Schedulability.options;
   max_cmax : int option;
       (** search ceiling; defaults to the thread's deadline *)
+  reuse : bool;
+      (** share a {!Translate.Fragment_cache} across probe points
+          (default true); [false] re-generates every fragment at every
+          point — the from-scratch baseline *)
 }
 
 let default_options =
-  { schedulability = Schedulability.default_options; max_cmax = None }
+  {
+    schedulability = Schedulability.default_options;
+    max_cmax = None;
+    reuse = true;
+  }
 
 exception Error of string
 
@@ -64,7 +89,7 @@ let with_cet ~(quantum : Aadl.Time.t) ~(thread : string list) ~cet
   in
   update root thread
 
-let schedulable_with ~options ~quantum ~thread ~cet root =
+let probe ~options ~cache ~quantum ~thread ~cet root : point =
   let root' = with_cet ~quantum ~thread ~cet root in
   let sched_options =
     {
@@ -76,22 +101,48 @@ let schedulable_with ~options ~quantum ~thread ~cet root =
         };
     }
   in
-  match Schedulability.analyze ~options:sched_options root' with
-  | r -> Schedulability.is_schedulable r
+  match
+    Translate.Pipeline.translate
+      ~options:sched_options.Schedulability.translation_options ?cache root'
+  with
   | exception Translate.Pipeline.Error _ ->
       (* cet beyond the deadline is trivially unschedulable *)
-      false
+      { cet; schedulable = false; fragments_reused = 0; fragments_rebuilt = 0 }
+  | tr ->
+      let r = Schedulability.analyze_translation ~options:sched_options tr in
+      {
+        cet;
+        schedulable = Schedulability.is_schedulable r;
+        fragments_reused = tr.Translate.Pipeline.fragments_reused;
+        fragments_rebuilt =
+          List.length tr.Translate.Pipeline.fragments
+          - tr.Translate.Pipeline.fragments_reused;
+      }
+
+let resolved_quantum ~options root =
+  match
+    options.schedulability.Schedulability.translation_options
+      .Translate.Pipeline.quantum
+  with
+  | Some q -> q
+  | None -> Translate.Workload.suggest_quantum root
+
+let fragment_cache options =
+  if options.reuse then Some (Translate.Fragment_cache.create ()) else None
+
+let sweep ?(options = default_options) ~(thread : string list) ~(cets : int list)
+    (root : Aadl.Instance.t) : point list =
+  let quantum = resolved_quantum ~options root in
+  let wl = Translate.Workload.extract ~quantum root in
+  if Translate.Workload.find_task wl thread = None then
+    raise
+      (Error (Fmt.str "no thread %a in the model" Aadl.Instance.pp_path thread));
+  let cache = fragment_cache options in
+  List.map (fun cet -> probe ~options ~cache ~quantum ~thread ~cet root) cets
 
 let breakdown ?(options = default_options) ~(thread : string list)
     (root : Aadl.Instance.t) : t =
-  let quantum =
-    match
-      options.schedulability.Schedulability.translation_options
-        .Translate.Pipeline.quantum
-    with
-    | Some q -> q
-    | None -> Translate.Workload.suggest_quantum root
-  in
+  let quantum = resolved_quantum ~options root in
   let wl = Translate.Workload.extract ~quantum root in
   let task =
     match Translate.Workload.find_task wl thread with
@@ -107,9 +158,27 @@ let breakdown ?(options = default_options) ~(thread : string list)
     | Some m -> m
     | None -> task.Translate.Workload.deadline
   in
-  let ok cet = schedulable_with ~options ~quantum ~thread ~cet root in
-  if not (ok 1) then
-    { thread; original_cmax; breakdown_cmax = None; slack = None }
+  let cache = fragment_cache options in
+  let probes = ref 0 and reused = ref 0 and rebuilt = ref 0 in
+  let ok cet =
+    let p = probe ~options ~cache ~quantum ~thread ~cet root in
+    incr probes;
+    reused := !reused + p.fragments_reused;
+    rebuilt := !rebuilt + p.fragments_rebuilt;
+    p.schedulable
+  in
+  let result breakdown_cmax slack =
+    {
+      thread;
+      original_cmax;
+      breakdown_cmax;
+      slack;
+      probes = !probes;
+      fragments_reused = !reused;
+      fragments_rebuilt = !rebuilt;
+    }
+  in
+  if not (ok 1) then result None None
   else begin
     (* largest passing cet in [1, ceiling]: binary search on the monotone
        boundary *)
@@ -121,12 +190,7 @@ let breakdown ?(options = default_options) ~(thread : string list)
         if ok mid then search mid hi else search lo (mid - 1)
     in
     let b = search 1 ceiling in
-    {
-      thread;
-      original_cmax;
-      breakdown_cmax = Some b;
-      slack = Some (b - original_cmax);
-    }
+    result (Some b) (Some (b - original_cmax))
   end
 
 let pp ppf t =
@@ -138,3 +202,12 @@ let pp ppf t =
       Fmt.pf ppf "%a: cet %d, breakdown %d (slack %d quanta)"
         Aadl.Instance.pp_path t.thread t.original_cmax b
         (Option.value t.slack ~default:0)
+
+let pp_reuse ppf t =
+  Fmt.pf ppf "%d probes: %d fragments rebuilt, %d reused" t.probes
+    t.fragments_rebuilt t.fragments_reused
+
+let pp_point ppf p =
+  Fmt.pf ppf "cet %d: %s (%d fragments rebuilt, %d reused)" p.cet
+    (if p.schedulable then "schedulable" else "NOT schedulable")
+    p.fragments_rebuilt p.fragments_reused

@@ -1,6 +1,26 @@
-(* Cache keys: MD5 over instance XML + an options fingerprint.  The
-   fingerprint is versioned ("v1;") so a schema change invalidates old
-   keys instead of aliasing them. *)
+(* Cache keys for analysis verdicts.
+
+   A key is Merkle-style: the leaves are the translation plan's fragment
+   digests (one per thread/queue/stimulus/mode-manager unit), the root
+   [merkle] digests the sorted leaves together with a versioned options
+   fingerprint.  Two requests share a verdict cache entry iff every
+   translation unit and every verdict-relevant option agree — and when
+   they do not, diffing the leaves names exactly the components that
+   changed, which the runner surfaces as miss-attribution counters.
+
+   [structure] digests the fragment ids alone (no content, no options):
+   it identifies "the same system, possibly edited", so an edited model
+   maps to its predecessor for attribution.
+
+   Models that cannot be planned (untranslatable) fall back to a
+   whole-instance digest, keeping failure keys stable without fragment
+   leaves. *)
+
+type t = {
+  merkle : string;
+  structure : string;
+  fragments : (string * string) list;  (* (id, digest), sorted by id *)
+}
 
 let options_fingerprint ~protocol ~quantum_us ~max_states ~timeout_s =
   let opt f = function None -> "-" | Some v -> f v in
@@ -14,8 +34,60 @@ let of_instance root ~options =
   let xml = Aadl.Instance_xml.to_string root in
   Digest.to_hex (Digest.string (xml ^ "\x00" ^ options))
 
+let of_fragments fragments ~options =
+  let fragments =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) fragments
+  in
+  let leaf_text =
+    String.concat "\x1e"
+      (List.map (fun (id, digest) -> id ^ "=" ^ digest) fragments)
+  in
+  {
+    merkle = Digest.to_hex (Digest.string (leaf_text ^ "\x00" ^ options));
+    structure =
+      Digest.to_hex (Digest.string (String.concat "\x1e" (List.map fst fragments)));
+    fragments;
+  }
+
+let of_plan (plan : Translate.Fragment.plan) ~options =
+  of_fragments (Translate.Fragment.digests plan) ~options
+
+let translation_options (req : Job.request) =
+  {
+    Translate.Pipeline.default_options with
+    quantum =
+      Option.map (fun us -> Aadl.Time.make us Aadl.Time.Us) req.Job.quantum_us;
+    force_protocol = req.Job.protocol;
+  }
+
+let request_fingerprint (req : Job.request) =
+  options_fingerprint ~protocol:req.Job.protocol ~quantum_us:req.Job.quantum_us
+    ~max_states:req.Job.max_states ~timeout_s:req.Job.timeout_s
+
 let of_request root (req : Job.request) =
-  of_instance root
-    ~options:
-      (options_fingerprint ~protocol:req.protocol ~quantum_us:req.quantum_us
-         ~max_states:req.max_states ~timeout_s:req.timeout_s)
+  let options = request_fingerprint req in
+  match Translate.Pipeline.plan ~options:(translation_options req) root with
+  | plan -> of_plan plan ~options
+  | exception _ ->
+      (* untranslatable model: whole-instance fallback, no leaves *)
+      {
+        merkle = of_instance root ~options;
+        structure = "untranslatable";
+        fragments = [];
+      }
+
+(* Leaves present in only one key, or with different digests: the
+   components a cache miss is attributable to.  Both lists are sorted by
+   id, so a linear merge suffices. *)
+let changed_fragments ~(prev : t) (next : t) =
+  let rec merge acc xs ys =
+    match (xs, ys) with
+    | [], rest | rest, [] -> List.rev_append acc (List.map fst rest)
+    | (xi, xd) :: xtl, (yi, yd) :: ytl ->
+        let c = String.compare xi yi in
+        if c = 0 then
+          merge (if String.equal xd yd then acc else xi :: acc) xtl ytl
+        else if c < 0 then merge (xi :: acc) xtl ys
+        else merge (yi :: acc) xs ytl
+  in
+  merge [] prev.fragments next.fragments |> List.sort_uniq String.compare

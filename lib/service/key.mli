@@ -1,14 +1,26 @@
-(** Content-addressed cache keys for analysis verdicts.
+(** Content-addressed cache keys for analysis verdicts, Merkle-style.
 
-    A key is an MD5 hex digest over the canonical XML serialisation of
-    the {e instantiated} model ({!Aadl.Instance_xml.to_string}) plus a
-    fingerprint of every request option that can change the verdict
-    (protocol override, quantum, state budget, wall-clock budget).
-    Keying on the instance rather than the source text means two
-    manifest entries naming different files with identical systems — or
-    the same file through different relative paths — share one cache
-    entry, while any change to a property that survives instantiation
-    produces a fresh key. *)
+    The leaves are the fragment digests of the request's translation
+    plan ({!Translate.Fragment.digests}); the [merkle] root combines
+    them with a fingerprint of every request option that can change the
+    verdict (protocol override, quantum, state budget, wall-clock
+    budget).  Keying on the plan rather than the source text means two
+    manifest entries naming different files with identical systems share
+    one cache entry, any change to a property that survives
+    instantiation produces a fresh key — and a miss can be {e
+    attributed}: diffing the leaves of the old and new key of the same
+    [structure] names the components that changed. *)
+
+type t = {
+  merkle : string;
+      (** the cache key: digest over sorted leaves + options fingerprint *)
+  structure : string;
+      (** digest over the fragment {e ids} only — stable across content
+          edits, used to pair a missed key with its predecessor *)
+  fragments : (string * string) list;
+      (** the leaves: [(fragment id, fragment digest)], sorted by id;
+          empty for untranslatable models (whole-instance fallback) *)
+}
 
 val options_fingerprint :
   protocol:Aadl.Props.scheduling_protocol option ->
@@ -19,9 +31,28 @@ val options_fingerprint :
 (** Canonical, versioned text form of the analysis options. *)
 
 val of_instance : Aadl.Instance.t -> options:string -> string
-(** [of_instance root ~options] digests the serialised instance together
-    with an {!options_fingerprint} and returns the 32-char hex key. *)
+(** Whole-instance digest (serialised XML + options): the pre-Merkle
+    key shape, kept as the fallback for untranslatable models. *)
 
-val of_request : Aadl.Instance.t -> Job.request -> string
+val of_fragments : (string * string) list -> options:string -> t
+(** Build a key from explicit [(id, digest)] leaves (sorted
+    internally). *)
+
+val of_plan : Translate.Fragment.plan -> options:string -> t
+(** Key over a prepared translation plan. *)
+
+val of_request : Aadl.Instance.t -> Job.request -> t
 (** Key for running [request]'s analysis options against the already
-    instantiated [root]. *)
+    instantiated [root]; plans the translation internally and falls
+    back to {!of_instance} when the model cannot be planned. *)
+
+val request_fingerprint : Job.request -> string
+(** The {!options_fingerprint} of a request's options. *)
+
+val translation_options : Job.request -> Translate.Pipeline.options
+(** The translation options a request implies (quantum, protocol) —
+    shared between keying and running so they cannot drift. *)
+
+val changed_fragments : prev:t -> t -> string list
+(** Fragment ids added, removed, or digest-changed between two keys;
+    sorted, duplicate-free. *)

@@ -1,17 +1,103 @@
-(* One job, end to end: load -> cache probe -> budgeted exploration ->
-   degradation ladder -> cache fill.  See runner.mli. *)
+(* One job, end to end: load -> plan -> cache probe -> budgeted
+   exploration -> degradation ladder -> cache fill.  See runner.mli. *)
+
+(* Miss attribution: remember the last Merkle key seen per structure
+   digest; when a later key of the same structure misses, the changed
+   fragment ids name the components responsible. *)
+type attribution = {
+  mutable novel : int;
+  mutable options_only : int;
+  last : (string, Key.t) Hashtbl.t;  (* structure -> last key *)
+  changed : (string, int) Hashtbl.t;  (* fragment id -> miss count *)
+  mutex : Mutex.t;
+}
+
+type attribution_counters = {
+  novel : int;
+  options_only : int;
+  changed_components : (string * int) list;
+}
+
+let create_attribution () =
+  {
+    novel = 0;
+    options_only = 0;
+    last = Hashtbl.create 16;
+    changed = Hashtbl.create 16;
+    mutex = Mutex.create ();
+  }
 
 type config = {
   cache : Job.outcome Lru.t option;
   jobs : int;
   engine : Versa.Explorer.engine;
+  fragments : Translate.Fragment_cache.t option;
+  attribution : attribution option;
 }
 
 let default_config =
-  { cache = None; jobs = 1; engine = Versa.Explorer.On_the_fly }
+  {
+    cache = None;
+    jobs = 1;
+    engine = Versa.Explorer.On_the_fly;
+    fragments = None;
+    attribution = None;
+  }
 
 let with_cache ?(capacity = 256) config =
-  { config with cache = Some (Lru.create ~capacity) }
+  {
+    config with
+    cache = Some (Lru.create ~capacity);
+    fragments = Some (Translate.Fragment_cache.create ());
+    attribution = Some (create_attribution ());
+  }
+
+let attribute config (key : Key.t) =
+  match config.attribution with
+  | None -> ()
+  | Some a ->
+      Mutex.lock a.mutex;
+      (match Hashtbl.find_opt a.last key.Key.structure with
+      | Some prev -> (
+          match Key.changed_fragments ~prev key with
+          | [] -> a.options_only <- a.options_only + 1
+          | ids ->
+              List.iter
+                (fun id ->
+                  Hashtbl.replace a.changed id
+                    (1
+                    + Option.value ~default:0 (Hashtbl.find_opt a.changed id)))
+                ids)
+      | None -> a.novel <- a.novel + 1);
+      Hashtbl.replace a.last key.Key.structure key;
+      Mutex.unlock a.mutex
+
+let attribution_counters config =
+  match config.attribution with
+  | None -> { novel = 0; options_only = 0; changed_components = [] }
+  | Some a ->
+      Mutex.lock a.mutex;
+      let changed_components =
+        Hashtbl.fold (fun id n acc -> (id, n) :: acc) a.changed []
+        |> List.sort (fun (ia, na) (ib, nb) ->
+               match compare nb na with 0 -> String.compare ia ib | c -> c)
+      in
+      let r =
+        { novel = a.novel; options_only = a.options_only; changed_components }
+      in
+      Mutex.unlock a.mutex;
+      r
+
+let pp_attribution ppf (c : attribution_counters) =
+  Fmt.pf ppf "%d novel, %d options-only%a" c.novel c.options_only
+    (fun ppf -> function
+      | [] -> ()
+      | changed ->
+          Fmt.pf ppf "; changed: %a"
+            (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (id, n) ->
+                 Fmt.pf ppf "%s (%d)" id n))
+            changed)
+    c.changed_components
 
 let read_file path =
   let ic = open_in_bin path in
@@ -44,13 +130,8 @@ let load_error = function
 
 let analysis_options (config : config) (req : Job.request) ~now ~cancel =
   {
-    Analysis.Schedulability.translation_options =
-      {
-        Translate.Pipeline.default_options with
-        quantum =
-          Option.map (fun us -> Aadl.Time.make us Aadl.Time.Us) req.quantum_us;
-        force_protocol = req.protocol;
-      };
+    (* keying and running share the translation options: see Key *)
+    Analysis.Schedulability.translation_options = Key.translation_options req;
     max_states = req.max_states;
     all_violations = false;
     jobs = config.jobs;
@@ -71,9 +152,9 @@ let degrade ~reason (req : Job.request) (result : Analysis.Schedulability.t) =
       Job.Bounded { analytic_schedulable = false; method_ = m }
   | Analysis.Fallback.Unknown m -> Job.Unknown (reason ^ "; " ^ m)
 
-let explore config (req : Job.request) root ~now ~cancel =
-  let options = analysis_options config req ~now ~cancel in
-  let result = Analysis.Schedulability.analyze ~options root in
+let explore config (req : Job.request) ~options plan ~cancel =
+  let tr = Translate.Pipeline.of_plan ?cache:config.fragments plan in
+  let result = Analysis.Schedulability.analyze_translation ~options tr in
   let states = Versa.Explorer.num_states result.exploration in
   let verdict, degraded =
     match result.verdict with
@@ -104,44 +185,52 @@ let run ?cancel config (req : Job.request) =
       wall_s = Unix.gettimeofday () -. now;
     }
   in
-  let compute root =
-    match explore config req root ~now ~cancel with
-    | verdict, degraded, states -> outcome verdict ~states ~degraded
-    | exception e -> (
-        match load_error e with
-        | Some msg -> outcome (Job.Failed msg) ~states:0 ~degraded:false
-        | None -> raise e)
+  let failed e =
+    match load_error e with
+    | Some msg -> outcome (Job.Failed msg) ~states:0 ~degraded:false
+    | None -> raise e
   in
   match load_instance req with
-  | exception e -> (
-      match load_error e with
-      | Some msg -> outcome (Job.Failed msg) ~states:0 ~degraded:false
-      | None -> raise e)
+  | exception e -> failed e
   | root -> (
-      match config.cache with
-      | None -> compute root
-      | Some cache -> (
-          let key = Key.of_request root req in
-          (* Single-flight: concurrent duplicates wait for the lease
-             holder instead of re-exploring, so a duplicate manifest
-             entry is a cache hit at any worker count. *)
-          match Lru.find_or_lease cache key with
-          | `Hit o ->
-              {
-                o with
-                Job.id = req.id;
-                cached = true;
-                wall_s = Unix.gettimeofday () -. now;
-              }
-          | `Lease ->
-              let stored = ref false in
-              Fun.protect
-                ~finally:(fun () -> if not !stored then Lru.abandon cache key)
-                (fun () ->
-                  let o = compute root in
-                  (match o.Job.verdict with
-                  | Job.Cancelled | Job.Failed _ -> ()
-                  | _ ->
-                      Lru.fulfill cache key o;
-                      stored := true);
-                  o)))
+      let options = analysis_options config req ~now ~cancel in
+      match
+        Translate.Pipeline.plan
+          ~options:options.Analysis.Schedulability.translation_options root
+      with
+      | exception e -> failed e
+      | plan -> (
+          let compute () =
+            match explore config req ~options plan ~cancel with
+            | verdict, degraded, states -> outcome verdict ~states ~degraded
+            | exception e -> failed e
+          in
+          match config.cache with
+          | None -> compute ()
+          | Some cache -> (
+              let key = Key.of_plan plan ~options:(Key.request_fingerprint req) in
+              (* Single-flight: concurrent duplicates wait for the lease
+                 holder instead of re-exploring, so a duplicate manifest
+                 entry is a cache hit at any worker count. *)
+              match Lru.find_or_lease cache key.Key.merkle with
+              | `Hit o ->
+                  {
+                    o with
+                    Job.id = req.id;
+                    cached = true;
+                    wall_s = Unix.gettimeofday () -. now;
+                  }
+              | `Lease ->
+                  attribute config key;
+                  let stored = ref false in
+                  Fun.protect
+                    ~finally:(fun () ->
+                      if not !stored then Lru.abandon cache key.Key.merkle)
+                    (fun () ->
+                      let o = compute () in
+                      (match o.Job.verdict with
+                      | Job.Cancelled | Job.Failed _ -> ()
+                      | _ ->
+                          Lru.fulfill cache key.Key.merkle o;
+                          stored := true);
+                      o))))

@@ -7,6 +7,7 @@ let counters_json (config : Runner.config) =
     | None ->
         { Lru.hits = 0; misses = 0; evictions = 0; size = 0; capacity = 0 }
   in
+  let a = Runner.attribution_counters config in
   Json.Obj
     [
       ("hits", Json.Int c.Lru.hits);
@@ -14,6 +15,13 @@ let counters_json (config : Runner.config) =
       ("evictions", Json.Int c.Lru.evictions);
       ("size", Json.Int c.Lru.size);
       ("capacity", Json.Int c.Lru.capacity);
+      ("novel_misses", Json.Int a.Runner.novel);
+      ("options_only_misses", Json.Int a.Runner.options_only);
+      ( "changed_components",
+        Json.Obj
+          (List.map
+             (fun (id, n) -> (id, Json.Int n))
+             a.Runner.changed_components) );
     ]
 
 let respond oc json =

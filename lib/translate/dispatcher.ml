@@ -48,11 +48,13 @@ let send_dispatch ?(probes : Label.t list = []) label k =
 (* The triggers of an event-driven dispatcher: one dequeue input per
    incoming event-like connection, prioritized by Urgency (>= 1 keeps the
    synchronization urgent). *)
-let trigger_inputs ~(registry : Naming.registry) (task : Workload.task) k =
+let trigger_inputs ?(scope : Naming.scope option)
+    ~(registry : Naming.registry) (task : Workload.task) k =
+  let sconn c = match scope with Some s -> Naming.scoped_conn s c | None -> c in
   List.map
     (fun (sc : Aadl.Semconn.t) ->
       let cname = Aadl.Semconn.name sc in
-      let deq = Naming.dequeue_label cname in
+      let deq = Naming.dequeue_label (sconn cname) in
       Naming.register_label registry deq (Naming.Dequeue_on cname);
       let urgency =
         match Aadl.Props.urgency (Aadl.Semconn.props sc) with
@@ -62,10 +64,16 @@ let trigger_inputs ~(registry : Naming.registry) (task : Workload.task) k =
       Proc.receive ~prio:(Expr.Int urgency) deq k)
     task.Workload.incoming_events
 
-let generate ?(modal : modal_gate option) ~(dispatch_probes : Label.t list)
+let generate ?(scope : Naming.scope option) ?(modal : modal_gate option)
+    ~(dispatch_probes : Label.t list)
     ~(registry : Naming.registry) ~(task : Workload.task)
     ~(dispatch : Label.t) ~(done_ : Label.t) () : t =
-  let path = task.Workload.path in
+  let path =
+    match scope with
+    | Some s -> Naming.scoped_path s task.Workload.path
+    | None -> task.Workload.path
+  in
+  let trigger_inputs = trigger_inputs ?scope in
   let d = task.Workload.deadline in
   let main = Naming.dispatcher path in
   let wait = Naming.dispatcher_wait path in
@@ -145,7 +153,7 @@ let generate ?(modal : modal_gate option) ~(dispatch_probes : Label.t list)
         raise
           (Invalid
              (Fmt.str "aperiodic thread %a has no incoming event connection"
-                Aadl.Instance.pp_path path));
+                Aadl.Instance.pp_path task.Workload.path));
       let dispatch_now = send_dispatch dispatch (Proc.call wait [ Expr.Int 0 ]) in
       let main_body =
         Proc.choice_list
@@ -171,7 +179,7 @@ let generate ?(modal : modal_gate option) ~(dispatch_probes : Label.t list)
         raise
           (Invalid
              (Fmt.str "sporadic thread %a has no incoming event connection"
-                Aadl.Instance.pp_path path));
+                Aadl.Instance.pp_path task.Workload.path));
       let p =
         match task.Workload.period with
         | Some p -> p

@@ -14,6 +14,7 @@ type modal_gate = {
 exception Invalid of string
 
 val generate :
+  ?scope:Naming.scope ->
   ?modal:modal_gate ->
   dispatch_probes:Label.t list ->
   registry:Naming.registry ->

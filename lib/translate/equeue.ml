@@ -17,15 +17,18 @@ type t = { defs : (string * string list * Proc.t) list; initial : Proc.t }
 
 let var_n = Expr.Var "n"
 
-let queue ~(registry : Naming.registry) ~(root : Aadl.Instance.t)
-    (sc : Aadl.Semconn.t) : t =
-  let cname = Aadl.Semconn.name sc in
-  let enq = Naming.enqueue_label cname in
-  let deq = Naming.dequeue_label cname in
-  Naming.register_label registry enq (Naming.Enqueue_on cname);
-  Naming.register_label registry deq (Naming.Dequeue_on cname);
-  (* Queue_Size and Overflow_Handling_Protocol come from the last port of
-     the connection (the ultimate destination feature). *)
+type queue_params = {
+  size : int;
+  overflow : Aadl.Props.overflow_handling;
+  urgency : int;
+}
+
+(* Queue_Size and Overflow_Handling_Protocol come from the last port of
+   the connection (the ultimate destination feature).  Exposed so the
+   fragment planner can digest exactly the inputs the generation below
+   reads. *)
+let queue_params ~(root : Aadl.Instance.t) (sc : Aadl.Semconn.t) : queue_params
+    =
   let dst_props =
     match Aadl.Semconn.dst_feature root sc with
     | Some f -> f.Aadl.Ast.fprops
@@ -38,7 +41,20 @@ let queue ~(registry : Naming.registry) ~(root : Aadl.Instance.t)
     | Some u -> max 1 u
     | None -> 1
   in
-  let qname = Naming.queue cname in
+  { size; overflow; urgency }
+
+let queue ?(scope : Naming.scope option) ~(registry : Naming.registry)
+    ~(root : Aadl.Instance.t) (sc : Aadl.Semconn.t) : t =
+  let cname = Aadl.Semconn.name sc in
+  let sname =
+    match scope with Some s -> Naming.scoped_conn s cname | None -> cname
+  in
+  let enq = Naming.enqueue_label sname in
+  let deq = Naming.dequeue_label sname in
+  Naming.register_label registry enq (Naming.Enqueue_on cname);
+  Naming.register_label registry deq (Naming.Dequeue_on cname);
+  let { size; overflow; urgency } = queue_params ~root sc in
+  let qname = Naming.queue sname in
   let on_overflow =
     match overflow with
     | Aadl.Props.Drop_newest | Aadl.Props.Drop_oldest ->
@@ -70,22 +86,29 @@ let queue ~(registry : Naming.registry) ~(root : Aadl.Instance.t)
    source is a device.  A device with a Period property raises its event
    periodically (starting at t=0); without one it may raise events at any
    time, nondeterministically. *)
-let stimulus ~(registry : Naming.registry) ~(root : Aadl.Instance.t)
-    ~(quantum : Aadl.Time.t) (sc : Aadl.Semconn.t) : t =
+let stimulus_period ~(root : Aadl.Instance.t) ~(quantum : Aadl.Time.t)
+    (sc : Aadl.Semconn.t) : int option =
+  match Aadl.Instance.find root sc.Aadl.Semconn.src.Aadl.Semconn.inst with
+  | None -> None
+  | Some dev ->
+      Option.map
+        (Aadl.Time.to_quanta_floor ~quantum)
+        (Aadl.Props.period dev.Aadl.Instance.props)
+
+let stimulus ?(scope : Naming.scope option) ~(registry : Naming.registry)
+    ~(root : Aadl.Instance.t) ~(quantum : Aadl.Time.t) (sc : Aadl.Semconn.t) :
+    t =
   let cname = Aadl.Semconn.name sc in
-  let enq = Naming.enqueue_label cname in
-  Naming.register_label registry enq (Naming.Enqueue_on cname);
-  let device = Aadl.Instance.find root sc.Aadl.Semconn.src.Aadl.Semconn.inst in
-  let period =
-    match device with
-    | None -> None
-    | Some dev ->
-        Option.map
-          (Aadl.Time.to_quanta_floor ~quantum)
-          (Aadl.Props.period dev.Aadl.Instance.props)
+  let scoped_cname =
+    match scope with Some s -> Naming.scoped_conn s cname | None -> cname
   in
+  let enq = Naming.enqueue_label scoped_cname in
+  Naming.register_label registry enq (Naming.Enqueue_on cname);
+  let period = stimulus_period ~root ~quantum sc in
+  let src_path = sc.Aadl.Semconn.src.Aadl.Semconn.inst in
   let sname =
-    Naming.stimulus sc.Aadl.Semconn.src.Aadl.Semconn.inst
+    Naming.stimulus
+      (match scope with Some s -> Naming.scoped_path s src_path | None -> src_path)
       sc.Aadl.Semconn.src.Aadl.Semconn.feature
   in
   match period with

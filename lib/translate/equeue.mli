@@ -3,14 +3,35 @@
 
 type t = { defs : (string * string list * Acsr.Proc.t) list; initial : Acsr.Proc.t }
 
+type queue_params = {
+  size : int;  (** [Queue_Size] of the destination port, clamped >= 1 *)
+  overflow : Aadl.Props.overflow_handling;
+  urgency : int;  (** dequeue priority, clamped >= 1 *)
+}
+
+val queue_params : root:Aadl.Instance.t -> Aadl.Semconn.t -> queue_params
+(** Exactly the model inputs {!queue} reads — the fragment planner
+    digests these to decide whether a cached queue process can be
+    reused. *)
+
+val stimulus_period :
+  root:Aadl.Instance.t -> quantum:Aadl.Time.t -> Aadl.Semconn.t -> int option
+(** The source device's [Period] in quanta, when it has one — the model
+    input that shapes {!stimulus}. *)
+
 val queue :
-  registry:Naming.registry -> root:Aadl.Instance.t -> Aadl.Semconn.t -> t
+  ?scope:Naming.scope ->
+  registry:Naming.registry ->
+  root:Aadl.Instance.t ->
+  Aadl.Semconn.t ->
+  t
 (** The counter process of a semantic event/event-data connection, sized by
     the destination port's [Queue_Size], with its
     [Overflow_Handling_Protocol] behaviour (Error blocks time and thus
     surfaces as a deadlock). *)
 
 val stimulus :
+  ?scope:Naming.scope ->
   registry:Naming.registry ->
   root:Aadl.Instance.t ->
   quantum:Aadl.Time.t ->

@@ -23,6 +23,75 @@ let sanitize s =
 
 let of_path path = sanitize (String.concat "_" path)
 
+(* {1 Collision-proof scopes}
+
+   [of_path] flattens the component hierarchy with '_', so distinct paths
+   can alias: a top-level thread "a_b" and a thread "b" inside a process
+   "a" both sanitize to "a_b", and every name derived from the path (the
+   skeleton and dispatcher definitions, the dispatch/done labels, the
+   resources) would collide.  A scope detects such collisions within one
+   translation and qualifies the later claimant with a short digest of
+   its real identity, leaving every unambiguous name exactly as before.
+   Qualification is deterministic: it depends only on the raw identity,
+   not on claim order, so re-planning the same model reproduces the same
+   names. *)
+
+type scope = {
+  path_assigned : (string, string list) Hashtbl.t;  (* raw key -> path *)
+  path_owners : (string, string) Hashtbl.t;  (* sanitized base -> raw key *)
+  conn_assigned : (string, string) Hashtbl.t;
+  conn_owners : (string, string) Hashtbl.t;
+}
+
+let create_scope () =
+  {
+    path_assigned = Hashtbl.create 16;
+    path_owners = Hashtbl.create 16;
+    conn_assigned = Hashtbl.create 16;
+    conn_owners = Hashtbl.create 16;
+  }
+
+let short_digest raw = String.sub (Digest.to_hex (Digest.string raw)) 0 6
+
+let scoped_path scope path =
+  let raw = String.concat "\x00" path in
+  match Hashtbl.find_opt scope.path_assigned raw with
+  | Some q -> q
+  | None ->
+      let base = of_path path in
+      let q =
+        match Hashtbl.find_opt scope.path_owners base with
+        | None ->
+            Hashtbl.replace scope.path_owners base raw;
+            path
+        | Some owner when String.equal owner raw -> path
+        | Some _ ->
+            let qpath = path @ [ "x" ^ short_digest raw ] in
+            Hashtbl.replace scope.path_owners (of_path qpath) raw;
+            qpath
+      in
+      Hashtbl.replace scope.path_assigned raw q;
+      q
+
+let scoped_conn scope name =
+  match Hashtbl.find_opt scope.conn_assigned name with
+  | Some q -> q
+  | None ->
+      let base = sanitize name in
+      let q =
+        match Hashtbl.find_opt scope.conn_owners base with
+        | None ->
+            Hashtbl.replace scope.conn_owners base name;
+            name
+        | Some owner when String.equal owner name -> name
+        | Some _ ->
+            let qname = name ^ "_x" ^ short_digest name in
+            Hashtbl.replace scope.conn_owners (sanitize qname) name;
+            qname
+      in
+      Hashtbl.replace scope.conn_assigned name q;
+      q
+
 (* {1 Process definition names} *)
 
 let thread_await path = "Th_" ^ of_path path ^ "_await"
@@ -99,3 +168,10 @@ let register_resource reg res meaning =
 let lookup (reg : registry) name = Hashtbl.find_opt reg name
 let lookup_label reg label = lookup reg (Label.name label)
 let lookup_resource reg res = lookup reg (Resource.name res)
+
+let entries (reg : registry) =
+  Hashtbl.fold (fun name meaning acc -> (name, meaning) :: acc) reg []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let replay (reg : registry) entries =
+  List.iter (fun (name, meaning) -> register reg name meaning) entries

@@ -7,6 +7,27 @@ open Acsr
 val sanitize : string -> string
 val of_path : string list -> string
 
+(** {1 Collision-proof scopes}
+
+    [of_path] flattens the hierarchy with '_', so distinct component
+    paths (or connection names) can alias after sanitization.  A scope
+    tracks every identity claimed during one translation and returns a
+    digest-qualified variant for the later claimant of an already-taken
+    name, leaving unambiguous names untouched.  Lookups are memoized:
+    asking twice for the same identity returns the same answer. *)
+
+type scope
+
+val create_scope : unit -> scope
+
+val scoped_path : scope -> string list -> string list
+(** The (possibly digest-qualified) path to derive generated names from;
+    equal to the input except when its sanitized form collides with a
+    previously claimed, different path. *)
+
+val scoped_conn : scope -> string -> string
+(** Same, for semantic connection names. *)
+
 (** {1 Process definition names} *)
 
 val thread_await : string list -> string
@@ -59,3 +80,11 @@ val register_resource : registry -> Resource.t -> meaning -> unit
 val lookup : registry -> string -> meaning option
 val lookup_label : registry -> Label.t -> meaning option
 val lookup_resource : registry -> Resource.t -> meaning option
+
+val entries : registry -> (string * meaning) list
+(** All bindings, sorted by name — the serializable content of a
+    registry, used to carry per-fragment registrations into the composed
+    model's registry. *)
+
+val replay : registry -> (string * meaning) list -> unit
+(** Re-register previously captured {!entries}. *)

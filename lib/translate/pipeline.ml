@@ -1,22 +1,23 @@
-(* The translation of AADL instance models into ACSR (paper, Algorithm 1).
+(* The translation of AADL instance models into ACSR (paper, Algorithm 1),
+   factored through the fragment IR:
 
-   For every processor p and every thread t bound to p:
-     - generate the thread skeleton S_t (Section 4.2, our Skeleton module),
-       refined with the events and bus resources of t's connections;
-     - generate the dispatcher D_t for t's incoming event connections
-       (Section 4.3, our Dispatcher module);
-   and for every semantic event or event-data connection with a thread
-   destination, generate its queue process (Section 4.4, our Equeue
-   module).  Connections originating at devices are closed with stimulus
-   generators so the composed model is self-contained.
+     plan    (Fragment.plan)   check the model, derive one content-hashed
+                               spec per translation unit;
+     realize (Fragment.realize or Fragment_cache.find_or_realize)
+                               generate — or reuse — each unit's ACSR;
+     compose (of_plan)         merge definitions, replay registry
+                               entries, restrict the union of internal
+                               labels over the parallel composition.
 
-   The composed system restricts all internally generated labels, forcing
-   dispatch, completion and queue synchronizations; the resulting closed
-   term is deadlock-free iff every thread meets its deadline (Section 5). *)
+   The composed system is identical to what the former monolithic
+   translation produced: fragments are realized and composed in model
+   order, each against a fresh registry whose entries are replayed into
+   the composed one.  The resulting closed term is deadlock-free iff
+   every thread meets its deadline (Section 5). *)
 
 open Acsr
 
-exception Error of string
+exception Error = Fragment.Error
 
 type t = {
   workload : Workload.t;
@@ -26,242 +27,45 @@ type t = {
   restricted : Label.Set.t;
   assignments : (string list * Sched_policy.assignment list) list;
       (** per-processor priority assignments *)
+  fragments : Fragment.t list;  (** in composition order *)
+  fragments_reused : int;
+      (** units served from the {!Fragment_cache} instead of re-generated *)
   num_thread_processes : int;
   num_dispatchers : int;
   num_queues : int;
   num_stimuli : int;
 }
 
-let is_thread_at root path =
-  match Aadl.Instance.find root path with
-  | Some i -> i.Aadl.Instance.category = Aadl.Ast.Thread
-  | None -> false
+type probe_point = Fragment.probe_point = Dispatched | Completed
 
-let is_device_at root path =
-  match Aadl.Instance.find root path with
-  | Some i -> i.Aadl.Instance.category = Aadl.Ast.Device
-  | None -> false
-
-let dedup_by key items =
-  let seen = Hashtbl.create 16 in
-  List.filter
-    (fun item ->
-      let k = key item in
-      if Hashtbl.mem seen k then false
-      else begin
-        Hashtbl.add seen k ();
-        true
-      end)
-    items
-
-(* Scheduling protocol overriding: analyses compare policies by re-running
-   the translation with a forced protocol. *)
-type probe_point = Dispatched | Completed
-
-type probe = {
+type probe = Fragment.probe = {
   probe_thread : string list;
   probe_point : probe_point;
   probe_label : Label.t;
 }
 
-type options = {
+type options = Fragment.options = {
   quantum : Aadl.Time.t option;
   force_protocol : Aadl.Props.scheduling_protocol option;
   probes : probe list;
-      (** extra observable events fired by the generated processes; used
-          by latency observers.  Probe labels are not restricted. *)
 }
 
-let default_options = { quantum = None; force_protocol = None; probes = [] }
+let default_options = Fragment.default_options
 
-let probes_for options path point =
-  List.filter_map
-    (fun p ->
-      if
-        p.probe_point = point
-        && List.map String.lowercase_ascii p.probe_thread
-           = List.map String.lowercase_ascii path
-      then Some p.probe_label
-      else None)
-    options.probes
+let plan = Fragment.plan
 
-let translate ?(options = default_options) (root : Aadl.Instance.t) : t =
-  let diags = Aadl.Check.run root in
-  if not (Aadl.Check.is_ok diags) then
-    raise
-      (Error
-         (Fmt.str "model is not translatable:@,%a" Aadl.Check.pp_report
-            (Aadl.Check.errors diags)));
-  let quantum =
-    match options.quantum with
-    | Some q -> q
-    | None -> Workload.suggest_quantum root
-  in
-  let wl =
-    try Workload.extract ~quantum root
-    with Workload.Error msg -> raise (Error msg)
-  in
-  let registry = Naming.create_registry () in
-  (* mode support (extension): at most one modal component *)
-  let modal =
-    match Modal.find root with
-    | None -> None
-    | Some host -> Some (Modal.analyze ~root ~quantum host)
-    | exception Modal.Unsupported msg -> raise (Error msg)
-  in
-  let modal_gate_for task =
-    match modal with
-    | None -> None
-    | Some m ->
-        let path = task.Workload.path in
-        if
-          List.exists
-            (fun p -> p = path)
-            (Modal.restricted_threads m)
-        then
-          Some
-            {
-              Dispatcher.activate = Modal.activate_label path;
-              deactivate = Modal.deactivate_label path;
-              initially_active = Modal.initially_active m ~thread:path;
-            }
-        else None
-  in
-  let trigger_labels_for task =
-    match modal with
-    | None -> []
-    | Some m -> Modal.internal_triggers_of m ~thread:task.Workload.path
-  in
-  (* priority assignment rule per processor (Section 5); hierarchical
-     scheduling (Section 7 future work) groups a processor's threads by
-     their nearest process-category ancestor, ranked by the process's
-     Priority property, with the process's own Scheduling_Protocol as the
-     local policy *)
-  let hierarchical_groups tasks =
-    let group_host (task : Workload.task) =
-      (* nearest ancestor of category Process on the thread's path *)
-      let rec walk inst path best =
-        match path with
-        | [] -> best
-        | seg :: rest -> (
-            match
-              List.find_opt
-                (fun (c : Aadl.Instance.t) ->
-                  String.lowercase_ascii c.Aadl.Instance.name
-                  = String.lowercase_ascii seg)
-                inst.Aadl.Instance.children
-            with
-            | Some child ->
-                let best =
-                  if child.Aadl.Instance.category = Aadl.Ast.Process then
-                    Some child
-                  else best
-                in
-                walk child rest best
-            | None -> best)
-      in
-      walk root task.Workload.path None
-    in
-    let table = Hashtbl.create 8 in
-    List.iter
-      (fun task ->
-        let key, rank, local =
-          match group_host task with
-          | Some proc ->
-              ( proc.Aadl.Instance.path,
-                Option.value ~default:0
-                  (Aadl.Props.priority proc.Aadl.Instance.props),
-                Option.value ~default:Aadl.Props.Rate_monotonic
-                  (Aadl.Props.scheduling_protocol proc.Aadl.Instance.props) )
-          | None -> (task.Workload.path, 0, Aadl.Props.Rate_monotonic)
-        in
-        let prev =
-          match Hashtbl.find_opt table key with
-          | Some (r, l, members) -> (r, l, task :: members)
-          | None -> (rank, local, [ task ])
-        in
-        Hashtbl.replace table key prev)
-      tasks;
-    Hashtbl.fold
-      (fun key (rank, local, members) acc ->
-        {
-          Sched_policy.group_name = key;
-          group_rank = rank;
-          local_protocol = local;
-          members = List.rev members;
-        }
-        :: acc)
-      table []
-    |> List.sort (fun a b ->
-           Stdlib.compare a.Sched_policy.group_name b.Sched_policy.group_name)
-  in
-  let assignments =
+let of_plan ?(cache : Fragment_cache.t option) (p : Fragment.plan) : t =
+  let realized =
     List.map
-      (fun ((proc : Aadl.Instance.t), tasks) ->
-        let protocol =
-          match options.force_protocol with
-          | Some p -> p
-          | None -> (
-              match Aadl.Props.scheduling_protocol proc.Aadl.Instance.props with
-              | Some p -> p
-              | None ->
-                  raise
-                    (Error
-                       (Fmt.str "%a: missing Scheduling_Protocol"
-                          Aadl.Instance.pp_path proc.Aadl.Instance.path)))
-        in
-        let assignment =
-          match protocol with
-          | Aadl.Props.Hierarchical -> (
-              try Sched_policy.hierarchical (hierarchical_groups tasks)
-              with Sched_policy.Unsupported msg -> raise (Error msg))
-          | p -> Sched_policy.assign p tasks
-        in
-        (proc.Aadl.Instance.path, assignment))
-      wl.Workload.by_processor
+      (fun spec ->
+        match cache with
+        | Some c -> Fragment_cache.find_or_realize c spec
+        | None -> (Fragment.realize spec, false))
+      p.Fragment.specs
   in
-  let all_assignments = List.concat_map snd assignments in
-  (* thread skeletons and dispatchers *)
-  let units =
-    List.map
-      (fun task ->
-        let cpu_priority = Sched_policy.find all_assignments task in
-        let sk =
-          Skeleton.generate
-            ~extra_anytime:(trigger_labels_for task)
-            ~completion_probes:
-              (probes_for options task.Workload.path Completed)
-            ~registry ~task ~cpu_priority ()
-        in
-        let disp =
-          try
-            Dispatcher.generate ?modal:(modal_gate_for task)
-              ~dispatch_probes:
-                (probes_for options task.Workload.path Dispatched)
-              ~registry ~task ~dispatch:sk.Skeleton.dispatch
-              ~done_:sk.Skeleton.done_ ()
-          with Dispatcher.Invalid msg -> raise (Error msg)
-        in
-        (task, sk, disp))
-      wl.Workload.tasks
-  in
-  (* queue processes: event-like semantic connections ending at threads *)
-  let queued_conns =
-    wl.Workload.sconns
-    |> List.filter (fun sc ->
-           Aadl.Semconn.is_event_like sc
-           && is_thread_at root sc.Aadl.Semconn.dst.Aadl.Semconn.inst)
-    |> dedup_by Aadl.Semconn.name
-  in
-  let queues = List.map (Equeue.queue ~registry ~root) queued_conns in
-  (* stimuli closing device-sourced queued connections *)
-  let device_conns =
-    List.filter
-      (fun sc -> is_device_at root sc.Aadl.Semconn.src.Aadl.Semconn.inst)
-      queued_conns
-  in
-  let stimuli =
-    List.map (Equeue.stimulus ~registry ~root ~quantum) device_conns
+  let fragments = List.map fst realized in
+  let fragments_reused =
+    List.fold_left (fun n (_, reused) -> if reused then n + 1 else n) 0 realized
   in
   (* definitions environment *)
   let add_defs env (name, formals, body) =
@@ -269,57 +73,39 @@ let translate ?(options = default_options) (root : Aadl.Instance.t) : t =
     with Defs.Duplicate n ->
       raise (Error (Fmt.str "duplicate generated process %s" n))
   in
-  let modal_generated = Option.map (Modal.generate ~registry) modal in
   let defs =
     List.fold_left add_defs Defs.empty
-      (List.concat_map
-         (fun (_, sk, disp) -> sk.Skeleton.defs @ disp.Dispatcher.defs)
-         units
-      @ List.concat_map (fun q -> q.Equeue.defs) queues
-      @ List.concat_map (fun s -> s.Equeue.defs) stimuli
-      @ (match modal_generated with
-        | Some g -> g.Modal.defs @ g.Modal.stimuli
-        | None -> []))
+      (List.concat_map (fun f -> f.Fragment.defs) fragments)
   in
-  (* internal labels: dispatch/done per thread, enqueue/dequeue per queued
-     connection *)
+  let registry = Naming.create_registry () in
+  List.iter (fun f -> Naming.replay registry f.Fragment.entries) fragments;
   let restricted =
     Label.set_of_list
-      (List.concat_map
-         (fun (_, sk, _) -> [ sk.Skeleton.dispatch; sk.Skeleton.done_ ])
-         units
-      @ List.concat_map
-          (fun sc ->
-            let n = Aadl.Semconn.name sc in
-            [ Naming.enqueue_label n; Naming.dequeue_label n ])
-          queued_conns
-      @ (match modal_generated with
-        | Some g -> g.Modal.internal_labels
-        | None -> []))
+      (List.concat_map (fun f -> f.Fragment.restricted) fragments)
   in
-  let processes =
-    List.concat_map
-      (fun (_, sk, disp) -> [ sk.Skeleton.initial; disp.Dispatcher.initial ])
-      units
-    @ List.map (fun q -> q.Equeue.initial) queues
-    @ List.map (fun s -> s.Equeue.initial) stimuli
-    @ (match modal_generated with
-      | Some g -> (g.Modal.initial :: g.Modal.stimuli_initials)
-      | None -> [])
-  in
+  let processes = List.concat_map (fun f -> f.Fragment.initials) fragments in
   let system = Proc.restrict restricted (Proc.par_list processes) in
+  let count k =
+    List.length (List.filter (fun f -> f.Fragment.kind = k) fragments)
+  in
   {
-    workload = wl;
+    workload = p.Fragment.workload;
     defs;
     system;
     registry;
     restricted;
-    assignments;
-    num_thread_processes = List.length units;
-    num_dispatchers = List.length units;
-    num_queues = List.length queues;
-    num_stimuli = List.length stimuli;
+    assignments = p.Fragment.assignments;
+    fragments;
+    fragments_reused;
+    num_thread_processes = count Fragment.Thread_unit;
+    num_dispatchers = count Fragment.Thread_unit;
+    num_queues = count Fragment.Queue;
+    num_stimuli = count Fragment.Stimulus;
   }
+
+let translate ?(options = default_options) ?cache (root : Aadl.Instance.t) : t
+    =
+  of_plan ?cache (plan ~options root)
 
 let pp_summary ppf t =
   Fmt.pf ppf

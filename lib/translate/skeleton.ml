@@ -38,18 +38,22 @@ type t = {
 let var_e = Expr.Var "e"
 let var_t = Expr.Var "t"
 
-let generate ?(extra_anytime : Label.t list = [])
+let generate ?(scope : Naming.scope option) ?(extra_anytime : Label.t list = [])
     ~(completion_probes : Label.t list)
     ~(registry : Naming.registry) ~(task : Workload.task)
     ~(cpu_priority : Expr.t) () : t =
-  let path = task.Workload.path in
-  let cpu = Naming.processor_resource task.Workload.processor in
+  (* Generated names come from scope-qualified paths (collision-proof);
+     registry meanings always record the real AADL identity. *)
+  let spath p = match scope with Some s -> Naming.scoped_path s p | None -> p in
+  let sconn c = match scope with Some s -> Naming.scoped_conn s c | None -> c in
+  let path = spath task.Workload.path in
+  let cpu = Naming.processor_resource (spath task.Workload.processor) in
   Naming.register_resource registry cpu
     (Naming.Processor_use task.Workload.processor);
   let data_resources =
     List.map
       (fun d ->
-        let r = Naming.data_resource d in
+        let r = Naming.data_resource (spath d) in
         Naming.register_resource registry r (Naming.Data_use d);
         r)
       task.Workload.data_shared
@@ -57,15 +61,15 @@ let generate ?(extra_anytime : Label.t list = [])
   let bus_resources =
     List.map
       (fun b ->
-        let r = Naming.bus_resource b in
+        let r = Naming.bus_resource (spath b) in
         Naming.register_resource registry r (Naming.Bus_use b);
         r)
       task.Workload.out_buses
   in
   let dispatch = Naming.dispatch_label path in
   let done_ = Naming.done_label path in
-  Naming.register_label registry dispatch (Naming.Dispatch_of path);
-  Naming.register_label registry done_ (Naming.Done_of path);
+  Naming.register_label registry dispatch (Naming.Dispatch_of task.Workload.path);
+  Naming.register_label registry done_ (Naming.Done_of task.Workload.path);
   let await_name = Naming.thread_await path in
   let compute_name = Naming.thread_compute path in
   let emit_name = Naming.thread_emit path in
@@ -79,7 +83,7 @@ let generate ?(extra_anytime : Label.t list = [])
       outgoing_events
   in
   let enqueue_label sc =
-    let l = Naming.enqueue_label (Aadl.Semconn.name sc) in
+    let l = Naming.enqueue_label (sconn (Aadl.Semconn.name sc)) in
     Naming.register_label registry l (Naming.Enqueue_on (Aadl.Semconn.name sc));
     l
   in

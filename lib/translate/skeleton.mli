@@ -11,6 +11,7 @@ type t = {
 }
 
 val generate :
+  ?scope:Naming.scope ->
   ?extra_anytime:Label.t list ->
   completion_probes:Label.t list ->
   registry:Naming.registry ->
@@ -21,4 +22,6 @@ val generate :
 (** Generate the await/compute/emit process definitions for a thread: the
     dispatch cycle of Fig. 4 reduced to single-mode models, with the
     parameterized Compute process of Fig. 5 ([e] = accumulated execution,
-    [t] = time since dispatch, capped at the deadline). *)
+    [t] = time since dispatch, capped at the deadline).  When [scope] is
+    given, generated names are collision-proofed through it; registry
+    meanings always record the real AADL paths. *)

@@ -58,6 +58,7 @@ The duplicate cost one cache hit, not a second exploration:
   $ sed -E 's/in [0-9.]+s/in TIME/' summary.txt
   batch: 4 jobs (3 schedulable, 0 not schedulable, 1 bounded, 0 unknown, 0 cancelled, 0 errors) in TIME
   cache: 1 hits, 3 misses, 0 evictions, size 3/256
+  misses: 1 novel, 0 options-only; changed: thread:a (2), thread:b (2)
 
 An unschedulable model carries its raised failing scenario in the JSON
 outcome (the same scenario `analyze` prints):
@@ -96,6 +97,6 @@ schema as the manifest — plus stats and quit ops:
   > | aadl_sched serve | sed -E 's/"wall_s":[0-9.e+-]+/"wall_s":T/'
   {"id":"r1","verdict":"schedulable","states":27,"cached":false,"degraded":false,"wall_s":T}
   {"id":"r2","verdict":"schedulable","states":27,"cached":true,"degraded":false,"wall_s":T}
-  {"hits":1,"misses":1,"evictions":0,"size":1,"capacity":256}
+  {"hits":1,"misses":1,"evictions":0,"size":1,"capacity":256,"novel_misses":1,"options_only_misses":0,"changed_components":{}}
   {"error":"unexpected 'g' at offset 0"}
   {"ok":true}

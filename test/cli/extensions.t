@@ -69,3 +69,4 @@ Sensitivity from the CLI (breakdown execution times):
 
   $ aadl_sched sensitivity modal.aadl --thread wn
   wn: cet 3, breakdown 4 (slack 1 quanta)
+    4 probes: 10 fragments rebuilt, 6 reused

@@ -58,6 +58,84 @@ let test_json_errors () =
       | Error _ -> ())
     [ ""; "{"; "[1,]"; {|{"a" 1}|}; "tru"; "1 2"; {|"unterminated|}; "nul" ]
 
+(* Property: [to_string] escapes any byte string — control characters,
+   backslashes, invalid UTF-8 — into a form [parse] maps back to the
+   identical bytes.  The printer passes bytes >= 0x80 through raw (JSON
+   strings are "UTF-8" by convention but the codec must not corrupt
+   what it is given), so arbitrary bytes round-trip exactly. *)
+let qcheck_json_string_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"string escape round-trip"
+    QCheck.(string_gen (Gen.char_range '\x00' '\xff'))
+    (fun s ->
+      match Service.Json.parse (Service.Json.to_string (Service.Json.String s)) with
+      | Ok (Service.Json.String s') -> String.equal s s'
+      | Ok _ | Error _ -> false)
+
+(* Property: a \uXXXX escape (any BMP scalar value) parses to its UTF-8
+   encoding, and the decoded string survives a reprint/reparse cycle. *)
+let qcheck_json_u_escape_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"\\u escape decode + round-trip"
+    QCheck.(
+      make
+        Gen.(
+          (* skip the surrogate range: lone surrogates are not scalars *)
+          map
+            (fun n -> if n >= 0xD800 && n <= 0xDFFF then n land 0xFF else n)
+            (int_range 1 0xFFFF)))
+    (fun cp ->
+      let literal = Printf.sprintf "\"\\u%04x\"" cp in
+      match Service.Json.parse literal with
+      | Ok (Service.Json.String s) -> (
+          match
+            Service.Json.parse
+              (Service.Json.to_string (Service.Json.String s))
+          with
+          | Ok (Service.Json.String s') -> String.equal s s'
+          | Ok _ | Error _ -> false)
+      | Ok _ | Error _ -> false)
+
+(* Property: any JSON value the printer can emit reparses to an equal
+   value (strings drawn from full byte range, ints, nesting). *)
+let qcheck_json_value_roundtrip =
+  let gen_value =
+    QCheck.Gen.(
+      sized @@ fix (fun self n ->
+          let leaf =
+            oneof
+              [
+                return Service.Json.Null;
+                map (fun b -> Service.Json.Bool b) bool;
+                map (fun i -> Service.Json.Int i) small_signed_int;
+                map
+                  (fun s -> Service.Json.String s)
+                  (string_size ~gen:(char_range '\x00' '\xff') (0 -- 10));
+              ]
+          in
+          if n <= 0 then leaf
+          else
+            frequency
+              [
+                (3, leaf);
+                ( 1,
+                  map
+                    (fun l -> Service.Json.List l)
+                    (list_size (0 -- 4) (self (n / 2))) );
+                ( 1,
+                  map
+                    (fun kvs -> Service.Json.Obj kvs)
+                    (list_size (0 -- 4)
+                       (pair
+                          (string_size ~gen:(char_range '\x00' '\xff') (0 -- 6))
+                          (self (n / 2)))) );
+              ]))
+  in
+  QCheck.Test.make ~count:300 ~name:"value print/parse round-trip"
+    (QCheck.make gen_value)
+    (fun v ->
+      match Service.Json.parse (Service.Json.to_string v) with
+      | Ok v' -> v = v'
+      | Error _ -> false)
+
 (* {1 LRU cache} *)
 
 let test_lru_basics () =
@@ -125,22 +203,67 @@ let test_key_stability_and_divergence () =
       (Service.Job.request ~id:"completely-different-id" ~priority:9
          (Service.Job.Inline light))
   in
-  Alcotest.(check string) "id and priority do not key" k1 k2;
+  Alcotest.(check string)
+    "id and priority do not key" k1.Service.Key.merkle k2.Service.Key.merkle;
   let k_edf =
     Service.Key.of_request root
       (Service.Job.request ~id:"x" ~protocol:Aadl.Props.Edf
          (Service.Job.Inline light))
   in
-  Alcotest.(check bool) "protocol keys" true (k1 <> k_edf);
+  Alcotest.(check bool)
+    "protocol keys" true
+    (k1.Service.Key.merkle <> k_edf.Service.Key.merkle);
   let k_budget =
     Service.Key.of_request root
       (Service.Job.request ~id:"x" ~max_states:7 (Service.Job.Inline light))
   in
-  Alcotest.(check bool) "state budget keys" true (k1 <> k_budget);
+  Alcotest.(check bool)
+    "state budget keys" true
+    (k1.Service.Key.merkle <> k_budget.Service.Key.merkle);
+  (* an options-only change keeps every fragment leaf identical — the
+     attribution signal for "same system, different budget" *)
+  Alcotest.(check (list string))
+    "options-only miss has no changed fragments" []
+    (Service.Key.changed_fragments ~prev:k1 k_budget);
   let other = Aadl.Instantiate.of_string overloaded in
   Alcotest.(check bool)
     "model keys" true
-    (k1 <> Service.Key.of_request other req)
+    (k1.Service.Key.merkle
+    <> (Service.Key.of_request other req).Service.Key.merkle)
+
+let test_key_merkle_attribution () =
+  (* perturb one thread's execution time: same structure digest, and the
+     leaf diff names exactly that thread's fragment *)
+  let base = Gen.periodic_system Gen.light_set in
+  let edited =
+    Gen.periodic_system
+      [
+        Gen.simple_spec ~name:"t1" ~period_ms:4 ~cet_ms:1 ();
+        Gen.simple_spec ~name:"t2" ~period_ms:6 ~cet_ms:3 ();
+      ]
+  in
+  let req = Service.Job.request ~id:"x" (Service.Job.Inline base) in
+  let k_base = Service.Key.of_request (Aadl.Instantiate.of_string base) req in
+  let k_edit = Service.Key.of_request (Aadl.Instantiate.of_string edited) req in
+  Alcotest.(check bool)
+    "fragment leaves present" true
+    (k_base.Service.Key.fragments <> []);
+  Alcotest.(check string)
+    "same structure" k_base.Service.Key.structure k_edit.Service.Key.structure;
+  Alcotest.(check bool)
+    "different merkle" true
+    (k_base.Service.Key.merkle <> k_edit.Service.Key.merkle);
+  Alcotest.(check (list string))
+    "miss attributed to the edited thread" [ "thread:t2_i" ]
+    (Service.Key.changed_fragments ~prev:k_base k_edit);
+  (* an untranslatable model falls back to the whole-instance key *)
+  let broken =
+    Aadl.Instantiate.of_string
+      "system root\nend root;\nsystem implementation root.impl\nend root.impl;"
+  in
+  let k_broken = Service.Key.of_request broken req in
+  Alcotest.(check string)
+    "untranslatable fallback" "untranslatable" k_broken.Service.Key.structure
 
 (* {1 Runner: cache hits and graceful degradation} *)
 
@@ -166,6 +289,39 @@ let test_runner_cache_hit_identical () =
   let k = Service.Lru.counters cache in
   Alcotest.(check int) "exactly one hit" 1 k.Service.Lru.hits;
   Alcotest.(check int) "one miss" 1 k.Service.Lru.misses
+
+let test_runner_attribution () =
+  (* four jobs through one cached config: base (novel miss), base again
+     (hit), a bigger state budget (options-only miss), an edited thread
+     (miss attributed to that thread's fragment) *)
+  let base = Gen.periodic_system Gen.light_set in
+  let edited =
+    Gen.periodic_system
+      [
+        Gen.simple_spec ~name:"t1" ~period_ms:4 ~cet_ms:1 ();
+        Gen.simple_spec ~name:"t2" ~period_ms:6 ~cet_ms:3 ();
+      ]
+  in
+  let config = Service.Runner.with_cache Service.Runner.default_config in
+  let run id ?max_states text =
+    ignore
+      (Service.Runner.run config
+         (Service.Job.request ~id ?max_states (Service.Job.Inline text)))
+  in
+  run "a" base;
+  run "b" base;
+  run "c" ~max_states:9_999_999 base;
+  run "d" edited;
+  let c = Service.Runner.attribution_counters config in
+  Alcotest.(check int) "one novel miss" 1 c.Service.Runner.novel;
+  Alcotest.(check int) "one options-only miss" 1 c.Service.Runner.options_only;
+  Alcotest.(check (list (pair string int)))
+    "edited thread charged with one miss"
+    [ ("thread:t2_i", 1) ]
+    c.Service.Runner.changed_components;
+  let k = Service.Lru.counters (Option.get config.Service.Runner.cache) in
+  Alcotest.(check int) "one hit" 1 k.Service.Lru.hits;
+  Alcotest.(check int) "three misses" 3 k.Service.Lru.misses
 
 let test_runner_degrades_on_timeout () =
   (* the largest example model with a zero wall-clock budget: the
@@ -390,6 +546,9 @@ let () =
           Alcotest.test_case "escapes" `Quick test_json_escapes;
           Alcotest.test_case "numbers" `Quick test_json_numbers;
           Alcotest.test_case "errors" `Quick test_json_errors;
+          QCheck_alcotest.to_alcotest qcheck_json_string_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_json_u_escape_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_json_value_roundtrip;
         ] );
       ( "lru",
         [
@@ -402,11 +561,14 @@ let () =
         [
           Alcotest.test_case "stability and divergence" `Quick
             test_key_stability_and_divergence;
+          Alcotest.test_case "merkle attribution" `Quick
+            test_key_merkle_attribution;
         ] );
       ( "runner",
         [
           Alcotest.test_case "cache hit identical" `Quick
             test_runner_cache_hit_identical;
+          Alcotest.test_case "miss attribution" `Quick test_runner_attribution;
           Alcotest.test_case "degrades on timeout" `Quick
             test_runner_degrades_on_timeout;
           Alcotest.test_case "failure is an outcome" `Quick
