@@ -4,7 +4,7 @@
 # ocamlformat are dev-time tools, not build dependencies — the gate
 # degrades gracefully where they are absent).
 
-.PHONY: all build test doc fmt-check check bench-explore bench-service bench-sweep bench-smoke clean
+.PHONY: all build test doc fmt-check check bench-explore bench-service bench-sweep bench-smoke bench-obs clean
 
 all: build
 
@@ -28,7 +28,7 @@ fmt-check:
 	  echo "ocamlformat not installed; skipping format check"; \
 	fi
 
-check: build test bench-smoke doc fmt-check
+check: build test bench-smoke bench-obs doc fmt-check
 
 # Regenerate the exploration-engine telemetry (BENCH_explore.json).
 bench-explore:
@@ -49,6 +49,13 @@ bench-sweep:
 # minutes — part of `make check`).
 bench-smoke:
 	dune exec bench/main.exe -- smoke
+
+# Observability overhead gate: exploring the largest example with the
+# metrics registry enabled must cost no more than 5% over a muted
+# registry (tracing off in both runs).  Writes BENCH_obs.json; exits
+# non-zero past the tolerance — part of `make check`.
+bench-obs:
+	dune exec bench/main.exe -- obs
 
 clean:
 	dune clean

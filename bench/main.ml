@@ -993,6 +993,107 @@ let sweep_section ~json_path () =
       output_char oc '\n');
   Fmt.pr "telemetry written to %s@." json_path
 
+(* {1 Obs: instrumentation overhead gate (the [make bench-obs] target)}
+
+   The observability layer must be effectively free when nobody is
+   looking: counters/histograms are always on (sharded atomics), spans
+   cost one atomic load while tracing is inactive.  This gate explores
+   the largest example model (avionics, exhaustive on-the-fly check)
+   with metrics enabled and with the registry muted ([Obs.set_enabled
+   false]) and fails if the instrumented run is more than 5% slower
+   (plus a small absolute slack so millisecond-scale noise cannot fail
+   CI).  Run shape is read back from the registry itself — the same
+   counters `--stats` and the serve 'metrics' op render. *)
+
+let obs_counter name =
+  match Obs.find name with
+  | Some { Obs.value = Obs.Counter_value n; _ } -> n
+  | _ -> 0
+
+let obs_gauge name =
+  match Obs.find name with
+  | Some { Obs.value = Obs.Gauge_value v; _ } -> v
+  | _ -> 0.
+
+let obs_section ~json_path () =
+  hr "OBS: instrumentation overhead (metrics on vs muted, tracing off)";
+  let defs, system = translate_text (Gen.avionics ()) in
+  let config =
+    {
+      Versa.Lts.default_config with
+      max_states = Some 2_000_000;
+      stop_at_deadlock = false;
+    }
+  in
+  (* warm the hash-cons table and code paths outside the timings *)
+  ignore (Versa.Lts.check ~config defs system);
+  let rounds = 5 in
+  let best_of f =
+    let best = ref infinity in
+    for _ = 1 to rounds do
+      Gc.full_major ();
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      let w = Unix.gettimeofday () -. t0 in
+      if w < !best then best := w
+    done;
+    !best
+  in
+  let run () = Versa.Lts.check ~config defs system in
+  let states_before = obs_counter "versa_explore_states_total" in
+  Obs.set_enabled true;
+  let wall_on = best_of run in
+  Obs.set_enabled false;
+  let wall_off = best_of run in
+  Obs.set_enabled true;
+  let states_per_run =
+    (obs_counter "versa_explore_states_total" - states_before) / rounds
+  in
+  let overhead = (wall_on -. wall_off) /. max wall_off 1e-9 in
+  (* 5% relative + 50ms absolute: the relative bound is the contract,
+     the absolute slack keeps sub-second runs from failing on scheduler
+     noise *)
+  let ok = wall_on <= (wall_off *. 1.05) +. 0.05 in
+  Fmt.pr "model: avionics, %d states per exhaustive check (from registry)@."
+    states_per_run;
+  Fmt.pr "metrics on:    best of %d  %.3fs@." rounds wall_on;
+  Fmt.pr "metrics muted: best of %d  %.3fs@." rounds wall_off;
+  Fmt.pr "overhead: %+.1f%% (gate: <= 5%% + 50ms slack) — %s@."
+    (100. *. overhead)
+    (if ok then "OK" else "FAIL");
+  Fmt.pr "registry after the instrumented runs: %d explorations, last at \
+          %.0f states/sec, peak frontier %.0f@."
+    (obs_counter "versa_explore_runs_total")
+    (obs_gauge "versa_explore_states_per_sec")
+    (obs_gauge "versa_explore_peak_frontier");
+  let json =
+    Service.Json.Obj
+      [
+        ("benchmark", Service.Json.String "observability overhead gate");
+        ( "note",
+          Service.Json.String
+            "exhaustive on-the-fly check of the avionics model, metrics \
+             registry enabled vs muted, tracing off; best-of-N wall times" );
+        ("model", Service.Json.String "avionics");
+        ("rounds", Service.Json.Int rounds);
+        ("states_per_run", Service.Json.Int states_per_run);
+        ("wall_on_s", Service.Json.Float wall_on);
+        ("wall_off_s", Service.Json.Float wall_off);
+        ("overhead_fraction", Service.Json.Float overhead);
+        ("tolerance_fraction", Service.Json.Float 0.05);
+        ("absolute_slack_s", Service.Json.Float 0.05);
+        ("ok", Service.Json.Bool ok);
+      ]
+  in
+  let oc = open_out json_path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Service.Json.to_string json);
+      output_char oc '\n');
+  Fmt.pr "telemetry written to %s@." json_path;
+  if not ok then exit 1
+
 (* {1 Smoke: fast engine-agreement gate (the [make bench-smoke] target)}
 
    Runs in seconds, not minutes: both engines on a handful of small
@@ -1084,6 +1185,9 @@ let () =
         match rest with p :: _ -> p | [] -> "BENCH_sweep.json"
       in
       sweep_section ~json_path ()
+  | _ :: "obs" :: rest ->
+      let json_path = match rest with p :: _ -> p | [] -> "BENCH_obs.json" in
+      obs_section ~json_path ()
   | _ ->
   exp_f1 ();
   exp_f2_f3 ();

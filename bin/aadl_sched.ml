@@ -14,9 +14,15 @@ open Cmdliner
 (* Models are loaded from textual AADL or, for files ending in .xml, from
    the XML instance interchange format. *)
 let load_root file root_name =
-  if Filename.check_suffix file ".xml" then Aadl.Instance_xml.read_file file
+  Obs.Span.with_ ~name:"load" ~attrs:[ ("file", Filename.basename file) ]
+  @@ fun () ->
+  if Filename.check_suffix file ".xml" then
+    Obs.Span.with_ ~name:"parse" (fun () -> Aadl.Instance_xml.read_file file)
   else
-    let model = Aadl.Parser.parse_file file in
+    let model =
+      Obs.Span.with_ ~name:"parse" (fun () -> Aadl.Parser.parse_file file)
+    in
+    Obs.Span.with_ ~name:"instantiate" @@ fun () ->
     match root_name with
     | Some r -> Aadl.Instantiate.instantiate model ~root:r
     | None -> (
@@ -108,9 +114,50 @@ let stats_arg =
     value & flag
     & info [ "stats" ]
         ~doc:
-          "Print exploration telemetry (states/sec, dedup hit-rate, peak \
-           frontier, per-phase wall time, state-store footprint, early-exit \
-           depth).")
+          "Print the metrics registry after the run: exploration telemetry \
+           (states/sec, dedup hits, peak frontier, early-exit depth), \
+           translation-cache counters and service counters, one metric per \
+           line.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record structured spans for the whole run and write them to \
+           $(docv) as Chrome trace_event JSON (load it in \
+           $(i,chrome://tracing) or $(i,https://ui.perfetto.dev)).")
+
+(* Bracket a whole subcommand with trace collection.  The file is written
+   even when the run raises (the exception then continues to
+   [handle_errors]), so failing runs still leave a trace to inspect. *)
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+      Obs.Trace.start ();
+      Fun.protect
+        ~finally:(fun () ->
+          Obs.Trace.stop ();
+          Obs.Trace.write path;
+          Fmt.epr "trace written to %s@." path)
+        f
+
+(* The --stats rendering: the metrics registry is the single source of
+   truth, so every layer's counters appear here, one per line, sorted by
+   name (same names as the Prometheus exposition and the serve 'metrics'
+   op). *)
+let print_registry () =
+  Fmt.pr "@.== metrics ==@.";
+  List.iter
+    (fun s ->
+      match s.Obs.value with
+      | Obs.Counter_value n -> Fmt.pr "%s %d@." s.Obs.name n
+      | Obs.Gauge_value v -> Fmt.pr "%s %g@." s.Obs.name v
+      | Obs.Histogram_value { sum; count; _ } ->
+          Fmt.pr "%s count=%d sum=%g@." s.Obs.name count sum)
+    (Obs.snapshot ())
 
 let engine_conv =
   let parse s =
@@ -279,8 +326,9 @@ let translate_cmd =
 (* {1 analyze} *)
 
 let run_analyze file root_name quantum protocol max_states jobs engine
-    timeout stats all baselines =
+    timeout stats trace all baselines =
   handle_errors @@ fun () ->
+  with_trace trace @@ fun () ->
   let root = load_root file root_name in
   let options =
     {
@@ -296,9 +344,7 @@ let run_analyze file root_name quantum protocol max_states jobs engine
   in
   let result = Analysis.Schedulability.analyze ~options root in
   Fmt.pr "%a@." Analysis.Schedulability.pp result;
-  if stats then
-    Fmt.pr "@.== exploration stats ==@.%a@." Versa.Lts.pp_stats
-      (Versa.Explorer.stats result.Analysis.Schedulability.exploration);
+  if stats then print_registry ();
   if baselines then begin
     Fmt.pr "@.== baselines ==@.";
     let wl = result.Analysis.Schedulability.translation.Translate.Pipeline.workload in
@@ -346,7 +392,7 @@ let analyze_cmd =
     Term.(
       const run_analyze $ file_arg $ root_arg $ quantum_arg $ protocol_arg
       $ max_states_arg $ jobs_arg $ engine_arg $ timeout_arg $ stats_arg
-      $ all_arg $ baselines_arg)
+      $ trace_arg $ all_arg $ baselines_arg)
 
 (* {1 simulate} *)
 
@@ -401,9 +447,10 @@ let path_conv =
   let parse s = Ok (String.split_on_char '.' s) in
   Arg.conv (parse, Aadl.Instance.pp_path)
 
-let run_latency file root_name quantum protocol jobs from_thread to_thread
-    bound_us =
+let run_latency file root_name quantum protocol jobs trace from_thread
+    to_thread bound_us =
   handle_errors @@ fun () ->
+  with_trace trace @@ fun () ->
   let root = load_root file root_name in
   let options =
     {
@@ -449,7 +496,7 @@ let latency_cmd =
        ~doc:"Check an end-to-end latency bound with an observer process.")
     Term.(
       const run_latency $ file_arg $ root_arg $ quantum_arg $ protocol_arg
-      $ jobs_arg $ from_arg $ to_arg $ bound_arg)
+      $ jobs_arg $ trace_arg $ from_arg $ to_arg $ bound_arg)
 
 (* {1 sensitivity} *)
 
@@ -462,8 +509,10 @@ let parse_sweep_range s =
       | _ -> Error (`Msg "expected LO:HI with 1 <= LO <= HI"))
   | _ -> Error (`Msg "expected LO:HI, e.g. 1:8")
 
-let run_sensitivity file root_name quantum protocol thread sweep no_reuse =
+let run_sensitivity file root_name quantum protocol thread sweep no_reuse
+    stats trace =
   handle_errors @@ fun () ->
+  with_trace trace @@ fun () ->
   let root = load_root file root_name in
   let options =
     {
@@ -502,6 +551,7 @@ let run_sensitivity file root_name quantum protocol thread sweep no_reuse =
         (fun (t : Translate.Workload.task) ->
           breakdown t.Translate.Workload.path)
         wl.Translate.Workload.tasks);
+  if stats then print_registry ();
   0
 
 let thread_arg =
@@ -542,7 +592,8 @@ let sensitivity_cmd =
           before the system becomes unschedulable.")
     Term.(
       const run_sensitivity $ file_arg $ root_arg $ quantum_arg
-      $ protocol_arg $ thread_arg $ sweep_arg $ no_reuse_arg)
+      $ protocol_arg $ thread_arg $ sweep_arg $ no_reuse_arg $ stats_arg
+      $ trace_arg)
 
 (* {1 report} *)
 
@@ -600,8 +651,10 @@ let report_cmd =
 
 (* {1 acsr: analyze a textual ACSR model directly (VERSA-style)} *)
 
-let run_acsr file entry dot unprioritized quotient max_states jobs stats =
+let run_acsr file entry dot unprioritized quotient max_states jobs stats
+    trace =
   handle_errors @@ fun () ->
+  with_trace trace @@ fun () ->
   let contents =
     let ic = open_in_bin file in
     Fun.protect
@@ -635,9 +688,7 @@ let run_acsr file entry dot unprioritized quotient max_states jobs stats =
       in
       let lts = Versa.Lts.build ~config ~semantics ~jobs defs root in
       Fmt.pr "%a@." Versa.Lts.pp_summary lts;
-      if stats then
-        Fmt.pr "== exploration stats ==@.%a@." Versa.Lts.pp_stats
-          (Versa.Lts.stats lts);
+      if stats then print_registry ();
       (match Versa.Explorer.deadlock_verdict lts with
       | Versa.Explorer.Deadlock_free -> Fmt.pr "deadlock-free@."
       | Versa.Explorer.Deadlock { state; trace } ->
@@ -690,7 +741,7 @@ let acsr_cmd =
           deadlock detection, diagnostic traces, DOT export.")
     Term.(
       const run_acsr $ file_arg $ entry_arg $ dot_arg $ unprioritized_arg
-      $ quotient_arg $ max_states_arg $ jobs_arg $ stats_arg)
+      $ quotient_arg $ max_states_arg $ jobs_arg $ stats_arg $ trace_arg)
 
 (* {1 batch / serve: the analysis service layer} *)
 
@@ -724,7 +775,66 @@ let workers_arg =
           "Analysis jobs run concurrently, each on its own domain.  \
            Output order is always manifest order.")
 
-let run_batch manifest workers engine no_cache cache_size timeout =
+(* The batch summary that lands on stderr: one JSON object, so driving
+   scripts can parse counters without scraping the human rendering (which
+   is now opt-in via --stats). *)
+let batch_summary_json (config : Service.Runner.config)
+    (outcomes : Service.Job.outcome list) ~elapsed =
+  let open Service in
+  let count tag =
+    List.length
+      (List.filter
+         (fun (o : Job.outcome) -> Job.verdict_tag o.verdict = tag)
+         outcomes)
+  in
+  let cache_json =
+    match config.Runner.cache with
+    | None -> Json.Null
+    | Some cache ->
+        let c = Lru.counters cache in
+        Json.Obj
+          [
+            ("hits", Json.Int c.Lru.hits);
+            ("misses", Json.Int c.Lru.misses);
+            ("evictions", Json.Int c.Lru.evictions);
+            ("size", Json.Int c.Lru.size);
+            ("capacity", Json.Int c.Lru.capacity);
+          ]
+  in
+  let misses_json =
+    match config.Runner.cache with
+    | None -> Json.Null
+    | Some _ ->
+        let a = Runner.attribution_counters config in
+        Json.Obj
+          [
+            ("novel", Json.Int a.Runner.novel);
+            ("options_only", Json.Int a.Runner.options_only);
+            ( "changed_components",
+              Json.Obj
+                (List.map
+                   (fun (id, n) -> (id, Json.Int n))
+                   a.Runner.changed_components) );
+          ]
+  in
+  Json.Obj
+    [
+      ("jobs", Json.Int (List.length outcomes));
+      ( "verdicts",
+        Json.Obj
+          (List.map
+             (fun tag -> (tag, Json.Int (count tag)))
+             [
+               "schedulable"; "not_schedulable"; "bounded"; "unknown";
+               "cancelled"; "error";
+             ]) );
+      ("wall_s", Json.Float elapsed);
+      ("cache", cache_json);
+      ("misses", misses_json);
+    ]
+
+let run_batch manifest workers engine no_cache cache_size timeout stats trace =
+  with_trace trace @@ fun () ->
   let contents =
     try
       let ic = open_in_bin manifest in
@@ -768,25 +878,30 @@ let run_batch manifest workers engine no_cache cache_size timeout =
         (fun o ->
           print_endline (Service.Json.to_string (Service.Job.outcome_to_json o)))
         outcomes;
-      let count tag =
-        List.length
-          (List.filter
-             (fun (o : Service.Job.outcome) ->
-               Service.Job.verdict_tag o.verdict = tag)
-             outcomes)
-      in
-      Fmt.epr "batch: %d jobs (%d schedulable, %d not schedulable, %d bounded, \
-               %d unknown, %d cancelled, %d errors) in %.2fs@."
-        (List.length outcomes) (count "schedulable") (count "not_schedulable")
-        (count "bounded") (count "unknown") (count "cancelled") (count "error")
-        elapsed;
-      (match config.Service.Runner.cache with
-      | Some cache ->
-          Fmt.epr "cache: %a@." Service.Lru.pp_counters
-            (Service.Lru.counters cache);
-          Fmt.epr "misses: %a@." Service.Runner.pp_attribution
-            (Service.Runner.attribution_counters config)
-      | None -> ());
+      Fmt.epr "%s@."
+        (Service.Json.to_string (batch_summary_json config outcomes ~elapsed));
+      if stats then begin
+        let count tag =
+          List.length
+            (List.filter
+               (fun (o : Service.Job.outcome) ->
+                 Service.Job.verdict_tag o.verdict = tag)
+               outcomes)
+        in
+        Fmt.epr
+          "batch: %d jobs (%d schedulable, %d not schedulable, %d bounded, \
+           %d unknown, %d cancelled, %d errors) in %.2fs@."
+          (List.length outcomes) (count "schedulable")
+          (count "not_schedulable") (count "bounded") (count "unknown")
+          (count "cancelled") (count "error") elapsed;
+        match config.Service.Runner.cache with
+        | Some cache ->
+            Fmt.epr "cache: %a@." Service.Lru.pp_counters
+              (Service.Lru.counters cache);
+            Fmt.epr "misses: %a@." Service.Runner.pp_attribution
+              (Service.Runner.attribution_counters config)
+        | None -> ()
+      end;
       if
         List.exists
           (fun (o : Service.Job.outcome) ->
@@ -813,13 +928,15 @@ let batch_cmd =
        ~doc:
          "Analyze a manifest of models: jobs run concurrently in priority \
           order through the verdict cache, results stream to stdout as \
-          JSON lines in manifest order, counters go to stderr.  \
+          JSON lines in manifest order, a one-object JSON summary goes to \
+          stderr ($(b,--stats) adds the human rendering).  \
           Budget-exhausted jobs degrade to analytic bounds.")
     Term.(
       const run_batch $ manifest_arg $ workers_arg $ engine_arg
-      $ no_cache_arg $ cache_size_arg $ timeout_arg)
+      $ no_cache_arg $ cache_size_arg $ timeout_arg $ stats_arg $ trace_arg)
 
-let run_serve engine no_cache cache_size exploration_jobs =
+let run_serve engine no_cache cache_size exploration_jobs trace =
+  with_trace trace @@ fun () ->
   let config = service_config engine no_cache cache_size exploration_jobs in
   Service.Server.serve ~config stdin stdout;
   0
@@ -831,9 +948,12 @@ let serve_cmd =
          "Long-lived analysis service: read one JSON request per line on \
           stdin, answer one JSON outcome per line on stdout (same schema \
           as $(b,batch)).  $(b,{\"op\": \"stats\"}) reports verdict-cache \
-          counters; $(b,{\"op\": \"quit\"}) ends the session.")
+          counters; $(b,{\"op\": \"metrics\"}) the full metrics registry \
+          (JSON plus a Prometheus text exposition); $(b,{\"op\": \"quit\"}) \
+          ends the session.")
     Term.(
-      const run_serve $ engine_arg $ no_cache_arg $ cache_size_arg $ jobs_arg)
+      const run_serve $ engine_arg $ no_cache_arg $ cache_size_arg $ jobs_arg
+      $ trace_arg)
 
 (* {1 main} *)
 

@@ -89,7 +89,18 @@ let with_cet ~(quantum : Aadl.Time.t) ~(thread : string list) ~cet
   in
   update root thread
 
+let probes_total =
+  Obs.Counter.make ~help:"Sensitivity probe points explored"
+    "analysis_sensitivity_probes_total"
+
+(* The per-probe fragment reuse/rebuild split lands in the registry via
+   the pipeline's translate_fragments_* counters; here we only count the
+   probes themselves and bracket each with a span. *)
 let probe ~options ~cache ~quantum ~thread ~cet root : point =
+  Obs.Counter.incr probes_total;
+  Obs.Span.with_ ~name:"sensitivity.probe"
+    ~attrs:[ ("cet", string_of_int cet) ]
+  @@ fun () ->
   let root' = with_cet ~quantum ~thread ~cet root in
   let sched_options =
     {

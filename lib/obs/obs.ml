@@ -1,0 +1,395 @@
+(* Metrics registry + span tracing.  See obs.mli for the contract.
+
+   Counters and histograms are sharded: each metric owns [num_shards]
+   cells and a domain updates the cell indexed by its domain id, so
+   concurrent updates from pool workers hit distinct cache lines in the
+   common case and merge by summation on read.  Cells are individual
+   [Atomic.t]s, which also makes the rare shard collision (two domains
+   mapping to one cell) lose nothing. *)
+
+let num_shards = 16  (* power of two; domain ids are hashed by masking *)
+let shard_index () = (Domain.self () :> int) land (num_shards - 1)
+
+let on = Atomic.make true
+let set_enabled b = Atomic.set on b
+let enabled () = Atomic.get on
+
+(* Add to a float atomic; uncontended in the common (per-domain-shard)
+   case, so the CAS succeeds on the first try. *)
+let rec atomic_add_float cell x =
+  let old = Atomic.get cell in
+  if not (Atomic.compare_and_set cell old (old +. x)) then
+    atomic_add_float cell x
+
+type counter = { c_name : string; c_help : string; c_cells : int Atomic.t array }
+
+type gauge = { g_name : string; g_help : string; g_cell : float Atomic.t }
+
+type histogram = {
+  h_name : string;
+  h_help : string;
+  h_bounds : float array;  (* finite upper bounds, strictly increasing *)
+  h_cells : int Atomic.t array array;  (* [shard].(bucket), incl. overflow *)
+  h_sums : float Atomic.t array;  (* [shard] *)
+}
+
+type metric =
+  | Counter_m of counter
+  | Gauge_m of gauge
+  | Histogram_m of histogram
+
+type registry = { mutex : Mutex.t; tbl : (string, metric) Hashtbl.t }
+
+let create_registry () = { mutex = Mutex.create (); tbl = Hashtbl.create 64 }
+let default_registry = create_registry ()
+
+let with_lock r f =
+  Mutex.lock r.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock r.mutex) f
+
+(* Register [name], reusing an existing registration when the kind
+   matches (module initialization order must not matter) and rejecting a
+   kind clash loudly: two libraries fighting over one name is a bug. *)
+let register registry name build match_existing =
+  with_lock registry (fun () ->
+      match Hashtbl.find_opt registry.tbl name with
+      | Some m -> (
+          match match_existing m with
+          | Some existing -> existing
+          | None ->
+              invalid_arg
+                (Printf.sprintf
+                   "Obs: metric %S already registered with another kind" name))
+      | None ->
+          let built = build () in
+          Hashtbl.replace registry.tbl name (fst built);
+          snd built)
+
+module Counter = struct
+  type t = counter
+
+  let make ?(registry = default_registry) ?(help = "") name =
+    register registry name
+      (fun () ->
+        let c =
+          {
+            c_name = name;
+            c_help = help;
+            c_cells = Array.init num_shards (fun _ -> Atomic.make 0);
+          }
+        in
+        (Counter_m c, c))
+      (function Counter_m c -> Some c | _ -> None)
+
+  let incr ?(by = 1) c =
+    if by < 0 then invalid_arg "Obs.Counter.incr: negative increment";
+    if Atomic.get on then
+      ignore (Atomic.fetch_and_add c.c_cells.(shard_index ()) by)
+
+  let value c = Array.fold_left (fun acc cell -> acc + Atomic.get cell) 0 c.c_cells
+  let name c = c.c_name
+end
+
+module Gauge = struct
+  type t = gauge
+
+  let make ?(registry = default_registry) ?(help = "") name =
+    register registry name
+      (fun () ->
+        let g = { g_name = name; g_help = help; g_cell = Atomic.make 0. } in
+        (Gauge_m g, g))
+      (function Gauge_m g -> Some g | _ -> None)
+
+  let set g v = if Atomic.get on then Atomic.set g.g_cell v
+  let value g = Atomic.get g.g_cell
+  let name g = g.g_name
+end
+
+module Histogram = struct
+  type t = histogram
+
+  (* durations in seconds, 1ms .. 100s *)
+  let default_buckets = [ 0.001; 0.01; 0.1; 1.; 10.; 100. ]
+
+  let make ?(registry = default_registry) ?(help = "")
+      ?(buckets = default_buckets) name =
+    let bounds = Array.of_list buckets in
+    Array.iteri
+      (fun i b ->
+        if i > 0 && b <= bounds.(i - 1) then
+          invalid_arg "Obs.Histogram.make: buckets must be strictly increasing")
+      bounds;
+    if Array.length bounds = 0 then
+      invalid_arg "Obs.Histogram.make: empty bucket list";
+    register registry name
+      (fun () ->
+        let h =
+          {
+            h_name = name;
+            h_help = help;
+            h_bounds = bounds;
+            h_cells =
+              Array.init num_shards (fun _ ->
+                  Array.init (Array.length bounds + 1) (fun _ -> Atomic.make 0));
+            h_sums = Array.init num_shards (fun _ -> Atomic.make 0.);
+          }
+        in
+        (Histogram_m h, h))
+      (function Histogram_m h -> Some h | _ -> None)
+
+  (* first bucket whose upper bound covers [v] (le semantics); the last
+     slot is the +Inf overflow *)
+  let bucket_of h v =
+    let n = Array.length h.h_bounds in
+    let i = ref 0 in
+    while !i < n && v > h.h_bounds.(!i) do
+      incr i
+    done;
+    !i
+
+  let observe h v =
+    if Atomic.get on then begin
+      let s = shard_index () in
+      ignore (Atomic.fetch_and_add h.h_cells.(s).(bucket_of h v) 1);
+      atomic_add_float h.h_sums.(s) v
+    end
+
+  let counts h =
+    let n = Array.length h.h_bounds + 1 in
+    let out = Array.make n 0 in
+    Array.iter
+      (fun shard ->
+        for b = 0 to n - 1 do
+          out.(b) <- out.(b) + Atomic.get shard.(b)
+        done)
+      h.h_cells;
+    out
+
+  let sum h = Array.fold_left (fun acc s -> acc +. Atomic.get s) 0. h.h_sums
+  let count h = Array.fold_left (fun acc n -> acc + n) 0 (counts h)
+
+  let buckets h =
+    let cs = counts h in
+    List.init (Array.length cs) (fun i ->
+        ( (if i < Array.length h.h_bounds then h.h_bounds.(i) else infinity),
+          cs.(i) ))
+
+  let name h = h.h_name
+end
+
+(* {1 Reading} *)
+
+type value =
+  | Counter_value of int
+  | Gauge_value of float
+  | Histogram_value of {
+      bounds : float array;
+      counts : int array;
+      sum : float;
+      count : int;
+    }
+
+type sample = { name : string; help : string; value : value }
+
+let sample_of = function
+  | Counter_m c ->
+      { name = c.c_name; help = c.c_help; value = Counter_value (Counter.value c) }
+  | Gauge_m g ->
+      { name = g.g_name; help = g.g_help; value = Gauge_value (Gauge.value g) }
+  | Histogram_m h ->
+      let counts = Histogram.counts h in
+      {
+        name = h.h_name;
+        help = h.h_help;
+        value =
+          Histogram_value
+            {
+              bounds = h.h_bounds;
+              counts;
+              sum = Histogram.sum h;
+              count = Array.fold_left ( + ) 0 counts;
+            };
+      }
+
+let snapshot ?(registry = default_registry) () =
+  let metrics =
+    with_lock registry (fun () ->
+        Hashtbl.fold (fun _ m acc -> m :: acc) registry.tbl [])
+  in
+  List.sort
+    (fun a b -> String.compare a.name b.name)
+    (List.map sample_of metrics)
+
+let find ?(registry = default_registry) name =
+  let m = with_lock registry (fun () -> Hashtbl.find_opt registry.tbl name) in
+  Option.map sample_of m
+
+(* %g prints integral floats without a trailing ".", matching the
+   conventional Prometheus bound rendering ({le="1"}, {le="0.5"}). *)
+let pp_bound ppf b = Fmt.pf ppf "%g" b
+
+let render_prometheus ?(registry = default_registry) () =
+  let buf = Buffer.create 2048 in
+  let pf fmt = Printf.bprintf buf fmt in
+  List.iter
+    (fun s ->
+      if s.help <> "" then pf "# HELP %s %s\n" s.name s.help;
+      match s.value with
+      | Counter_value v ->
+          pf "# TYPE %s counter\n" s.name;
+          pf "%s %d\n" s.name v
+      | Gauge_value v ->
+          pf "# TYPE %s gauge\n" s.name;
+          pf "%s %g\n" s.name v
+      | Histogram_value { bounds; counts; sum; count } ->
+          pf "# TYPE %s histogram\n" s.name;
+          let cumulative = ref 0 in
+          Array.iteri
+            (fun i c ->
+              cumulative := !cumulative + c;
+              if i < Array.length bounds then
+                pf "%s_bucket{le=\"%s\"} %d\n" s.name
+                  (Fmt.str "%a" pp_bound bounds.(i))
+                  !cumulative
+              else pf "%s_bucket{le=\"+Inf\"} %d\n" s.name !cumulative)
+            counts;
+          pf "%s_sum %g\n" s.name sum;
+          pf "%s_count %d\n" s.name count)
+    (snapshot ~registry ());
+  Buffer.contents buf
+
+(* {1 Tracing} *)
+
+type event = {
+  ev_name : string;
+  ev_ph : char;  (* 'X' complete, 'i' instant *)
+  ev_ts : float;  (* us since Trace.start *)
+  ev_dur : float;  (* us; 0 for instants *)
+  ev_tid : int;
+  ev_args : (string * string) list;
+}
+
+module Trace = struct
+  let active_flag = Atomic.make false
+  let epoch = Atomic.make 0.
+  let mutex = Mutex.create ()
+
+  (* One buffer per domain, domain-local appends; the global list only
+     grows (a dead domain's buffer stays readable). *)
+  let buffers : event list ref list ref = ref []
+
+  let dls : event list ref Domain.DLS.key =
+    Domain.DLS.new_key (fun () ->
+        let b = ref [] in
+        Mutex.lock mutex;
+        buffers := b :: !buffers;
+        Mutex.unlock mutex;
+        b)
+
+  let active () = Atomic.get active_flag
+
+  let now_us () = (Unix.gettimeofday () -. Atomic.get epoch) *. 1e6
+
+  let record ev =
+    let b = Domain.DLS.get dls in
+    b := ev :: !b
+
+  let start () =
+    Mutex.lock mutex;
+    List.iter (fun b -> b := []) !buffers;
+    Mutex.unlock mutex;
+    Atomic.set epoch (Unix.gettimeofday ());
+    Atomic.set active_flag true
+
+  let stop () = Atomic.set active_flag false
+
+  let events () =
+    Mutex.lock mutex;
+    let evs = List.concat_map (fun b -> !b) !buffers in
+    Mutex.unlock mutex;
+    List.stable_sort (fun a b -> compare a.ev_ts b.ev_ts) evs
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let to_string () =
+    let pid = Unix.getpid () in
+    let buf = Buffer.create 4096 in
+    let pf fmt = Printf.bprintf buf fmt in
+    pf "{\"traceEvents\": [";
+    List.iteri
+      (fun i ev ->
+        if i > 0 then pf ",";
+        pf "\n  {\"name\": \"%s\", \"cat\": \"aadl_sched\", \"ph\": \"%c\", "
+          (escape ev.ev_name) ev.ev_ph;
+        pf "\"ts\": %.3f, " ev.ev_ts;
+        if ev.ev_ph = 'X' then pf "\"dur\": %.3f, " ev.ev_dur
+        else pf "\"s\": \"t\", ";
+        pf "\"pid\": %d, \"tid\": %d" pid ev.ev_tid;
+        (match ev.ev_args with
+        | [] -> ()
+        | args ->
+            pf ", \"args\": {";
+            List.iteri
+              (fun j (k, v) ->
+                if j > 0 then pf ", ";
+                pf "\"%s\": \"%s\"" (escape k) (escape v))
+              args;
+            pf "}");
+        pf "}")
+      (events ());
+    pf "\n], \"displayTimeUnit\": \"ms\"}\n";
+    Buffer.contents buf
+
+  let write path =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (to_string ()))
+end
+
+module Span = struct
+  let with_ ?(attrs = []) ~name f =
+    if not (Atomic.get Trace.active_flag) then f ()
+    else begin
+      let t0 = Trace.now_us () in
+      let tid = (Domain.self () :> int) in
+      Fun.protect
+        ~finally:(fun () ->
+          Trace.record
+            {
+              ev_name = name;
+              ev_ph = 'X';
+              ev_ts = t0;
+              ev_dur = Trace.now_us () -. t0;
+              ev_tid = tid;
+              ev_args = attrs;
+            })
+        f
+    end
+
+  let instant ?(attrs = []) name =
+    if Atomic.get Trace.active_flag then
+      Trace.record
+        {
+          ev_name = name;
+          ev_ph = 'i';
+          ev_ts = Trace.now_us ();
+          ev_dur = 0.;
+          ev_tid = (Domain.self () :> int);
+          ev_args = attrs;
+        }
+end

@@ -1,0 +1,147 @@
+(** The observability substrate shared by every layer: a metrics
+    registry (named counters, gauges, fixed-bucket histograms) and
+    span-based structured tracing with Chrome [trace_event] export.
+
+    {1 Registry}
+
+    Metrics are registered by name in a {!registry} (usually
+    {!default_registry}) and updated through handles, so hot paths pay a
+    shard increment, never a name lookup.  Counters and histograms are
+    sharded per domain: updates from {!Versa.Pool} worker domains land
+    in (mostly) distinct cells and are merged on read, so concurrent
+    increments neither lock nor lose counts.  Reads ({!snapshot},
+    {!render_prometheus}) are consistent enough for telemetry: they sum
+    the shards without stopping writers.
+
+    {1 Tracing}
+
+    {!Span.with_} brackets a region with begin/end timestamps.  When
+    tracing is inactive a span costs one atomic load; when active
+    ({!Trace.start}) every span is buffered domain-locally and
+    {!Trace.write} merges the buffers into Chrome [trace_event] JSON,
+    viewable in [chrome://tracing] or {{:https://ui.perfetto.dev}
+    Perfetto}.  The CLI's [--trace FILE] flag drives exactly this
+    pair. *)
+
+type registry
+
+val default_registry : registry
+(** The process-wide registry every library instruments into. *)
+
+val create_registry : unit -> registry
+(** A fresh, empty registry (tests). *)
+
+val set_enabled : bool -> unit
+(** Globally mute ([false]) or unmute ([true], the initial state) all
+    metric updates.  The overhead benchmark gate measures the cost of
+    instrumentation as the delta between the two states. *)
+
+val enabled : unit -> bool
+
+module Counter : sig
+  type t
+
+  val make : ?registry:registry -> ?help:string -> string -> t
+  (** [make name] registers (or returns the already-registered) counter
+      [name].  @raise Invalid_argument if [name] is registered as a
+      different metric kind. *)
+
+  val incr : ?by:int -> t -> unit
+  (** Add [by] (default 1, must be [>= 0]) to the calling domain's
+      shard. *)
+
+  val value : t -> int
+  (** Sum over all shards. *)
+
+  val name : t -> string
+end
+
+module Gauge : sig
+  type t
+
+  val make : ?registry:registry -> ?help:string -> string -> t
+  val set : t -> float -> unit  (** last write wins *)
+
+  val value : t -> float
+  val name : t -> string
+end
+
+module Histogram : sig
+  type t
+
+  val make :
+    ?registry:registry -> ?help:string -> ?buckets:float list -> string -> t
+  (** [buckets] are the finite upper bounds ([le], inclusive), strictly
+      increasing; an overflow (+Inf) bucket is always appended.  The
+      default buckets are powers of ten from 1ms to 100s — override for
+      anything that is not a duration in seconds. *)
+
+  val observe : t -> float -> unit
+
+  val sum : t -> float
+  val count : t -> int
+
+  val buckets : t -> (float * int) list
+  (** [(upper_bound, count)] per bucket, non-cumulative, the overflow
+      bucket last as [(infinity, n)]. *)
+
+  val name : t -> string
+end
+
+(** {1 Reading a registry} *)
+
+type value =
+  | Counter_value of int
+  | Gauge_value of float
+  | Histogram_value of {
+      bounds : float array;  (** finite upper bounds *)
+      counts : int array;  (** per bucket, non-cumulative; length = bounds + 1 *)
+      sum : float;
+      count : int;
+    }
+
+type sample = { name : string; help : string; value : value }
+
+val snapshot : ?registry:registry -> unit -> sample list
+(** Every metric in the registry, sorted by name. *)
+
+val find : ?registry:registry -> string -> sample option
+
+val render_prometheus : ?registry:registry -> unit -> string
+(** Prometheus text exposition (v0.0.4): [# HELP]/[# TYPE] preambles,
+    cumulative [_bucket{le="..."}] rows plus [_sum]/[_count] for
+    histograms.  Metrics appear sorted by name. *)
+
+(** {1 Structured tracing} *)
+
+module Trace : sig
+  val start : unit -> unit
+  (** Reset the event buffers and start collecting spans.  Timestamps
+      are microseconds since this call. *)
+
+  val active : unit -> bool
+
+  val stop : unit -> unit
+  (** Stop collecting.  Buffered events stay readable until the next
+      {!start}. *)
+
+  val to_string : unit -> string
+  (** The collected events as a Chrome [trace_event] JSON object
+      ([{"traceEvents": [...], ...}]), events sorted by timestamp. *)
+
+  val write : string -> unit
+  (** Write {!to_string} to a file. *)
+end
+
+module Span : sig
+  val with_ : ?attrs:(string * string) list -> name:string -> (unit -> 'a) -> 'a
+  (** [with_ ~name f] runs [f ()]; when tracing is active, records a
+      complete ("X") event named [name] covering [f]'s execution on the
+      calling domain's timeline, with [attrs] as its [args].  The event
+      is recorded even when [f] raises, so traces are always
+      well-nested. *)
+
+  val instant : ?attrs:(string * string) list -> string -> unit
+  (** A zero-duration marker ("i" event) on the calling domain's
+      timeline. *)
+end

@@ -3,6 +3,26 @@
    tail.  A sentinel node closes the ring so link/unlink have no
    edge cases. *)
 
+(* The only production instantiation of this cache is the service's
+   verdict cache (Runner), so its registry metrics carry that name. *)
+module Metrics = struct
+  let hits =
+    Obs.Counter.make ~help:"Verdict-cache lookups served from the cache"
+      "service_verdict_cache_hits_total"
+
+  let misses =
+    Obs.Counter.make ~help:"Verdict-cache lookups that missed"
+      "service_verdict_cache_misses_total"
+
+  let evictions =
+    Obs.Counter.make ~help:"Verdict-cache entries evicted by capacity"
+      "service_verdict_cache_evictions_total"
+
+  let size =
+    Obs.Gauge.make ~help:"Verdict-cache entries currently stored"
+      "service_verdict_cache_size"
+end
+
 type 'a node = {
   key : string;
   mutable value : 'a option;  (* None only on the sentinel *)
@@ -59,11 +79,13 @@ let find t key =
       match Hashtbl.find_opt t.tbl key with
       | Some node ->
           t.hits <- t.hits + 1;
+          Obs.Counter.incr Metrics.hits;
           unlink node;
           link_front t node;
           node.value
       | None ->
           t.misses <- t.misses + 1;
+          Obs.Counter.incr Metrics.misses;
           None)
 
 let add_locked t key value =
@@ -80,8 +102,10 @@ let add_locked t key value =
     let lru = t.sentinel.prev in
     unlink lru;
     Hashtbl.remove t.tbl lru.key;
-    t.evictions <- t.evictions + 1
-  end
+    t.evictions <- t.evictions + 1;
+    Obs.Counter.incr Metrics.evictions
+  end;
+  Obs.Gauge.set Metrics.size (float_of_int (Hashtbl.length t.tbl))
 
 let add t key value = with_lock t (fun () -> add_locked t key value)
 
@@ -96,6 +120,7 @@ let find_or_lease t key =
     match Hashtbl.find_opt t.tbl key with
     | Some node ->
         t.hits <- t.hits + 1;
+        Obs.Counter.incr Metrics.hits;
         unlink node;
         link_front t node;
         `Hit (match node.value with Some v -> v | None -> assert false)
@@ -106,6 +131,7 @@ let find_or_lease t key =
         end
         else begin
           t.misses <- t.misses + 1;
+          Obs.Counter.incr Metrics.misses;
           Hashtbl.replace t.inflight key ();
           `Lease
         end

@@ -1,6 +1,27 @@
 (* One job, end to end: load -> plan -> cache probe -> budgeted
    exploration -> degradation ladder -> cache fill.  See runner.mli. *)
 
+module Metrics = struct
+  let jobs =
+    Obs.Counter.make ~help:"Analysis jobs run to completion"
+      "service_jobs_total"
+
+  let degraded =
+    Obs.Counter.make
+      ~help:"Jobs whose exploration was truncated and fell back to analytic bounds"
+      "service_jobs_degraded_total"
+
+  let miss_novel =
+    Obs.Counter.make
+      ~help:"Verdict-cache misses on a structure never seen before"
+      "service_miss_novel_total"
+
+  let miss_options_only =
+    Obs.Counter.make
+      ~help:"Verdict-cache misses where only analysis options changed"
+      "service_miss_options_only_total"
+end
+
 (* Miss attribution: remember the last Merkle key seen per structure
    digest; when a later key of the same structure misses, the changed
    fragment ids name the components responsible. *)
@@ -60,7 +81,9 @@ let attribute config (key : Key.t) =
       (match Hashtbl.find_opt a.last key.Key.structure with
       | Some prev -> (
           match Key.changed_fragments ~prev key with
-          | [] -> a.options_only <- a.options_only + 1
+          | [] ->
+              a.options_only <- a.options_only + 1;
+              Obs.Counter.incr Metrics.miss_options_only
           | ids ->
               List.iter
                 (fun id ->
@@ -68,7 +91,9 @@ let attribute config (key : Key.t) =
                     (1
                     + Option.value ~default:0 (Hashtbl.find_opt a.changed id)))
                 ids)
-      | None -> a.novel <- a.novel + 1);
+      | None ->
+          a.novel <- a.novel + 1;
+          Obs.Counter.incr Metrics.miss_novel);
       Hashtbl.replace a.last key.Key.structure key;
       Mutex.unlock a.mutex
 
@@ -174,8 +199,12 @@ let explore config (req : Job.request) ~options plan ~cancel =
   (verdict, degraded, states)
 
 let run ?cancel config (req : Job.request) =
+  Obs.Counter.incr Metrics.jobs;
+  Obs.Span.with_ ~name:"service.job" ~attrs:[ ("id", req.Job.id) ]
+  @@ fun () ->
   let now = Unix.gettimeofday () in
   let outcome verdict ~states ~degraded =
+    if degraded then Obs.Counter.incr Metrics.degraded;
     {
       Job.id = req.id;
       verdict;

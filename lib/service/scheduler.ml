@@ -4,9 +4,32 @@
    order even though completion order is nondeterministic.  Outcomes are
    reported back in submission order, which keeps batch output stable. *)
 
+module Metrics = struct
+  let queue_depth =
+    Obs.Gauge.make ~help:"Jobs submitted but not yet completed"
+      "service_queue_depth"
+
+  let wait =
+    Obs.Histogram.make
+      ~help:"Seconds between job submission and the start of its run"
+      "service_job_wait_seconds"
+
+  let run_time =
+    Obs.Histogram.make ~help:"Seconds a job spent running"
+      "service_job_run_seconds"
+end
+
+(* submitted-but-not-completed jobs, across all concurrent batches *)
+let depth = Atomic.make 0
+
+let depth_add d =
+  let now = Atomic.fetch_and_add depth d + d in
+  Obs.Gauge.set Metrics.queue_depth (float_of_int now)
+
 type handle = {
   seq : int;
   request : Job.request;
+  submitted : float;  (* Unix.gettimeofday at submit, for wait times *)
   cancelled : bool Atomic.t;
   result : Job.outcome option Atomic.t;
 }
@@ -26,18 +49,22 @@ let submit t request =
     {
       seq = t.next_seq;
       request;
+      submitted = Unix.gettimeofday ();
       cancelled = Atomic.make false;
       result = Atomic.make None;
     }
   in
   t.next_seq <- t.next_seq + 1;
   t.pending <- handle :: t.pending;
+  depth_add 1;
   handle
 
 let cancel handle = Atomic.set handle.cancelled true
 let outcome handle = Atomic.get handle.result
 
 let run_one config handle =
+  let started = Unix.gettimeofday () in
+  Obs.Histogram.observe Metrics.wait (started -. handle.submitted);
   let o =
     if Atomic.get handle.cancelled then
       {
@@ -53,6 +80,8 @@ let run_one config handle =
         ~cancel:(fun () -> Atomic.get handle.cancelled)
         config handle.request
   in
+  Obs.Histogram.observe Metrics.run_time (Unix.gettimeofday () -. started);
+  depth_add (-1);
   Atomic.set handle.result (Some o)
 
 let run_all t =

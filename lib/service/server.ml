@@ -24,6 +24,31 @@ let counters_json (config : Runner.config) =
              a.Runner.changed_components) );
     ]
 
+(* The whole Obs registry as JSON, one member per metric (sorted by
+   name, as in the Prometheus rendering). *)
+let metrics_json () =
+  let value_json = function
+    | Obs.Counter_value n -> Json.Int n
+    | Obs.Gauge_value v -> Json.Float v
+    | Obs.Histogram_value { bounds; counts; sum; count } ->
+        let buckets =
+          List.init (Array.length counts) (fun i ->
+              ( (if i < Array.length bounds then Fmt.str "%g" bounds.(i)
+                 else "+Inf"),
+                Json.Int counts.(i) ))
+        in
+        Json.Obj
+          [
+            ("sum", Json.Float sum);
+            ("count", Json.Int count);
+            ("buckets", Json.Obj buckets);
+          ]
+  in
+  Json.Obj
+    (List.map
+       (fun s -> (s.Obs.name, value_json s.Obs.value))
+       (Obs.snapshot ()))
+
 let respond oc json =
   output_string oc (Json.to_string json);
   output_char oc '\n';
@@ -50,6 +75,14 @@ let serve ?config ic oc =
             match Option.bind (Json.member "op" json) Json.to_str with
             | Some "stats" ->
                 respond oc (counters_json config);
+                loop ()
+            | Some "metrics" ->
+                respond oc
+                  (Json.Obj
+                     [
+                       ("metrics", metrics_json ());
+                       ("prometheus", Json.String (Obs.render_prometheus ()));
+                     ]);
                 loop ()
             | Some "quit" -> respond oc (Json.Obj [ ("ok", Json.Bool true) ])
             | Some op ->

@@ -2,13 +2,17 @@
 
     [serve config ic oc] reads one JSON document per line from [ic] and
     writes exactly one JSON line to [oc] for each, flushed immediately,
-    until end-of-file or a [quit] op.  Three request forms:
+    until end-of-file or a [quit] op.  Four request forms:
 
     - an analysis request ({!Job.request_of_json} schema, the same as a
       [batch] manifest line) — answered with the {!Job.outcome} object;
     - [{"op": "stats"}] — answered with the verdict-cache counters
       ([{"hits": …, "misses": …, "evictions": …, "size": …,
       "capacity": …}], all zero when the cache is disabled);
+    - [{"op": "metrics"}] — answered with the full {!Obs} registry:
+      [{"metrics": {name: value, …}, "prometheus": "…"}], where
+      [prometheus] is the text exposition ({!Obs.render_prometheus})
+      and histogram values carry [sum]/[count]/[buckets] members;
     - [{"op": "quit"}] — answered with [{"ok": true}], then the loop
       returns.
 

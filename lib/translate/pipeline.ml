@@ -52,21 +52,46 @@ type options = Fragment.options = {
 
 let default_options = Fragment.default_options
 
-let plan = Fragment.plan
+module Metrics = struct
+  let plans =
+    Obs.Counter.make ~help:"Translation plans derived from instance models"
+      "translate_plans_total"
+
+  let reused =
+    Obs.Counter.make
+      ~help:"Translation units served from the fragment cache"
+      "translate_fragments_reused_total"
+
+  let realized =
+    Obs.Counter.make ~help:"Translation units generated from scratch"
+      "translate_fragments_realized_total"
+end
+
+let plan ?options root =
+  Obs.Counter.incr Metrics.plans;
+  Obs.Span.with_ ~name:"translate.plan" (fun () -> Fragment.plan ?options root)
 
 let of_plan ?(cache : Fragment_cache.t option) (p : Fragment.plan) : t =
+  Obs.Span.with_ ~name:"translate.compose" @@ fun () ->
   let realized =
     List.map
       (fun spec ->
-        match cache with
-        | Some c -> Fragment_cache.find_or_realize c spec
-        | None -> (Fragment.realize spec, false))
+        Obs.Span.with_ ~name:"translate.realize"
+          ~attrs:[ ("unit", Fragment.spec_id spec) ]
+          (fun () ->
+            match cache with
+            | Some c -> Fragment_cache.find_or_realize c spec
+            | None -> (Fragment.realize spec, false)))
       p.Fragment.specs
   in
   let fragments = List.map fst realized in
   let fragments_reused =
     List.fold_left (fun n (_, reused) -> if reused then n + 1 else n) 0 realized
   in
+  Obs.Counter.incr ~by:fragments_reused Metrics.reused;
+  Obs.Counter.incr
+    ~by:(List.length realized - fragments_reused)
+    Metrics.realized;
   (* definitions environment *)
   let add_defs env (name, formals, body) =
     try Defs.add env ~name ~formals body

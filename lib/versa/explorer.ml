@@ -60,6 +60,10 @@ let check_verdict c =
 
 let check_deadlock ?(engine = Full) ?(max_states = 2_000_000)
     ?(stop_at_deadlock = true) ?(jobs = 1) ?deadline ?poll defs root =
+  Obs.Span.with_ ~name:"explore"
+    ~attrs:
+      [ ("engine", match engine with Full -> "full" | On_the_fly -> "otf") ]
+  @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let config =
     {

@@ -19,6 +19,76 @@
 
 open Acsr
 
+(* Every exploration publishes into the process-wide Obs registry at the
+   end of the run: totals as counters (accumulating across runs in a
+   batch/serve process), last-run shape as gauges.  The per-run [stats]
+   record stays the per-result API; the registry is the cross-run,
+   cross-layer view (`--stats`, the service `metrics` op, bench). *)
+module Metrics = struct
+  let runs =
+    Obs.Counter.make ~help:"State-space explorations completed"
+      "versa_explore_runs_total"
+
+  let states =
+    Obs.Counter.make ~help:"States discovered across all explorations"
+      "versa_explore_states_total"
+
+  let transitions =
+    Obs.Counter.make ~help:"Transitions computed across all explorations"
+      "versa_explore_transitions_total"
+
+  let deadlocks =
+    Obs.Counter.make ~help:"Deadlocked states discovered across all explorations"
+      "versa_explore_deadlocks_total"
+
+  let intern_hits =
+    Obs.Counter.make ~help:"State interns that found an existing state"
+      "versa_intern_hits_total"
+
+  let intern_misses =
+    Obs.Counter.make ~help:"State interns that discovered a new state"
+      "versa_intern_misses_total"
+
+  let deadline_expired =
+    Obs.Counter.make ~help:"Explorations stopped by the wall-clock budget"
+      "versa_explore_deadline_expired_total"
+
+  let states_per_sec =
+    Obs.Gauge.make ~help:"Discovery rate of the most recent exploration"
+      "versa_explore_states_per_sec"
+
+  let peak_frontier =
+    Obs.Gauge.make ~help:"Peak frontier width of the most recent exploration"
+      "versa_explore_peak_frontier"
+
+  let depth_levels =
+    Obs.Gauge.make ~help:"BFS levels of the most recent exploration"
+      "versa_explore_depth_levels"
+
+  let early_exit_depth =
+    Obs.Gauge.make
+      ~help:"BFS depth of the deadlock that stopped the most recent early-exit run"
+      "versa_explore_early_exit_depth"
+
+  let hashcons_nodes =
+    Obs.Gauge.make ~help:"Global hash-cons table size after the last exploration"
+      "versa_hashcons_nodes"
+
+  let store_bytes =
+    Obs.Gauge.make
+      ~help:"Estimated bytes retained by the last exploration's state store"
+      "versa_store_bytes"
+
+  let frontier =
+    Obs.Histogram.make ~help:"Frontier width at each expansion step"
+      ~buckets:[ 1.; 10.; 100.; 1_000.; 10_000.; 100_000. ]
+      "versa_explore_frontier_size"
+
+  let wall =
+    Obs.Histogram.make ~help:"Exploration wall time (seconds)"
+      "versa_explore_wall_seconds"
+end
+
 type semantics = Prioritized | Unprioritized
 
 type state_id = int
@@ -53,6 +123,26 @@ let dedup_hit_rate s =
 let bytes_per_state s =
   if s.num_states = 0 then 0.
   else float_of_int s.store_bytes /. float_of_int s.num_states
+
+(* One registry write-out per exploration, at the end of the run — hot
+   loops never touch the registry except for the frontier histogram. *)
+let publish_stats s =
+  Obs.Counter.incr Metrics.runs;
+  Obs.Counter.incr ~by:s.num_states Metrics.states;
+  Obs.Counter.incr ~by:s.num_transitions Metrics.transitions;
+  Obs.Counter.incr ~by:s.num_deadlocks Metrics.deadlocks;
+  Obs.Counter.incr ~by:s.intern_hits Metrics.intern_hits;
+  Obs.Counter.incr ~by:s.intern_misses Metrics.intern_misses;
+  if s.deadline_expired then Obs.Counter.incr Metrics.deadline_expired;
+  Obs.Gauge.set Metrics.states_per_sec (states_per_sec s);
+  Obs.Gauge.set Metrics.peak_frontier (float_of_int s.peak_frontier);
+  Obs.Gauge.set Metrics.depth_levels (float_of_int s.depth_levels);
+  Option.iter
+    (fun d -> Obs.Gauge.set Metrics.early_exit_depth (float_of_int d))
+    s.early_exit_depth;
+  Obs.Gauge.set Metrics.hashcons_nodes (float_of_int s.hashcons_nodes);
+  Obs.Gauge.set Metrics.store_bytes (float_of_int s.store_bytes);
+  Obs.Histogram.observe Metrics.wall s.wall_s
 
 type t = {
   term_of : Hproc.t array;  (** state id -> term *)
@@ -182,7 +272,11 @@ module Expander = struct
              e.pool <- Some p;
              p
        in
-       Pool.run pool n f
+       (* sequential chunks stay span-free: a span per state would swamp
+          the trace and the overhead budget *)
+       Obs.Span.with_ ~name:"lts.expand"
+         ~attrs:[ ("chunk", string_of_int n) ]
+         (fun () -> Pool.run pool n f)
      end
      else
        for i = 0 to n - 1 do
@@ -245,9 +339,19 @@ module Table = struct
         (id, true)
 end
 
+let pp_semantics ppf = function
+  | Prioritized -> Fmt.string ppf "prioritized"
+  | Unprioritized -> Fmt.string ppf "unprioritized"
+
+let span_attrs semantics jobs =
+  [ ("semantics", Fmt.str "%a" pp_semantics semantics);
+    ("jobs", string_of_int jobs) ]
+
 let build ?(config = default_config) ?(semantics = Prioritized) ?(jobs = 1)
     defs root =
   let jobs = max 1 jobs in
+  Obs.Span.with_ ~name:"lts.build" ~attrs:(span_attrs semantics jobs)
+  @@ fun () ->
   let t_start = Unix.gettimeofday () in
   let cache = Semantics.make_cache () in
   let next = step_function semantics cache defs in
@@ -275,6 +379,7 @@ let build ?(config = default_config) ?(semantics = Prioritized) ?(jobs = 1)
       while (not !stop) && !head < table.Table.len do
         let frontier = table.Table.len - !head in
         if frontier > !peak_frontier then peak_frontier := frontier;
+        Obs.Histogram.observe Metrics.frontier (float_of_int frontier);
         let n = Expander.chunk_size ex ~frontier in
         let base = !head in
         Expander.run ex n (fun i ->
@@ -349,6 +454,7 @@ let build ?(config = default_config) ?(semantics = Prioritized) ?(jobs = 1)
       deadline_expired = !deadline_hit;
     }
   in
+  publish_stats stats;
   {
     term_of = Array.init n (fun i -> (entry i).Table.tm);
     edges = Array.init n (fun i -> (entry i).Table.row);
@@ -456,6 +562,8 @@ let check_path_to c id =
 let check ?(config = default_config) ?(semantics = Prioritized) ?(jobs = 1)
     defs root =
   let jobs = max 1 jobs in
+  Obs.Span.with_ ~name:"lts.check" ~attrs:(span_attrs semantics jobs)
+  @@ fun () ->
   let t_start = Unix.gettimeofday () in
   let cache = Semantics.make_cache () in
   let next = step_function semantics cache defs in
@@ -490,6 +598,7 @@ let check ?(config = default_config) ?(semantics = Prioritized) ?(jobs = 1)
       while (not !stop) && !head < store.Store.len do
         let frontier = store.Store.len - !head in
         if frontier > !peak_frontier then peak_frontier := frontier;
+        Obs.Histogram.observe Metrics.frontier (float_of_int frontier);
         let n = Expander.chunk_size ex ~frontier in
         let base = !head in
         Expander.run ex n (fun i -> succs.(i) <- next store.Store.terms.(base + i));
@@ -550,6 +659,7 @@ let check ?(config = default_config) ?(semantics = Prioritized) ?(jobs = 1)
       deadline_expired = !deadline_hit;
     }
   in
+  publish_stats stats;
   {
     c_store = store;
     c_truncated = !truncated;
@@ -558,10 +668,6 @@ let check ?(config = default_config) ?(semantics = Prioritized) ?(jobs = 1)
     c_semantics = semantics;
     c_stats = stats;
   }
-
-let pp_semantics ppf = function
-  | Prioritized -> Fmt.string ppf "prioritized"
-  | Unprioritized -> Fmt.string ppf "unprioritized"
 
 let pp_check_summary ppf c =
   Fmt.pf ppf "%d states, %d transitions%s (%a semantics, on-the-fly)"

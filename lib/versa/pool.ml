@@ -10,7 +10,29 @@
 
    Exceptions raised by [f] (e.g. [Semantics.Unguarded_recursion]) are
    captured — first one wins — and re-raised in the caller once the batch
-   has drained, so a failing exploration does not leave domains running. *)
+   has drained, so a failing exploration does not leave domains running.
+   A failure that originated on a worker domain is re-raised wrapped in
+   [Worker_error] so the caller can tell which domain died; a failure on
+   the calling domain itself is re-raised as-is. *)
+
+exception Worker_error of { index : int; error : exn }
+
+let () =
+  Printexc.register_printer (function
+    | Worker_error { index; error } ->
+        Some
+          (Printf.sprintf "Versa.Pool.Worker_error(worker %d: %s)" index
+             (Printexc.to_string error))
+    | _ -> None)
+
+let failures =
+  Obs.Counter.make
+    ~help:"Batches in which a pool worker domain raised an exception"
+    "versa_pool_worker_failures_total"
+
+(* The calling domain participates in every batch under this pseudo-index;
+   its failures are not wrapped. *)
+let caller_index = -1
 
 type t = {
   workers : int;  (* worker domains, excluding the caller *)
@@ -23,19 +45,21 @@ type t = {
   next : int Atomic.t;  (* next index to claim *)
   mutable active : int;  (* workers still inside the current batch *)
   mutable stopping : bool;
-  mutable error : exn option;
+  mutable error : (int * exn) option;  (* (origin index, exception) *)
   mutable domains : unit Domain.t list;
 }
 
-let record_error pool e =
+let record_error pool index e =
+  if index <> caller_index then Obs.Counter.incr failures;
   Mutex.lock pool.mutex;
-  if pool.error = None then pool.error <- Some e;
+  if pool.error = None then pool.error <- Some (index, e);
   Mutex.unlock pool.mutex
 
 (* Claim and run indices until the batch is exhausted.  On an error the
    remaining indices are drained without running [f]: the batch still
-   terminates promptly and deterministically. *)
-let drain pool f n =
+   terminates promptly and deterministically.  [index] identifies the
+   draining domain (worker index, or [caller_index]) for attribution. *)
+let drain pool ~index f n =
   let continue = ref true in
   while !continue do
     let i = Atomic.fetch_and_add pool.next 1 in
@@ -44,11 +68,11 @@ let drain pool f n =
       match f i with
       | () -> ()
       | exception e ->
-          record_error pool e;
+          record_error pool index e;
           continue := false
   done
 
-let worker pool () =
+let worker pool index () =
   let seen_generation = ref 0 in
   let running = ref true in
   while !running do
@@ -64,7 +88,9 @@ let worker pool () =
       seen_generation := pool.generation;
       let f = Option.get pool.task and n = pool.count in
       Mutex.unlock pool.mutex;
-      drain pool f n;
+      Obs.Span.with_ ~name:"pool.worker"
+        ~attrs:[ ("worker", string_of_int index) ]
+        (fun () -> drain pool ~index f n);
       Mutex.lock pool.mutex;
       pool.active <- pool.active - 1;
       if pool.active = 0 then Condition.broadcast pool.work_done;
@@ -90,7 +116,7 @@ let create workers =
       domains = [];
     }
   in
-  pool.domains <- List.init workers (fun _ -> Domain.spawn (worker pool));
+  pool.domains <- List.init workers (fun i -> Domain.spawn (worker pool i));
   pool
 
 let run pool n f =
@@ -117,8 +143,12 @@ let run pool n f =
         done;
         pool.task <- None;
         Mutex.unlock pool.mutex)
-      (fun () -> drain pool f n);
-    match pool.error with Some e -> raise e | None -> ()
+      (fun () -> drain pool ~index:caller_index f n);
+    match pool.error with
+    | Some (index, error) when index <> caller_index ->
+        raise (Worker_error { index; error })
+    | Some (_, e) -> raise e
+    | None -> ()
   end
 
 (* Join every domain even if one of the joins re-raises (a worker that

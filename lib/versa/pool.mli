@@ -7,6 +7,12 @@
 
 type t
 
+exception Worker_error of { index : int; error : exn }
+(** Raised by {!run} when [f] failed on worker domain [index] (0-based).
+    A failure on the calling domain is re-raised unwrapped.  Each batch
+    with a worker-side failure also increments the
+    [versa_pool_worker_failures_total] counter in {!Obs}. *)
+
 val create : int -> t
 (** [create w] spawns [w] worker domains (clamped below at 0 — a pool with
     0 workers still works, every batch then runs on the caller). *)
@@ -16,7 +22,8 @@ val run : t -> int -> (int -> unit) -> unit
     indices dynamically over the workers and the calling domain, and
     returns when all are done.  [f] must be safe to call concurrently from
     several domains.  If any [f i] raises, the first exception is
-    re-raised here after the batch drains (remaining indices are skipped).
+    re-raised here after the batch drains (remaining indices are skipped)
+    — wrapped in {!Worker_error} when it originated on a worker domain.
     Batches must not be issued concurrently from several domains. *)
 
 val shutdown : t -> unit

@@ -53,9 +53,19 @@ analytic verdict instead of exploring.
   {"id":"edf","verdict":"schedulable","states":27,"cached":false,"degraded":false,"wall_s":T}
   {"id":"starved","verdict":"bounded","analytic_schedulable":true,"method":"RTA","states":1,"cached":false,"degraded":true,"wall_s":T}
 
-The duplicate cost one cache hit, not a second exploration:
+The run summary is one machine-readable JSON object on stderr — the
+duplicate cost one cache hit, not a second exploration:
 
-  $ sed -E 's/in [0-9.]+s/in TIME/' summary.txt
+  $ sed -E 's/"wall_s":[0-9.e+-]+/"wall_s":T/' summary.txt
+  {"jobs":4,"verdicts":{"schedulable":3,"not_schedulable":0,"bounded":1,"unknown":0,"cancelled":0,"error":0},"wall_s":T,"cache":{"hits":1,"misses":3,"evictions":0,"size":3,"capacity":256},"misses":{"novel":1,"options_only":0,"changed_components":{"thread:a":2,"thread:b":2}}}
+
+`--stats` adds the human-readable lines (and the metrics registry)
+after the JSON summary:
+
+  $ aadl_sched batch manifest.jsonl --stats 2>&1 >/dev/null \
+  >   | sed -E -e 's/"wall_s":[0-9.e+-]+/"wall_s":T/' -e 's/in [0-9.]+s/in TIME/' \
+  >   | head -4
+  {"jobs":4,"verdicts":{"schedulable":3,"not_schedulable":0,"bounded":1,"unknown":0,"cancelled":0,"error":0},"wall_s":T,"cache":{"hits":1,"misses":3,"evictions":0,"size":3,"capacity":256},"misses":{"novel":1,"options_only":0,"changed_components":{"thread:a":2,"thread:b":2}}}
   batch: 4 jobs (3 schedulable, 0 not schedulable, 1 bounded, 0 unknown, 0 cancelled, 0 errors) in TIME
   cache: 1 hits, 3 misses, 0 evictions, size 3/256
   misses: 1 novel, 0 options-only; changed: thread:a (2), thread:b (2)

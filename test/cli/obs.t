@@ -1,0 +1,139 @@
+The observability surface: span tracing behind --trace, the metrics
+registry behind --stats, and the serve 'metrics' op.  Values vary from
+run to run, so these tests pin the stable part of the contract: metric
+and span names, event shape, and where each rendering appears.
+
+  $ cat > light.aadl <<'AADL'
+  > processor cpu
+  > properties
+  >   Scheduling_Protocol => RATE_MONOTONIC_PROTOCOL;
+  > end cpu;
+  > thread t1
+  > properties
+  >   Dispatch_Protocol => Periodic;
+  >   Period => 4 ms;
+  >   Compute_Execution_Time => 1 ms;
+  >   Compute_Deadline => 4 ms;
+  > end t1;
+  > thread t2
+  > properties
+  >   Dispatch_Protocol => Periodic;
+  >   Period => 6 ms;
+  >   Compute_Execution_Time => 2 ms;
+  >   Compute_Deadline => 6 ms;
+  > end t2;
+  > system s
+  > end s;
+  > system implementation s.impl
+  > subcomponents
+  >   cpu1: processor cpu;
+  >   a: thread t1;
+  >   b: thread t2;
+  > properties
+  >   Actual_Processor_Binding => reference (cpu1) applies to a;
+  >   Actual_Processor_Binding => reference (cpu1) applies to b;
+  > end s.impl;
+  > AADL
+
+--trace writes a Chrome trace_event file and says so on stderr; the
+analysis output itself is unchanged:
+
+  $ aadl_sched analyze light.aadl --trace out.json 2>&1 | sed 's/([0-9.]*s)/(TIME)/'
+  2 thread processes, 2 dispatchers, 0 queues, 0 stimuli; 12 definitions; quantum 1 ms
+  state space: 27 states, 30 transitions (prioritized semantics, on-the-fly) (TIME)
+  schedulable: all deadlines are met
+  trace written to out.json
+
+The trace covers the whole pipeline — load (parse + instantiate),
+translation (plan, compose, one realize per fragment), and the
+exploration — under stable span names:
+
+  $ head -1 out.json
+  {"traceEvents": [
+  $ grep -o '"name": "[^"]*"' out.json | sort -u
+  "name": "explore"
+  "name": "instantiate"
+  "name": "load"
+  "name": "lts.check"
+  "name": "parse"
+  "name": "translate.compose"
+  "name": "translate.plan"
+  "name": "translate.realize"
+
+Every event carries the complete ("X") or instant ("i") phase and a
+timestamp:
+
+  $ grep -c '"ph": "[Xi]"' out.json
+  9
+  $ grep -c '"ts": ' out.json
+  9
+
+--stats renders the full registry, one metric per line, sorted — the
+same names the Prometheus exposition and the serve 'metrics' op use:
+
+  $ aadl_sched analyze light.aadl --stats | sed -n '/== metrics ==/,$p' | awk 'NR>1 {print $1}'
+  analysis_sensitivity_probes_total
+  service_job_run_seconds
+  service_job_wait_seconds
+  service_jobs_degraded_total
+  service_jobs_total
+  service_miss_novel_total
+  service_miss_options_only_total
+  service_queue_depth
+  service_verdict_cache_evictions_total
+  service_verdict_cache_hits_total
+  service_verdict_cache_misses_total
+  service_verdict_cache_size
+  translate_fragments_realized_total
+  translate_fragments_reused_total
+  translate_plans_total
+  versa_explore_deadline_expired_total
+  versa_explore_deadlocks_total
+  versa_explore_depth_levels
+  versa_explore_early_exit_depth
+  versa_explore_frontier_size
+  versa_explore_peak_frontier
+  versa_explore_runs_total
+  versa_explore_states_per_sec
+  versa_explore_states_total
+  versa_explore_transitions_total
+  versa_explore_wall_seconds
+  versa_hashcons_nodes
+  versa_intern_hits_total
+  versa_intern_misses_total
+  versa_pool_worker_failures_total
+  versa_store_bytes
+
+The serve loop answers {"op":"metrics"} with the registry as JSON plus
+the Prometheus text exposition.  The counter names are the contract:
+
+  $ printf '%s\n' '{"op":"metrics"}' '{"op":"quit"}' \
+  > | aadl_sched serve 2>/dev/null | sed -n '1p' > metrics.json
+  $ grep -o '"[a-z_]*_total"' metrics.json | sort -u
+  "analysis_sensitivity_probes_total"
+  "service_jobs_degraded_total"
+  "service_jobs_total"
+  "service_miss_novel_total"
+  "service_miss_options_only_total"
+  "service_verdict_cache_evictions_total"
+  "service_verdict_cache_hits_total"
+  "service_verdict_cache_misses_total"
+  "translate_fragments_realized_total"
+  "translate_fragments_reused_total"
+  "translate_plans_total"
+  "versa_explore_deadline_expired_total"
+  "versa_explore_deadlocks_total"
+  "versa_explore_runs_total"
+  "versa_explore_states_total"
+  "versa_explore_transitions_total"
+  "versa_intern_hits_total"
+  "versa_intern_misses_total"
+  "versa_pool_worker_failures_total"
+
+Histogram values carry buckets keyed by upper bound, and the
+exposition rides along in the same response:
+
+  $ grep -o '"versa_explore_wall_seconds":{"sum":[^,]*,"count":[0-9]*,"buckets":{"0.001":' metrics.json | sed 's/:[0-9.e+-]*,/:N,/'
+  "versa_explore_wall_seconds":{"sum":N,"count":0,"buckets":{"0.001":
+  $ grep -c '"prometheus":"# HELP' metrics.json
+  1

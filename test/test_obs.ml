@@ -1,0 +1,299 @@
+(* Tests for the observability substrate: registry semantics (idempotent
+   registration, kind clashes, muting), histogram bucket boundaries,
+   sharded-counter merges under genuinely concurrent domains (qcheck),
+   and the span tracer (well-nested events, valid Chrome trace_event
+   JSON, recording through exceptions). *)
+
+(* Each test gets a private registry so the process-wide one — which the
+   libraries under test in the other binaries instrument into — never
+   leaks counts in. *)
+let fresh () = Obs.create_registry ()
+
+(* {1 Registry} *)
+
+let test_counter_basics () =
+  let r = fresh () in
+  let c = Obs.Counter.make ~registry:r ~help:"h" "c_total" in
+  Alcotest.(check int) "starts at zero" 0 (Obs.Counter.value c);
+  Obs.Counter.incr c;
+  Obs.Counter.incr ~by:41 c;
+  Alcotest.(check int) "accumulates" 42 (Obs.Counter.value c);
+  let c' = Obs.Counter.make ~registry:r "c_total" in
+  Obs.Counter.incr c';
+  Alcotest.(check int)
+    "registration is idempotent: same cells" 43 (Obs.Counter.value c);
+  Alcotest.check_raises "negative increment rejected"
+    (Invalid_argument "Obs.Counter.incr: negative increment")
+    (fun () -> Obs.Counter.incr ~by:(-1) c)
+
+let test_kind_clash () =
+  let r = fresh () in
+  let (_ : Obs.Counter.t) = Obs.Counter.make ~registry:r "m" in
+  Alcotest.check_raises "counter re-registered as gauge"
+    (Invalid_argument {|Obs: metric "m" already registered with another kind|})
+    (fun () -> ignore (Obs.Gauge.make ~registry:r "m"))
+
+let test_gauge_last_write_wins () =
+  let r = fresh () in
+  let g = Obs.Gauge.make ~registry:r "g" in
+  Obs.Gauge.set g 3.5;
+  Obs.Gauge.set g 1.25;
+  Alcotest.(check (float 0.)) "last write" 1.25 (Obs.Gauge.value g)
+
+let test_muting () =
+  let r = fresh () in
+  let c = Obs.Counter.make ~registry:r "muted_total" in
+  let h = Obs.Histogram.make ~registry:r "muted_seconds" in
+  Obs.set_enabled false;
+  Fun.protect
+    ~finally:(fun () -> Obs.set_enabled true)
+    (fun () ->
+      Obs.Counter.incr c;
+      Obs.Histogram.observe h 1.;
+      Alcotest.(check int) "counter muted" 0 (Obs.Counter.value c);
+      Alcotest.(check int) "histogram muted" 0 (Obs.Histogram.count h));
+  Obs.Counter.incr c;
+  Alcotest.(check int) "unmuted again" 1 (Obs.Counter.value c)
+
+(* {1 Histogram buckets} *)
+
+let test_histogram_boundaries () =
+  let r = fresh () in
+  let h = Obs.Histogram.make ~registry:r ~buckets:[ 1.; 10.; 100. ] "h" in
+  (* upper bounds are inclusive: an observation exactly on a bound lands
+     in that bucket, not the next one *)
+  List.iter (Obs.Histogram.observe h) [ 0.5; 1.; 1.0001; 10.; 100.; 100.5 ];
+  Alcotest.(check (list (pair (float 0.) int)))
+    "bucket assignment"
+    [ (1., 2); (10., 2); (100., 1); (infinity, 1) ]
+    (Obs.Histogram.buckets h);
+  Alcotest.(check int) "count" 6 (Obs.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "sum" 213.0001 (Obs.Histogram.sum h)
+
+let test_histogram_bad_buckets () =
+  let r = fresh () in
+  Alcotest.check_raises "non-increasing bounds rejected"
+    (Invalid_argument "Obs.Histogram.make: buckets must be strictly increasing")
+    (fun () ->
+      ignore (Obs.Histogram.make ~registry:r ~buckets:[ 1.; 1. ] "bad"))
+
+let test_prometheus_render () =
+  let r = fresh () in
+  let c = Obs.Counter.make ~registry:r ~help:"a counter" "c_total" in
+  Obs.Counter.incr ~by:3 c;
+  let h = Obs.Histogram.make ~registry:r ~buckets:[ 0.5; 2. ] "h_seconds" in
+  Obs.Histogram.observe h 0.25;
+  Obs.Histogram.observe h 1.;
+  let text = Obs.render_prometheus ~registry:r () in
+  let contains line =
+    let n = String.length line and m = String.length text in
+    let rec go i = i + n <= m && (String.sub text i n = line || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun line ->
+      Alcotest.(check bool)
+        (Printf.sprintf "exposition contains %S" line)
+        true (contains line))
+    [
+      "# TYPE c_total counter";
+      "# HELP c_total a counter";
+      "c_total 3";
+      "# TYPE h_seconds histogram";
+      {|h_seconds_bucket{le="0.5"} 1|};
+      {|h_seconds_bucket{le="2"} 2|};
+      {|h_seconds_bucket{le="+Inf"} 2|};
+      "h_seconds_sum 1.25";
+      "h_seconds_count 2";
+    ]
+
+(* {1 Concurrent merges (properties)} *)
+
+(* Per-domain increment plans: up to 4 spawned domains each applying up
+   to 50 increments of up to 7.  The merged counter must equal the
+   arithmetic total no matter how the domains interleave. *)
+let gen_plans : int list list QCheck2.Gen.t =
+  QCheck2.Gen.(list_size (int_range 1 4) (list_size (int_range 0 50) (int_range 0 7)))
+
+let prop_concurrent_counter_merge =
+  QCheck2.Test.make ~name:"concurrent counter increments all merge" ~count:50
+    gen_plans (fun plans ->
+      let r = fresh () in
+      let c = Obs.Counter.make ~registry:r "merge_total" in
+      let domains =
+        List.map
+          (fun plan ->
+            Domain.spawn (fun () ->
+                List.iter (fun by -> Obs.Counter.incr ~by c) plan))
+          plans
+      in
+      List.iter Domain.join domains;
+      Obs.Counter.value c = List.fold_left ( + ) 0 (List.concat plans))
+
+let prop_concurrent_histogram_merge =
+  QCheck2.Test.make ~name:"concurrent histogram observations all merge"
+    ~count:50
+    QCheck2.Gen.(
+      list_size (int_range 1 4)
+        (list_size (int_range 0 50) (float_range 0. 200.)))
+    (fun plans ->
+      let r = fresh () in
+      let h =
+        Obs.Histogram.make ~registry:r ~buckets:[ 1.; 10.; 100. ] "merge_h"
+      in
+      let domains =
+        List.map
+          (fun plan ->
+            Domain.spawn (fun () -> List.iter (Obs.Histogram.observe h) plan))
+          plans
+      in
+      List.iter Domain.join domains;
+      let all = List.concat plans in
+      let total = List.fold_left ( +. ) 0. all in
+      Obs.Histogram.count h = List.length all
+      && abs_float (Obs.Histogram.sum h -. total)
+         <= 1e-9 *. Float.max 1. (abs_float total)
+      && List.fold_left ( + ) 0 (List.map snd (Obs.Histogram.buckets h))
+         = List.length all)
+
+(* {1 Tracing} *)
+
+let parse_trace () =
+  match Service.Json.parse (Obs.Trace.to_string ()) with
+  | Error msg -> Alcotest.failf "trace is not valid JSON: %s" msg
+  | Ok json -> json
+
+let events json =
+  match json with
+  | Service.Json.Obj fields -> (
+      match List.assoc_opt "traceEvents" fields with
+      | Some (Service.Json.List evs) -> evs
+      | _ -> Alcotest.fail "missing traceEvents list")
+  | _ -> Alcotest.fail "trace root is not an object"
+
+let field ev name =
+  match ev with
+  | Service.Json.Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let float_field ev name =
+  match Option.bind (field ev name) Service.Json.to_float with
+  | Some v -> v
+  | None -> Alcotest.failf "event missing numeric %s" name
+
+let string_field ev name =
+  match field ev name with
+  | Some (Service.Json.String s) -> s
+  | _ -> Alcotest.failf "event missing string %s" name
+
+let test_span_nesting () =
+  Obs.Trace.start ();
+  Obs.Span.with_ ~name:"outer" (fun () ->
+      Obs.Span.with_ ~name:"inner"
+        ~attrs:[ ("k", "v") ]
+        (fun () -> Obs.Span.instant "mark"));
+  Obs.Trace.stop ();
+  let evs = events (parse_trace ()) in
+  Alcotest.(check int) "three events" 3 (List.length evs);
+  let by_name n =
+    List.find (fun ev -> string_field ev "name" = n) evs
+  in
+  let outer = by_name "outer" and inner = by_name "inner" in
+  let o_ts = float_field outer "ts" and o_dur = float_field outer "dur" in
+  let i_ts = float_field inner "ts" and i_dur = float_field inner "dur" in
+  Alcotest.(check bool) "inner starts after outer" true (i_ts >= o_ts);
+  Alcotest.(check bool)
+    "inner ends before outer" true
+    (i_ts +. i_dur <= o_ts +. o_dur);
+  Alcotest.(check string)
+    "complete-event phase" "X" (string_field outer "ph");
+  Alcotest.(check string) "instant phase" "i" (string_field (by_name "mark") "ph");
+  (match field inner "args" with
+  | Some (Service.Json.Obj [ ("k", Service.Json.String "v") ]) -> ()
+  | _ -> Alcotest.fail "inner args lost");
+  (* same-domain events share pid/tid, and the merge sorts by ts *)
+  Alcotest.(check (float 0.))
+    "same thread lane"
+    (float_field outer "tid")
+    (float_field inner "tid");
+  let ts = List.map (fun ev -> float_field ev "ts") evs in
+  Alcotest.(check (list (float 0.))) "sorted by ts" (List.sort compare ts) ts
+
+let test_span_records_on_raise () =
+  Obs.Trace.start ();
+  (try Obs.Span.with_ ~name:"doomed" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Obs.Trace.stop ();
+  let evs = events (parse_trace ()) in
+  Alcotest.(check int) "span recorded despite the raise" 1 (List.length evs);
+  Alcotest.(check string)
+    "name survives" "doomed"
+    (string_field (List.hd evs) "name")
+
+let test_trace_inactive_is_silent () =
+  Obs.Trace.start ();
+  Obs.Trace.stop ();
+  Obs.Span.with_ ~name:"after stop" (fun () -> ());
+  Alcotest.(check int)
+    "no events recorded while inactive" 0
+    (List.length (events (parse_trace ())))
+
+let test_trace_escaping () =
+  Obs.Trace.start ();
+  Obs.Span.with_ ~name:"quote \" slash \\ ctrl \x01" (fun () -> ());
+  Obs.Trace.stop ();
+  let evs = events (parse_trace ()) in
+  Alcotest.(check string)
+    "name round-trips through JSON" "quote \" slash \\ ctrl \x01"
+    (string_field (List.hd evs) "name")
+
+let test_trace_multi_domain () =
+  Obs.Trace.start ();
+  let d =
+    Domain.spawn (fun () -> Obs.Span.with_ ~name:"worker span" (fun () -> ()))
+  in
+  Obs.Span.with_ ~name:"caller span" (fun () -> Domain.join d);
+  Obs.Trace.stop ();
+  let evs = events (parse_trace ()) in
+  Alcotest.(check int) "both domains' buffers merged" 2 (List.length evs);
+  let tids =
+    List.sort_uniq compare (List.map (fun ev -> float_field ev "tid") evs)
+  in
+  Alcotest.(check int) "distinct timeline per domain" 2 (List.length tids)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_concurrent_counter_merge; prop_concurrent_histogram_merge ]
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "counter basics" `Quick test_counter_basics;
+          Alcotest.test_case "kind clash" `Quick test_kind_clash;
+          Alcotest.test_case "gauge last write wins" `Quick
+            test_gauge_last_write_wins;
+          Alcotest.test_case "muting" `Quick test_muting;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "bucket boundaries" `Quick
+            test_histogram_boundaries;
+          Alcotest.test_case "bad buckets" `Quick test_histogram_bad_buckets;
+          Alcotest.test_case "prometheus exposition" `Quick
+            test_prometheus_render;
+        ] );
+      ("concurrency", qcheck_cases);
+      ( "tracing",
+        [
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "records on raise" `Quick
+            test_span_records_on_raise;
+          Alcotest.test_case "inactive is silent" `Quick
+            test_trace_inactive_is_silent;
+          Alcotest.test_case "escaping" `Quick test_trace_escaping;
+          Alcotest.test_case "multi-domain merge" `Quick
+            test_trace_multi_domain;
+        ] );
+    ]
