@@ -4,7 +4,7 @@
 # ocamlformat are dev-time tools, not build dependencies — the gate
 # degrades gracefully where they are absent).
 
-.PHONY: all build test doc fmt-check check bench-explore bench-service bench-sweep bench-smoke bench-obs clean
+.PHONY: all build test doc fmt-check check bench-explore bench-scaling bench-service bench-sweep bench-smoke bench-obs clean
 
 all: build
 
@@ -30,9 +30,18 @@ fmt-check:
 
 check: build test bench-smoke bench-obs doc fmt-check
 
-# Regenerate the exploration-engine telemetry (BENCH_explore.json).
+# Regenerate the exploration-engine telemetry (BENCH_explore.json),
+# including the work-stealing jobs x model scaling table.  Doubles as
+# the scaling gate: exits non-zero when jobs4/jobs1 < 2.0 on the
+# largest bench model (enforced only on hosts with >= 4 cores) or when
+# results differ across jobs.
 bench-explore:
 	dune exec bench/main.exe -- explore
+
+# Just the scaling table + gate, without the engine comparison; writes
+# BENCH_scaling.json (CI uploads it as the speedup-table artifact).
+bench-scaling:
+	dune exec bench/main.exe -- scaling
 
 # Regenerate the service-layer batch-throughput telemetry
 # (BENCH_service.json): verdict cache off vs on at 1 and 4 workers.

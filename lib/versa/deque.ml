@@ -1,0 +1,101 @@
+(* Chase–Lev work-stealing deque.
+
+   One domain — the owner — pushes and pops at the bottom (LIFO, so the
+   owner keeps working on the hottest region of the state graph); any
+   other domain steals from the top (FIFO, so thieves take the oldest,
+   typically largest, pending subtrees).  Owner operations are wait-free
+   except when the buffer grows; steals are lock-free, synchronizing on a
+   single compare-and-set of [top].
+
+   The implementation is the sequentially-consistent variant of the
+   algorithm (Chase & Lev, SPAA 2005; Lê et al., PPoPP 2013): [top],
+   [bottom], the buffer pointer and every cell are [Atomic.t], so all the
+   orderings the correctness argument needs hold under the OCaml memory
+   model without fence reasoning.  Indices increase monotonically, which
+   rules out ABA on the [top] CAS.
+
+   Growth never invalidates a concurrent steal: the old buffer is not
+   mutated after the copy, so a thief holding a stale buffer pointer
+   still reads the correct cell for any index its subsequent [top] CAS
+   can validate. *)
+
+type 'a t = {
+  top : int Atomic.t;  (* next index to steal *)
+  bottom : int Atomic.t;  (* next index to push *)
+  buf : 'a Atomic.t array Atomic.t;  (* circular; length is a power of 2 *)
+  dummy : 'a;
+}
+
+let create ?(capacity = 256) ~dummy () =
+  let cap = max 2 capacity in
+  (* round up to a power of two so index wrapping is a mask *)
+  let cap =
+    let c = ref 2 in
+    while !c < cap do
+      c := !c * 2
+    done;
+    !c
+  in
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    buf = Atomic.make (Array.init cap (fun _ -> Atomic.make dummy));
+    dummy;
+  }
+
+let length q = max 0 (Atomic.get q.bottom - Atomic.get q.top)
+
+(* Owner only.  Copy the live range [t, b) into a buffer twice the size,
+   preserving index positions modulo the new size. *)
+let grow q ~b ~t =
+  let old = Atomic.get q.buf in
+  let n = Array.length old in
+  let bigger = Array.init (2 * n) (fun _ -> Atomic.make q.dummy) in
+  for i = t to b - 1 do
+    Atomic.set bigger.(i land ((2 * n) - 1)) (Atomic.get old.(i land (n - 1)))
+  done;
+  Atomic.set q.buf bigger
+
+let push q x =
+  let b = Atomic.get q.bottom and t = Atomic.get q.top in
+  let buf = Atomic.get q.buf in
+  let buf =
+    if b - t >= Array.length buf then begin
+      grow q ~b ~t;
+      Atomic.get q.buf
+    end
+    else buf
+  in
+  Atomic.set buf.(b land (Array.length buf - 1)) x;
+  Atomic.set q.bottom (b + 1)
+
+let pop q =
+  let b = Atomic.get q.bottom - 1 in
+  Atomic.set q.bottom b;
+  let t = Atomic.get q.top in
+  if b < t then begin
+    (* empty; restore the canonical empty shape *)
+    Atomic.set q.bottom t;
+    None
+  end
+  else begin
+    let buf = Atomic.get q.buf in
+    let x = Atomic.get buf.(b land (Array.length buf - 1)) in
+    if b > t then Some x
+    else begin
+      (* last element: race a concurrent thief for it via [top] *)
+      let won = Atomic.compare_and_set q.top t (t + 1) in
+      Atomic.set q.bottom (t + 1);
+      if won then Some x else None
+    end
+  end
+
+let steal q =
+  let t = Atomic.get q.top in
+  let b = Atomic.get q.bottom in
+  if t >= b then None
+  else begin
+    let buf = Atomic.get q.buf in
+    let x = Atomic.get buf.(t land (Array.length buf - 1)) in
+    if Atomic.compare_and_set q.top t (t + 1) then Some x else None
+  end

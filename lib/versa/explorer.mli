@@ -50,6 +50,11 @@ val check_deadlock :
     [true]) stops at the first deadlock; with [false] the space is
     explored exhaustively (up to [max_states], default 2M).
 
+    [jobs] (default 1) is the number of work-stealing worker domains
+    prefetching successor rows, forwarded to {!Lts.build}/{!Lts.check};
+    it changes throughput only — verdicts, deadlock ids and traces are
+    bit-identical at any [jobs] (the determinism contract in {!Lts}).
+
     [deadline] is an absolute wall-clock bound ([Unix.gettimeofday]
     scale): past it the exploration truncates and the verdict is
     [Inconclusive "wall-clock budget expired …"], never a hang.  [poll]

@@ -8,14 +8,23 @@
    what the VERSA tool reports to the user (paper, Section 5).
 
    Terms are hash-consed ([Acsr.Hproc]), so the state table keys on an
-   integer id and every successor comparison is O(1).  The builder walks
-   the BFS queue in fixed-size chunks: successor computation for a chunk —
-   the expensive, per-state-independent part — optionally fans out over a
-   pool of worker domains ([jobs] > 1), while interning, parent assignment
-   and truncation checks always run sequentially in queue order.  Because
-   every order-sensitive decision happens in that sequential merge, a
-   parallel build produces bit-identical ids, parents, depths, rows and
-   traces to the sequential one (checked by the test suite). *)
+   integer id and every successor comparison is O(1).
+
+   Parallelism ([jobs] > 1) is work-stealing prefetch, not chunked
+   fan-out: worker domains traverse the state graph asynchronously —
+   each with a private Chase–Lev deque ([Deque]), stealing from siblings
+   only on exhaustion — and record every successor row they compute in a
+   digest-range-sharded store ([Shards]).  The calling domain
+   meanwhile runs the *sequential* BFS loop unchanged — the replay —
+   consuming prefetched rows where the workers got there first and
+   computing the rest itself.  Successor computation is deterministic,
+   so both paths yield the same row; interning, parent assignment,
+   budget and truncation checks all happen on the replay in queue order.
+   A parallel build therefore produces bit-identical ids, parents,
+   depths, rows, verdicts and traces to the sequential one — not by
+   post-hoc sorting but because the replay *is* the sequential
+   algorithm; the workers only move row computation off its critical
+   path (checked by the test suite). *)
 
 open Acsr
 
@@ -87,6 +96,42 @@ module Metrics = struct
   let wall =
     Obs.Histogram.make ~help:"Exploration wall time (seconds)"
       "versa_explore_wall_seconds"
+
+  let steals =
+    Obs.Counter.make ~help:"Successful deque steals by explorer worker domains"
+      "versa_steals_total"
+
+  let steal_attempts =
+    Obs.Counter.make ~help:"Deque steal attempts by explorer worker domains"
+      "versa_steal_attempts_total"
+
+  let prefetch_hits =
+    Obs.Counter.make
+      ~help:"Replay successor lookups answered by a prefetched row"
+      "versa_prefetch_hits_total"
+
+  let prefetch_misses =
+    Obs.Counter.make
+      ~help:"Replay successor lookups computed on the calling domain"
+      "versa_prefetch_misses_total"
+
+  let shard_contention =
+    Obs.Counter.make
+      ~help:"Visited-set shard lock acquisitions that had to block"
+      "versa_shard_contention_total"
+
+  let shard_contention_ratio =
+    Obs.Gauge.make
+      ~help:
+        "Blocked fraction of shard lock acquisitions in the most recent \
+         parallel exploration"
+      "versa_shard_contention_ratio"
+
+  let queue_depth =
+    Obs.Histogram.make
+      ~help:"Per-domain work deque depth, sampled at each worker expansion"
+      ~buckets:[ 1.; 4.; 16.; 64.; 256.; 1_024.; 4_096. ]
+      "versa_ws_queue_depth"
 end
 
 type semantics = Prioritized | Unprioritized
@@ -111,6 +156,12 @@ type stats = {
       (** BFS depth of the deadlock that stopped an early-exit run *)
   deadline_expired : bool;
       (** the wall-clock budget ([config.deadline]) stopped the run *)
+  steals : int;  (** successful deque steals by worker domains *)
+  steal_attempts : int;  (** steal attempts (successful or not) *)
+  prefetch_hits : int;
+      (** replay successor lookups answered by a prefetched row *)
+  prefetch_misses : int;
+      (** replay successor lookups computed on the calling domain *)
 }
 
 let states_per_sec s =
@@ -142,6 +193,10 @@ let publish_stats s =
     s.early_exit_depth;
   Obs.Gauge.set Metrics.hashcons_nodes (float_of_int s.hashcons_nodes);
   Obs.Gauge.set Metrics.store_bytes (float_of_int s.store_bytes);
+  Obs.Counter.incr ~by:s.steals Metrics.steals;
+  Obs.Counter.incr ~by:s.steal_attempts Metrics.steal_attempts;
+  Obs.Counter.incr ~by:s.prefetch_hits Metrics.prefetch_hits;
+  Obs.Counter.incr ~by:s.prefetch_misses Metrics.prefetch_misses;
   Obs.Histogram.observe Metrics.wall s.wall_s
 
 type t = {
@@ -223,69 +278,302 @@ let step_function semantics cache defs =
   | Prioritized -> Semantics.h_prioritized ~cache defs
   | Unprioritized -> Semantics.h_steps ~cache defs
 
-(* Adaptive chunk scheduler shared by [build] and [check].
+(* Work-stealing prefetch oracle shared by [build] and [check].
 
-   Successor computation for a frontier chunk is per-state independent,
-   so it can fan out over a domain pool — but domains are only worth
-   paying for on wide frontiers: spawning them costs milliseconds and,
-   once they exist, every minor GC becomes a stop-the-world rendezvous
-   across all domains, which swamps the win on small models (the
-   `avionics` jobs4 regression in BENCH_explore.json).  So expansion
-   starts sequential and only hands a chunk to the pool once the
-   frontier is at least [cutover] states wide; the pool itself is
-   spawned lazily on first parallel chunk.  A run that never crosses the
-   cutover is instruction-for-instruction the sequential build.
+   The replay (the caller's sequential BFS loop) asks [successors] for
+   one row at a time, in queue order.  Sequentially ([jobs] = 1, or a
+   frontier that never crosses [cutover]) that is a plain call to the
+   step function — instruction-for-instruction the sequential build.
 
-   Chunking never affects results: interning and every order-sensitive
-   decision happen in the sequential merge, in queue order, so verdicts,
-   ids and traces are bit-identical for every [jobs]/[cutover] value. *)
-module Expander = struct
+   In parallel mode, [jobs] worker domains run [worker_loop]: each owns
+   a Chase–Lev deque of claimed-but-unexpanded terms, pops locally
+   (LIFO), steals from a sibling only when its own deque and the shared
+   injector run dry, and for every term computes the successor row,
+   publishes it into the digest-sharded record store, claims the row's
+   still-unclaimed targets (one batched lock acquisition per owning
+   shard) and pushes them onto its own deque.  There is no barrier
+   anywhere: the workers race ahead of the replay through the state
+   graph in whatever order stealing yields.
+
+   Correctness never depends on that race.  The workers only ever
+   *prefetch*: the replay consumes a recorded row when one is ready and
+   otherwise computes the row itself on the calling domain ([next] is
+   deterministic, so the result is the same either way — worst case is
+   duplicated work, softened by the shared semantics cache).  All
+   order-sensitive decisions — interning, parent/depth assignment,
+   budget, deadline and early-exit checks — stay on the replay, in
+   queue order, so results are bit-identical for every [jobs] value.
+
+   Domains are only worth paying for on big explorations: spawning them
+   costs milliseconds and, once they exist, every minor GC becomes a
+   stop-the-world rendezvous across all domains, which swamps the win
+   on small models.  So the pool is spawned lazily, on the first
+   frontier at least [cutover] states wide. *)
+module Oracle = struct
+  type row = (Step.t * Hproc.t) list
+
+  type par = {
+    pool : Pool.t;
+    shards : row Shards.t;
+    deques : Hproc.t Deque.t array;  (* one per worker, owner-indexed *)
+    inj_lock : Mutex.t;
+    injector : Hproc.t Queue.t;
+        (* overflow/seed queue: activation seeds the current frontier
+           here, and the replay re-seeds it when it outruns the workers
+           into a region they have not reached *)
+    stop : bool Atomic.t;
+    claim_cap : int;  (* do not claim past the state budget *)
+    claimed : int Atomic.t;
+    steals : int Atomic.t;
+    steal_attempts : int Atomic.t;
+  }
+
   type t = {
     jobs : int;
     cutover : int;
-    max_chunk : int;
-    mutable pool : Pool.t option;
+    next : Hproc.t -> row;
+    claim_cap : int;
+    mutable par : par option;
     mutable expand_s : float;
+    (* replay-side tallies; the calling domain is the only writer *)
+    mutable hits : int;
+    mutable misses : int;
   }
 
-  let create ~jobs ~cutover =
+  let create ~jobs ~cutover ~max_states next =
     {
       jobs;
       cutover = max 1 cutover;
-      max_chunk = (if jobs > 1 then jobs * 32 else 1);
-      pool = None;
+      next;
+      claim_cap = (match max_states with Some m -> m | None -> max_int);
+      par = None;
       expand_s = 0.;
+      hits = 0;
+      misses = 0;
     }
 
-  let chunk_size e ~frontier =
-    if e.jobs > 1 && frontier >= e.cutover then min e.max_chunk frontier
-    else 1
+  let inj_take par =
+    Mutex.lock par.inj_lock;
+    let x =
+      if Queue.is_empty par.injector then None
+      else Some (Queue.pop par.injector)
+    in
+    Mutex.unlock par.inj_lock;
+    x
 
-  let run e n f =
+  let inj_add par terms =
+    if terms <> [] then begin
+      Mutex.lock par.inj_lock;
+      List.iter (fun t -> Queue.push t par.injector) terms;
+      Mutex.unlock par.inj_lock
+    end
+
+  (* Claim the not-yet-claimed targets of [row]; one [claim_batch] per
+     owning shard.  Returns the freshly claimed terms — each claimed
+     exactly once across all domains, so each is expanded exactly
+     once. *)
+  let claim_successors par row =
+    if Atomic.get par.claimed >= par.claim_cap then []
+    else begin
+      let groups = ref [] in
+      List.iter
+        (fun (_, t') ->
+          let s = Shards.owner par.shards t' in
+          match List.assq_opt s !groups with
+          | Some r -> r := t' :: !r
+          | None -> groups := (s, ref [ t' ]) :: !groups)
+        row;
+      List.concat_map
+        (fun (s, r) ->
+          let fresh = Shards.claim_batch par.shards s (List.rev !r) in
+          ignore (Atomic.fetch_and_add par.claimed (List.length fresh));
+          fresh)
+        !groups
+    end
+
+  let expand o par deque term =
+    let row = o.next term in
+    Shards.publish par.shards term row;
+    List.iter (Deque.push deque) (claim_successors par row)
+
+  let worker_loop o par index =
+    let deque = par.deques.(index) in
+    let nd = Array.length par.deques in
+    let steals = ref 0 and attempts = ref 0 in
+    Fun.protect
+      ~finally:(fun () ->
+        ignore (Atomic.fetch_and_add par.steals !steals);
+        ignore (Atomic.fetch_and_add par.steal_attempts !attempts))
+    @@ fun () ->
+    let idle = ref 0 in
+    while not (Atomic.get par.stop) do
+      let task =
+        match Deque.pop deque with
+        | Some _ as t -> t
+        | None -> (
+            match inj_take par with
+            | Some _ as t -> t
+            | None ->
+                (* own deque and injector dry: sweep the siblings *)
+                let got = ref None in
+                let k = ref 1 in
+                while !got = None && !k < nd do
+                  incr attempts;
+                  (match Deque.steal par.deques.((index + !k) mod nd) with
+                  | Some _ as t ->
+                      incr steals;
+                      got := t
+                  | None -> ());
+                  incr k
+                done;
+                !got)
+      in
+      match task with
+      | Some term ->
+          idle := 0;
+          Obs.Histogram.observe Metrics.queue_depth
+            (float_of_int (1 + Deque.length deque));
+          expand o par deque term
+      | None ->
+          (* out of work everywhere: spin briefly, then sleep so the
+             replay domain gets the core (essential on few-core hosts) *)
+          incr idle;
+          if !idle < 64 then Domain.cpu_relax () else Unix.sleepf 50e-6
+    done
+
+  let activate o ~term_of ~len ~head =
+    let par =
+      {
+        pool = Pool.create o.jobs;
+        shards = Shards.create ();
+        deques = Array.init o.jobs (fun _ -> Deque.create ~dummy:Hproc.nil ());
+        inj_lock = Mutex.create ();
+        injector = Queue.create ();
+        stop = Atomic.make false;
+        claim_cap = o.claim_cap;
+        claimed = Atomic.make 0;
+        steals = Atomic.make 0;
+        steal_attempts = Atomic.make 0;
+      }
+    in
+    (* Seed the store with every state discovered so far — so a worker
+       re-reaching one through a cycle does not re-expand it — and queue
+       the unexpanded frontier for the workers. *)
+    let per_shard = Array.make (Shards.shard_count par.shards) [] in
+    for i = len - 1 downto 0 do
+      let t = term_of i in
+      let s = Shards.owner par.shards t in
+      per_shard.(s) <- t :: per_shard.(s)
+    done;
+    Array.iteri
+      (fun s terms ->
+        if terms <> [] then ignore (Shards.claim_batch par.shards s terms))
+      per_shard;
+    Atomic.set par.claimed len;
+    let frontier = ref [] in
+    for i = len - 1 downto head do
+      frontier := term_of i :: !frontier
+    done;
+    inj_add par !frontier;
+    o.par <- Some par;
+    Pool.launch par.pool (worker_loop o par)
+
+  let maybe_activate o ~term_of ~len ~head =
+    if o.jobs > 1 && o.par = None && len - head >= o.cutover then
+      activate o ~term_of ~len ~head
+
+  (* The replay's successor source.  Whatever the workers did, the row
+     returned here is the one the sequential engine would compute. *)
+  let successors o term =
     let t0 = Unix.gettimeofday () in
-    (if e.jobs > 1 && n > 1 then begin
-       let pool =
-         match e.pool with
-         | Some p -> p
-         | None ->
-             let p = Pool.create (e.jobs - 1) in
-             e.pool <- Some p;
-             p
-       in
-       (* sequential chunks stay span-free: a span per state would swamp
-          the trace and the overhead budget *)
-       Obs.Span.with_ ~name:"lts.expand"
-         ~attrs:[ ("chunk", string_of_int n) ]
-         (fun () -> Pool.run pool n f)
-     end
-     else
-       for i = 0 to n - 1 do
-         f i
-       done);
-    e.expand_s <- e.expand_s +. (Unix.gettimeofday () -. t0)
+    let row =
+      match o.par with
+      | None -> o.next term
+      | Some par -> (
+          match Shards.find par.shards term with
+          | Shards.Found row ->
+              o.hits <- o.hits + 1;
+              row
+          | Shards.Claimed ->
+              (* a worker is computing this row right now; recomputing
+                 it here beats blocking on an unbounded wait (the shared
+                 semantics cache keeps the overlap cheap) *)
+              o.misses <- o.misses + 1;
+              o.next term
+          | Shards.Absent ->
+              o.misses <- o.misses + 1;
+              if Shards.try_claim par.shards term then begin
+                let row = o.next term in
+                Shards.publish par.shards term row;
+                (* the workers have not reached this region yet: hand
+                   its successors to the injector so they can pick the
+                   region up from here *)
+                inj_add par (claim_successors par row);
+                row
+              end
+              else o.next term)
+    in
+    o.expand_s <- o.expand_s +. (Unix.gettimeofday () -. t0);
+    row
 
-  let shutdown e = Option.iter Pool.shutdown e.pool
+  type tally = {
+    t_steals : int;
+    t_steal_attempts : int;
+    t_hits : int;
+    t_misses : int;
+    t_contended : int;
+    t_acquired : int;
+  }
+
+  let shutdown o =
+    match o.par with
+    | None -> ()
+    | Some par ->
+        Atomic.set par.stop true;
+        (match Pool.await par.pool with
+        | () -> ()
+        | exception Pool.Worker_error _ ->
+            (* A prefetch worker died.  Its work was advisory — the
+               replay recomputes any row it never received, and an
+               exception [next] raises deterministically resurfaces on
+               the replay path exactly as in a sequential run — so the
+               failure (already counted in
+               versa_pool_worker_failures_total, with the raising
+               domain's index) must not perturb results. *)
+            ());
+        Pool.shutdown par.pool
+
+  let tally o =
+    match o.par with
+    | None ->
+        {
+          t_steals = 0;
+          t_steal_attempts = 0;
+          t_hits = 0;
+          t_misses = 0;
+          t_contended = 0;
+          t_acquired = 0;
+        }
+    | Some par ->
+        let contended, acquired = Shards.contention par.shards in
+        {
+          t_steals = Atomic.get par.steals;
+          t_steal_attempts = Atomic.get par.steal_attempts;
+          t_hits = o.hits;
+          t_misses = o.misses;
+          t_contended = contended;
+          t_acquired = acquired;
+        }
 end
+
+(* Shard-contention telemetry is per parallel run, published next to
+   [publish_stats] (which covers the stats-record fields). *)
+let publish_contention (tl : Oracle.tally) =
+  if tl.Oracle.t_acquired > 0 then begin
+    Obs.Counter.incr ~by:tl.Oracle.t_contended Metrics.shard_contention;
+    Obs.Gauge.set Metrics.shard_contention_ratio
+      (float_of_int tl.Oracle.t_contended /. float_of_int tl.Oracle.t_acquired)
+  end
 
 (* Growable state table, keyed by the hash-cons id of the term. *)
 module Table = struct
@@ -367,73 +655,74 @@ let build ?(config = default_config) ?(semantics = Prioritized) ?(jobs = 1)
   let over_budget () =
     budget_stop config ~len:table.Table.len ~deadline_hit ()
   in
-  let ex = Expander.create ~jobs ~cutover:config.parallel_cutover in
-  let succs = Array.make (max 1 ex.Expander.max_chunk) [] in
+  let o =
+    Oracle.create ~jobs ~cutover:config.parallel_cutover
+      ~max_states:config.max_states next
+  in
   Fun.protect
-    ~finally:(fun () -> Expander.shutdown ex)
+    ~finally:(fun () -> Oracle.shutdown o)
     (fun () ->
       (* The BFS queue is implicit: state ids are assigned in discovery
-         order, so the queue contents are exactly the ids [head .. len). *)
+         order, so the queue contents are exactly the ids [head .. len).
+         This loop is the replay: it is the sequential exploration, with
+         [next] routed through the oracle (a no-op route until a
+         frontier crosses the cutover and the workers spin up). *)
       let head = ref 0 in
       let stop = ref false in
       while (not !stop) && !head < table.Table.len do
         let frontier = table.Table.len - !head in
         if frontier > !peak_frontier then peak_frontier := frontier;
         Obs.Histogram.observe Metrics.frontier (float_of_int frontier);
-        let n = Expander.chunk_size ex ~frontier in
-        let base = !head in
-        Expander.run ex n (fun i ->
-            succs.(i) <- next (Table.get table (base + i)).Table.tm);
-        (* Sequential merge, in queue order: interning, parent/depth
-           assignment and the truncation checks are order-sensitive and
-           replicate the sequential exploration exactly. *)
-        let i = ref 0 in
-        while (not !stop) && !i < n do
-          if (config.stop_at_deadlock && !deadlock_found) || over_budget ()
-          then begin
-            (* leave this state (and every later one) unexpanded; the
-               exploration is incomplete *)
-            truncated := true;
-            stop := true
-          end
-          else begin
-            let id = !head + !i in
-            let entry = Table.get table id in
-            let s = succs.(!i) in
-            if s = [] then begin
-              deadlock_found := true;
-              deadlock_ids_rev := id :: !deadlock_ids_rev
-            end;
-            let row =
-              List.map
-                (fun (step, term') ->
-                  let id', fresh = Table.intern table term' in
-                  if fresh then begin
-                    let e' = Table.get table id' in
-                    e'.Table.par <- Some (id, step);
-                    e'.Table.dep <- entry.Table.dep + 1
-                  end;
-                  (step, id'))
-                s
-            in
-            entry.Table.row <- Array.of_list row;
-            entry.Table.was_expanded <- true;
-            transitions := !transitions + Array.length entry.Table.row;
-            incr i
-          end
-        done;
-        head := !head + !i
+        Oracle.maybe_activate o
+          ~term_of:(fun i -> (Table.get table i).Table.tm)
+          ~len:table.Table.len ~head:!head;
+        if (config.stop_at_deadlock && !deadlock_found) || over_budget ()
+        then begin
+          (* leave this state (and every later one) unexpanded; the
+             exploration is incomplete *)
+          truncated := true;
+          stop := true
+        end
+        else begin
+          let id = !head in
+          let entry = Table.get table id in
+          let s = Oracle.successors o entry.Table.tm in
+          if s = [] then begin
+            deadlock_found := true;
+            deadlock_ids_rev := id :: !deadlock_ids_rev
+          end;
+          (* Interning, parent/depth assignment and the truncation
+             checks above are order-sensitive and replicate the
+             sequential exploration exactly. *)
+          let row =
+            List.map
+              (fun (step, term') ->
+                let id', fresh = Table.intern table term' in
+                if fresh then begin
+                  let e' = Table.get table id' in
+                  e'.Table.par <- Some (id, step);
+                  e'.Table.dep <- entry.Table.dep + 1
+                end;
+                (step, id'))
+              s
+          in
+          entry.Table.row <- Array.of_list row;
+          entry.Table.was_expanded <- true;
+          transitions := !transitions + Array.length entry.Table.row;
+          incr head
+        end
       done);
   let n = table.Table.len in
   let entry i = table.Table.entries.(i) in
   let depth = Array.init n (fun i -> (entry i).Table.dep) in
   let wall_s = Unix.gettimeofday () -. t_start in
+  let tl = Oracle.tally o in
   let stats =
     {
       jobs;
       wall_s;
-      expand_s = ex.Expander.expand_s;
-      merge_s = wall_s -. ex.Expander.expand_s;
+      expand_s = o.Oracle.expand_s;
+      merge_s = wall_s -. o.Oracle.expand_s;
       num_states = n;
       num_transitions = !transitions;
       num_deadlocks = List.length !deadlock_ids_rev;
@@ -452,9 +741,14 @@ let build ?(config = default_config) ?(semantics = Prioritized) ?(jobs = 1)
         | true, d :: _ -> Some (entry d).Table.dep
         | _ -> None);
       deadline_expired = !deadline_hit;
+      steals = tl.Oracle.t_steals;
+      steal_attempts = tl.Oracle.t_steal_attempts;
+      prefetch_hits = tl.Oracle.t_hits;
+      prefetch_misses = tl.Oracle.t_misses;
     }
   in
   publish_stats stats;
+  publish_contention tl;
   {
     term_of = Array.init n (fun i -> (entry i).Table.tm);
     edges = Array.init n (fun i -> (entry i).Table.row);
@@ -580,8 +874,10 @@ let check ?(config = default_config) ?(semantics = Prioritized) ?(jobs = 1)
   let over_budget () =
     budget_stop config ~len:store.Store.len ~deadline_hit ()
   in
-  let ex = Expander.create ~jobs ~cutover:config.parallel_cutover in
-  let succs = Array.make (max 1 ex.Expander.max_chunk) [] in
+  let o =
+    Oracle.create ~jobs ~cutover:config.parallel_cutover
+      ~max_states:config.max_states next
+  in
   (* BFS levels are contiguous id ranges (ids are assigned in discovery
      order), so depth tracking needs two counters, not an array: when the
      merge crosses [level_end], every state of the current depth has been
@@ -591,59 +887,56 @@ let check ?(config = default_config) ?(semantics = Prioritized) ?(jobs = 1)
   let level_end = ref 1 in
   let early_exit_depth = ref None in
   Fun.protect
-    ~finally:(fun () -> Expander.shutdown ex)
+    ~finally:(fun () -> Oracle.shutdown o)
     (fun () ->
+      (* The replay again: the same decisions in the same order as
+         [build], so visited-state counts, deadlock ids and parent
+         pointers coincide exactly with a [build] under the same config
+         (asserted by the test suite). *)
       let head = ref 0 in
       let stop = ref false in
       while (not !stop) && !head < store.Store.len do
         let frontier = store.Store.len - !head in
         if frontier > !peak_frontier then peak_frontier := frontier;
         Obs.Histogram.observe Metrics.frontier (float_of_int frontier);
-        let n = Expander.chunk_size ex ~frontier in
-        let base = !head in
-        Expander.run ex n (fun i -> succs.(i) <- next store.Store.terms.(base + i));
-        (* Sequential merge, in queue order — the same decisions in the
-           same order as [build], so visited-state counts, deadlock ids
-           and parent pointers coincide exactly with a [build] under the
-           same config (asserted by the test suite). *)
-        let i = ref 0 in
-        while (not !stop) && !i < n do
-          if (config.stop_at_deadlock && !deadlock_found) || over_budget ()
-          then begin
-            truncated := true;
-            stop := true
-          end
-          else begin
-            let id = !head + !i in
-            if id >= !level_end then begin
-              incr depth;
-              level_end := store.Store.len
-            end;
-            let s = succs.(!i) in
-            if s = [] then begin
-              deadlock_found := true;
-              deadlock_ids_rev := id :: !deadlock_ids_rev;
-              if config.stop_at_deadlock && !early_exit_depth = None then
-                early_exit_depth := Some !depth
-            end;
-            List.iter
-              (fun (step, term') ->
-                ignore (Store.intern store term' ~pred:id ~step);
-                incr transitions)
-              s;
-            incr i
-          end
-        done;
-        head := !head + !i
+        Oracle.maybe_activate o
+          ~term_of:(fun i -> store.Store.terms.(i))
+          ~len:store.Store.len ~head:!head;
+        if (config.stop_at_deadlock && !deadlock_found) || over_budget ()
+        then begin
+          truncated := true;
+          stop := true
+        end
+        else begin
+          let id = !head in
+          if id >= !level_end then begin
+            incr depth;
+            level_end := store.Store.len
+          end;
+          let s = Oracle.successors o store.Store.terms.(id) in
+          if s = [] then begin
+            deadlock_found := true;
+            deadlock_ids_rev := id :: !deadlock_ids_rev;
+            if config.stop_at_deadlock && !early_exit_depth = None then
+              early_exit_depth := Some !depth
+          end;
+          List.iter
+            (fun (step, term') ->
+              ignore (Store.intern store term' ~pred:id ~step);
+              incr transitions)
+            s;
+          incr head
+        end
       done);
   let n = store.Store.len in
   let wall_s = Unix.gettimeofday () -. t_start in
+  let tl = Oracle.tally o in
   let stats =
     {
       jobs;
       wall_s;
-      expand_s = ex.Expander.expand_s;
-      merge_s = wall_s -. ex.Expander.expand_s;
+      expand_s = o.Oracle.expand_s;
+      merge_s = wall_s -. o.Oracle.expand_s;
       num_states = n;
       num_transitions = !transitions;
       num_deadlocks = List.length !deadlock_ids_rev;
@@ -657,9 +950,14 @@ let check ?(config = default_config) ?(semantics = Prioritized) ?(jobs = 1)
       store_bytes = 8 * 7 * n;
       early_exit_depth = !early_exit_depth;
       deadline_expired = !deadline_hit;
+      steals = tl.Oracle.t_steals;
+      steal_attempts = tl.Oracle.t_steal_attempts;
+      prefetch_hits = tl.Oracle.t_hits;
+      prefetch_misses = tl.Oracle.t_misses;
     }
   in
   publish_stats stats;
+  publish_contention tl;
   {
     c_store = store;
     c_truncated = !truncated;
@@ -691,12 +989,22 @@ let pp_stats ppf s =
      frontier peak %d, BFS levels %d@,\
      state dedup: %d hits / %d misses (%.1f%% hit-rate)@,\
      state store: ~%d KiB (~%.0f bytes/state)@,\
-     hash-cons table: %d nodes%a%a@]"
+     hash-cons table: %d nodes%a%a%a@]"
     s.num_states s.num_transitions s.num_deadlocks s.wall_s
     (states_per_sec s) s.jobs s.expand_s s.merge_s s.peak_frontier
     s.depth_levels s.intern_hits s.intern_misses
     (100. *. dedup_hit_rate s)
     (s.store_bytes / 1024) (bytes_per_state s) s.hashcons_nodes
+    (fun ppf s ->
+      (* only parallel runs that actually engaged the workers have
+         anything to say here *)
+      if s.steal_attempts > 0 || s.prefetch_hits > 0 || s.prefetch_misses > 0
+      then
+        Fmt.pf ppf
+          "@,work stealing: %d steals / %d attempts, prefetch %d hits / %d \
+           misses"
+          s.steals s.steal_attempts s.prefetch_hits s.prefetch_misses)
+    s
     Fmt.(
       option (fun ppf d -> pf ppf "@,early exit at BFS depth %d" d))
     s.early_exit_depth

@@ -5,9 +5,31 @@
     initial state is always id 0); this is the substrate on which
     schedulability analysis performs VERSA-style deadlock detection
     (paper, Section 5).  Terms are hash-consed ({!Acsr.Hproc}), so state
-    interning and successor deduplication cost O(1) per comparison, and
-    the builder can fan successor computation out over several domains
-    ([?jobs]) while keeping results bit-identical to a sequential build. *)
+    interning and successor deduplication cost O(1) per comparison.
+
+    {2 Parallel exploration and the determinism contract}
+
+    With [?jobs > 1] the builder prefetches successor rows with
+    work-stealing worker domains: each worker owns a private Chase–Lev
+    deque ({!Deque}) of frontier terms, steals from a sibling only when
+    its own deque runs dry, and records every row it computes in a
+    store sharded by digest range ({!Shards} — the structural term
+    digest picks the shard, so there is no global lock).  There are no
+    barriers: workers traverse the graph asynchronously, in whatever
+    order stealing yields.
+
+    Results are nevertheless {e bit-identical} to a sequential run —
+    same state ids, parents, depths, successor rows, deadlock ids,
+    verdicts, shortest traces, and the same exception should successor
+    computation raise.  The mechanism is replay: the calling domain
+    runs the unchanged sequential BFS loop, consuming a prefetched row
+    when one is recorded and computing the row itself when the workers
+    have not got there yet (successor computation is deterministic, so
+    both paths agree).  Every order-sensitive decision — interning,
+    parent assignment, budget/deadline/early-exit checks — happens on
+    that replay, in queue order.  Parallelism can therefore only affect
+    throughput, never results (asserted by the test suite's
+    jobs-equivalence properties). *)
 
 open Acsr
 
@@ -49,6 +71,21 @@ type stats = {
       (** the wall-clock budget ([build_config.deadline]) stopped the
           exploration; [truncated] is then also true and the absence of
           deadlocks is inconclusive *)
+  steals : int;
+      (** successful deque steals by worker domains; 0 on sequential
+          runs.  A healthy parallel run steals rarely relative to
+          expansions — frequent stealing means the graph fans out too
+          slowly to keep the domains fed *)
+  steal_attempts : int;
+      (** steal attempts, successful or not; the steal {e failure} rate
+          (1 - steals/steal_attempts) spikes when workers are starved *)
+  prefetch_hits : int;
+      (** replay successor lookups answered by a worker-prefetched row —
+          the fraction of expansion work actually moved off the critical
+          path; the headline number for parallel efficiency *)
+  prefetch_misses : int;
+      (** replay successor lookups computed on the calling domain
+          because no worker had recorded the row yet *)
 }
 
 val stats : t -> stats
@@ -108,9 +145,9 @@ type build_config = {
   stop_at_deadlock : bool;
       (** stop expanding as soon as one deadlock has been discovered *)
   parallel_cutover : int;
-      (** frontier width below which successor expansion stays sequential
-          even when [jobs > 1]; the domain pool is spawned lazily on the
-          first chunk that crosses it.  Small state spaces never pay the
+      (** frontier width below which the run stays sequential even when
+          [jobs > 1]; the worker pool is spawned lazily on the first
+          frontier that crosses it.  Small state spaces never pay the
           domain spawn + cross-domain GC cost this way, and a run that
           never crosses the cutover is exactly the sequential build. *)
   deadline : float option;
@@ -145,13 +182,17 @@ val build :
 (** Explore the state space of a closed term breadth-first.  [semantics]
     defaults to [Prioritized].
 
-    [jobs] (default 1) caps the number of domains computing successor
-    sets; domains are only engaged on frontiers at least
-    [config.parallel_cutover] states wide.  Parallelism only affects
-    throughput, never results: interning, parent assignment, truncation
-    and budget checks run sequentially in queue order, so state ids,
-    parents, depths, successor rows, verdicts and shortest traces are
-    identical for every [jobs] value (asserted by the test suite). *)
+    [jobs] (default 1) is the number of work-stealing worker domains
+    prefetching successor rows; the calling domain additionally runs the
+    (cheap) sequential replay that assigns ids and merges rows.  Workers
+    are only spawned once a frontier reaches [config.parallel_cutover]
+    states.  Parallelism only affects throughput, never results — see
+    the determinism contract in the module preamble.  An exception
+    raised by successor computation on a worker domain does not poison
+    the run: the replay recomputes the row and (deterministically)
+    re-raises it exactly where a sequential run would, while failures on
+    states a truncated run never consumes are dropped (counted in
+    [versa_pool_worker_failures_total]). *)
 
 val pp_summary : t Fmt.t
 (** One-line summary: state/transition counts, truncation, semantics. *)

@@ -34,6 +34,10 @@ let failures =
    its failures are not wrapped. *)
 let caller_index = -1
 
+(* Sentinel batch size marking a [launch] round: each worker runs the
+   task once with its own index instead of draining a shared counter. *)
+let launch_round = -2
+
 type t = {
   workers : int;  (* worker domains, excluding the caller *)
   mutex : Mutex.t;
@@ -90,7 +94,16 @@ let worker pool index () =
       Mutex.unlock pool.mutex;
       Obs.Span.with_ ~name:"pool.worker"
         ~attrs:[ ("worker", string_of_int index) ]
-        (fun () -> drain pool ~index f n);
+        (fun () ->
+          if n = launch_round then
+            (* One call per worker, under its own index — so an exception
+               raised while this domain is off stealing work from a
+               sibling's deque is still attributed to the raising domain,
+               not to the deque's owner. *)
+            match f index with
+            | () -> ()
+            | exception e -> record_error pool index e
+          else drain pool ~index f n);
       Mutex.lock pool.mutex;
       pool.active <- pool.active - 1;
       if pool.active = 0 then Condition.broadcast pool.work_done;
@@ -144,6 +157,33 @@ let run pool n f =
         pool.task <- None;
         Mutex.unlock pool.mutex)
       (fun () -> drain pool ~index:caller_index f n);
+    match pool.error with
+    | Some (index, error) when index <> caller_index ->
+        raise (Worker_error { index; error })
+    | Some (_, e) -> raise e
+    | None -> ()
+  end
+
+let launch pool f =
+  if pool.workers > 0 then begin
+    Mutex.lock pool.mutex;
+    pool.task <- Some f;
+    pool.count <- launch_round;
+    pool.error <- None;
+    pool.active <- pool.workers;
+    pool.generation <- pool.generation + 1;
+    Condition.broadcast pool.work_ready;
+    Mutex.unlock pool.mutex
+  end
+
+let await pool =
+  if pool.workers > 0 then begin
+    Mutex.lock pool.mutex;
+    while pool.active > 0 do
+      Condition.wait pool.work_done pool.mutex
+    done;
+    pool.task <- None;
+    Mutex.unlock pool.mutex;
     match pool.error with
     | Some (index, error) when index <> caller_index ->
         raise (Worker_error { index; error })

@@ -1,0 +1,121 @@
+(* Digest-range-sharded concurrent store keyed by hash-consed terms.
+
+   The parallel explorer's shared visited set and successor-row record
+   map.  The key space is partitioned by term digest into contiguous
+   ranges, one per shard: the digest (the memoized structural hash of
+   the term, [Hproc.hash]) picks the shard, so there is no global lock
+   and two domains only ever contend when they touch terms whose digests
+   land in the same range.  Within a shard, entries key on [Hproc.id]
+   (unique per term within a run, O(1) to compare).
+
+   A term is first [claim]ed — an exactly-once operation that elects the
+   domain responsible for expanding it — and later [publish]ed with its
+   successor row.  Claims are batched per shard ([claim_batch]): a
+   worker groups the successors of an expansion by owning shard and
+   takes each shard lock at most once per expansion, which is what keeps
+   the lock-acquisition rate proportional to expansions rather than to
+   transitions.
+
+   Contention is measured, not guessed: every lock acquisition first
+   tries [Mutex.try_lock], and the fallback to a blocking lock is
+   counted.  The explorer publishes the ratio as the
+   [versa_shard_contention_ratio] gauge. *)
+
+open Acsr
+
+type 'a entry = Pending | Filled of 'a
+
+type 'a shard = {
+  lock : Mutex.t;
+  tbl : (int, 'a entry) Hashtbl.t;  (* Hproc.id -> entry *)
+  mutable contended : int;  (* acquisitions that found the lock held *)
+  mutable acquired : int;
+}
+
+type 'a t = { shards : 'a shard array }
+
+(* Digests are folded to 30 bits so [owner_digest] is a pure range
+   partition independent of the platform word size. *)
+let digest_bits = 30
+let digest_mask = (1 lsl digest_bits) - 1
+
+let default_shards = 64
+
+let create ?(shards = default_shards) () =
+  let n = max 1 shards in
+  {
+    shards =
+      Array.init n (fun _ ->
+          { lock = Mutex.create ();
+            tbl = Hashtbl.create 512;
+            contended = 0;
+            acquired = 0 });
+  }
+
+let shard_count t = Array.length t.shards
+
+let digest p = Hproc.hash p land digest_mask
+
+(* Contiguous equal ranges: digest d belongs to shard
+   (d * count) / 2^30.  Monotone in d, surjective onto [0, count) for
+   count <= 2^30. *)
+let owner_digest t d =
+  ((d land digest_mask) * Array.length t.shards) lsr digest_bits
+
+let owner t p = owner_digest t (digest p)
+
+let lock_shard s =
+  if not (Mutex.try_lock s.lock) then begin
+    Mutex.lock s.lock;
+    s.contended <- s.contended + 1
+  end;
+  s.acquired <- s.acquired + 1
+
+let try_claim t p =
+  let s = t.shards.(owner t p) in
+  lock_shard s;
+  let key = Hproc.id p in
+  let fresh = not (Hashtbl.mem s.tbl key) in
+  if fresh then Hashtbl.add s.tbl key Pending;
+  Mutex.unlock s.lock;
+  fresh
+
+let claim_batch t idx terms =
+  let s = t.shards.(idx) in
+  lock_shard s;
+  let fresh =
+    List.filter
+      (fun p ->
+        let key = Hproc.id p in
+        let f = not (Hashtbl.mem s.tbl key) in
+        if f then Hashtbl.add s.tbl key Pending;
+        f)
+      terms
+  in
+  Mutex.unlock s.lock;
+  fresh
+
+let publish t p v =
+  let s = t.shards.(owner t p) in
+  lock_shard s;
+  Hashtbl.replace s.tbl (Hproc.id p) (Filled v);
+  Mutex.unlock s.lock
+
+type 'a lookup = Absent | Claimed | Found of 'a
+
+let find t p =
+  let s = t.shards.(owner t p) in
+  lock_shard s;
+  let r =
+    match Hashtbl.find_opt s.tbl (Hproc.id p) with
+    | None -> Absent
+    | Some Pending -> Claimed
+    | Some (Filled v) -> Found v
+  in
+  Mutex.unlock s.lock;
+  r
+
+let contention t =
+  Array.fold_left
+    (fun (c, a) s -> (c + s.contended, a + s.acquired))
+    (0, 0) t.shards

@@ -102,7 +102,14 @@ same names the Prometheus exposition and the serve 'metrics' op use:
   versa_intern_hits_total
   versa_intern_misses_total
   versa_pool_worker_failures_total
+  versa_prefetch_hits_total
+  versa_prefetch_misses_total
+  versa_shard_contention_ratio
+  versa_shard_contention_total
+  versa_steal_attempts_total
+  versa_steals_total
   versa_store_bytes
+  versa_ws_queue_depth
 
 The serve loop answers {"op":"metrics"} with the registry as JSON plus
 the Prometheus text exposition.  The counter names are the contract:
@@ -129,6 +136,11 @@ the Prometheus text exposition.  The counter names are the contract:
   "versa_intern_hits_total"
   "versa_intern_misses_total"
   "versa_pool_worker_failures_total"
+  "versa_prefetch_hits_total"
+  "versa_prefetch_misses_total"
+  "versa_shard_contention_total"
+  "versa_steal_attempts_total"
+  "versa_steals_total"
 
 Histogram values carry buckets keyed by upper bound, and the
 exposition rides along in the same response:

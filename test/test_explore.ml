@@ -257,6 +257,98 @@ let test_example_models_agree () =
             (Versa.Explorer.num_states otf_x.Analysis.Schedulability.exploration))
         models
 
+(* Work-stealing exploration across every example model: at jobs 2 and
+   4 (cutover 1, so the pool engages even on the small models) the
+   visited states, transitions, deadlock ids and counterexample paths
+   must be bit-identical to jobs 1, and the analysis layer's raised
+   scenario must not move either. *)
+let test_example_models_workstealing_identical () =
+  match example_models_dir () with
+  | None -> Alcotest.fail "examples/models not found (missing dune deps?)"
+  | Some dir ->
+      let models =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".aadl")
+        |> List.sort compare
+      in
+      Alcotest.(check bool) "found example models" true (models <> []);
+      List.iter
+        (fun file ->
+          let contents =
+            let ic = open_in_bin (Filename.concat dir file) in
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          in
+          let root = Aadl.Instantiate.of_string contents in
+          let tr = Translate.Pipeline.translate root in
+          let defs = tr.Translate.Pipeline.defs in
+          let system = tr.Translate.Pipeline.system in
+          let eager =
+            {
+              Versa.Lts.default_config with
+              max_states = Some 300_000;
+              parallel_cutover = 1;
+            }
+          in
+          let c1 = Versa.Lts.check ~config:eager ~jobs:1 defs system in
+          List.iter
+            (fun jobs ->
+              let c = Versa.Lts.check ~config:eager ~jobs defs system in
+              Alcotest.(check int)
+                (Fmt.str "%s: states (jobs=%d)" file jobs)
+                (Versa.Lts.check_num_states c1)
+                (Versa.Lts.check_num_states c);
+              Alcotest.(check int)
+                (Fmt.str "%s: transitions (jobs=%d)" file jobs)
+                (Versa.Lts.check_num_transitions c1)
+                (Versa.Lts.check_num_transitions c);
+              Alcotest.(check (list int))
+                (Fmt.str "%s: deadlocks (jobs=%d)" file jobs)
+                (Versa.Lts.check_deadlocks c1)
+                (Versa.Lts.check_deadlocks c);
+              List.iter
+                (fun d ->
+                  if Versa.Lts.check_path_to c1 d <> Versa.Lts.check_path_to c d
+                  then
+                    Alcotest.failf "%s: path to deadlock %d differs (jobs=%d)"
+                      file d jobs)
+                (Versa.Lts.check_deadlocks c1))
+            [ 2; 4 ];
+          (* the raised scenario reported by the analysis layer is
+             jobs-invariant too *)
+          let analyze_jobs jobs =
+            Analysis.Schedulability.analyze
+              ~options:
+                {
+                  Analysis.Schedulability.default_options with
+                  max_states = 300_000;
+                  engine = Versa.Explorer.On_the_fly;
+                  jobs;
+                }
+              root
+          in
+          let describe (r : Analysis.Schedulability.t) =
+            match r.Analysis.Schedulability.verdict with
+            | Analysis.Schedulability.Schedulable -> "schedulable"
+            | Analysis.Schedulability.Not_schedulable { scenario; trace } ->
+                Fmt.str "NOT schedulable at t=%d: %a (steps %a)"
+                  scenario.Analysis.Raise_trace.violation_time
+                  Analysis.Raise_trace.pp scenario
+                  Fmt.(list ~sep:semi Acsr.Step.pp)
+                  (Versa.Trace.steps trace)
+            | Analysis.Schedulability.Inconclusive why -> "inconclusive: " ^ why
+          in
+          let base = describe (analyze_jobs 1) in
+          List.iter
+            (fun jobs ->
+              Alcotest.(check string)
+                (Fmt.str "%s: raised scenario (jobs=%d)" file jobs)
+                base
+                (describe (analyze_jobs jobs)))
+            [ 2; 4 ])
+        models
+
 (* {1 Property-based tests} *)
 
 (* A generator covering every [Proc] constructor except [Call] (the terms
@@ -406,6 +498,66 @@ let prop_parallel_build_agrees =
            (fun id -> Versa.Lts.successors l1 id = Versa.Lts.successors l4 id)
            (List.init (Versa.Lts.num_states l1) Fun.id))
 
+(* The work-stealing contract, on random terms: with a cutover of 1 the
+   worker pool engages on every multi-state frontier, and everything the
+   LTS exposes — ids, rows, depths, deadlocks, traces — must be
+   bit-identical to the sequential run at every jobs value. *)
+let lts_bit_identical l1 l2 =
+  Versa.Lts.num_states l1 = Versa.Lts.num_states l2
+  && Versa.Lts.num_transitions l1 = Versa.Lts.num_transitions l2
+  && Versa.Lts.truncated l1 = Versa.Lts.truncated l2
+  && Versa.Lts.deadlocks l1 = Versa.Lts.deadlocks l2
+  && List.for_all
+       (fun id ->
+         Versa.Lts.successors l1 id = Versa.Lts.successors l2 id
+         && Versa.Lts.depth l1 id = Versa.Lts.depth l2 id)
+       (List.init (Versa.Lts.num_states l1) Fun.id)
+  && List.for_all
+       (fun d -> Versa.Lts.path_to l1 d = Versa.Lts.path_to l2 d)
+       (Versa.Lts.deadlocks l1)
+
+let prop_workstealing_build_bit_identical =
+  QCheck2.Test.make ~name:"work-stealing build jobs∈{2,4} = jobs=1"
+    ~count:20 gen_proc_full (fun p ->
+      let eager =
+        { Versa.Lts.default_config with parallel_cutover = 1 }
+      in
+      let l1 = Versa.Lts.build ~config:eager ~jobs:1 Defs.empty p in
+      List.for_all
+        (fun jobs ->
+          lts_bit_identical l1
+            (Versa.Lts.build ~config:eager ~jobs Defs.empty p))
+        [ 2; 4 ])
+
+let prop_workstealing_early_exit_identical =
+  (* the racy part of early exit: workers may explore far beyond the
+     first deadlock, but the replayed verdict — visited count, deadlock
+     id, counterexample path — must not move *)
+  QCheck2.Test.make
+    ~name:"work-stealing early-exit check jobs∈{2,4} = jobs=1" ~count:20
+    gen_proc_full (fun p ->
+      let eager =
+        {
+          Versa.Lts.default_config with
+          parallel_cutover = 1;
+          stop_at_deadlock = true;
+        }
+      in
+      let c1 = Versa.Lts.check ~config:eager ~jobs:1 Defs.empty p in
+      List.for_all
+        (fun jobs ->
+          let c = Versa.Lts.check ~config:eager ~jobs Defs.empty p in
+          Versa.Lts.check_num_states c1 = Versa.Lts.check_num_states c
+          && Versa.Lts.check_num_transitions c1
+             = Versa.Lts.check_num_transitions c
+          && Versa.Lts.check_truncated c1 = Versa.Lts.check_truncated c
+          && Versa.Lts.check_deadlocks c1 = Versa.Lts.check_deadlocks c
+          && List.for_all
+               (fun d ->
+                 Versa.Lts.check_path_to c1 d = Versa.Lts.check_path_to c d)
+               (Versa.Lts.check_deadlocks c1))
+        [ 2; 4 ])
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -416,6 +568,8 @@ let qcheck_cases =
       prop_h_steps_agree;
       prop_h_prioritized_agree;
       prop_parallel_build_agrees;
+      prop_workstealing_build_bit_identical;
+      prop_workstealing_early_exit_identical;
       prop_check_agrees_with_build;
       prop_check_early_exit_sound;
     ]
@@ -499,6 +653,8 @@ let () =
             test_check_parallel_identical;
           Alcotest.test_case "engines agree on example models" `Slow
             test_example_models_agree;
+          Alcotest.test_case "work stealing is identical on example models"
+            `Slow test_example_models_workstealing_identical;
         ] );
       ( "budgets",
         [
