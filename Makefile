@@ -4,7 +4,7 @@
 # ocamlformat are dev-time tools, not build dependencies — the gate
 # degrades gracefully where they are absent).
 
-.PHONY: all build test doc fmt-check check bench-explore bench-scaling bench-service bench-sweep bench-smoke bench-obs clean
+.PHONY: all build test doc fmt-check check bench-explore bench-scaling bench-service bench-sweep bench-smoke bench-obs bench-reduction clean
 
 all: build
 
@@ -58,6 +58,15 @@ bench-sweep:
 # minutes — part of `make check`).
 bench-smoke:
 	dune exec bench/main.exe -- smoke
+
+# Orbit (symmetry) reduction gate: explores the reference models and the
+# generated replicated EDF families with the reduction off vs on, and
+# merges the raw/reduced orbit table into BENCH_explore.json.  Exits
+# non-zero when the reduced space is larger, verdicts disagree, the
+# replicated families fail to reduce strictly, or the 12-thread family
+# stops fitting its state budget with the reduction on.
+bench-reduction:
+	dune exec bench/main.exe -- reduction
 
 # Observability overhead gate: exploring the largest example with the
 # metrics registry enabled must cost no more than 5% over a muted

@@ -9,7 +9,8 @@
 
 let hr title = Fmt.pr "@.===== %s =====@." title
 
-let analyze_text ?protocol ?quantum ?(max_states = 2_000_000) text =
+let analyze_text ?protocol ?quantum ?(max_states = 2_000_000)
+    ?(symmetry = true) text =
   let root = Aadl.Instantiate.of_string text in
   let options =
     {
@@ -25,6 +26,7 @@ let analyze_text ?protocol ?quantum ?(max_states = 2_000_000) text =
       engine = Versa.Explorer.On_the_fly;
       deadline = None;
       poll = None;
+      symmetry;
     }
   in
   Analysis.Schedulability.analyze ~options root
@@ -1397,9 +1399,229 @@ let smoke () =
     exit 1
   end
 
+(* {1 Reduction: the orbit (symmetry) reduction gate (the
+   [make bench-reduction] target)}
+
+   Exhaustively explores each model with the orbit reduction off and on
+   and records raw vs reduced visited-state counts, the compression
+   factor and verdict agreement, merged into the "reduction" section of
+   BENCH_explore.json (read-modify-write: the other sections survive).
+   Gates (exit 1 on violation):
+   - reduced <= raw and identical verdicts on every row;
+   - strict reduction (reduced < raw) on the generated replicated EDF
+     families, where every thread is identical up to renaming;
+   - under a small shared state budget the 12-thread family completes
+     with the reduction on while exceeding the budget with it off.
+
+   e6_seven_threads rides along with an exact ratio-1.0 expectation: its
+   threads have pairwise distinct periods (4 + 2i), so no two are
+   interchangeable and there is nothing to collapse — the row documents
+   that the reduction is inert (identical space, not merely "no worse")
+   on asymmetric models. *)
+
+type red_sample = {
+  red_states : int;
+  red_wall : float;
+  red_verdict : string;
+  red_truncated : bool;
+}
+
+let reduction_run ?(max_states = 2_000_000) ~symmetry text =
+  let root = Aadl.Instantiate.of_string text in
+  let tr = Translate.Pipeline.translate root in
+  let spec =
+    if symmetry then tr.Translate.Pipeline.symmetry else Acsr.Symmetry.empty
+  in
+  Gc.full_major ();
+  let r =
+    Versa.Explorer.check_deadlock ~engine:Versa.Explorer.On_the_fly ~max_states
+      ~stop_at_deadlock:false ~symmetry:spec tr.Translate.Pipeline.defs
+      tr.Translate.Pipeline.system
+  in
+  {
+    red_states = Versa.Explorer.num_states r;
+    red_wall = r.Versa.Explorer.elapsed;
+    red_verdict =
+      (match r.Versa.Explorer.verdict with
+      | Versa.Explorer.Deadlock_free -> "schedulable"
+      | Versa.Explorer.Deadlock _ -> "not schedulable"
+      | Versa.Explorer.Inconclusive _ -> "inconclusive");
+    red_truncated = Versa.Explorer.truncated r;
+  }
+
+let reduction_section ~json_path () =
+  hr "REDUCTION: orbit (symmetry) reduction, raw vs reduced state spaces";
+  let rows =
+    [
+      (* distinct periods 4+2i: no interchangeable threads, reduction
+         must be exactly inert *)
+      ("e6_seven_threads", e6_model 7, `Inert);
+      ( "family_8_u080",
+        Gen.replicated_family ~threads:8 ~utilization:0.8 (),
+        `Strict );
+      ( "family_8_u130",
+        Gen.replicated_family ~threads:8 ~utilization:1.3 (),
+        `Strict );
+    ]
+  in
+  let failures = ref 0 in
+  Fmt.pr "%-18s %9s %9s %12s %-16s %s@." "model" "raw" "reduced" "compression"
+    "verdict" "gate";
+  let measured =
+    List.map
+      (fun (name, text, expect) ->
+        let raw = reduction_run ~symmetry:false text in
+        let red = reduction_run ~symmetry:true text in
+        let compression =
+          float_of_int raw.red_states /. float_of_int (max red.red_states 1)
+        in
+        let agree = String.equal raw.red_verdict red.red_verdict in
+        let ok =
+          agree
+          && red.red_states <= raw.red_states
+          &&
+          match expect with
+          | `Inert -> red.red_states = raw.red_states
+          | `Strict -> red.red_states < raw.red_states
+        in
+        if not ok then incr failures;
+        Fmt.pr "%-18s %9d %9d %11.1fx %-16s %s@." name raw.red_states
+          red.red_states compression red.red_verdict
+          (if ok then "OK" else "FAIL");
+        (name, raw, red, compression, agree, ok))
+      rows
+  in
+  (* the budget demonstration: a shared state budget the reduced space
+     fits in comfortably and the raw space cannot *)
+  let demo_name = "family_12_u096" in
+  let demo_budget = 2_000 in
+  let demo_text = Gen.replicated_family ~threads:12 ~utilization:0.96 () in
+  let demo_raw = reduction_run ~max_states:demo_budget ~symmetry:false demo_text in
+  let demo_red = reduction_run ~max_states:demo_budget ~symmetry:true demo_text in
+  let demo_ok =
+    (not demo_red.red_truncated)
+    && demo_raw.red_truncated
+    && String.equal demo_red.red_verdict "schedulable"
+  in
+  if not demo_ok then incr failures;
+  Fmt.pr
+    "%s under a %d-state budget: reduced %d states (%s) vs raw %s — %s@."
+    demo_name demo_budget demo_red.red_states demo_red.red_verdict
+    (if demo_raw.red_truncated then
+       Fmt.str "truncated at %d states" demo_raw.red_states
+     else Fmt.str "%d states (completed)" demo_raw.red_states)
+    (if demo_ok then "OK" else "FAIL");
+  let ok = !failures = 0 in
+  (* merge into BENCH_explore.json, preserving the other sections *)
+  let open Service.Json in
+  let reduction =
+    Obj
+      [
+        ( "note",
+          String
+            "exhaustive on-the-fly exploration with orbit reduction off \
+             (raw) vs on (reduced); families are replicated unit-cet EDF \
+             threads from Gen.replicated_family; e6_seven_threads has \
+             pairwise distinct periods, so the reduction is inert there \
+             by design" );
+        ( "models",
+          List
+            (List.map
+               (fun (name, raw, red, compression, agree, row_ok) ->
+                 Obj
+                   [
+                     ("model", String name);
+                     ("raw_states", Int raw.red_states);
+                     ("reduced_states", Int red.red_states);
+                     ("compression", Float compression);
+                     ("raw_wall_s", Float raw.red_wall);
+                     ("reduced_wall_s", Float red.red_wall);
+                     ("raw_verdict", String raw.red_verdict);
+                     ("reduced_verdict", String red.red_verdict);
+                     ("verdicts_agree", Bool agree);
+                     ("ok", Bool row_ok);
+                   ])
+               measured) );
+        ( "budget_demo",
+          Obj
+            [
+              ("model", String demo_name);
+              ("max_states", Int demo_budget);
+              ("reduced_states", Int demo_red.red_states);
+              ("reduced_completed", Bool (not demo_red.red_truncated));
+              ("reduced_verdict", String demo_red.red_verdict);
+              ("raw_states", Int demo_raw.red_states);
+              ("raw_truncated", Bool demo_raw.red_truncated);
+              ("ok", Bool demo_ok);
+            ] );
+        ("ok", Bool ok);
+      ]
+  in
+  let base_fields =
+    if Sys.file_exists json_path then
+      match
+        parse (In_channel.with_open_text json_path In_channel.input_all)
+      with
+      | Ok (Obj fields) -> fields
+      | Ok _ | Error _ -> []
+    else []
+  in
+  let fields =
+    List.filter (fun (k, _) -> not (String.equal k "reduction")) base_fields
+    @ [ ("reduction", reduction) ]
+  in
+  let oc = open_out json_path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (to_string (Obj fields));
+      output_char oc '\n');
+  Fmt.pr "telemetry merged into %s@." json_path;
+  if not ok then exit 1
+
+(* {1 Gen: print a parametric replicated family to stdout}
+
+   [gen --threads N --utilization U] emits the textual AADL model of
+   {!Gen.replicated_family}: N indistinguishable unit-cet EDF threads at
+   total utilization ~U.  The fixture behind the orbit-reduction bench,
+   also handy for ad-hoc CLI experiments:
+   [bench/main.exe gen --threads 8 --utilization 0.8 > family.aadl]. *)
+
+let gen_family rest =
+  let threads = ref 8 and utilization = ref 0.8 in
+  let usage () =
+    Fmt.epr "usage: gen [--threads N] [--utilization U]@.";
+    exit 2
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--threads" :: v :: tl -> (
+        match int_of_string_opt v with
+        | Some n when n >= 1 ->
+            threads := n;
+            parse tl
+        | _ -> usage ())
+    | "--utilization" :: v :: tl -> (
+        match float_of_string_opt v with
+        | Some u when u > 0.0 ->
+            utilization := u;
+            parse tl
+        | _ -> usage ())
+    | _ -> usage ()
+  in
+  parse rest;
+  print_string
+    (Gen.replicated_family ~threads:!threads ~utilization:!utilization ())
+
 let () =
   match Array.to_list Sys.argv with
   | _ :: "smoke" :: _ -> smoke ()
+  | _ :: "gen" :: rest -> gen_family rest
+  | _ :: "reduction" :: rest ->
+      let json_path =
+        match rest with p :: _ -> p | [] -> "BENCH_explore.json"
+      in
+      reduction_section ~json_path ()
   | _ :: "explore" :: rest ->
       let json_path =
         match rest with p :: _ -> p | [] -> "BENCH_explore.json"

@@ -183,6 +183,28 @@ let engine_arg =
            violation; $(b,full) materializes the whole graph.  Verdicts and \
            failing scenarios are identical.")
 
+let symmetry_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "on" -> Ok true
+    | "off" -> Ok false
+    | other -> Error (`Msg (Fmt.str "unknown symmetry mode %S" other))
+  in
+  let print ppf on = Fmt.string ppf (if on then "on" else "off") in
+  Arg.conv (parse, print)
+
+let symmetry_arg =
+  Arg.(
+    value
+    & opt symmetry_conv true
+    & info [ "symmetry" ] ~docv:"on|off"
+        ~doc:
+          "Orbit reduction: explore one representative per permutation \
+           orbit of interchangeable (identical up to renaming) threads.  \
+           Default $(b,on); automatically inert when the model has no \
+           interchangeable threads.  Verdicts and failing scenarios are \
+           identical either way; visited-state counts shrink.")
+
 let translation_options quantum protocol =
   {
     Translate.Pipeline.default_options with
@@ -326,7 +348,7 @@ let translate_cmd =
 (* {1 analyze} *)
 
 let run_analyze file root_name quantum protocol max_states jobs engine
-    timeout stats trace all baselines =
+    timeout stats trace all baselines symmetry =
   handle_errors @@ fun () ->
   with_trace trace @@ fun () ->
   let root = load_root file root_name in
@@ -340,6 +362,7 @@ let run_analyze file root_name quantum protocol max_states jobs engine
       engine;
       deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout;
       poll = None;
+      symmetry;
     }
   in
   let result = Analysis.Schedulability.analyze ~options root in
@@ -392,7 +415,7 @@ let analyze_cmd =
     Term.(
       const run_analyze $ file_arg $ root_arg $ quantum_arg $ protocol_arg
       $ max_states_arg $ jobs_arg $ engine_arg $ timeout_arg $ stats_arg
-      $ trace_arg $ all_arg $ baselines_arg)
+      $ trace_arg $ all_arg $ baselines_arg $ symmetry_arg)
 
 (* {1 simulate} *)
 
@@ -613,6 +636,7 @@ let run_report file root_name quantum protocol max_states jobs engine
           engine;
           deadline = None;
           poll = None;
+          symmetry = true;
         };
       with_responses;
       title = Some (Filename.basename file);

@@ -1,0 +1,110 @@
+(** Symmetry (orbit) reduction support: renamings of generated names and
+    permutation classes of interchangeable parallel components.
+
+    A translated AADL system is a restricted parallel composition
+    [Restrict (L, P_0 || P_1 || ... || P_{n-1})] whose slots come from
+    translation units.  When two units are generated from inputs that are
+    identical up to the generated {e names} (labels and process-definition
+    names), every renaming that swaps their name spaces is an automorphism
+    of the prioritized transition system: swapping the two slots and
+    renaming accordingly maps reachable states to reachable states,
+    deadlocks to deadlocks, and preserves BFS distances.  The explorer can
+    therefore visit one canonical representative per orbit
+    ({!canon} sorts the interchangeable slots) and de-canonicalize the
+    resulting counterexample traces afterwards ({!apply_step} with the
+    witness renamings from {!canon_w}).
+
+    The {e spec} — which slots are interchangeable, under which renamings
+    — is established by the translation layer, which alone knows the
+    derivation inputs; this module only applies it. *)
+
+(** {1 Renamings} *)
+
+type renaming
+(** A finite bijection over generated label names and process-definition
+    (Call) names; identity outside its domain.  Resources, priorities and
+    expression parameters are never renamed. *)
+
+val renaming :
+  labels:(string * string) list -> calls:(string * string) list -> renaming
+(** Build a renaming from (from, to) pairs.  The pairs must describe a
+    bijection (disjoint domains and ranges per kind); later pairs win on
+    (malformed) duplicate keys. *)
+
+val is_identity : renaming -> bool
+(** Every binding maps a name to itself. *)
+
+val invert : renaming -> renaming
+
+val compose : renaming -> renaming -> renaming
+(** [compose outer inner] applies [inner] first: [(outer ∘ inner) x =
+    outer (inner x)].  The domain is the union of both domains. *)
+
+val apply_proc : renaming -> Proc.t -> Proc.t
+(** Rename event labels, restriction sets, scope exception labels and
+    [Call] names throughout a term. *)
+
+val apply_hproc : renaming -> Hproc.t -> Hproc.t
+(** Same, over hash-consed terms (the result is interned). *)
+
+val apply_step : renaming -> Step.t -> Step.t
+(** Rename the label of an event or tau step; timed actions are
+    unchanged. *)
+
+(** {1 Orbit specifications} *)
+
+type member
+(** One interchangeable component: the contiguous slot range it occupies
+    in the flattened parallel composition, and the renaming into its
+    class representative's name space. *)
+
+val member : offset:int -> width:int -> to_rep:renaming -> member
+(** [offset] is the index of the member's first slot, [width] its number
+    of consecutive slots.  [to_rep] maps the member's generated names to
+    the class representative's; for the representative itself pass the
+    explicit identity (each name mapped to itself) — the bindings also
+    enumerate the member's name space for trace witnesses. *)
+
+type cls
+(** An orbit class: two or more members, the first being the
+    representative. *)
+
+val cls : member list -> cls
+(** @raise Invalid_argument on fewer than two members. *)
+
+type spec
+
+val make : slots:int -> cls list -> spec
+(** [slots] is the total number of parallel slots of the composed system
+    (the sum of every fragment's initial-process count).  Classes whose
+    member count is below two are dropped. *)
+
+val empty : spec
+val is_empty : spec -> bool
+
+val num_slots : spec -> int
+val num_classes : spec -> int
+
+val class_sizes : spec -> int list
+(** Member count per class, in class order. *)
+
+val pp : spec Fmt.t
+(** One-line summary, e.g. [2 classes over 16 slots (sizes 8, 2)]. *)
+
+(** {1 Canonicalization} *)
+
+val canon : spec -> Hproc.t -> Hproc.t
+(** The canonical representative of the state's orbit: for each class,
+    the member slot tuples (renamed into the representative's name space)
+    are sorted structurally ({!Hproc.compare_structural}, stable) and
+    written back through each position's inverse renaming.  States that
+    do not have the expected [Restrict (L, par-spine)] shape are returned
+    unchanged.  Deterministic, idempotent, and memoized per spec (safe to
+    call from concurrent domains). *)
+
+val canon_w : spec -> Hproc.t -> Hproc.t * renaming
+(** [canon] plus the renaming component [ρ] of the applied automorphism:
+    [canon s = permute (apply ρ s)], where [ρ] maps the names of the
+    member originally holding each tuple to the names of the position the
+    tuple was moved to.  [ρ] is what trace de-canonicalization composes
+    (see {!Versa.Lts}). *)

@@ -35,6 +35,14 @@ type options = {
           ({!Fallback}) *)
   poll : (unit -> bool) option;
       (** cooperative cancellation hook threaded into the exploration *)
+  symmetry : bool;
+      (** orbit reduction: canonicalize states up to permutation of
+          interchangeable thread units before the visited-set lookup
+          (default [true]).  Auto-off when the translation found no
+          interchangeable units ([Pipeline.symmetry] is empty), so it
+          never costs anything on asymmetric models.  Verdicts and
+          scenario lengths are identical either way; only visited-state
+          counts shrink. *)
 }
 
 let default_options =
@@ -46,15 +54,20 @@ let default_options =
     engine = Versa.Explorer.On_the_fly;
     deadline = None;
     poll = None;
+    symmetry = true;
   }
 
 let analyze_translation ~options (tr : Translate.Pipeline.t) : t =
+  let symmetry =
+    if options.symmetry then tr.Translate.Pipeline.symmetry
+    else Acsr.Symmetry.empty
+  in
   let exploration =
     Versa.Explorer.check_deadlock ~engine:options.engine
       ~max_states:options.max_states
       ~stop_at_deadlock:(not options.all_violations)
       ~jobs:options.jobs ?deadline:options.deadline ?poll:options.poll
-      tr.Translate.Pipeline.defs tr.Translate.Pipeline.system
+      ~symmetry tr.Translate.Pipeline.defs tr.Translate.Pipeline.system
   in
   let verdict =
     match exploration.Versa.Explorer.verdict with

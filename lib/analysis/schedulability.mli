@@ -32,6 +32,13 @@ type options = {
   poll : (unit -> bool) option;
       (** cooperative cancellation hook, checked between exploration
           merge steps (default none) *)
+  symmetry : bool;
+      (** orbit reduction (default [true]): explore one representative
+          per permutation orbit of interchangeable thread units
+          ({!Translate.Pipeline.t.symmetry}).  Auto-off when the model
+          has no interchangeable units.  Verdicts, scenario contents and
+          lengths are unaffected; visited-state counts shrink — see the
+          symmetry section of {!Versa.Lts}. *)
 }
 
 val default_options : options

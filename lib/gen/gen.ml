@@ -67,6 +67,25 @@ let uunifast ~state ~n ~u =
   in
   if n <= 0 then [] else go 1 u []
 
+(* A family of [threads] indistinguishable unit-cet threads at total
+   utilization ~ [utilization]: every thread has the same period, cet and
+   deadline, so under EDF (whose priority expressions depend only on the
+   timing parameters) the translation finds them interchangeable and the
+   orbit reduction collapses their permutations.  The period is
+   round(threads/utilization) clamped to >= 2 so a thread never saturates
+   its own period. *)
+let replicated_family ?(protocol = Aadl.Props.Edf) ~threads ~utilization () =
+  if threads < 1 then invalid_arg "replicated_family: threads < 1";
+  if utilization <= 0.0 then invalid_arg "replicated_family: utilization <= 0";
+  let period =
+    max 2 (int_of_float (Float.round (float_of_int threads /. utilization)))
+  in
+  periodic_system ~protocol
+    (List.init threads (fun i ->
+         simple_spec
+           ~name:(Printf.sprintf "t%d" (i + 1))
+           ~period_ms:period ~cet_ms:1 ()))
+
 (* Random periodic task set with total utilization [u]: periods drawn from
    a harmonic-ish palette to keep hyperperiods (and hence state spaces)
    bounded. *)

@@ -29,6 +29,21 @@ val simple_spec :
   periodic_spec
 (** A deterministic-cet spec; deadline defaults to the period. *)
 
+val replicated_family :
+  ?protocol:Aadl.Props.scheduling_protocol ->
+  threads:int ->
+  utilization:float ->
+  unit ->
+  string
+(** A family of [threads] indistinguishable unit-cet periodic threads at
+    total utilization ~[utilization]: one shared period
+    [round(threads/utilization)] (clamped to >= 2), deadline = period.
+    Under the default [Edf] protocol the threads are identical up to
+    renaming, so the translation's symmetry detection groups all of them
+    into one orbit class — the parametric fixture behind the orbit
+    reduction bench and tests.  [utilization > 1.0] produces an
+    unschedulable family. *)
+
 val uunifast : state:Random.State.t -> n:int -> u:float -> float list
 (** UUniFast (Bini & Buttazzo): unbiased utilization splits summing to
     [u]. *)

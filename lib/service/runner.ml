@@ -163,6 +163,7 @@ let analysis_options (config : config) (req : Job.request) ~now ~cancel =
     engine = config.engine;
     deadline = Option.map (fun s -> now +. s) req.timeout_s;
     poll = cancel;
+    symmetry = true;
   }
 
 let degrade ~reason (req : Job.request) (result : Analysis.Schedulability.t) =

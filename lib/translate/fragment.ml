@@ -58,6 +58,7 @@ type t = {
   kind : kind;
   id : string;
   digest : string;
+  sym_digest : string;
   cacheable : bool;
   defs : (string * string list * Proc.t) list;
   initials : Proc.t list;
@@ -254,37 +255,45 @@ let thread_spec ~options ~scope ~modal ~all_assignments (task : Workload.task)
         ^ opt_int (Aadl.Props.urgency (Aadl.Semconn.props sc)))
       task.Workload.incoming_events
   in
-  let digest =
-    digest_of
-      ([
-         "thread.v1";
-         Naming.of_path spath;
-         dispatch_tag task.Workload.dispatch;
-         opt_int task.Workload.period;
-         string_of_int task.Workload.cmin;
-         string_of_int task.Workload.cmax;
-         string_of_int task.Workload.deadline;
-         opt_int task.Workload.aadl_priority;
-         Naming.of_path sproc;
-         Fmt.str "%a" Expr.pp cpu_priority;
-       ]
-      @ section "data" (List.map Naming.of_path sdata)
-      @ section "bus" (List.map Naming.of_path sbuses)
-      @ section "out" out_conns
-      @ section "in" in_conns
-      @ section "gate"
-          (match gate with
-          | None -> []
-          | Some g ->
-              [
-                Label.name g.Dispatcher.activate;
-                Label.name g.Dispatcher.deactivate;
-                string_of_bool g.Dispatcher.initially_active;
-              ])
-      @ section "trig" (List.map Label.name triggers)
-      @ section "dprobe" (List.map Label.name dispatch_probes)
-      @ section "cprobe" (List.map Label.name completion_probes))
+  (* [path_token] is the thread's own resolved path for the content
+     digest, and a fixed placeholder for the symmetry digest: two threads
+     whose digests agree once their own identity is masked out are
+     interchangeable candidates (the pipeline still verifies the claim
+     structurally — see [Pipeline.detect_symmetry]).  Everything else
+     stays: per-thread probe/gate/trigger labels or connections make the
+     symmetry digests differ, which conservatively disables merging. *)
+  let digest_parts path_token =
+    [
+      "thread.v1";
+      path_token;
+      dispatch_tag task.Workload.dispatch;
+      opt_int task.Workload.period;
+      string_of_int task.Workload.cmin;
+      string_of_int task.Workload.cmax;
+      string_of_int task.Workload.deadline;
+      opt_int task.Workload.aadl_priority;
+      Naming.of_path sproc;
+      Fmt.str "%a" Expr.pp cpu_priority;
+    ]
+    @ section "data" (List.map Naming.of_path sdata)
+    @ section "bus" (List.map Naming.of_path sbuses)
+    @ section "out" out_conns
+    @ section "in" in_conns
+    @ section "gate"
+        (match gate with
+        | None -> []
+        | Some g ->
+            [
+              Label.name g.Dispatcher.activate;
+              Label.name g.Dispatcher.deactivate;
+              string_of_bool g.Dispatcher.initially_active;
+            ])
+    @ section "trig" (List.map Label.name triggers)
+    @ section "dprobe" (List.map Label.name dispatch_probes)
+    @ section "cprobe" (List.map Label.name completion_probes)
   in
+  let digest = digest_of (digest_parts (Naming.of_path spath)) in
+  let sym_digest = digest_of (digest_parts "*") in
   let spec_id = "thread:" ^ String.concat "." path in
   let build () =
     let registry = Naming.create_registry () in
@@ -300,6 +309,7 @@ let thread_spec ~options ~scope ~modal ~all_assignments (task : Workload.task)
       kind = Thread_unit;
       id = spec_id;
       digest;
+      sym_digest;
       cacheable = true;
       defs = sk.Skeleton.defs @ disp.Dispatcher.defs;
       initials = [ sk.Skeleton.initial; disp.Dispatcher.initial ];
@@ -337,6 +347,7 @@ let queue_spec ~scope ~root (sc : Aadl.Semconn.t) : spec =
       kind = Queue;
       id = spec_id;
       digest;
+      sym_digest = digest;
       cacheable = true;
       defs = q.Equeue.defs;
       initials = [ q.Equeue.initial ];
@@ -370,6 +381,7 @@ let stimulus_spec ~scope ~root ~quantum (sc : Aadl.Semconn.t) : spec =
       kind = Stimulus;
       id = spec_id;
       digest;
+      sym_digest = digest;
       cacheable = true;
       defs = s.Equeue.defs;
       initials = [ s.Equeue.initial ];
@@ -398,6 +410,7 @@ let modal_spec m : spec =
       kind = Modal_manager;
       id = "modal";
       digest = "";
+      sym_digest = "";
       cacheable = false;
       defs = g.Modal.defs @ g.Modal.stimuli;
       initials = g.Modal.initial :: g.Modal.stimuli_initials;
@@ -415,7 +428,7 @@ let modal_spec m : spec =
       @ List.map (fun p -> Fmt.str "%a" Proc.pp p) frag.initials
       @ List.map Label.name frag.restricted)
   in
-  let frag = { frag with digest } in
+  let frag = { frag with digest; sym_digest = digest } in
   {
     spec_kind = Modal_manager;
     spec_id = "modal";

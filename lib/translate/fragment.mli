@@ -50,6 +50,11 @@ type t = {
   digest : string;
       (** MD5 hex over every input the generation read; equal digests
           mean interchangeable fragments *)
+  sym_digest : string;
+      (** the digest with the unit's own identity (its resolved path)
+          masked out: thread fragments with equal symmetry digests are
+          candidates for orbit merging ([Pipeline] verifies the claim
+          structurally before building a {!Acsr.Symmetry.spec}) *)
   cacheable : bool;
       (** the mode manager is regenerated each plan and never cached *)
   defs : (string * string list * Proc.t) list;

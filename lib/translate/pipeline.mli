@@ -16,6 +16,16 @@ type t = {
       (** the realized translation units, in composition order *)
   fragments_reused : int;
       (** how many of them came out of the {!Fragment_cache} *)
+  symmetry : Symmetry.spec;
+      (** orbit classes of interchangeable thread units over the
+          composition's parallel slots, for {!Versa.Lts}'s symmetry
+          reduction: thread fragments whose inputs are identical up to
+          their own identity (equal [sym_digest]s, then verified by
+          structural equality under a positional renaming of generated
+          names) are interchangeable.  {!Acsr.Symmetry.empty} when no two
+          units qualify — e.g. under Rate/Deadline-Monotonic assignment,
+          where tie-broken static priorities distinguish otherwise
+          identical threads. *)
   num_thread_processes : int;
   num_dispatchers : int;
   num_queues : int;

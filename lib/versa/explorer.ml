@@ -59,7 +59,8 @@ let check_verdict c =
       else Deadlock_free
 
 let check_deadlock ?(engine = Full) ?(max_states = 2_000_000)
-    ?(stop_at_deadlock = true) ?(jobs = 1) ?deadline ?poll defs root =
+    ?(stop_at_deadlock = true) ?(jobs = 1) ?deadline ?poll
+    ?(symmetry = Acsr.Symmetry.empty) defs root =
   Obs.Span.with_ ~name:"explore"
     ~attrs:
       [ ("engine", match engine with Full -> "full" | On_the_fly -> "otf") ]
@@ -78,11 +79,15 @@ let check_deadlock ?(engine = Full) ?(max_states = 2_000_000)
     match engine with
     | Full ->
         let lts =
-          Lts.build ~config ~semantics:Lts.Prioritized ~jobs defs root
+          Lts.build ~config ~semantics:Lts.Prioritized ~jobs ~symmetry defs
+            root
         in
         (Graph lts, deadlock_verdict lts)
     | On_the_fly ->
-        let c = Lts.check ~config ~semantics:Lts.Prioritized ~jobs defs root in
+        let c =
+          Lts.check ~config ~semantics:Lts.Prioritized ~jobs ~symmetry defs
+            root
+        in
         (Summary c, check_verdict c)
   in
   let elapsed = Unix.gettimeofday () -. t0 in

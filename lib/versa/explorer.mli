@@ -40,6 +40,7 @@ val check_deadlock :
   ?jobs:int ->
   ?deadline:float ->
   ?poll:(unit -> bool) ->
+  ?symmetry:Symmetry.spec ->
   Defs.t ->
   Proc.t ->
   result
@@ -59,7 +60,12 @@ val check_deadlock :
     scale): past it the exploration truncates and the verdict is
     [Inconclusive "wall-clock budget expired …"], never a hang.  [poll]
     is a cooperative cancellation hook checked between merge steps
-    ({!Lts.build_config}). *)
+    ({!Lts.build_config}).
+
+    [symmetry] (default {!Acsr.Symmetry.empty}) enables orbit reduction
+    in either engine — see the {!Lts} preamble.  Verdicts and trace
+    lengths are unchanged; traces are de-canonicalized before being
+    returned, so failing scenarios name the real model's threads. *)
 
 val deadlock_verdict : Lts.t -> verdict
 (** Derive the verdict from an already-built LTS. *)

@@ -132,6 +132,27 @@ module Metrics = struct
       ~help:"Per-domain work deque depth, sampled at each worker expansion"
       ~buckets:[ 1.; 4.; 16.; 64.; 256.; 1_024.; 4_096. ]
       "versa_ws_queue_depth"
+
+  let orbit_hits =
+    Obs.Counter.make
+      ~help:"Successor states folded onto a different orbit representative"
+      "versa_orbit_hits_total"
+
+  let orbit_misses =
+    Obs.Counter.make
+      ~help:"Successor states that were already orbit-canonical"
+      "versa_orbit_misses_total"
+
+  let orbit_size =
+    Obs.Histogram.make
+      ~help:"Members per interchangeable-component orbit class, per run"
+      ~buckets:[ 2.; 4.; 8.; 16.; 32. ]
+      "versa_orbit_size"
+
+  let canon_seconds =
+    Obs.Histogram.make
+      ~help:"Wall time spent canonicalizing states, per exploration"
+      "versa_canon_seconds"
 end
 
 type semantics = Prioritized | Unprioritized
@@ -162,6 +183,11 @@ type stats = {
       (** replay successor lookups answered by a prefetched row *)
   prefetch_misses : int;
       (** replay successor lookups computed on the calling domain *)
+  orbit_hits : int;
+      (** successors the symmetry reduction folded onto a different orbit
+          representative; 0 when symmetry is off or trivial *)
+  orbit_misses : int;  (** successors that were already canonical *)
+  canon_s : float;  (** wall time spent canonicalizing states *)
 }
 
 let states_per_sec s =
@@ -197,7 +223,160 @@ let publish_stats s =
   Obs.Counter.incr ~by:s.steal_attempts Metrics.steal_attempts;
   Obs.Counter.incr ~by:s.prefetch_hits Metrics.prefetch_hits;
   Obs.Counter.incr ~by:s.prefetch_misses Metrics.prefetch_misses;
+  Obs.Counter.incr ~by:s.orbit_hits Metrics.orbit_hits;
+  Obs.Counter.incr ~by:s.orbit_misses Metrics.orbit_misses;
+  if s.orbit_hits + s.orbit_misses > 0 then
+    Obs.Histogram.observe Metrics.canon_seconds s.canon_s;
   Obs.Histogram.observe Metrics.wall s.wall_s
+
+let step_function semantics cache defs =
+  match semantics with
+  | Prioritized -> Semantics.h_prioritized ~cache defs
+  | Unprioritized -> Semantics.h_steps ~cache defs
+
+(* Symmetry (orbit) reduction.
+
+   With a non-trivial [Symmetry.spec] (built by the translation layer:
+   which parallel slots hold interchangeable components, under which
+   renamings), every successor is canonicalized *before* the visited-set
+   lookup, so the exploration visits one representative per orbit.  The
+   wrapper sits inside [next], which both the replay and the prefetch
+   workers call — reduction therefore composes with [jobs] without
+   touching the oracle: workers prefetch canonical rows, the replay
+   interns canonical states, and the bit-identity argument is unchanged
+   (canonicalization is deterministic).
+
+   Soundness: each spec member is equal to its class representative up
+   to a renaming of generated names, so permuting member slots while
+   renaming accordingly is an automorphism of the transition system —
+   the canonical state is reachable iff the original is, with the same
+   BFS depth, and it deadlocks iff the original does.  Verdicts and
+   counterexample *lengths* are therefore preserved exactly; the visited
+   state count only shrinks.
+
+   Traces are de-canonicalized on the way out ([decanon_steps]): the
+   stored path's states are canonical representatives, but the steps
+   can be renamed back into the real system's name space by composing
+   the witness renamings ([Symmetry.canon_w]) along the path, so raised
+   scenarios still name the actual AADL threads. *)
+module Sym = struct
+  type t = {
+    spec : Symmetry.spec;
+    raw_root : Hproc.t;
+    defs : Defs.t;
+    (* tallies are atomics because [wrap] runs on worker domains too;
+       workers and the replay can both canonicalize the same row, so
+       parallel runs over-count — like [prefetch_misses], these are
+       telemetry, not part of the bit-identical result contract *)
+    hits : int Atomic.t;
+    misses : int Atomic.t;
+    canon_us : int Atomic.t;
+  }
+
+  let of_spec spec ~raw_root ~defs =
+    if Symmetry.is_empty spec then None
+    else
+      Some
+        {
+          spec;
+          raw_root;
+          defs;
+          hits = Atomic.make 0;
+          misses = Atomic.make 0;
+          canon_us = Atomic.make 0;
+        }
+
+  (* Canonicalization can alias two successors of the same state; keep
+     the first occurrence so row order stays the deterministic raw
+     order. *)
+  let dedup row =
+    match row with
+    | [] | [ _ ] -> row
+    | _ ->
+        let rec go acc = function
+          | [] -> List.rev acc
+          | ((s, t) as edge) :: rest ->
+              if
+                List.exists
+                  (fun (s', t') -> Hproc.equal t t' && Step.equal s s')
+                  acc
+              then go acc rest
+              else go (edge :: acc) rest
+        in
+        go [] row
+
+  let wrap s next term =
+    let row = next term in
+    if row = [] then row
+    else begin
+      let t0 = Unix.gettimeofday () in
+      let row' =
+        List.map
+          (fun (step, t') ->
+            let c = Symmetry.canon s.spec t' in
+            if Hproc.equal c t' then Atomic.incr s.misses
+            else Atomic.incr s.hits;
+            (step, c))
+          row
+      in
+      let row' = dedup row' in
+      ignore
+        (Atomic.fetch_and_add s.canon_us
+           (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6)));
+      row'
+    end
+
+  let root s = Symmetry.canon s.spec s.raw_root
+  let hits s = Atomic.get s.hits
+  let misses s = Atomic.get s.misses
+  let canon_s s = float_of_int (Atomic.get s.canon_us) /. 1e6
+
+  let observe_sizes s =
+    List.iter
+      (fun k -> Obs.Histogram.observe Metrics.orbit_size (float_of_int k))
+      (Symmetry.class_sizes s.spec)
+
+  (* De-canonicalize a stored path [(step, state); ...] from the root.
+
+     Invariant maintained along the walk: [inv] renames the current
+     canonical state's names back into the names of the real state it
+     represents on the actual (unreduced) run from [raw_root].  For each
+     stored edge we recompute the canonical state's *raw* successor row,
+     find the successor whose canonical form is the stored child — one
+     exists by construction, since the stored row was exactly that row
+     canonicalized — apply [inv] to the step, and fold the child's own
+     canonicalization witness into [inv].  State ids are left as they
+     are (they index the canonical store); only steps are renamed, which
+     is all trace consumers read. *)
+  let decanon_steps s ~semantics ~term_at path =
+    let cache = Semantics.make_cache () in
+    let next = step_function semantics cache s.defs in
+    let _, rho0 = Symmetry.canon_w s.spec s.raw_root in
+    let inv = ref (Symmetry.invert rho0) in
+    let cur = ref (root s) in
+    List.map
+      (fun (step, id) ->
+        let child = term_at id in
+        let raw_row = next !cur in
+        match
+          List.find_opt
+            (fun (st, t) ->
+              Step.equal st step && Hproc.equal (Symmetry.canon s.spec t) child)
+            raw_row
+        with
+        | None ->
+            (* unreachable by the invariant above; degrade to the
+               canonical step rather than raise inside diagnostics *)
+            cur := child;
+            (step, id)
+        | Some (_, t) ->
+            let real = Symmetry.apply_step !inv step in
+            let _, rho' = Symmetry.canon_w s.spec t in
+            inv := Symmetry.compose !inv (Symmetry.invert rho');
+            cur := child;
+            (real, id))
+      path
+end
 
 type t = {
   term_of : Hproc.t array;  (** state id -> term *)
@@ -212,6 +391,7 @@ type t = {
   transitions : int;  (** cached at build time *)
   deadlock_ids : state_id list;  (** cached at build time, discovery order *)
   stats : stats;
+  sym : Sym.t option;  (** present when symmetry reduction was active *)
 }
 
 let num_states lts = Array.length lts.term_of
@@ -237,7 +417,13 @@ let path_to lts id =
     | None -> acc
     | Some (pred, step) -> up pred ((step, id) :: acc)
   in
-  up id []
+  let path = up id [] in
+  match lts.sym with
+  | None -> path
+  | Some s ->
+      Sym.decanon_steps s ~semantics:lts.semantics
+        ~term_at:(fun i -> lts.term_of.(i))
+        path
 
 type build_config = {
   max_states : int option;  (** stop after discovering this many states *)
@@ -272,11 +458,6 @@ let budget_stop config ~len ~deadline_hit () =
          true
      | Some _ | None -> false)
   || (match config.poll with Some p -> p () | None -> false)
-
-let step_function semantics cache defs =
-  match semantics with
-  | Prioritized -> Semantics.h_prioritized ~cache defs
-  | Unprioritized -> Semantics.h_steps ~cache defs
 
 (* Work-stealing prefetch oracle shared by [build] and [check].
 
@@ -636,20 +817,28 @@ let span_attrs semantics jobs =
     ("jobs", string_of_int jobs) ]
 
 let build ?(config = default_config) ?(semantics = Prioritized) ?(jobs = 1)
-    defs root =
+    ?(symmetry = Symmetry.empty) defs root =
   let jobs = max 1 jobs in
   Obs.Span.with_ ~name:"lts.build" ~attrs:(span_attrs semantics jobs)
   @@ fun () ->
   let t_start = Unix.gettimeofday () in
   let cache = Semantics.make_cache () in
-  let next = step_function semantics cache defs in
+  let raw_next = step_function semantics cache defs in
+  let raw_root = Hproc.of_proc root in
+  let sym = Sym.of_spec symmetry ~raw_root ~defs in
+  let next =
+    match sym with None -> raw_next | Some s -> Sym.wrap s raw_next
+  in
   let table = Table.create () in
   let truncated = ref false in
   let deadlock_found = ref false in
   let deadlock_ids_rev = ref [] in
   let transitions = ref 0 in
   let peak_frontier = ref 0 in
-  let root_id, _ = Table.intern table (Hproc.of_proc root) in
+  let root_id, _ =
+    Table.intern table
+      (match sym with None -> raw_root | Some s -> Sym.root s)
+  in
   ignore root_id;
   let deadline_hit = ref false in
   let over_budget () =
@@ -745,10 +934,14 @@ let build ?(config = default_config) ?(semantics = Prioritized) ?(jobs = 1)
       steal_attempts = tl.Oracle.t_steal_attempts;
       prefetch_hits = tl.Oracle.t_hits;
       prefetch_misses = tl.Oracle.t_misses;
+      orbit_hits = (match sym with None -> 0 | Some s -> Sym.hits s);
+      orbit_misses = (match sym with None -> 0 | Some s -> Sym.misses s);
+      canon_s = (match sym with None -> 0. | Some s -> Sym.canon_s s);
     }
   in
   publish_stats stats;
   publish_contention tl;
+  Option.iter Sym.observe_sizes sym;
   {
     term_of = Array.init n (fun i -> (entry i).Table.tm);
     edges = Array.init n (fun i -> (entry i).Table.row);
@@ -760,6 +953,7 @@ let build ?(config = default_config) ?(semantics = Prioritized) ?(jobs = 1)
     transitions = !transitions;
     deadlock_ids = List.rev !deadlock_ids_rev;
     stats;
+    sym;
   }
 
 (* {1 On-the-fly checking}
@@ -835,6 +1029,7 @@ type check_result = {
   c_transitions : int;
   c_semantics : semantics;
   c_stats : stats;
+  c_sym : Sym.t option;
 }
 
 let check_num_states c = c.c_store.Store.len
@@ -851,16 +1046,27 @@ let check_path_to c id =
     let p = st.Store.pred.(id) in
     if p < 0 then acc else up p ((st.Store.steps.(id), id) :: acc)
   in
-  up id []
+  let path = up id [] in
+  match c.c_sym with
+  | None -> path
+  | Some s ->
+      Sym.decanon_steps s ~semantics:c.c_semantics
+        ~term_at:(fun i -> st.Store.terms.(i))
+        path
 
 let check ?(config = default_config) ?(semantics = Prioritized) ?(jobs = 1)
-    defs root =
+    ?(symmetry = Symmetry.empty) defs root =
   let jobs = max 1 jobs in
   Obs.Span.with_ ~name:"lts.check" ~attrs:(span_attrs semantics jobs)
   @@ fun () ->
   let t_start = Unix.gettimeofday () in
   let cache = Semantics.make_cache () in
-  let next = step_function semantics cache defs in
+  let raw_next = step_function semantics cache defs in
+  let raw_root = Hproc.of_proc root in
+  let sym = Sym.of_spec symmetry ~raw_root ~defs in
+  let next =
+    match sym with None -> raw_next | Some s -> Sym.wrap s raw_next
+  in
   let store = Store.create () in
   let truncated = ref false in
   let deadlock_found = ref false in
@@ -868,8 +1074,9 @@ let check ?(config = default_config) ?(semantics = Prioritized) ?(jobs = 1)
   let transitions = ref 0 in
   let peak_frontier = ref 0 in
   ignore
-    (Store.intern store (Hproc.of_proc root) ~pred:(-1)
-       ~step:Store.dummy_step);
+    (Store.intern store
+       (match sym with None -> raw_root | Some s -> Sym.root s)
+       ~pred:(-1) ~step:Store.dummy_step);
   let deadline_hit = ref false in
   let over_budget () =
     budget_stop config ~len:store.Store.len ~deadline_hit ()
@@ -954,10 +1161,14 @@ let check ?(config = default_config) ?(semantics = Prioritized) ?(jobs = 1)
       steal_attempts = tl.Oracle.t_steal_attempts;
       prefetch_hits = tl.Oracle.t_hits;
       prefetch_misses = tl.Oracle.t_misses;
+      orbit_hits = (match sym with None -> 0 | Some s -> Sym.hits s);
+      orbit_misses = (match sym with None -> 0 | Some s -> Sym.misses s);
+      canon_s = (match sym with None -> 0. | Some s -> Sym.canon_s s);
     }
   in
   publish_stats stats;
   publish_contention tl;
+  Option.iter Sym.observe_sizes sym;
   {
     c_store = store;
     c_truncated = !truncated;
@@ -965,6 +1176,7 @@ let check ?(config = default_config) ?(semantics = Prioritized) ?(jobs = 1)
     c_transitions = !transitions;
     c_semantics = semantics;
     c_stats = stats;
+    c_sym = sym;
   }
 
 let pp_check_summary ppf c =
@@ -1003,7 +1215,11 @@ let pp_stats ppf s =
         Fmt.pf ppf
           "@,work stealing: %d steals / %d attempts, prefetch %d hits / %d \
            misses"
-          s.steals s.steal_attempts s.prefetch_hits s.prefetch_misses)
+          s.steals s.steal_attempts s.prefetch_hits s.prefetch_misses;
+      if s.orbit_hits > 0 || s.orbit_misses > 0 then
+        Fmt.pf ppf
+          "@,symmetry: %d orbit hits / %d misses, canonicalization %.3fs"
+          s.orbit_hits s.orbit_misses s.canon_s)
     s
     Fmt.(
       option (fun ppf d -> pf ppf "@,early exit at BFS depth %d" d))

@@ -29,7 +29,28 @@
     parent assignment, budget/deadline/early-exit checks — happens on
     that replay, in queue order.  Parallelism can therefore only affect
     throughput, never results (asserted by the test suite's
-    jobs-equivalence properties). *)
+    jobs-equivalence properties).
+
+    {2 Symmetry (orbit) reduction}
+
+    With a non-trivial [?symmetry] spec ({!Acsr.Symmetry}, built by
+    [Translate.Pipeline] from interchangeable thread units), every
+    successor is canonicalized up to permutation of interchangeable
+    parallel components {e before} the visited-set lookup, so the
+    exploration visits one representative per orbit.  Verdicts
+    (deadlock-freedom), counterexample lengths and BFS depths are
+    preserved exactly — canonicalization is an automorphism of the
+    transition system — while visited-state counts shrink by up to the
+    product of the orbit class factorials.  Canonicalization happens
+    inside the successor function, which workers and replay share, so
+    reduction composes with [jobs] and the bit-identity contract above
+    is unchanged for any fixed [symmetry] spec.  {!path_to} and
+    {!check_path_to} de-canonicalize the stored steps (composing the
+    permutation witnesses along the path), so diagnostic traces name the
+    real system's threads; state ids in the returned path index the
+    canonical store.  Note that a reduced run's state {e numbering}
+    differs from an unreduced run's — equivalence is of verdicts and
+    trace lengths, not ids (asserted by the symmetry test suite). *)
 
 open Acsr
 
@@ -86,6 +107,17 @@ type stats = {
   prefetch_misses : int;
       (** replay successor lookups computed on the calling domain
           because no worker had recorded the row yet *)
+  orbit_hits : int;
+      (** successors the symmetry reduction folded onto a different
+          orbit representative — the per-successor win of the reduction;
+          0 when symmetry is off or the model has no interchangeable
+          components.  Parallel runs can over-count (workers and replay
+          may canonicalize the same row); like [prefetch_misses], this
+          is telemetry, not part of the determinism contract *)
+  orbit_misses : int;
+      (** successors that were already orbit-canonical *)
+  canon_s : float;
+      (** wall time spent canonicalizing states (summed across domains) *)
 }
 
 val stats : t -> stats
@@ -176,11 +208,17 @@ val build :
   ?config:build_config ->
   ?semantics:semantics ->
   ?jobs:int ->
+  ?symmetry:Symmetry.spec ->
   Defs.t ->
   Proc.t ->
   t
 (** Explore the state space of a closed term breadth-first.  [semantics]
     defaults to [Prioritized].
+
+    [symmetry] (default {!Acsr.Symmetry.empty}, i.e. off) enables orbit
+    reduction — see the module preamble.  The spec must describe the
+    explored term: its slot layout and renamings come from the same
+    translation that produced [defs] and the root.
 
     [jobs] (default 1) is the number of work-stealing worker domains
     prefetching successor rows; the calling domain additionally runs the
@@ -218,6 +256,7 @@ val check :
   ?config:build_config ->
   ?semantics:semantics ->
   ?jobs:int ->
+  ?symmetry:Symmetry.spec ->
   Defs.t ->
   Proc.t ->
   check_result

@@ -87,6 +87,7 @@ same names the Prometheus exposition and the serve 'metrics' op use:
   translate_fragments_realized_total
   translate_fragments_reused_total
   translate_plans_total
+  versa_canon_seconds
   versa_explore_deadline_expired_total
   versa_explore_deadlocks_total
   versa_explore_depth_levels
@@ -101,6 +102,9 @@ same names the Prometheus exposition and the serve 'metrics' op use:
   versa_hashcons_nodes
   versa_intern_hits_total
   versa_intern_misses_total
+  versa_orbit_hits_total
+  versa_orbit_misses_total
+  versa_orbit_size
   versa_pool_worker_failures_total
   versa_prefetch_hits_total
   versa_prefetch_misses_total
@@ -135,6 +139,8 @@ the Prometheus text exposition.  The counter names are the contract:
   "versa_explore_transitions_total"
   "versa_intern_hits_total"
   "versa_intern_misses_total"
+  "versa_orbit_hits_total"
+  "versa_orbit_misses_total"
   "versa_pool_worker_failures_total"
   "versa_prefetch_hits_total"
   "versa_prefetch_misses_total"

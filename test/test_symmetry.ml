@@ -1,0 +1,369 @@
+(* Tests for the orbit (symmetry) reduction.
+
+   Three families of guarantees:
+   - detection: the translation groups exactly the thread units that are
+     identical up to generated names — replicated EDF families merge into
+     one class, while any difference in period, cet, deadline or (baked,
+     tie-broken) RM/DM priority keeps units apart;
+   - equivalence: exploring with the reduction on yields the same verdict,
+     violation time and scenario length as exploring the raw space, on
+     every example model and on generated families, schedulable and not,
+     sequential and parallel;
+   - soundness of de-canonicalization: the returned failing scenario is a
+     real path of the *unreduced* prioritized semantics, ending in a
+     deadlock. *)
+
+open Acsr
+
+let translation_of text =
+  Translate.Pipeline.translate (Aadl.Instantiate.of_string text)
+
+let family ?protocol ~threads ~utilization () =
+  Gen.replicated_family ?protocol ~threads ~utilization ()
+
+(* {1 Detection} *)
+
+let test_detect_replicated_family () =
+  List.iter
+    (fun threads ->
+      let tr = translation_of (family ~threads ~utilization:0.8 ()) in
+      let spec = tr.Translate.Pipeline.symmetry in
+      Alcotest.(check bool)
+        (Fmt.str "%d-thread EDF family has symmetry" threads)
+        false (Symmetry.is_empty spec);
+      Alcotest.(check (list int))
+        (Fmt.str "%d-thread family: one class of all threads" threads)
+        [ threads ] (Symmetry.class_sizes spec))
+    [ 2; 4; 8 ]
+
+let test_detect_single_thread_no_class () =
+  let tr = translation_of (family ~threads:1 ~utilization:0.5 ()) in
+  Alcotest.(check bool)
+    "a single thread has no orbit class" true
+    (Symmetry.is_empty tr.Translate.Pipeline.symmetry)
+
+(* RM and DM bake tie-broken priorities into the cpu-access expressions,
+   so even textually identical threads are not interchangeable there. *)
+let test_detect_rm_family_not_merged () =
+  List.iter
+    (fun protocol ->
+      let tr =
+        translation_of (family ~protocol ~threads:4 ~utilization:0.8 ())
+      in
+      Alcotest.(check bool)
+        "identical threads under RM/DM are not merged" true
+        (Symmetry.is_empty tr.Translate.Pipeline.symmetry))
+    [ Aadl.Props.Rate_monotonic; Aadl.Props.Deadline_monotonic ]
+
+(* Almost-identical threads — same everything except one timing
+   parameter — must never land in the same class. *)
+let test_detect_almost_identical_not_merged () =
+  let base ~name = Gen.simple_spec ~name ~period_ms:6 ~cet_ms:1 in
+  let cases =
+    [
+      ( "different period",
+        [
+          Gen.simple_spec ~name:"t1" ~period_ms:6 ~cet_ms:1 ();
+          Gen.simple_spec ~name:"t2" ~period_ms:8 ~cet_ms:1 ();
+        ] );
+      ( "different cet",
+        [
+          Gen.simple_spec ~name:"t1" ~period_ms:6 ~cet_ms:1 ();
+          Gen.simple_spec ~name:"t2" ~period_ms:6 ~cet_ms:2 ();
+        ] );
+      ( "different deadline",
+        [ base ~name:"t1" (); base ~name:"t2" ~deadline_ms:5 () ] );
+    ]
+  in
+  List.iter
+    (fun (what, specs) ->
+      let tr =
+        translation_of (Gen.periodic_system ~protocol:Aadl.Props.Edf specs)
+      in
+      Alcotest.(check bool)
+        (what ^ ": not merged")
+        true
+        (Symmetry.is_empty tr.Translate.Pipeline.symmetry))
+    cases;
+  (* and the matching pair in the same model *does* merge, so the cases
+     above fail for the right reason *)
+  let tr =
+    translation_of
+      (Gen.periodic_system ~protocol:Aadl.Props.Edf
+         [ base ~name:"t1" (); base ~name:"t2" () ])
+  in
+  Alcotest.(check (list int))
+    "the identical pair merges" [ 2 ]
+    (Symmetry.class_sizes tr.Translate.Pipeline.symmetry)
+
+(* e6 reference family: pairwise distinct periods, no symmetry at all. *)
+let test_detect_e6_asymmetric () =
+  let text =
+    Gen.periodic_system
+      (List.init 5 (fun i ->
+           Gen.simple_spec
+             ~name:(Fmt.str "t%d" (i + 1))
+             ~period_ms:(4 + (2 * i))
+             ~cet_ms:1 ()))
+  in
+  Alcotest.(check bool)
+    "e6 has no interchangeable threads" true
+    (Symmetry.is_empty (translation_of text).Translate.Pipeline.symmetry)
+
+(* {1 Canonicalization: idempotence and orbit invariance on reachable
+   states} *)
+
+let test_canon_idempotent_on_reachable_states () =
+  let tr = translation_of (family ~threads:4 ~utilization:0.8 ()) in
+  let spec = tr.Translate.Pipeline.symmetry in
+  let config =
+    { Versa.Lts.default_config with stop_at_deadlock = false }
+  in
+  let lts =
+    Versa.Lts.build ~config tr.Translate.Pipeline.defs
+      tr.Translate.Pipeline.system
+  in
+  for id = 0 to Versa.Lts.num_states lts - 1 do
+    let t = Hproc.of_proc (Versa.Lts.term lts id) in
+    let c = Symmetry.canon spec t in
+    if not (Hproc.equal c (Symmetry.canon spec c)) then
+      Alcotest.failf "canon not idempotent on state %d" id
+  done
+
+(* {1 Equivalence: reduction on vs off} *)
+
+let describe (r : Analysis.Schedulability.t) =
+  match r.Analysis.Schedulability.verdict with
+  | Analysis.Schedulability.Schedulable -> "schedulable"
+  | Analysis.Schedulability.Not_schedulable { scenario; trace } ->
+      (* thread identities may legitimately differ between the raw and
+         the de-canonicalized scenario (any orbit member is a valid
+         witness), so compare the invariants: violation time and
+         scenario length *)
+      Fmt.str "NOT schedulable at t=%d, %d steps"
+        scenario.Analysis.Raise_trace.violation_time
+        (Versa.Trace.length trace)
+  | Analysis.Schedulability.Inconclusive why -> "inconclusive: " ^ why
+
+let analyze_sym ~symmetry ?(jobs = 1) ?(all = false) root =
+  Analysis.Schedulability.analyze
+    ~options:
+      {
+        Analysis.Schedulability.default_options with
+        max_states = 300_000;
+        all_violations = all;
+        jobs;
+        symmetry;
+      }
+    root
+
+let test_example_models_equivalent () =
+  let dir =
+    match
+      List.find_opt Sys.file_exists
+        [ "../examples/models"; "examples/models" ]
+    with
+    | Some d -> d
+    | None -> Alcotest.fail "examples/models not found (missing dune deps?)"
+  in
+  let models =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".aadl")
+    |> List.sort compare
+  in
+  Alcotest.(check bool) "found example models" true (models <> []);
+  List.iter
+    (fun file ->
+      let contents =
+        let ic = open_in_bin (Filename.concat dir file) in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let root = Aadl.Instantiate.of_string contents in
+      let on = analyze_sym ~symmetry:true root in
+      let off = analyze_sym ~symmetry:false root in
+      Alcotest.(check string)
+        (file ^ ": verdict") (describe off) (describe on);
+      (* none of the shipped examples has interchangeable threads, so the
+         reduction must be exactly inert there: same visited states *)
+      let spec =
+        on.Analysis.Schedulability.translation.Translate.Pipeline.symmetry
+      in
+      if Symmetry.is_empty spec then
+        Alcotest.(check int)
+          (file ^ ": states (inert)")
+          (Versa.Explorer.num_states off.Analysis.Schedulability.exploration)
+          (Versa.Explorer.num_states on.Analysis.Schedulability.exploration))
+    models
+
+let test_families_equivalent () =
+  List.iter
+    (fun (threads, utilization) ->
+      let name = Fmt.str "family %d@%.2f" threads utilization in
+      let root =
+        Aadl.Instantiate.of_string (family ~threads ~utilization ())
+      in
+      let on = analyze_sym ~symmetry:true ~all:true root in
+      let off = analyze_sym ~symmetry:false ~all:true root in
+      Alcotest.(check string) (name ^ ": verdict") (describe off) (describe on);
+      let states r =
+        Versa.Explorer.num_states r.Analysis.Schedulability.exploration
+      in
+      if states on > states off then
+        Alcotest.failf "%s: reduced space larger (%d > %d)" name (states on)
+          (states off);
+      if threads >= 2 && states on >= states off then
+        Alcotest.failf "%s: no strict reduction (%d vs %d)" name (states on)
+          (states off);
+      (* the reduction's bookkeeping reached the stats *)
+      let stats = Versa.Explorer.stats on.Analysis.Schedulability.exploration in
+      if threads >= 2 then
+        Alcotest.(check bool)
+          (name ^ ": orbit tallies flowing") true
+          (stats.Versa.Lts.orbit_hits + stats.Versa.Lts.orbit_misses > 0))
+    [ (1, 0.5); (2, 0.8); (4, 0.8); (4, 1.3); (6, 0.9); (6, 1.2) ]
+
+(* The reduction composes with the work-stealing pool: at jobs 4 with an
+   eager cutover the verdicts and scenario invariants must match jobs 1,
+   reduction on in both. *)
+let test_families_parallel_equivalent () =
+  List.iter
+    (fun (threads, utilization) ->
+      let name = Fmt.str "family %d@%.2f" threads utilization in
+      let root =
+        Aadl.Instantiate.of_string (family ~threads ~utilization ())
+      in
+      let seq = analyze_sym ~symmetry:true root in
+      let par = analyze_sym ~symmetry:true ~jobs:4 root in
+      Alcotest.(check string)
+        (name ^ ": jobs4 verdict") (describe seq) (describe par);
+      Alcotest.(check int)
+        (name ^ ": jobs4 states")
+        (Versa.Explorer.num_states seq.Analysis.Schedulability.exploration)
+        (Versa.Explorer.num_states par.Analysis.Schedulability.exploration))
+    [ (4, 0.8); (4, 1.3) ]
+
+(* {1 Soundness: the de-canonicalized scenario is a real path}
+
+   Walk the returned trace through the *raw* (unreduced) prioritized
+   semantics from the real initial state: some branch taking exactly
+   these steps must exist and end in a deadlock.  The walk backtracks
+   because a step label does not always determine the successor — a
+   timed action like [{(cpu,1)}] is offered once per thread that could
+   run — so validity is "there exists a path with these labels", not
+   "the first label match leads somewhere".  This is the witness that
+   de-canonicalization produced a genuine counterexample of the original
+   model, not of the quotient. *)
+
+let test_scenario_replays_in_raw_semantics () =
+  List.iter
+    (fun (threads, utilization) ->
+      let name = Fmt.str "family %d@%.2f" threads utilization in
+      let tr = translation_of (family ~threads ~utilization ()) in
+      let defs = tr.Translate.Pipeline.defs in
+      let r =
+        Versa.Explorer.check_deadlock ~engine:Versa.Explorer.On_the_fly
+          ~symmetry:tr.Translate.Pipeline.symmetry defs
+          tr.Translate.Pipeline.system
+      in
+      match r.Versa.Explorer.verdict with
+      | Versa.Explorer.Deadlock { trace; _ } ->
+          let cache = Semantics.make_cache () in
+          let rec replay cur = function
+            | [] -> Semantics.h_prioritized ~cache defs cur = []
+            | step :: rest ->
+                List.exists
+                  (fun (s, t) -> s = step && replay t rest)
+                  (Semantics.h_prioritized ~cache defs cur)
+          in
+          Alcotest.(check bool)
+            (name ^ ": scenario replays to a raw deadlock")
+            true
+            (replay
+               (Hproc.of_proc tr.Translate.Pipeline.system)
+               (Versa.Trace.steps trace))
+      | Versa.Explorer.Deadlock_free | Versa.Explorer.Inconclusive _ ->
+          Alcotest.failf "%s: expected a deadlock" name)
+    [ (3, 1.5); (4, 1.3); (6, 1.5) ]
+
+(* {1 Properties} *)
+
+let gen_family_params =
+  QCheck2.Gen.(pair (int_range 1 5) (int_range 40 140))
+
+let prop_reduction_preserves_verdict =
+  QCheck2.Test.make ~name:"symmetry on = symmetry off (random families)"
+    ~count:12 gen_family_params (fun (threads, u_pct) ->
+      let utilization = float_of_int u_pct /. 100. in
+      let root =
+        Aadl.Instantiate.of_string (family ~threads ~utilization ())
+      in
+      describe (analyze_sym ~symmetry:true root)
+      = describe (analyze_sym ~symmetry:false root))
+
+let prop_canon_idempotent_random =
+  QCheck2.Test.make ~name:"canon is idempotent (random families)" ~count:8
+    gen_family_params (fun (threads, u_pct) ->
+      let utilization = float_of_int u_pct /. 100. in
+      let tr = translation_of (family ~threads ~utilization ()) in
+      let spec = tr.Translate.Pipeline.symmetry in
+      let config =
+        {
+          Versa.Lts.default_config with
+          max_states = Some 2_000;
+          stop_at_deadlock = false;
+        }
+      in
+      let lts =
+        Versa.Lts.build ~config tr.Translate.Pipeline.defs
+          tr.Translate.Pipeline.system
+      in
+      List.for_all
+        (fun id ->
+          let t = Hproc.of_proc (Versa.Lts.term lts id) in
+          let c = Symmetry.canon spec t in
+          Hproc.equal c (Symmetry.canon spec c))
+        (List.init (min 200 (Versa.Lts.num_states lts)) Fun.id))
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_reduction_preserves_verdict; prop_canon_idempotent_random ]
+
+let () =
+  Alcotest.run "symmetry"
+    [
+      ( "detection",
+        [
+          Alcotest.test_case "replicated EDF families merge" `Quick
+            test_detect_replicated_family;
+          Alcotest.test_case "single thread: no class" `Quick
+            test_detect_single_thread_no_class;
+          Alcotest.test_case "RM/DM families do not merge" `Quick
+            test_detect_rm_family_not_merged;
+          Alcotest.test_case "almost-identical threads do not merge" `Quick
+            test_detect_almost_identical_not_merged;
+          Alcotest.test_case "e6 family is asymmetric" `Quick
+            test_detect_e6_asymmetric;
+        ] );
+      ( "canonicalization",
+        [
+          Alcotest.test_case "idempotent on reachable states" `Quick
+            test_canon_idempotent_on_reachable_states;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "example models" `Slow
+            test_example_models_equivalent;
+          Alcotest.test_case "generated families" `Quick
+            test_families_equivalent;
+          Alcotest.test_case "parallel exploration" `Quick
+            test_families_parallel_equivalent;
+        ] );
+      ( "soundness",
+        [
+          Alcotest.test_case "scenario replays in the raw semantics" `Quick
+            test_scenario_replays_in_raw_semantics;
+        ] );
+      ("properties", qcheck_cases);
+    ]
