@@ -4,7 +4,7 @@
 # ocamlformat are dev-time tools, not build dependencies — the gate
 # degrades gracefully where they are absent).
 
-.PHONY: all build test doc fmt-check check bench-explore bench-scaling bench-service bench-sweep bench-smoke bench-obs bench-reduction clean
+.PHONY: all build test test-faults doc fmt-check check bench-explore bench-scaling bench-service bench-sweep bench-smoke bench-obs bench-reduction clean
 
 all: build
 
@@ -13,6 +13,12 @@ build:
 
 test:
 	dune runtest
+
+# The seeded fault-matrix suite: qcheck properties over the RPC fabric
+# (random delay/drop/duplication/reordering schedules) asserting replay
+# determinism and verdict agreement — part of `make check`.
+test-faults:
+	dune exec test/test_timed.exe -- test faults
 
 doc:
 	@if command -v odoc >/dev/null 2>&1; then \
@@ -28,7 +34,7 @@ fmt-check:
 	  echo "ocamlformat not installed; skipping format check"; \
 	fi
 
-check: build test bench-smoke bench-obs doc fmt-check
+check: build test test-faults bench-smoke bench-obs doc fmt-check
 
 # Regenerate the exploration-engine telemetry (BENCH_explore.json),
 # including the work-stealing jobs x model scaling table.  Doubles as

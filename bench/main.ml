@@ -535,9 +535,9 @@ let time_run f =
   (* settle GC debt from previous runs so single-shot timings don't
      charge one engine with another's garbage *)
   Gc.full_major ();
-  let t0 = Unix.gettimeofday () in
+  let t0 = Timed.Clock.gettimeofday () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  (r, Timed.Clock.gettimeofday () -. t0)
 
 let translate_text text =
   let root = Aadl.Instantiate.of_string text in
@@ -1007,9 +1007,9 @@ let service_run ~cache ~workers requests =
   in
   let scheduler = Service.Scheduler.create ~workers config in
   List.iter (fun r -> ignore (Service.Scheduler.submit scheduler r)) requests;
-  let t0 = Unix.gettimeofday () in
+  let t0 = Timed.Clock.gettimeofday () in
   let outcomes = Service.Scheduler.run_all scheduler in
-  let wall = Unix.gettimeofday () -. t0 in
+  let wall = Timed.Clock.gettimeofday () -. t0 in
   let counters = Option.map Service.Lru.counters config.Service.Runner.cache in
   (outcomes, wall, counters)
 
@@ -1049,6 +1049,7 @@ let service_section ~json_path () =
       runs
   in
   Fmt.pr "manifest: %d jobs over %d distinct models@." n num_distinct;
+  Fmt.pr "cores available: %d@." (Domain.recommended_domain_count ());
   Fmt.pr "%-22s %8s %12s %s@." "config" "wall (s)" "models/sec" "cache";
   List.iter
     (fun (name, _, _, _, wall, counters) ->
@@ -1079,6 +1080,11 @@ let service_section ~json_path () =
              times; cache hits skip exploration entirely" );
         ("jobs", Service.Json.Int n);
         ("distinct_models", Service.Json.Int num_distinct);
+        (* host attribution, as in the scaling gate: worker-count
+           comparisons are only meaningful relative to the cores the
+           host actually had (on a 1-core container, 4 workers measure
+           timeslicing, not parallelism) *)
+        ("cores", Service.Json.Int (Domain.recommended_domain_count ()));
         ( "runs",
           Service.Json.List
             (List.map
@@ -1118,13 +1124,13 @@ let service_section ~json_path () =
 let sweep_run ~reuse ~thread ~cets root =
   let once () =
     Gc.full_major ();
-    let t0 = Unix.gettimeofday () in
+    let t0 = Timed.Clock.gettimeofday () in
     let points =
       Analysis.Sensitivity.sweep
         ~options:{ Analysis.Sensitivity.default_options with reuse }
         ~thread ~cets root
     in
-    (points, Unix.gettimeofday () -. t0)
+    (points, Timed.Clock.gettimeofday () -. t0)
   in
   let runs = List.init 3 (fun _ -> once ()) in
   let points, wall =
@@ -1264,9 +1270,9 @@ let obs_section ~json_path () =
     let best = ref infinity in
     for _ = 1 to rounds do
       Gc.full_major ();
-      let t0 = Unix.gettimeofday () in
+      let t0 = Timed.Clock.gettimeofday () in
       ignore (f ());
-      let w = Unix.gettimeofday () -. t0 in
+      let w = Timed.Clock.gettimeofday () -. t0 in
       if w < !best then best := w
     done;
     !best

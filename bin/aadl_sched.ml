@@ -129,6 +129,31 @@ let trace_arg =
            $(docv) as Chrome trace_event JSON (load it in \
            $(i,chrome://tracing) or $(i,https://ui.perfetto.dev)).")
 
+(* Bracket a run with the deterministic simulated clock: every
+   timestamp — exploration deadlines, wall_s fields, trace epochs —
+   reads virtual time, and each observation advances it by 1 ms, so a
+   --timeout budget expires after a fixed number of clock reads
+   regardless of host speed.  The same model always truncates at the
+   same state, making timeout behavior reproducible (and testable in a
+   cram session). *)
+let with_virtual_clock virtual_time f =
+  if virtual_time then
+    let sim = Timed.Sim.create ~auto_advance:1e-3 () in
+    Timed.Sim.with_clock sim f
+  else f ()
+
+let virtual_time_arg =
+  Arg.(
+    value & flag
+    & info [ "virtual-time" ]
+        ~doc:
+          "Run under the deterministic simulated clock instead of the \
+           wall clock.  Clock observations advance virtual time by 1 ms \
+           each, so $(b,--timeout) budgets expire after a fixed number \
+           of observations: timeout-dependent behavior (truncation \
+           points, degraded verdicts) reproduces bit-identically on any \
+           host, in wall-clock milliseconds.")
+
 (* Bracket a whole subcommand with trace collection.  The file is written
    even when the run raises (the exception then continues to
    [handle_errors]), so failing runs still leave a trace to inspect. *)
@@ -348,8 +373,9 @@ let translate_cmd =
 (* {1 analyze} *)
 
 let run_analyze file root_name quantum protocol max_states jobs engine
-    timeout stats trace all baselines symmetry =
+    timeout stats trace all baselines symmetry virtual_time =
   handle_errors @@ fun () ->
+  with_virtual_clock virtual_time @@ fun () ->
   with_trace trace @@ fun () ->
   let root = load_root file root_name in
   let options =
@@ -360,7 +386,7 @@ let run_analyze file root_name quantum protocol max_states jobs engine
       all_violations = all;
       jobs;
       engine;
-      deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout;
+      deadline = Option.map (fun s -> Timed.Clock.gettimeofday () +. s) timeout;
       poll = None;
       symmetry;
     }
@@ -415,7 +441,7 @@ let analyze_cmd =
     Term.(
       const run_analyze $ file_arg $ root_arg $ quantum_arg $ protocol_arg
       $ max_states_arg $ jobs_arg $ engine_arg $ timeout_arg $ stats_arg
-      $ trace_arg $ all_arg $ baselines_arg $ symmetry_arg)
+      $ trace_arg $ all_arg $ baselines_arg $ symmetry_arg $ virtual_time_arg)
 
 (* {1 simulate} *)
 
@@ -895,9 +921,9 @@ let run_batch manifest workers engine no_cache cache_size timeout stats trace =
       List.iter
         (fun r -> ignore (Service.Scheduler.submit scheduler r))
         requests;
-      let t0 = Unix.gettimeofday () in
+      let t0 = Timed.Clock.gettimeofday () in
       let outcomes = Service.Scheduler.run_all scheduler in
-      let elapsed = Unix.gettimeofday () -. t0 in
+      let elapsed = Timed.Clock.gettimeofday () -. t0 in
       List.iter
         (fun o ->
           print_endline (Service.Json.to_string (Service.Job.outcome_to_json o)))

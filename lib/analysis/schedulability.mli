@@ -25,8 +25,8 @@ type options = {
           early-exit checker for plain verdicts, or [Full] when the
           caller needs the materialized graph *)
   deadline : float option;
-      (** absolute wall-clock budget ([Unix.gettimeofday] scale, default
-          none): past it the exploration truncates and the verdict is
+      (** absolute wall-clock budget (ambient [Timed.Clock] scale,
+          default none): past it the exploration truncates and the verdict is
           [Inconclusive "wall-clock budget expired …"] — the hook the
           service layer's graceful degradation builds on *)
   poll : (unit -> bool) option;

@@ -6,6 +6,7 @@
    - [Translate] the AADL-to-ACSR translation, Algorithm 1 (S4a)
    - [Analysis]  schedulability, latency, and classical baselines (S4b/S5)
    - [Service]   batch scheduling, verdict caching, graceful degradation
+   - [Timed]     virtual clock, discrete-event simulator, RPC fault fabric
    - [Gen]       reference models and synthetic workload generation *)
 
 module Acsr = Acsr
@@ -14,4 +15,5 @@ module Aadl = Aadl
 module Translate = Translate
 module Analysis = Analysis
 module Service = Service
+module Timed = Timed
 module Gen = Gen

@@ -288,7 +288,11 @@ module Trace = struct
 
   let active () = Atomic.get active_flag
 
-  let now_us () = (Unix.gettimeofday () -. Atomic.get epoch) *. 1e6
+  (* Timestamps come from the ambient [Timed.Clock]: a run under the
+     simulator records virtual microseconds, so exported traces show
+     virtual time.  [start] captures the epoch from the same source —
+     install the clock before starting the trace. *)
+  let now_us () = (Timed.Clock.gettimeofday () -. Atomic.get epoch) *. 1e6
 
   let record ev =
     let b = Domain.DLS.get dls in
@@ -298,7 +302,7 @@ module Trace = struct
     Mutex.lock mutex;
     List.iter (fun b -> b := []) !buffers;
     Mutex.unlock mutex;
-    Atomic.set epoch (Unix.gettimeofday ());
+    Atomic.set epoch (Timed.Clock.gettimeofday ());
     Atomic.set active_flag true
 
   let stop () = Atomic.set active_flag false

@@ -117,7 +117,10 @@ val render_prometheus : ?registry:registry -> unit -> string
 module Trace : sig
   val start : unit -> unit
   (** Reset the event buffers and start collecting spans.  Timestamps
-      are microseconds since this call. *)
+      are microseconds since this call, read from the ambient
+      {!Timed.Clock} — under a simulator clock the trace carries
+      virtual time, so install the clock ({!Timed.Clock.with_clock})
+      before starting the trace. *)
 
   val active : unit -> bool
 

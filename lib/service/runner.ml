@@ -203,7 +203,7 @@ let run ?cancel config (req : Job.request) =
   Obs.Counter.incr Metrics.jobs;
   Obs.Span.with_ ~name:"service.job" ~attrs:[ ("id", req.Job.id) ]
   @@ fun () ->
-  let now = Unix.gettimeofday () in
+  let now = Timed.Clock.gettimeofday () in
   let outcome verdict ~states ~degraded =
     if degraded then Obs.Counter.incr Metrics.degraded;
     {
@@ -212,7 +212,7 @@ let run ?cancel config (req : Job.request) =
       states;
       cached = false;
       degraded;
-      wall_s = Unix.gettimeofday () -. now;
+      wall_s = Timed.Clock.gettimeofday () -. now;
     }
   in
   let failed e =
@@ -248,7 +248,7 @@ let run ?cancel config (req : Job.request) =
                     o with
                     Job.id = req.id;
                     cached = true;
-                    wall_s = Unix.gettimeofday () -. now;
+                    wall_s = Timed.Clock.gettimeofday () -. now;
                   }
               | `Lease ->
                   attribute config key;

@@ -29,7 +29,7 @@ let depth_add d =
 type handle = {
   seq : int;
   request : Job.request;
-  submitted : float;  (* Unix.gettimeofday at submit, for wait times *)
+  submitted : float;  (* Timed.Clock time at submit, for wait times *)
   cancelled : bool Atomic.t;
   result : Job.outcome option Atomic.t;
 }
@@ -49,7 +49,7 @@ let submit t request =
     {
       seq = t.next_seq;
       request;
-      submitted = Unix.gettimeofday ();
+      submitted = Timed.Clock.gettimeofday ();
       cancelled = Atomic.make false;
       result = Atomic.make None;
     }
@@ -63,7 +63,7 @@ let cancel handle = Atomic.set handle.cancelled true
 let outcome handle = Atomic.get handle.result
 
 let run_one config handle =
-  let started = Unix.gettimeofday () in
+  let started = Timed.Clock.gettimeofday () in
   Obs.Histogram.observe Metrics.wait (started -. handle.submitted);
   let o =
     if Atomic.get handle.cancelled then
@@ -80,7 +80,7 @@ let run_one config handle =
         ~cancel:(fun () -> Atomic.get handle.cancelled)
         config handle.request
   in
-  Obs.Histogram.observe Metrics.run_time (Unix.gettimeofday () -. started);
+  Obs.Histogram.observe Metrics.run_time (Timed.Clock.gettimeofday () -. started);
   depth_add (-1);
   Atomic.set handle.result (Some o)
 

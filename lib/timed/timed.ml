@@ -1,0 +1,377 @@
+(* Virtual clock, discrete-event scheduler, and fault-injectable RPC
+   fabric.  See timed.mli for the contract.
+
+   The simulator is a binary min-heap of events keyed by
+   (virtual time, sequence number): sequence numbers break timestamp
+   ties in schedule order, which is what makes runs deterministic.
+   Suspension ([Sim.sleep_until], [Sim.await]) is built on OCaml 5
+   effects: a task performs [Suspend register]; the deep handler hands
+   [register] the one-shot resume thunk, which re-enters the event
+   queue.  Deep handlers travel with the captured continuation, so a
+   resumed task can suspend again from anywhere in the event loop.
+
+   Thread-safety: the heap and virtual time are mutex-protected because
+   pool worker domains read the ambient clock concurrently with the
+   simulation (timestamps in metrics and canonicalization timing).
+   Event *execution* is single-threaded — whichever domain calls
+   [run_until_quiescent] — and tasks, ivars and the fabric must only be
+   touched from there. *)
+
+type entry = { at : float; seq : int; run : unit -> unit }
+
+(* Binary min-heap on (at, seq); [seq] is globally unique so the order
+   is total. *)
+module Heap = struct
+  type t = { mutable a : entry array; mutable len : int }
+
+  let dummy = { at = 0.; seq = -1; run = ignore }
+  let create () = { a = Array.make 64 dummy; len = 0 }
+  let length h = h.len
+
+  let before x y = x.at < y.at || (x.at = y.at && x.seq < y.seq)
+
+  let push h e =
+    if h.len = Array.length h.a then begin
+      let bigger = Array.make (2 * h.len) dummy in
+      Array.blit h.a 0 bigger 0 h.len;
+      h.a <- bigger
+    end;
+    let i = ref h.len in
+    h.len <- h.len + 1;
+    h.a.(!i) <- e;
+    (* sift up *)
+    while !i > 0 && before h.a.(!i) h.a.((!i - 1) / 2) do
+      let p = (!i - 1) / 2 in
+      let tmp = h.a.(p) in
+      h.a.(p) <- h.a.(!i);
+      h.a.(!i) <- tmp;
+      i := p
+    done
+
+  let peek h = if h.len = 0 then None else Some h.a.(0)
+
+  let pop h =
+    if h.len = 0 then None
+    else begin
+      let top = h.a.(0) in
+      h.len <- h.len - 1;
+      h.a.(0) <- h.a.(h.len);
+      h.a.(h.len) <- dummy;
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.len && before h.a.(l) h.a.(!smallest) then smallest := l;
+        if r < h.len && before h.a.(r) h.a.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = h.a.(!smallest) in
+          h.a.(!smallest) <- h.a.(!i);
+          h.a.(!i) <- tmp;
+          i := !smallest
+        end
+      done;
+      Some top
+    end
+end
+
+type sim = {
+  mutex : Mutex.t;
+  mutable vnow : float;
+  mutable auto : float;
+  heap : Heap.t;
+  mutable seq : int;
+  mutable ran : int;
+}
+
+type clock = Real | Virtual of sim
+
+let with_sim_lock s f =
+  Mutex.lock s.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.mutex) f
+
+module Clock = struct
+  type t = clock
+
+  let real = Real
+
+  let now = function
+    | Real -> Unix.gettimeofday ()
+    | Virtual s ->
+        with_sim_lock s (fun () ->
+            s.vnow <- s.vnow +. s.auto;
+            s.vnow)
+
+  let is_virtual = function Real -> false | Virtual _ -> true
+
+  let ambient = Atomic.make Real
+  let current () = Atomic.get ambient
+
+  let with_clock c f =
+    let prev = Atomic.get ambient in
+    Atomic.set ambient c;
+    Fun.protect ~finally:(fun () -> Atomic.set ambient prev) f
+
+  let gettimeofday () = now (Atomic.get ambient)
+end
+
+(* [Suspend register]: capture the continuation, hand [register] the
+   thunk that resumes it.  The register callback runs before the
+   handler returns, i.e. still inside the suspending task's event. *)
+type _ Effect.t += Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+
+module Sim = struct
+  type t = sim
+
+  let create ?(start = 0.) ?(auto_advance = 0.) () =
+    {
+      mutex = Mutex.create ();
+      vnow = start;
+      auto = Float.max 0. auto_advance;
+      heap = Heap.create ();
+      seq = 0;
+      ran = 0;
+    }
+
+  let clock s = Virtual s
+  let now s = with_sim_lock s (fun () -> s.vnow)
+
+  let set_auto_advance s a =
+    with_sim_lock s (fun () -> s.auto <- Float.max 0. a)
+
+  (* Internal: enqueue [run] at absolute time [at] (clamped to now),
+     without wrapping it in an effect handler — used for resume thunks,
+     whose continuation already carries its handler. *)
+  let push_at s at run =
+    with_sim_lock s (fun () ->
+        let at = if at < s.vnow then s.vnow else at in
+        let e = { at; seq = s.seq; run } in
+        s.seq <- s.seq + 1;
+        Heap.push s.heap e)
+
+  let run_task f =
+    let open Effect.Deep in
+    match_with f ()
+      {
+        retc = (fun () -> ());
+        exnc = raise;
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Suspend register ->
+                Some
+                  (fun (k : (a, _) continuation) ->
+                    register (fun () -> continue k ()))
+            | _ -> None);
+      }
+
+  let schedule s ?at ?after f =
+    let at =
+      match (at, after) with
+      | Some t, None -> t
+      | None, Some d -> now s +. d
+      | None, None -> now s
+      | Some _, Some _ -> invalid_arg "Timed.Sim.schedule: both ~at and ~after"
+    in
+    push_at s at (fun () -> run_task f)
+
+  let sleep_until s t =
+    Effect.perform (Suspend (fun resume -> push_at s t resume))
+
+  let sleep s d = sleep_until s (now s +. d)
+
+  let pop_due s ~limit =
+    with_sim_lock s (fun () ->
+        match Heap.peek s.heap with
+        | Some e when e.at <= limit ->
+            ignore (Heap.pop s.heap);
+            if e.at > s.vnow then s.vnow <- e.at;
+            s.ran <- s.ran + 1;
+            Some e
+        | Some _ | None -> None)
+
+  let rec drain s ~limit =
+    match pop_due s ~limit with
+    | None -> ()
+    | Some e ->
+        e.run ();
+        drain s ~limit
+
+  let run_until_quiescent s = drain s ~limit:infinity
+
+  let advance s d =
+    if d < 0. then invalid_arg "Timed.Sim.advance: negative duration";
+    let target = now s +. d in
+    drain s ~limit:target;
+    with_sim_lock s (fun () -> if target > s.vnow then s.vnow <- target)
+
+  let pending s = with_sim_lock s (fun () -> Heap.length s.heap)
+  let events_run s = with_sim_lock s (fun () -> s.ran)
+  let with_clock s f = Clock.with_clock (Virtual s) f
+
+  type 'a ivar = {
+    mutable cell : 'a option;
+    mutable waiters : (unit -> unit) list;  (* newest first *)
+  }
+
+  let ivar () = { cell = None; waiters = [] }
+  let peek iv = iv.cell
+
+  let fill s iv v =
+    match iv.cell with
+    | Some _ -> ()
+    | None ->
+        iv.cell <- Some v;
+        let ws = List.rev iv.waiters in
+        iv.waiters <- [];
+        let t = now s in
+        List.iter (fun w -> push_at s t w) ws
+
+  let await s ?timeout iv =
+    (match iv.cell with
+    | Some _ -> ()
+    | None ->
+        Effect.perform
+          (Suspend
+             (fun resume ->
+               (* the fill path and the timeout timer race to resume;
+                  whichever fires second must find a spent thunk *)
+               let resumed = ref false in
+               let once () =
+                 if not !resumed then begin
+                   resumed := true;
+                   resume ()
+                 end
+               in
+               iv.waiters <- once :: iv.waiters;
+               match timeout with
+               | None -> ()
+               | Some d -> push_at s (now s +. d) once)));
+    iv.cell
+end
+
+module Fabric = struct
+  type faults = {
+    delay : float;
+    jitter : float;
+    drop : float;
+    duplicate : float;
+    reorder : float;
+  }
+
+  let ideal = { delay = 0.; jitter = 0.; drop = 0.; duplicate = 0.; reorder = 0. }
+
+  type kind = Send | Deliver | Drop | Duplicate | Reply_late | Expired
+
+  type event = {
+    at : float;
+    msg : int;
+    src : string;
+    dst : string;
+    kind : kind;
+    payload : string;
+  }
+
+  type error = Timeout | No_endpoint of string
+
+  type t = {
+    sim : sim;
+    rng : Random.State.t;
+    endpoints : (string, string -> string) Hashtbl.t;
+    links : (string * string, faults) Hashtbl.t;
+    mutable log_rev : event list;
+    mutable next_msg : int;
+  }
+
+  let create ?(seed = 0) sim =
+    {
+      sim;
+      rng = Random.State.make [| seed; 0x7f4a7c15 |];
+      endpoints = Hashtbl.create 8;
+      links = Hashtbl.create 8;
+      log_rev = [];
+      next_msg = 0;
+    }
+
+  let serve t name handler = Hashtbl.replace t.endpoints name handler
+  let link t ~src ~dst faults = Hashtbl.replace t.links (src, dst) faults
+
+  let faults_for t src dst =
+    Option.value ~default:ideal (Hashtbl.find_opt t.links (src, dst))
+
+  let record t ~msg ~src ~dst kind payload =
+    t.log_rev <- { at = Sim.now t.sim; msg; src; dst; kind; payload } :: t.log_rev
+
+  (* One message over one directional link.  Exactly six PRNG draws per
+     transmission, whatever the outcome, so the random stream stays
+     aligned across fault configurations and the log is a pure function
+     of (seed, links, call schedule). *)
+  let transmit t ~msg ~src ~dst ~payload deliver =
+    let fl = faults_for t src dst in
+    let r_drop = Random.State.float t.rng 1. in
+    let r_jitter = Random.State.float t.rng 1. in
+    let r_reorder = Random.State.float t.rng 1. in
+    let r_extra = Random.State.float t.rng 1. in
+    let r_dup = Random.State.float t.rng 1. in
+    let r_dup_extra = Random.State.float t.rng 1. in
+    record t ~msg ~src ~dst Send payload;
+    if r_drop < fl.drop then record t ~msg ~src ~dst Drop payload
+    else begin
+      (* a reordered message is held back by up to four nominal
+         latencies (with a floor, so reordering works on instant links)
+         — long enough for later sends to overtake it *)
+      let spread = 4. *. (fl.delay +. fl.jitter +. 0.001) in
+      let base = fl.delay +. (fl.jitter *. r_jitter) in
+      let held = if r_reorder < fl.reorder then spread *. r_extra else 0. in
+      let deliver_copy d =
+        Sim.schedule t.sim ~after:d (fun () ->
+            record t ~msg ~src ~dst Deliver payload;
+            deliver ())
+      in
+      deliver_copy (base +. held);
+      if r_dup < fl.duplicate then begin
+        record t ~msg ~src ~dst Duplicate payload;
+        deliver_copy (base +. (spread *. r_dup_extra))
+      end
+    end
+
+  let call t ?timeout ~src ~dst payload =
+    match Hashtbl.find_opt t.endpoints dst with
+    | None -> Error (No_endpoint dst)
+    | Some handler ->
+        let msg = t.next_msg in
+        t.next_msg <- t.next_msg + 1;
+        let iv = Sim.ivar () in
+        transmit t ~msg ~src ~dst ~payload (fun () ->
+            let reply = handler payload in
+            transmit t ~msg ~src:dst ~dst:src ~payload:reply (fun () ->
+                match Sim.peek iv with
+                | Some _ -> record t ~msg ~src:dst ~dst:src Reply_late reply
+                | None -> Sim.fill t.sim iv reply));
+        (match Sim.await t.sim ?timeout iv with
+        | Some reply -> Ok reply
+        | None ->
+            record t ~msg ~src ~dst Expired payload;
+            (* mark the call abandoned: a reply arriving from now on
+               finds the cell occupied and is logged as [Reply_late] *)
+            Sim.fill t.sim iv payload;
+            Error Timeout)
+
+  let log t = List.rev t.log_rev
+
+  let kind_name = function
+    | Send -> "send"
+    | Deliver -> "deliver"
+    | Drop -> "drop"
+    | Duplicate -> "duplicate"
+    | Reply_late -> "reply-late"
+    | Expired -> "expired"
+
+  let pp_event ppf e =
+    Fmt.pf ppf "%.6f #%d %s->%s %s %S" e.at e.msg e.src e.dst
+      (kind_name e.kind) e.payload
+
+  let log_lines t = List.map (fun e -> Fmt.str "%a" pp_event e) (log t)
+end

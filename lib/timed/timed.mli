@@ -1,0 +1,200 @@
+(** Virtual time and deterministic fault injection.
+
+    Every timestamp in the code base is read through {!Clock}, which has
+    two implementations: the real wall clock and a discrete-event
+    simulator ({!Sim}) whose scheduler runs timers and tasks in virtual
+    time.  Installing a simulator clock with {!Clock.with_clock} (or
+    {!Sim.with_clock}) puts the whole analysis pipeline — exploration
+    deadlines, job budgets, scheduler wait times, trace timestamps — on
+    virtual time: second-precision timeout behavior reproduces in
+    wall-clock milliseconds, deterministically.
+
+    {!Fabric} is a pure in-process RPC fabric driven by the same event
+    queue: named endpoints connected by links with injectable faults
+    (fixed and seeded-random delays, drops, duplication, reordering).
+    Every fault schedule is a pure function of the seed and the link
+    configuration, so any run replays bit-identically — the testing
+    substrate for the distributed analysis tier. *)
+
+module Clock : sig
+  type t
+  (** A time source on the [Unix.gettimeofday] scale (seconds as
+      [float]).  Either the real wall clock or a {!Sim} simulator. *)
+
+  val real : t
+  (** The process wall clock ([Unix.gettimeofday]). *)
+
+  val now : t -> float
+  (** Current time.  On a simulator clock, each observation additionally
+      advances virtual time by the simulator's [auto_advance] increment —
+      the knob that lets pure computation consume virtual budget (see
+      {!Sim.create}). *)
+
+  val is_virtual : t -> bool
+
+  val current : unit -> t
+  (** The ambient clock, [real] unless {!with_clock} is active. *)
+
+  val with_clock : t -> (unit -> 'a) -> 'a
+  (** [with_clock c f] installs [c] as the ambient clock for the whole
+      process while [f] runs (the previous clock is restored on exit,
+      normal or exceptional).  The installation is global, not
+      domain-local, so worker domains spawned by [f] read the same
+      clock; concurrent [with_clock] scopes with different clocks are
+      not supported. *)
+
+  val gettimeofday : unit -> float
+  (** [now (current ())] — the drop-in replacement for
+      [Unix.gettimeofday] used by every timing path outside this
+      library. *)
+end
+
+(** Discrete-event simulator: an event queue keyed by virtual timestamp
+    with deterministic tie-breaking by schedule order.  Tasks run on the
+    domain that calls {!run_until_quiescent}; {!sleep_until} and
+    {!await} suspend the calling task (via effect handlers) and resume
+    it from the event queue, so arbitrary concurrent protocols execute
+    single-threaded and reproducibly. *)
+module Sim : sig
+  type t
+
+  val create : ?start:float -> ?auto_advance:float -> unit -> t
+  (** A fresh simulator at virtual time [start] (default [0.]).
+      [auto_advance] (default [0.], never negative) is added to virtual
+      time on every {!Clock.now} observation through this simulator's
+      clock: it models "reading the clock costs time", which is what
+      lets a deadline expire in the middle of a pure computation that
+      only polls the clock.  {!now} and internal scheduling reads do not
+      auto-advance. *)
+
+  val clock : t -> Clock.t
+  val now : t -> float
+  (** Current virtual time, without the [auto_advance] side effect. *)
+
+  val set_auto_advance : t -> float -> unit
+
+  val schedule : t -> ?at:float -> ?after:float -> (unit -> unit) -> unit
+  (** Schedule a task.  [~at] is an absolute virtual time, [~after] is
+      relative to now; at most one may be given (default: now).  Times
+      in the past are clamped to now.  Tasks scheduled for the same
+      instant run in schedule order.  The task runs under the effect
+      handler that supports {!sleep_until}/{!await}, so it may suspend
+      freely; an exception it raises propagates out of
+      {!run_until_quiescent}. *)
+
+  val sleep_until : t -> float -> unit
+  (** Suspend the calling task until the given virtual time.  Must be
+      called from a task running on this simulator's scheduler. *)
+
+  val sleep : t -> float -> unit
+
+  val run_until_quiescent : t -> unit
+  (** Run events in (time, sequence) order, advancing virtual time to
+      each event's timestamp, until the queue is empty.  Tasks still
+      suspended on an {!await} that nothing will fulfill are abandoned. *)
+
+  val advance : t -> float -> unit
+  (** [advance t d] runs all events due in the next [d] virtual seconds
+      and leaves virtual time exactly [d] later. *)
+
+  val pending : t -> int
+  (** Events currently queued. *)
+
+  val events_run : t -> int
+  (** Events executed so far (monotone; a determinism fingerprint). *)
+
+  val with_clock : t -> (unit -> 'a) -> 'a
+  (** [Clock.with_clock (clock t)]. *)
+
+  (** Write-once cells for task rendezvous. *)
+
+  type 'a ivar
+
+  val ivar : unit -> 'a ivar
+  val peek : 'a ivar -> 'a option
+
+  val fill : t -> 'a ivar -> 'a -> unit
+  (** Fill the cell and schedule every waiter at the current virtual
+      time (in await order).  Filling a full cell is a no-op. *)
+
+  val await : t -> ?timeout:float -> 'a ivar -> 'a option
+  (** Block the calling task until the cell is full, or until [timeout]
+      virtual seconds elapse ([None] on timeout).  Must be called from a
+      task running on this simulator's scheduler. *)
+end
+
+(** Pure in-process RPC between named endpoints, with per-link fault
+    injection, driven by the simulator's event queue.
+
+    Faults are rolled from a PRNG seeded at {!create}: a fixed [seed]
+    plus a fixed link configuration and call schedule yields a
+    bit-identical {!log} on every run.  Requests and replies each
+    traverse their directional link ([src -> dst] and [dst -> src]
+    respectively), so asymmetric fault schedules are expressible.
+    Duplicated requests re-run the endpoint handler — the fabric is
+    at-least-once, which is exactly what idempotence and single-flight
+    deduplication tests need to exercise. *)
+module Fabric : sig
+  type t
+
+  type faults = {
+    delay : float;  (** fixed one-way latency, seconds *)
+    jitter : float;  (** uniform random addition in [0, jitter) *)
+    drop : float;  (** probability a message vanishes *)
+    duplicate : float;  (** probability a message is delivered twice *)
+    reorder : float;
+        (** probability a message is held back long enough to be
+            overtaken by later traffic on the same link *)
+  }
+
+  val ideal : faults
+  (** Zero latency, no faults — the default for unconfigured links. *)
+
+  val create : ?seed:int -> Sim.t -> t
+
+  val serve : t -> string -> (string -> string) -> unit
+  (** [serve t name handler] registers (or replaces) the endpoint
+      [name].  The handler runs once per {e delivered} request copy, at
+      the request's virtual delivery time, and may itself perform
+      fabric calls (multi-hop RPC). *)
+
+  val link : t -> src:string -> dst:string -> faults -> unit
+  (** Configure the directional link [src -> dst]. *)
+
+  type error = Timeout | No_endpoint of string
+
+  val call :
+    t -> ?timeout:float -> src:string -> dst:string -> string ->
+    (string, error) result
+  (** Send a request and wait for the reply, both subject to their
+      link's faults.  [Error Timeout] after [timeout] virtual seconds
+      (without a timeout a dropped message waits forever).  Must be
+      called from a task running on the fabric's simulator. *)
+
+  (** {2 Replay log}
+
+      Every fabric decision is appended to a log in virtual-time order;
+      two runs with equal seeds, links and call schedules produce equal
+      logs — the property the qcheck replay suite pins down. *)
+
+  type kind =
+    | Send  (** message handed to the link (request or reply) *)
+    | Deliver  (** message arrived; for requests the handler runs now *)
+    | Drop  (** the link ate the message *)
+    | Duplicate  (** a second delivery of this message was scheduled *)
+    | Reply_late  (** reply arrived after the call already completed *)
+    | Expired  (** the caller gave up waiting *)
+
+  type event = {
+    at : float;
+    msg : int;  (** call id; a reply carries its request's id *)
+    src : string;
+    dst : string;
+    kind : kind;
+    payload : string;
+  }
+
+  val log : t -> event list
+  val log_lines : t -> string list
+  val pp_event : Format.formatter -> event -> unit
+end

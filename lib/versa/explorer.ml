@@ -65,7 +65,7 @@ let check_deadlock ?(engine = Full) ?(max_states = 2_000_000)
     ~attrs:
       [ ("engine", match engine with Full -> "full" | On_the_fly -> "otf") ]
   @@ fun () ->
-  let t0 = Unix.gettimeofday () in
+  let t0 = Timed.Clock.gettimeofday () in
   let config =
     {
       Lts.default_config with
@@ -90,7 +90,7 @@ let check_deadlock ?(engine = Full) ?(max_states = 2_000_000)
         in
         (Summary c, check_verdict c)
   in
-  let elapsed = Unix.gettimeofday () -. t0 in
+  let elapsed = Timed.Clock.gettimeofday () -. t0 in
   { space; verdict; elapsed }
 
 let is_deadlock_free result =

@@ -56,8 +56,8 @@ val check_deadlock :
     it changes throughput only — verdicts, deadlock ids and traces are
     bit-identical at any [jobs] (the determinism contract in {!Lts}).
 
-    [deadline] is an absolute wall-clock bound ([Unix.gettimeofday]
-    scale): past it the exploration truncates and the verdict is
+    [deadline] is an absolute bound on the ambient {!Timed.Clock}
+    scale: past it the exploration truncates and the verdict is
     [Inconclusive "wall-clock budget expired …"], never a hang.  [poll]
     is a cooperative cancellation hook checked between merge steps
     ({!Lts.build_config}).

@@ -309,7 +309,7 @@ module Sym = struct
     let row = next term in
     if row = [] then row
     else begin
-      let t0 = Unix.gettimeofday () in
+      let t0 = Timed.Clock.gettimeofday () in
       let row' =
         List.map
           (fun (step, t') ->
@@ -322,7 +322,7 @@ module Sym = struct
       let row' = dedup row' in
       ignore
         (Atomic.fetch_and_add s.canon_us
-           (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6)));
+           (int_of_float ((Timed.Clock.gettimeofday () -. t0) *. 1e6)));
       row'
     end
 
@@ -433,7 +433,7 @@ type build_config = {
       (** frontier width below which expansion stays sequential even when
           [jobs > 1] *)
   deadline : float option;
-      (** absolute wall-clock time ([Unix.gettimeofday] scale) past which
+      (** absolute time on the ambient [Timed.Clock] scale past which
           the exploration stops and reports truncation — the time-domain
           twin of [max_states] *)
   poll : (unit -> bool) option;
@@ -453,7 +453,7 @@ let default_config =
 let budget_stop config ~len ~deadline_hit () =
   (match config.max_states with Some m -> len >= m | None -> false)
   || (match config.deadline with
-     | Some d when Unix.gettimeofday () > d ->
+     | Some d when Timed.Clock.gettimeofday () > d ->
          deadline_hit := true;
          true
      | Some _ | None -> false)
@@ -666,7 +666,7 @@ module Oracle = struct
   (* The replay's successor source.  Whatever the workers did, the row
      returned here is the one the sequential engine would compute. *)
   let successors o term =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Timed.Clock.gettimeofday () in
     let row =
       match o.par with
       | None -> o.next term
@@ -694,7 +694,7 @@ module Oracle = struct
               end
               else o.next term)
     in
-    o.expand_s <- o.expand_s +. (Unix.gettimeofday () -. t0);
+    o.expand_s <- o.expand_s +. (Timed.Clock.gettimeofday () -. t0);
     row
 
   type tally = {
@@ -821,7 +821,7 @@ let build ?(config = default_config) ?(semantics = Prioritized) ?(jobs = 1)
   let jobs = max 1 jobs in
   Obs.Span.with_ ~name:"lts.build" ~attrs:(span_attrs semantics jobs)
   @@ fun () ->
-  let t_start = Unix.gettimeofday () in
+  let t_start = Timed.Clock.gettimeofday () in
   let cache = Semantics.make_cache () in
   let raw_next = step_function semantics cache defs in
   let raw_root = Hproc.of_proc root in
@@ -904,7 +904,7 @@ let build ?(config = default_config) ?(semantics = Prioritized) ?(jobs = 1)
   let n = table.Table.len in
   let entry i = table.Table.entries.(i) in
   let depth = Array.init n (fun i -> (entry i).Table.dep) in
-  let wall_s = Unix.gettimeofday () -. t_start in
+  let wall_s = Timed.Clock.gettimeofday () -. t_start in
   let tl = Oracle.tally o in
   let stats =
     {
@@ -1059,7 +1059,7 @@ let check ?(config = default_config) ?(semantics = Prioritized) ?(jobs = 1)
   let jobs = max 1 jobs in
   Obs.Span.with_ ~name:"lts.check" ~attrs:(span_attrs semantics jobs)
   @@ fun () ->
-  let t_start = Unix.gettimeofday () in
+  let t_start = Timed.Clock.gettimeofday () in
   let cache = Semantics.make_cache () in
   let raw_next = step_function semantics cache defs in
   let raw_root = Hproc.of_proc root in
@@ -1136,7 +1136,7 @@ let check ?(config = default_config) ?(semantics = Prioritized) ?(jobs = 1)
         end
       done);
   let n = store.Store.len in
-  let wall_s = Unix.gettimeofday () -. t_start in
+  let wall_s = Timed.Clock.gettimeofday () -. t_start in
   let tl = Oracle.tally o in
   let stats =
     {

@@ -183,15 +183,18 @@ type build_config = {
           domain spawn + cross-domain GC cost this way, and a run that
           never crosses the cutover is exactly the sequential build. *)
   deadline : float option;
-      (** wall-clock budget as an absolute time on the
-          [Unix.gettimeofday] scale — the time-domain twin of
-          [max_states].  When it passes, the exploration stops at the
-          next merge step and reports [truncated] with
-          [stats.deadline_expired]; the explored prefix (states, parents,
-          traces) remains valid.  Unlike every other knob, a deadline
-          makes the {e amount explored} timing-dependent, so results
-          under an expiring deadline are not reproducible run-to-run —
-          the service layer qualifies such verdicts accordingly. *)
+      (** wall-clock budget as an absolute time on the ambient
+          {!Timed.Clock} scale — the time-domain twin of [max_states].
+          When it passes, the exploration stops at the next merge step
+          and reports [truncated] with [stats.deadline_expired]; the
+          explored prefix (states, parents, traces) remains valid.
+          Under the real clock a deadline makes the {e amount explored}
+          timing-dependent, so results under an expiring deadline are
+          not reproducible run-to-run — the service layer qualifies
+          such verdicts accordingly.  Under a {!Timed.Sim} clock with
+          [auto_advance] the expiry point is deterministic, which is
+          how the timeout test suite runs second-scale budgets in
+          wall-clock milliseconds. *)
   poll : (unit -> bool) option;
       (** cooperative stop hook, called between sequential merge steps
           (never from worker domains).  Returning [true] truncates the

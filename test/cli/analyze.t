@@ -76,6 +76,18 @@ terms; EDF schedules the same set.
   $ aadl_sched analyze crossover.aadl -p edf | tail -n 1
   schedulable: all deadlines are met
 
+Under --virtual-time the analysis runs on the simulated clock: every
+clock observation advances virtual time by 1 ms, so the --timeout
+budget expires after a fixed number of observations and the truncation
+point is bit-reproducible (the same 225 states on every run, on any
+machine) while the command itself completes in wall-clock milliseconds:
+
+  $ aadl_sched analyze ../../examples/models/avionics.aadl \
+  >   --timeout 0.5 --virtual-time | sed 's/([0-9.]*s)/(TIME)/'
+  8 thread processes, 8 dispatchers, 0 queues, 0 stimuli; 48 definitions; quantum 1 ms
+  state space: 225 states, 801 transitions [truncated] (prioritized semantics, on-the-fly) (TIME)
+  inconclusive: wall-clock budget expired after 225 states
+
 The generated ACSR model round-trips through the concrete syntax:
 
   $ aadl_sched translate light.aadl -o light.acsr

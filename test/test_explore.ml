@@ -582,7 +582,7 @@ let test_deadline_budget_truncates () =
     {
       Versa.Lts.default_config with
       stop_at_deadlock = false;
-      deadline = Some (Unix.gettimeofday () -. 1.);
+      deadline = Some (Timed.Clock.gettimeofday () -. 1.);
     }
   in
   (* an already-expired budget: both engines must truncate at the first
@@ -602,7 +602,7 @@ let test_deadline_budget_truncates () =
     {
       Versa.Lts.default_config with
       stop_at_deadlock = false;
-      deadline = Some (Unix.gettimeofday () +. 3600.);
+      deadline = Some (Timed.Clock.gettimeofday () +. 3600.);
     }
   in
   let full = Versa.Lts.build ~config:roomy defs system in
@@ -610,6 +610,40 @@ let test_deadline_budget_truncates () =
   Alcotest.(check bool)
     "roomy flag clear" false
     (Versa.Lts.stats full).Versa.Lts.deadline_expired
+
+(* A second-precision budget on the virtual clock: with every clock
+   observation costing 10 virtual ms, a 2.5 s deadline expires partway
+   through the exploration after exactly 250 observations — the
+   truncation point is deterministic, and the whole test runs in
+   wall-clock milliseconds. *)
+let test_virtual_deadline_is_deterministic () =
+  let defs, system = tr_of (Gen.cruise_control ()) in
+  let explore () =
+    let sim = Timed.Sim.create ~auto_advance:0.01 () in
+    Timed.Sim.with_clock sim @@ fun () ->
+    let config =
+      {
+        Versa.Lts.default_config with
+        stop_at_deadlock = false;
+        deadline = Some (Timed.Clock.gettimeofday () +. 2.5);
+      }
+    in
+    let c = Versa.Lts.check ~config defs system in
+    ( Versa.Lts.check_truncated c,
+      (Versa.Lts.check_stats c).Versa.Lts.deadline_expired,
+      Versa.Lts.check_num_states c )
+  in
+  let t0 = Timed.Clock.now Timed.Clock.real in
+  let truncated, expired, states = explore () in
+  let truncated', expired', states' = explore () in
+  let wall = Timed.Clock.now Timed.Clock.real -. t0 in
+  Alcotest.(check bool) "virtual deadline truncates" true truncated;
+  Alcotest.(check bool) "flagged as a deadline" true expired;
+  Alcotest.(check bool) "replay truncates too" true truncated';
+  Alcotest.(check bool) "replay flag" true expired';
+  Alcotest.(check int) "identical truncation point" states states';
+  Alcotest.(check bool) "states were explored before expiry" true (states > 0);
+  Alcotest.(check bool) "2x 2.5s of virtual budget in real ms" true (wall < 2.0)
 
 let test_poll_cancels () =
   let defs, system = tr_of (Gen.cruise_control ()) in
@@ -660,6 +694,8 @@ let () =
         [
           Alcotest.test_case "deadline truncates" `Quick
             test_deadline_budget_truncates;
+          Alcotest.test_case "virtual deadline is deterministic" `Quick
+            test_virtual_deadline_is_deterministic;
           Alcotest.test_case "poll cancels" `Quick test_poll_cancels;
         ] );
       ("properties", qcheck_cases);

@@ -323,19 +323,41 @@ let test_runner_attribution () =
   Alcotest.(check int) "one hit" 1 k.Service.Lru.hits;
   Alcotest.(check int) "three misses" 3 k.Service.Lru.misses
 
-let test_runner_degrades_on_timeout () =
-  (* the largest example model with a zero wall-clock budget: the
-     exploration truncates at its first merge step and the runner falls
-     back to the analytic ladder — a qualified verdict, never a hang *)
-  let req =
-    Service.Job.request ~id:"starved" ~timeout_s:0.
-      (Service.Job.Inline (Gen.avionics ()))
-  in
-  let o = Service.Runner.run Service.Runner.default_config req in
+let check_degraded (o : Service.Job.outcome) =
   Alcotest.(check bool) "degraded" true o.Service.Job.degraded;
   match o.Service.Job.verdict with
   | Service.Job.Bounded _ | Service.Job.Unknown _ -> ()
-  | v -> Alcotest.failf "expected a degraded verdict, got %s" (Service.Job.verdict_tag v)
+  | v ->
+      Alcotest.failf "expected a degraded verdict, got %s"
+        (Service.Job.verdict_tag v)
+
+let test_runner_degrades_on_timeout () =
+  (* the largest example model with a second-scale budget, on the
+     virtual clock: every clock observation costs 10 virtual ms, so the
+     2.5 s budget expires deterministically partway through the
+     exploration and the runner falls back to the analytic ladder — a
+     qualified verdict, never a hang, in wall-clock milliseconds *)
+  let req =
+    Service.Job.request ~id:"starved" ~timeout_s:2.5
+      (Service.Job.Inline (Gen.avionics ()))
+  in
+  let sim = Timed.Sim.create ~auto_advance:0.01 () in
+  let o =
+    Timed.Sim.with_clock sim (fun () ->
+        Service.Runner.run Service.Runner.default_config req)
+  in
+  check_degraded o;
+  Alcotest.(check bool)
+    "the job consumed its virtual budget" true
+    (o.Service.Job.wall_s >= 2.5);
+  (* the degenerate real-clock case: a zero budget truncates at the
+     first merge step *)
+  let o0 =
+    Service.Runner.run Service.Runner.default_config
+      (Service.Job.request ~id:"starved0" ~timeout_s:0.
+         (Service.Job.Inline (Gen.avionics ())))
+  in
+  check_degraded o0
 
 let test_runner_failure_is_an_outcome () =
   let o =

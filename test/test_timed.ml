@@ -1,0 +1,607 @@
+(* Tests for the simulated-time harness: the virtual clock and
+   discrete-event scheduler (ordering, tie-breaking, sleep/await,
+   auto-advance), traces carrying virtual timestamps, virtual-budget
+   degradation in the service layer (second-scale deadlines in
+   wall-clock milliseconds), real-vs-simulated verdict agreement on
+   every example model, and the fault-injectable RPC fabric (drops,
+   duplication, reordering, seeded replay determinism, single-flight
+   deduplication across retries). *)
+
+let light = Gen.periodic_system Gen.light_set
+let overloaded = Gen.periodic_system Gen.overloaded_set
+
+(* Real elapsed seconds around [f], measured on the real clock
+   explicitly — the ambient clock is usually a simulator here. *)
+let real_elapsed f =
+  let t0 = Timed.Clock.now Timed.Clock.real in
+  let r = f () in
+  (r, Timed.Clock.now Timed.Clock.real -. t0)
+
+(* {1 Clock and scheduler} *)
+
+let test_clock_real_and_ambient () =
+  Alcotest.(check bool)
+    "real is not virtual" false
+    (Timed.Clock.is_virtual Timed.Clock.real);
+  Alcotest.(check bool)
+    "ambient defaults to real" false
+    (Timed.Clock.is_virtual (Timed.Clock.current ()));
+  let sim = Timed.Sim.create ~start:41.5 () in
+  Timed.Sim.with_clock sim (fun () ->
+      Alcotest.(check bool)
+        "installed clock is virtual" true
+        (Timed.Clock.is_virtual (Timed.Clock.current ()));
+      Alcotest.(check (float 1e-9))
+        "gettimeofday reads virtual time" 41.5
+        (Timed.Clock.gettimeofday ()));
+  Alcotest.(check bool)
+    "previous clock restored" false
+    (Timed.Clock.is_virtual (Timed.Clock.current ()))
+
+let test_auto_advance () =
+  let sim = Timed.Sim.create ~auto_advance:0.01 () in
+  let c = Timed.Sim.clock sim in
+  let t1 = Timed.Clock.now c in
+  let t2 = Timed.Clock.now c in
+  Alcotest.(check (float 1e-9)) "each observation costs 10ms" 0.01 (t2 -. t1);
+  Alcotest.(check (float 1e-9))
+    "Sim.now does not auto-advance" (Timed.Sim.now sim) (Timed.Sim.now sim);
+  Timed.Sim.set_auto_advance sim 0.;
+  let t3 = Timed.Clock.now c in
+  let t4 = Timed.Clock.now c in
+  Alcotest.(check (float 1e-9)) "advance disabled" 0. (t4 -. t3)
+
+let test_sim_event_order_and_ties () =
+  let sim = Timed.Sim.create () in
+  let trace = ref [] in
+  let mark tag () = trace := (tag, Timed.Sim.now sim) :: !trace in
+  (* scheduled out of timestamp order; same-time events keep schedule
+     order (sequence-number tie-breaking) *)
+  Timed.Sim.schedule sim ~at:2.0 (mark "c");
+  Timed.Sim.schedule sim ~at:1.0 (mark "a");
+  Timed.Sim.schedule sim ~at:2.0 (mark "d");
+  Timed.Sim.schedule sim ~at:1.5 (mark "b");
+  Alcotest.(check int) "four pending" 4 (Timed.Sim.pending sim);
+  Timed.Sim.run_until_quiescent sim;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "events in (time, seq) order"
+    [ ("a", 1.0); ("b", 1.5); ("c", 2.0); ("d", 2.0) ]
+    (List.rev !trace);
+  Alcotest.(check int) "queue drained" 0 (Timed.Sim.pending sim);
+  Alcotest.(check int) "four ran" 4 (Timed.Sim.events_run sim);
+  Alcotest.(check (float 1e-9)) "time is the last event's" 2.0
+    (Timed.Sim.now sim)
+
+let test_sim_sleep_and_nested_schedule () =
+  let sim = Timed.Sim.create () in
+  let trace = ref [] in
+  let mark tag = trace := (tag, Timed.Sim.now sim) :: !trace in
+  Timed.Sim.schedule sim (fun () ->
+      mark "start";
+      Timed.Sim.sleep sim 1.25;
+      mark "after-sleep";
+      (* a task scheduled from inside a task, in the past: clamped to
+         the current instant *)
+      Timed.Sim.schedule sim ~at:0.5 (fun () -> mark "clamped");
+      Timed.Sim.sleep_until sim 3.0;
+      mark "end");
+  Timed.Sim.run_until_quiescent sim;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "suspensions resume at the right virtual times"
+    [ ("start", 0.); ("after-sleep", 1.25); ("clamped", 1.25); ("end", 3.0) ]
+    (List.rev !trace)
+
+let test_sim_advance () =
+  let sim = Timed.Sim.create () in
+  let hits = ref 0 in
+  Timed.Sim.schedule sim ~at:1.0 (fun () -> incr hits);
+  Timed.Sim.schedule sim ~at:5.0 (fun () -> incr hits);
+  Timed.Sim.advance sim 2.0;
+  Alcotest.(check int) "only the due event ran" 1 !hits;
+  Alcotest.(check (float 1e-9)) "time moved exactly 2s" 2.0 (Timed.Sim.now sim);
+  Timed.Sim.run_until_quiescent sim;
+  Alcotest.(check int) "the rest ran" 2 !hits
+
+let test_ivar_await_fill_and_timeout () =
+  let sim = Timed.Sim.create () in
+  let iv = Timed.Sim.ivar () in
+  let got = ref None in
+  let timed_out = ref None in
+  Timed.Sim.schedule sim (fun () -> got := Timed.Sim.await sim iv);
+  Timed.Sim.schedule sim (fun () ->
+      let r = Timed.Sim.await sim ~timeout:1.0 iv in
+      timed_out := Some (r, Timed.Sim.now sim));
+  Timed.Sim.schedule sim ~at:2.0 (fun () -> Timed.Sim.fill sim iv 42);
+  Timed.Sim.run_until_quiescent sim;
+  Alcotest.(check (option int)) "await sees the fill" (Some 42) !got;
+  (match !timed_out with
+  | Some (None, t) -> Alcotest.(check (float 1e-9)) "timeout fired at +1s" 1.0 t
+  | _ -> Alcotest.fail "awaiting with a 1s timeout must time out");
+  (* filling twice is a no-op *)
+  Timed.Sim.fill sim iv 43;
+  Alcotest.(check (option int)) "first fill wins" (Some 42) (Timed.Sim.peek iv)
+
+(* {1 Traces carry virtual time} *)
+
+let contains text needle =
+  let n = String.length needle and m = String.length text in
+  let rec go i = i + n <= m && (String.sub text i n = needle || go (i + 1)) in
+  go 0
+
+let test_trace_virtual_timestamps () =
+  let sim = Timed.Sim.create () in
+  Timed.Sim.with_clock sim @@ fun () ->
+  Obs.Trace.start ();
+  Timed.Sim.schedule sim ~at:1.0 (fun () ->
+      Obs.Span.with_ ~name:"virtual.span" (fun () -> Timed.Sim.sleep sim 2.5));
+  Timed.Sim.run_until_quiescent sim;
+  Obs.Trace.stop ();
+  let text = Obs.Trace.to_string () in
+  (* the span starts 1 virtual second after the trace epoch and lasts
+     2.5 virtual seconds — microsecond fields in the Chrome JSON *)
+  Alcotest.(check bool) "span recorded" true (contains text "virtual.span");
+  Alcotest.(check bool)
+    "ts is virtual" true
+    (contains text "\"ts\": 1000000.000");
+  Alcotest.(check bool)
+    "dur is virtual" true
+    (contains text "\"dur\": 2500000.000")
+
+(* {1 Virtual budgets through the service layer} *)
+
+(* The timeout scenario that used to need real seconds: a 2.5 s budget
+   on the avionics model, with every clock observation costing 10
+   virtual ms.  The budget expires after 250 observations — deep inside
+   the exploration — so the runner degrades to the analytic ladder,
+   deterministically, in wall-clock milliseconds. *)
+let test_runner_degrades_on_virtual_timeout () =
+  let run_once () =
+    let sim = Timed.Sim.create ~auto_advance:0.01 () in
+    Timed.Sim.with_clock sim @@ fun () ->
+    Service.Runner.run Service.Runner.default_config
+      (Service.Job.request ~id:"starved" ~timeout_s:2.5
+         (Service.Job.Inline (Gen.avionics ())))
+  in
+  let o, wall = real_elapsed run_once in
+  Alcotest.(check bool) "degraded" true o.Service.Job.degraded;
+  (match o.Service.Job.verdict with
+  | Service.Job.Bounded _ | Service.Job.Unknown _ -> ()
+  | v ->
+      Alcotest.failf "expected a degraded verdict, got %s"
+        (Service.Job.verdict_tag v));
+  Alcotest.(check bool)
+    "virtual wall_s accounts for the burnt budget" true
+    (o.Service.Job.wall_s >= 2.5);
+  Alcotest.(check bool)
+    "2.5s virtual budget costs wall-clock milliseconds" true (wall < 2.0);
+  (* determinism: a fresh simulator truncates at exactly the same point *)
+  let o2 = run_once () in
+  Alcotest.(check int)
+    "identical truncation state count" o.Service.Job.states
+    o2.Service.Job.states;
+  Alcotest.(check string)
+    "identical degraded verdict"
+    (Service.Job.verdict_tag o.Service.Job.verdict)
+    (Service.Job.verdict_tag o2.Service.Job.verdict)
+
+(* Scheduler wait/run bookkeeping, cancellation and single-flight
+   coalescing run under the simulator unchanged — including with 4
+   worker domains reading the virtual clock concurrently. *)
+let test_scheduler_under_virtual_clock () =
+  let sim = Timed.Sim.create () in
+  Timed.Sim.with_clock sim @@ fun () ->
+  let config = Service.Runner.with_cache Service.Runner.default_config in
+  let s = Service.Scheduler.create ~workers:4 config in
+  for i = 1 to 6 do
+    ignore
+      (Service.Scheduler.submit s
+         (Service.Job.request ~id:(string_of_int i)
+            (Service.Job.Inline overloaded)))
+  done;
+  let victim =
+    Service.Scheduler.submit s
+      (Service.Job.request ~id:"victim" (Service.Job.Inline light))
+  in
+  Service.Scheduler.cancel victim;
+  let outcomes = Service.Scheduler.run_all s in
+  let by_tag tag =
+    List.length
+      (List.filter
+         (fun (o : Service.Job.outcome) ->
+           Service.Job.verdict_tag o.Service.Job.verdict = tag)
+         outcomes)
+  in
+  Alcotest.(check int) "six verdicts" 6 (by_tag "not_schedulable");
+  Alcotest.(check int) "one cancelled" 1 (by_tag "cancelled");
+  let k = Service.Lru.counters (Option.get config.Service.Runner.cache) in
+  Alcotest.(check int) "single-flight: one exploration" 1 k.Service.Lru.misses;
+  Alcotest.(check int) "five coalesced hits" 5 k.Service.Lru.hits
+
+(* {1 Real vs simulated clock: verdict agreement on every example} *)
+
+let example_models_dir () =
+  List.find_opt Sys.file_exists [ "../examples/models"; "examples/models" ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let describe (r : Analysis.Schedulability.t) =
+  match r.Analysis.Schedulability.verdict with
+  | Analysis.Schedulability.Schedulable -> "schedulable"
+  | Analysis.Schedulability.Not_schedulable { scenario; _ } ->
+      Fmt.str "not schedulable: %a" Analysis.Raise_trace.pp scenario
+  | Analysis.Schedulability.Inconclusive why -> "inconclusive: " ^ why
+
+let test_example_models_real_vs_sim () =
+  match example_models_dir () with
+  | None -> Alcotest.fail "examples/models not found (missing dune deps?)"
+  | Some dir ->
+      let models =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".aadl")
+        |> List.sort compare
+      in
+      Alcotest.(check bool) "found example models" true (models <> []);
+      List.iter
+        (fun file ->
+          let root =
+            Aadl.Instantiate.of_string (read_file (Filename.concat dir file))
+          in
+          let analyze () =
+            Analysis.Schedulability.analyze
+              ~options:
+                {
+                  Analysis.Schedulability.default_options with
+                  max_states = 300_000;
+                }
+              root
+          in
+          let real = analyze () in
+          let sim = Timed.Sim.create ~auto_advance:1e-4 () in
+          let simulated = Timed.Sim.with_clock sim analyze in
+          Alcotest.(check string)
+            (file ^ ": verdict and scenario agree")
+            (describe real) (describe simulated);
+          Alcotest.(check int)
+            (file ^ ": states agree")
+            (Versa.Explorer.num_states real.Analysis.Schedulability.exploration)
+            (Versa.Explorer.num_states
+               simulated.Analysis.Schedulability.exploration))
+        models
+
+(* {1 Fabric} *)
+
+(* run one client task to quiescence and hand back what it produced *)
+let with_client sim f =
+  let result = ref None in
+  Timed.Sim.schedule sim (fun () -> result := Some (f ()));
+  Timed.Sim.run_until_quiescent sim;
+  match !result with
+  | Some r -> r
+  | None -> Alcotest.fail "client task did not run"
+
+let test_fabric_ideal_roundtrip () =
+  let sim = Timed.Sim.create () in
+  let fabric = Timed.Fabric.create sim in
+  Timed.Fabric.serve fabric "upcase" String.uppercase_ascii;
+  let reply =
+    with_client sim (fun () ->
+        Timed.Fabric.call fabric ~src:"client" ~dst:"upcase" "hello")
+  in
+  Alcotest.(check bool) "reply" true (reply = Ok "HELLO");
+  (match
+     with_client sim (fun () ->
+         Timed.Fabric.call fabric ~src:"client" ~dst:"nowhere" "x")
+   with
+  | Error (Timed.Fabric.No_endpoint "nowhere") -> ()
+  | _ -> Alcotest.fail "unknown endpoint must be reported");
+  Alcotest.(check (float 1e-9))
+    "ideal links cost no virtual time" 0. (Timed.Sim.now sim)
+
+let test_fabric_delay_and_timeout () =
+  let sim = Timed.Sim.create () in
+  let fabric = Timed.Fabric.create sim in
+  Timed.Fabric.serve fabric "echo" Fun.id;
+  Timed.Fabric.link fabric ~src:"client" ~dst:"echo"
+    { Timed.Fabric.ideal with delay = 0.3 };
+  Timed.Fabric.link fabric ~src:"echo" ~dst:"client"
+    { Timed.Fabric.ideal with delay = 0.2 };
+  let reply, at =
+    with_client sim (fun () ->
+        let r = Timed.Fabric.call fabric ~src:"client" ~dst:"echo" "ping" in
+        (r, Timed.Sim.now sim))
+  in
+  Alcotest.(check bool) "reply arrives" true (reply = Ok "ping");
+  Alcotest.(check (float 1e-9)) "after both one-way delays" 0.5 at;
+  (* a timeout shorter than the round trip expires at exactly now+t *)
+  let r2, at2 =
+    with_client sim (fun () ->
+        let t0 = Timed.Sim.now sim in
+        let r =
+          Timed.Fabric.call fabric ~timeout:0.25 ~src:"client" ~dst:"echo"
+            "pong"
+        in
+        (r, Timed.Sim.now sim -. t0))
+  in
+  Alcotest.(check bool) "timed out" true (r2 = Error Timed.Fabric.Timeout);
+  Alcotest.(check (float 1e-9)) "at the timeout instant" 0.25 at2;
+  (* the abandoned reply still arrives later and is logged as late *)
+  let late =
+    List.filter
+      (fun (e : Timed.Fabric.event) ->
+        e.Timed.Fabric.kind = Timed.Fabric.Reply_late)
+      (Timed.Fabric.log fabric)
+  in
+  Alcotest.(check int) "late reply logged" 1 (List.length late)
+
+let test_fabric_drop_and_duplicate () =
+  let sim = Timed.Sim.create () in
+  let fabric = Timed.Fabric.create ~seed:7 sim in
+  let handled = ref 0 in
+  Timed.Fabric.serve fabric "svc" (fun p ->
+      incr handled;
+      p);
+  (* certain drop on the request link *)
+  Timed.Fabric.link fabric ~src:"client" ~dst:"svc"
+    { Timed.Fabric.ideal with drop = 1.0 };
+  let r =
+    with_client sim (fun () ->
+        Timed.Fabric.call fabric ~timeout:1.0 ~src:"client" ~dst:"svc" "lost")
+  in
+  Alcotest.(check bool)
+    "dropped call times out" true
+    (r = Error Timed.Fabric.Timeout);
+  Alcotest.(check int) "handler never ran" 0 !handled;
+  (* certain duplication: the handler runs twice (at-least-once
+     delivery), the caller still gets exactly one reply *)
+  Timed.Fabric.link fabric ~src:"client" ~dst:"svc"
+    { Timed.Fabric.ideal with duplicate = 1.0; delay = 0.01 };
+  let r2 =
+    with_client sim (fun () ->
+        Timed.Fabric.call fabric ~timeout:1.0 ~src:"client" ~dst:"svc" "twice")
+  in
+  Alcotest.(check bool) "one reply" true (r2 = Ok "twice");
+  Alcotest.(check int) "handler ran per delivered copy" 2 !handled;
+  let dups =
+    List.filter
+      (fun (e : Timed.Fabric.event) ->
+        e.Timed.Fabric.kind = Timed.Fabric.Duplicate)
+      (Timed.Fabric.log fabric)
+  in
+  Alcotest.(check bool) "duplicate logged" true (dups <> [])
+
+let test_fabric_reordering () =
+  let sim = Timed.Sim.create () in
+  let fabric = Timed.Fabric.create ~seed:3 sim in
+  let arrivals = ref [] in
+  Timed.Fabric.serve fabric "sink" (fun p ->
+      arrivals := p :: !arrivals;
+      p);
+  Timed.Fabric.link fabric ~src:"client" ~dst:"sink"
+    { Timed.Fabric.ideal with reorder = 0.5 };
+  (* fire-and-forget senders: distinct tasks, so all sends happen
+     back-to-back at t=0 without awaiting each other *)
+  for i = 0 to 19 do
+    Timed.Sim.schedule sim (fun () ->
+        ignore
+          (Timed.Fabric.call fabric ~timeout:10. ~src:"client" ~dst:"sink"
+             (Printf.sprintf "m%02d" i)))
+  done;
+  Timed.Sim.run_until_quiescent sim;
+  let order = List.rev !arrivals in
+  Alcotest.(check int) "all delivered" 20 (List.length order);
+  Alcotest.(check bool)
+    "deliveries overtook each other" true
+    (order <> List.sort compare order)
+
+(* {1 Seeded fault matrix: replay determinism and verdict agreement} *)
+
+type scenario = {
+  seed : int;
+  req_faults : Timed.Fabric.faults;
+  rep_faults : Timed.Fabric.faults;
+  calls : (string * float option) list;  (* payload, timeout *)
+}
+
+let faults_gen =
+  QCheck.Gen.(
+    map
+      (fun (delay, jitter, drop, duplicate, reorder) ->
+        { Timed.Fabric.delay; jitter; drop; duplicate; reorder })
+      (tup5
+         (float_bound_inclusive 0.05)
+         (float_bound_inclusive 0.02)
+         (float_bound_inclusive 0.5)
+         (float_bound_inclusive 0.5)
+         (float_bound_inclusive 0.5)))
+
+let scenario_gen =
+  QCheck.Gen.(
+    map
+      (fun (seed, req_faults, rep_faults, payloads) ->
+        let calls =
+          List.mapi (fun i p -> (Printf.sprintf "%s-%d" p i, Some 0.2)) payloads
+        in
+        { seed; req_faults; rep_faults; calls })
+      (tup4 (int_bound 10_000) faults_gen faults_gen
+         (list_size (1 -- 15) (string_size ~gen:printable (1 -- 6)))))
+
+let pp_scenario s =
+  Fmt.str "seed=%d calls=%d req={d=%.3f j=%.3f drop=%.2f dup=%.2f ro=%.2f}"
+    s.seed (List.length s.calls) s.req_faults.Timed.Fabric.delay
+    s.req_faults.Timed.Fabric.jitter s.req_faults.Timed.Fabric.drop
+    s.req_faults.Timed.Fabric.duplicate s.req_faults.Timed.Fabric.reorder
+
+let run_scenario s =
+  let sim = Timed.Sim.create () in
+  let fabric = Timed.Fabric.create ~seed:s.seed sim in
+  Timed.Fabric.serve fabric "svc" String.uppercase_ascii;
+  Timed.Fabric.link fabric ~src:"client" ~dst:"svc" s.req_faults;
+  Timed.Fabric.link fabric ~src:"svc" ~dst:"client" s.rep_faults;
+  let results = ref [] in
+  (* one sequential client: each call awaits its reply or timeout
+     before the next goes out *)
+  Timed.Sim.schedule sim (fun () ->
+      List.iter
+        (fun (payload, timeout) ->
+          let r =
+            Timed.Fabric.call fabric ?timeout ~src:"client" ~dst:"svc" payload
+          in
+          results := r :: !results)
+        s.calls);
+  Timed.Sim.run_until_quiescent sim;
+  (List.rev !results, Timed.Fabric.log_lines fabric, Timed.Sim.events_run sim)
+
+(* Replay determinism: a fault schedule is a pure function of the seed
+   and the link configuration — two runs are bit-identical, down to the
+   full delivery log and the number of scheduler events. *)
+let qcheck_fault_schedule_replays =
+  QCheck.Test.make ~count:60 ~name:"fault schedule replays bit-identically"
+    (QCheck.make ~print:pp_scenario scenario_gen)
+    (fun s ->
+      let r1, log1, n1 = run_scenario s in
+      let r2, log2, n2 = run_scenario s in
+      r1 = r2 && log1 = log2 && n1 = n2)
+
+(* Whatever the fault schedule, an [Ok] reply is exactly the handler's
+   answer for that call's payload — duplication and reordering never
+   cross-wire calls. *)
+let qcheck_fault_replies_uncorrupted =
+  QCheck.Test.make ~count:60 ~name:"replies are uncorrupted under faults"
+    (QCheck.make ~print:pp_scenario scenario_gen)
+    (fun s ->
+      let results, _, _ = run_scenario s in
+      List.for_all2
+        (fun (payload, _) r ->
+          match r with
+          | Ok reply -> reply = String.uppercase_ascii payload
+          | Error Timed.Fabric.Timeout -> true
+          | Error (Timed.Fabric.No_endpoint _) -> false)
+        s.calls results)
+
+(* The motivating property: an analysis service behind a faulty link,
+   clients retrying on timeout.  Whatever gets dropped, duplicated or
+   reordered, single-flight leasing means a model is explored at most
+   once, and every verdict that does come back agrees with the model's
+   true verdict. *)
+let qcheck_single_flight_under_faults =
+  let gen =
+    QCheck.Gen.(
+      tup3 (int_bound 10_000)
+        (float_bound_inclusive 0.4)
+        (float_bound_inclusive 0.6))
+  in
+  let print (seed, drop, duplicate) =
+    Printf.sprintf "seed=%d drop=%.2f dup=%.2f" seed drop duplicate
+  in
+  QCheck.Test.make ~count:8
+    ~name:"dropped-then-retried requests never explore twice"
+    (QCheck.make ~print gen)
+    (fun (seed, drop, duplicate) ->
+      let sim = Timed.Sim.create () in
+      Timed.Sim.with_clock sim @@ fun () ->
+      let fabric = Timed.Fabric.create ~seed sim in
+      let config = Service.Runner.with_cache Service.Runner.default_config in
+      let models = [ ("light", light); ("overloaded", overloaded) ] in
+      let explorations = ref 0 in
+      Timed.Fabric.serve fabric "verdicts" (fun name ->
+          let o =
+            Service.Runner.run config
+              (Service.Job.request ~id:name
+                 (Service.Job.Inline (List.assoc name models)))
+          in
+          if not o.Service.Job.cached then incr explorations;
+          Service.Job.verdict_tag o.Service.Job.verdict);
+      Timed.Fabric.link fabric ~src:"client" ~dst:"verdicts"
+        { Timed.Fabric.ideal with delay = 0.005; drop; duplicate };
+      Timed.Fabric.link fabric ~src:"verdicts" ~dst:"client"
+        { Timed.Fabric.ideal with delay = 0.005; drop };
+      (* every model requested by three clients, each retrying up to 5
+         times — duplicate-heavy traffic over a lossy link *)
+      let answers = ref [] in
+      List.iter
+        (fun (name, _) ->
+          for _client = 1 to 3 do
+            Timed.Sim.schedule sim (fun () ->
+                let rec attempt n =
+                  if n > 0 then
+                    match
+                      Timed.Fabric.call fabric ~timeout:0.1 ~src:"client"
+                        ~dst:"verdicts" name
+                    with
+                    | Ok tag -> answers := (name, tag) :: !answers
+                    | Error _ -> attempt (n - 1)
+                in
+                attempt 5)
+          done)
+        models;
+      Timed.Sim.run_until_quiescent sim;
+      let expected =
+        [ ("light", "schedulable"); ("overloaded", "not_schedulable") ]
+      in
+      let misses =
+        (Service.Lru.counters (Option.get config.Service.Runner.cache))
+          .Service.Lru.misses
+      in
+      (* at most one exploration per distinct model, no matter how many
+         duplicated deliveries the handler saw ... *)
+      misses <= List.length models
+      && !explorations <= List.length models
+      (* ... and every answer that made it back is the true verdict *)
+      && List.for_all
+           (fun (name, tag) -> List.assoc name expected = tag)
+           !answers)
+
+let () =
+  Alcotest.run "timed"
+    [
+      ( "clock",
+        [
+          Alcotest.test_case "real and ambient" `Quick
+            test_clock_real_and_ambient;
+          Alcotest.test_case "auto-advance" `Quick test_auto_advance;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "event order and ties" `Quick
+            test_sim_event_order_and_ties;
+          Alcotest.test_case "sleep and nested schedule" `Quick
+            test_sim_sleep_and_nested_schedule;
+          Alcotest.test_case "advance" `Quick test_sim_advance;
+          Alcotest.test_case "ivar await/fill/timeout" `Quick
+            test_ivar_await_fill_and_timeout;
+        ] );
+      ( "obs",
+        [
+          Alcotest.test_case "traces carry virtual time" `Quick
+            test_trace_virtual_timestamps;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "2.5s budget degrades in milliseconds" `Quick
+            test_runner_degrades_on_virtual_timeout;
+          Alcotest.test_case "scheduler runs under virtual clock" `Quick
+            test_scheduler_under_virtual_clock;
+          Alcotest.test_case "real vs sim verdicts on example models" `Quick
+            test_example_models_real_vs_sim;
+        ] );
+      ( "fabric",
+        [
+          Alcotest.test_case "ideal roundtrip" `Quick
+            test_fabric_ideal_roundtrip;
+          Alcotest.test_case "delay and timeout" `Quick
+            test_fabric_delay_and_timeout;
+          Alcotest.test_case "drop and duplicate" `Quick
+            test_fabric_drop_and_duplicate;
+          Alcotest.test_case "reordering" `Quick test_fabric_reordering;
+        ] );
+      ( "faults",
+        [
+          QCheck_alcotest.to_alcotest qcheck_fault_schedule_replays;
+          QCheck_alcotest.to_alcotest qcheck_fault_replies_uncorrupted;
+          QCheck_alcotest.to_alcotest qcheck_single_flight_under_faults;
+        ] );
+    ]
