@@ -4,7 +4,7 @@
 # ocamlformat are dev-time tools, not build dependencies — the gate
 # degrades gracefully where they are absent).
 
-.PHONY: all build test test-faults doc fmt-check check bench-explore bench-scaling bench-service bench-sweep bench-smoke bench-obs bench-reduction clean
+.PHONY: all build test test-faults lint-invariants doc fmt-check check bench-explore bench-scaling bench-service bench-sweep bench-smoke bench-obs bench-reduction bench-dist clean
 
 all: build
 
@@ -20,6 +20,26 @@ test:
 test-faults:
 	dune exec test/test_timed.exe -- test faults
 
+# Layering invariants enforced by grep, cheap enough to run on every
+# check: all timestamps flow through Timed.Clock (no raw
+# Unix.gettimeofday outside lib/timed), and all socket handling lives
+# in the one transport that owns it (no Unix.socket outside
+# transport_socket.ml).
+lint-invariants:
+	@bad=$$(grep -rn "Unix\.gettimeofday" lib bin bench --include='*.ml' --include='*.mli' \
+	  | grep -v "^lib/timed/" | grep -v "(\*" || true); \
+	if [ -n "$$bad" ]; then \
+	  echo "lint-invariants: Unix.gettimeofday outside lib/timed:"; \
+	  echo "$$bad"; exit 1; \
+	fi
+	@bad=$$(grep -rn "Unix\.socket\b" lib bin bench --include='*.ml' --include='*.mli' \
+	  | grep -v "^lib/service/transport_socket.ml" || true); \
+	if [ -n "$$bad" ]; then \
+	  echo "lint-invariants: Unix.socket outside transport_socket.ml:"; \
+	  echo "$$bad"; exit 1; \
+	fi
+	@echo "lint-invariants: ok"
+
 doc:
 	@if command -v odoc >/dev/null 2>&1; then \
 	  dune build @doc; \
@@ -34,7 +54,7 @@ fmt-check:
 	  echo "ocamlformat not installed; skipping format check"; \
 	fi
 
-check: build test test-faults bench-smoke bench-obs doc fmt-check
+check: build lint-invariants test test-faults bench-smoke bench-obs doc fmt-check
 
 # Regenerate the exploration-engine telemetry (BENCH_explore.json),
 # including the work-stealing jobs x model scaling table.  Doubles as
@@ -80,6 +100,14 @@ bench-reduction:
 # non-zero past the tolerance — part of `make check`.
 bench-obs:
 	dune exec bench/main.exe -- obs
+
+# Distributed-service throughput: a duplicate-heavy open-loop load
+# against 1, 2 and 4 socket shards behind a router, merged into
+# BENCH_service.json under "dist".  The shards4/shards1 speedup gate is
+# enforced only on hosts with >= 4 cores; elsewhere the rows are
+# recorded with the gate marked skipped.
+bench-dist:
+	dune exec bench/main.exe -- dist
 
 clean:
 	dune clean

@@ -1111,6 +1111,249 @@ let service_section ~json_path () =
       output_char oc '\n');
   Fmt.pr "telemetry written to %s@." json_path
 
+(* {1 Dist: shard-count throughput over loopback sockets (the
+   [make bench-dist] target)}
+
+   The same duplicate-heavy manifest pushed through a socket router
+   fronting 1, 2 and 4 owner shards, each shard in its own domain with
+   its own verdict cache and journal — the smallest honest model of a
+   multi-process deployment that still fits in one bench binary.  A
+   small pool of client threads (each with its own connection pool, so
+   calls overlap) drives the router; rows are merged into the "dist"
+   section of BENCH_service.json, and verdicts must match a direct
+   in-process run.  The shards4/shards1 >= 1.2 speedup gate is
+   enforced only on hosts with >= 4 cores; elsewhere the rows are
+   still recorded and the gate marked skipped. *)
+
+let dist_clients = 4
+
+(* shard domains bind their listeners asynchronously: poll an endpoint
+   with the cheap stats op until it answers (or give up loudly) *)
+let dist_await_endpoint socket addr =
+  let deadline = Timed.Clock.gettimeofday () +. 10.0 in
+  let rec loop () =
+    match
+      Service.Transport_socket.call socket ~timeout:1.0 ~src:"bench-probe"
+        ~dst:addr {|{"op":"stats"}|}
+    with
+    | Ok _ -> ()
+    | Error _ when Timed.Clock.gettimeofday () < deadline ->
+        Thread.delay 0.05;
+        loop ()
+    | Error e ->
+        failwith
+          (Fmt.str "bench dist: %s never came up: %s" addr
+             (Service.Transport.error_message e))
+  in
+  loop ()
+
+let dist_run ~shards:count requests =
+  let tmp = Filename.get_temp_dir_name () in
+  let pid = Unix.getpid () in
+  let shard_addr i = Fmt.str "unix:%s/aadl_bench_%d_%d_s%d.sock" tmp pid count i in
+  let journal_path i = Fmt.str "%s/aadl_bench_%d_%d_s%d.journal" tmp pid count i in
+  let shard_addrs = List.init count shard_addr in
+  (* one domain per shard: exploration on shard A must not share a
+     runtime lock with shard B, or adding shards measures nothing *)
+  let domains =
+    List.init count (fun i ->
+        Domain.spawn (fun () ->
+            let socket = Service.Transport_socket.create () in
+            let transport = Service.Transport_socket.make socket in
+            match
+              Service.Shard.create ~journal:(journal_path i)
+                ~name:(shard_addr i) Service.Runner.default_config
+            with
+            | Error e -> failwith ("bench dist: shard: " ^ e)
+            | Ok shard ->
+                Service.Shard.register shard transport;
+                while not (Service.Shard.stopping shard) do
+                  Thread.delay 0.02
+                done;
+                (* give the in-flight quit reply a beat to flush *)
+                Thread.delay 0.1;
+                Service.Transport_socket.stop socket;
+                Service.Shard.close shard))
+  in
+  let socket = Service.Transport_socket.create () in
+  let transport = Service.Transport_socket.make socket in
+  List.iter (dist_await_endpoint socket) shard_addrs;
+  let router_addr = Fmt.str "unix:%s/aadl_bench_%d_%d_router.sock" tmp pid count in
+  let router =
+    Service.Router.create ~name:router_addr ~retries:3 ~call_timeout:60.0
+      ~shards:shard_addrs transport
+  in
+  Service.Router.register router transport;
+  dist_await_endpoint socket router_addr;
+  let reqs = Array.of_list requests in
+  let n = Array.length reqs in
+  let outcomes = Array.make n None in
+  let next = Atomic.make 0 in
+  let client () =
+    (* own transport per client: the pooled per-destination connection
+       serializes its calls, so a shared pool would serialize the whole
+       client side *)
+    let socket = Service.Transport_socket.create () in
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        let line =
+          Service.Json.to_string (Service.Job.request_to_json reqs.(i))
+        in
+        (match
+           Service.Transport_socket.call socket ~timeout:120.0 ~src:"bench"
+             ~dst:router_addr line
+         with
+        | Error e ->
+            failwith ("bench dist: " ^ Service.Transport.error_message e)
+        | Ok reply -> (
+            match Service.Json.parse reply with
+            | Error e -> failwith ("bench dist: bad reply: " ^ e)
+            | Ok j -> (
+                match Service.Job.outcome_of_json j with
+                | Error e -> failwith ("bench dist: bad outcome: " ^ e)
+                | Ok o -> outcomes.(i) <- Some o)));
+        loop ()
+      end
+    in
+    Fun.protect ~finally:(fun () -> Service.Transport_socket.stop socket) loop
+  in
+  Gc.full_major ();
+  let t0 = Timed.Clock.gettimeofday () in
+  let clients = List.init dist_clients (fun _ -> Thread.create client ()) in
+  List.iter Thread.join clients;
+  let wall = Timed.Clock.gettimeofday () -. t0 in
+  let stats =
+    match
+      Service.Transport_socket.call socket ~timeout:30.0 ~src:"bench"
+        ~dst:router_addr {|{"op":"stats"}|}
+    with
+    | Ok s ->
+        Option.value ~default:Service.Json.Null
+          (Result.to_option (Service.Json.parse s))
+    | Error _ -> Service.Json.Null
+  in
+  ignore
+    (Service.Transport_socket.call socket ~timeout:30.0 ~src:"bench"
+       ~dst:router_addr {|{"op":"quit"}|});
+  List.iter Domain.join domains;
+  Service.Transport_socket.stop socket;
+  List.iteri
+    (fun i _ -> try Sys.remove (journal_path i) with Sys_error _ -> ())
+    shard_addrs;
+  let outcomes =
+    Array.to_list outcomes
+    |> List.map (function
+         | Some o -> o
+         | None -> failwith "bench dist: request never answered")
+  in
+  (outcomes, wall, stats)
+
+let dist_section ~json_path () =
+  hr "DIST: duplicate-heavy load over 1/2/4 socket shards behind a router";
+  let num_distinct, requests = service_manifest () in
+  let n = List.length requests in
+  let cores = Domain.recommended_domain_count () in
+  (* reference verdicts from the plain in-process runner; order-free
+     comparison because the client pool races *)
+  let reference_outcomes, _, _ = service_run ~cache:true ~workers:1 requests in
+  let verdicts (outcomes : Service.Job.outcome list) =
+    List.sort compare
+      (List.map
+         (fun (o : Service.Job.outcome) ->
+           (o.Service.Job.id, Service.Job.verdict_tag o.Service.Job.verdict))
+         outcomes)
+  in
+  let reference = verdicts reference_outcomes in
+  Fmt.pr "manifest: %d jobs over %d distinct models, %d client threads@." n
+    num_distinct dist_clients;
+  Fmt.pr "cores available: %d@." cores;
+  Fmt.pr "%-8s %8s %12s %s@." "shards" "wall (s)" "models/sec" "verdicts";
+  let rows =
+    List.map
+      (fun count ->
+        let outcomes, wall, stats = dist_run ~shards:count requests in
+        let agree = verdicts outcomes = reference in
+        Fmt.pr "%-8d %8.3f %12.1f %s@." count wall
+          (float_of_int n /. max wall 1e-9)
+          (if agree then "agree" else "MISMATCH");
+        (count, wall, stats, agree))
+      [ 1; 2; 4 ]
+  in
+  let agree_all = List.for_all (fun (_, _, _, a) -> a) rows in
+  let speedup =
+    match rows with
+    | (_, w1, _, _) :: _ -> (
+        match List.rev rows with (_, w4, _, _) :: _ -> w1 /. max w4 1e-9 | [] -> 0.)
+    | [] -> 0.
+  in
+  let gate_enforced = cores >= 4 in
+  let gate_ok = (not gate_enforced) || speedup >= 1.2 in
+  Fmt.pr "speedup shards4 vs shards1: %.2fx (%s)@." speedup
+    (if not gate_enforced then "gate skipped: fewer than 4 cores"
+     else if gate_ok then "OK"
+     else "FAIL");
+  let ok = agree_all && gate_ok in
+  let open Service.Json in
+  let dist =
+    Obj
+      [
+        ( "note",
+          String
+            "duplicate-heavy manifest through a socket router onto 1/2/4 \
+             shards, each shard a separate domain with its own verdict \
+             cache and journal, driven over loopback unix sockets by a \
+             small client thread pool" );
+        ("jobs", Int n);
+        ("distinct_models", Int num_distinct);
+        ("clients", Int dist_clients);
+        ("cores", Int cores);
+        ( "runs",
+          List
+            (List.map
+               (fun (count, wall, stats, agree) ->
+                 Obj
+                   [
+                     ("shards", Int count);
+                     ("wall_s", Float wall);
+                     ( "models_per_sec",
+                       Float (float_of_int n /. max wall 1e-9) );
+                     ("merged_stats", stats);
+                     ("verdicts_agree", Bool agree);
+                   ])
+               rows) );
+        ("speedup_shards4_vs_shards1", Float speedup);
+        ( "gate",
+          String
+            (if not gate_enforced then "skipped_insufficient_cores"
+             else if gate_ok then "enforced_ok"
+             else "enforced_fail") );
+        ("ok", Bool ok);
+      ]
+  in
+  (* merge into BENCH_service.json, preserving the other sections *)
+  let base_fields =
+    if Sys.file_exists json_path then
+      match
+        parse (In_channel.with_open_text json_path In_channel.input_all)
+      with
+      | Ok (Obj fields) -> fields
+      | Ok _ | Error _ -> []
+    else []
+  in
+  let fields =
+    List.filter (fun (k, _) -> not (String.equal k "dist")) base_fields
+    @ [ ("dist", dist) ]
+  in
+  let oc = open_out json_path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (to_string (Obj fields));
+      output_char oc '\n');
+  Fmt.pr "telemetry merged into %s@." json_path;
+  if not ok then exit 1
+
 (* {1 Sweep: incremental sensitivity with fragment reuse on vs off}
 
    The fragment IR's motivating workload: a cet sweep re-translates the
@@ -1643,6 +1886,11 @@ let () =
         match rest with p :: _ -> p | [] -> "BENCH_service.json"
       in
       service_section ~json_path ()
+  | _ :: "dist" :: rest ->
+      let json_path =
+        match rest with p :: _ -> p | [] -> "BENCH_service.json"
+      in
+      dist_section ~json_path ()
   | _ :: "sweep" :: rest ->
       let json_path =
         match rest with p :: _ -> p | [] -> "BENCH_sweep.json"

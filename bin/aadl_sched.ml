@@ -883,7 +883,87 @@ let batch_summary_json (config : Service.Runner.config)
       ("misses", misses_json);
     ]
 
-let run_batch manifest workers engine no_cache cache_size timeout stats trace =
+(* batch --connect: forward every manifest entry to a live service (a
+   shard, a router, or a plain serve --listen) and print the replies in
+   manifest order.  Analysis happens remotely, so the local summary has
+   no cache section — ask the service with {"op":"stats"}. *)
+let run_batch_connect addr requests stats =
+  let socket = Service.Transport_socket.create () in
+  let t0 = Timed.Clock.gettimeofday () in
+  let outcomes =
+    List.map
+      (fun (r : Service.Job.request) ->
+        let line =
+          Service.Json.to_string (Service.Job.request_to_json r)
+        in
+        match
+          Service.Transport_socket.call socket ~src:"batch" ~dst:addr line
+        with
+        | Error e ->
+            {
+              Service.Job.id = r.id;
+              verdict =
+                Service.Job.Failed
+                  (Printf.sprintf "service %s: %s" addr
+                     (Service.Transport.error_message e));
+              states = 0;
+              cached = false;
+              degraded = false;
+              wall_s = 0.;
+            }
+        | Ok reply -> (
+            match
+              Result.bind (Service.Json.parse reply)
+                Service.Job.outcome_of_json
+            with
+            | Ok o -> o
+            | Error msg ->
+                {
+                  Service.Job.id = r.id;
+                  verdict =
+                    Service.Job.Failed
+                      (Printf.sprintf "service %s: bad reply: %s" addr msg);
+                  states = 0;
+                  cached = false;
+                  degraded = false;
+                  wall_s = 0.;
+                }))
+      requests
+  in
+  let elapsed = Timed.Clock.gettimeofday () -. t0 in
+  Service.Transport_socket.stop socket;
+  List.iter
+    (fun o ->
+      print_endline (Service.Json.to_string (Service.Job.outcome_to_json o)))
+    outcomes;
+  Fmt.epr "%s@."
+    (Service.Json.to_string
+       (batch_summary_json Service.Runner.default_config outcomes ~elapsed));
+  if stats then begin
+    let count tag =
+      List.length
+        (List.filter
+           (fun (o : Service.Job.outcome) ->
+             Service.Job.verdict_tag o.verdict = tag)
+           outcomes)
+    in
+    Fmt.epr
+      "batch: %d jobs (%d schedulable, %d not schedulable, %d bounded, %d \
+       unknown, %d cancelled, %d errors) in %.2fs via %s@."
+      (List.length outcomes) (count "schedulable") (count "not_schedulable")
+      (count "bounded") (count "unknown") (count "cancelled") (count "error")
+      elapsed addr
+  end;
+  if
+    List.exists
+      (fun (o : Service.Job.outcome) ->
+        match o.verdict with Service.Job.Failed _ -> true | _ -> false)
+      outcomes
+  then 1
+  else 0
+
+let run_batch manifest workers engine no_cache cache_size timeout stats trace
+    connect =
   with_trace trace @@ fun () ->
   let contents =
     try
@@ -916,6 +996,9 @@ let run_batch manifest workers engine no_cache cache_size timeout stats trace =
             | Some _ -> r)
           requests
       in
+      match connect with
+      | Some addr -> run_batch_connect addr requests stats
+      | None ->
       let config = service_config engine no_cache cache_size 1 in
       let scheduler = Service.Scheduler.create ~workers config in
       List.iter
@@ -972,6 +1055,18 @@ let manifest_arg =
            $(b,priority)).  Blank and $(b,#) lines are skipped; relative \
            paths resolve against the manifest's directory.")
 
+let connect_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"ADDR"
+        ~doc:
+          "Send the manifest to a live service at $(b,unix:PATH) or \
+           $(b,tcp:HOST:PORT) (a $(b,serve --listen) endpoint, a \
+           $(b,shard), or a router) instead of analyzing locally.  \
+           Replies print in manifest order; local analysis flags are \
+           ignored.")
+
 let batch_cmd =
   Cmd.v
     (Cmd.info "batch"
@@ -980,16 +1075,185 @@ let batch_cmd =
           order through the verdict cache, results stream to stdout as \
           JSON lines in manifest order, a one-object JSON summary goes to \
           stderr ($(b,--stats) adds the human rendering).  \
-          Budget-exhausted jobs degrade to analytic bounds.")
+          Budget-exhausted jobs degrade to analytic bounds.  With \
+          $(b,--connect) the jobs run on a live service instead.")
     Term.(
       const run_batch $ manifest_arg $ workers_arg $ engine_arg
-      $ no_cache_arg $ cache_size_arg $ timeout_arg $ stats_arg $ trace_arg)
+      $ no_cache_arg $ cache_size_arg $ timeout_arg $ stats_arg $ trace_arg
+      $ connect_arg)
 
-let run_serve engine no_cache cache_size exploration_jobs trace =
+(* {2 distributed mode: socket endpoints} *)
+
+let listen_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "listen" ] ~docv:"ADDR"
+        ~doc:
+          "Serve on a socket instead of stdio: $(b,unix:PATH) or \
+           $(b,tcp:HOST:PORT).  The wire protocol is the same JSON-lines \
+           conversation as stdio.")
+
+let route_to_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "route-to" ] ~docv:"ADDRS"
+        ~doc:
+          "Run as a router over the comma-separated shard addresses: each \
+           analysis request is forwarded to the shard that owns its cache \
+           key (stable content-addressed hashing), with retries and ring \
+           failover; $(b,{\"op\": \"stats\"}) merges every shard's \
+           counters, $(b,{\"op\": \"route\"}) answers the owner without \
+           running anything.")
+
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"PATH"
+        ~doc:
+          "Persist every stored verdict to an append-only CRC-checked \
+           journal and pre-warm the cache from it on startup, so a \
+           restarted endpoint keeps answering repeats from cache.")
+
+let shard_name_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "name" ] ~docv:"NAME"
+        ~doc:
+          "Shard name used in per-shard metrics (default: derived from \
+           the listen address).")
+
+(* Park the process until the endpoint has answered a quit, then tear
+   the sockets down (a short grace period lets the quit reply flush). *)
+let serve_until_quit socket stopping =
+  let rec poll () =
+    if stopping () then begin
+      Thread.delay 0.2;
+      Service.Transport_socket.stop socket
+    end
+    else begin
+      Thread.delay 0.05;
+      poll ()
+    end
+  in
+  poll ();
+  Service.Transport_socket.wait socket
+
+let stdio_handler_loop handler stopping =
+  let rec loop () =
+    match input_line stdin with
+    | exception End_of_file -> ()
+    | line when String.trim line = "" -> loop ()
+    | line ->
+        print_string (handler line);
+        print_newline ();
+        flush stdout;
+        if stopping () then () else loop ()
+  in
+  loop ()
+
+let split_addrs s =
+  String.split_on_char ',' s |> List.map String.trim
+  |> List.filter (fun a -> a <> "")
+
+let run_serve engine no_cache cache_size exploration_jobs trace listen
+    route_to journal =
   with_trace trace @@ fun () ->
-  let config = service_config engine no_cache cache_size exploration_jobs in
-  Service.Server.serve ~config stdin stdout;
-  0
+  match route_to with
+  | Some addrs -> (
+      (* Router mode: front the listed shard endpoints.  The router
+         keeps no cache of its own — the shards do the caching. *)
+      match split_addrs addrs with
+      | [] ->
+          Fmt.epr "serve: --route-to needs at least one address@.";
+          2
+      | shards -> (
+          let socket = Service.Transport_socket.create () in
+          let transport = Service.Transport_socket.make socket in
+          let router =
+            Service.Router.create ?name:listen ~shards transport
+          in
+          let stopping () = Service.Router.stopping router in
+          match listen with
+          | None ->
+              stdio_handler_loop (Service.Router.handler router) stopping;
+              Service.Transport_socket.stop socket;
+              0
+          | Some _ ->
+              (* The router's endpoint name is the listen address. *)
+              (try Service.Router.register router transport
+               with Invalid_argument msg ->
+                 Fmt.epr "serve: %s@." msg;
+                 exit 2);
+              serve_until_quit socket stopping;
+              0))
+  | None -> (
+      match listen with
+      | None when journal <> None -> (
+          (* stdio conversation, but with the shard stack so verdicts
+             persist across sessions *)
+          let base =
+            { Service.Runner.default_config with engine; jobs = exploration_jobs }
+          in
+          match
+            Service.Shard.create ?journal ~capacity:cache_size ~name:"serve"
+              base
+          with
+          | Error msg ->
+              Fmt.epr "serve: %s@." msg;
+              2
+          | Ok shard ->
+              stdio_handler_loop (Service.Shard.handler shard) (fun () ->
+                  Service.Shard.stopping shard);
+              Service.Shard.close shard;
+              0)
+      | None ->
+          let config =
+            service_config engine no_cache cache_size exploration_jobs
+          in
+          Service.Server.serve ~config stdin stdout;
+          0
+      | Some addr -> (
+          (* Single-shard socket service.  A shard always caches (the
+             journal replays into the cache); --no-cache is a stdio-only
+             knob. *)
+          let base =
+            { Service.Runner.default_config with engine; jobs = exploration_jobs }
+          in
+          match
+            Service.Shard.create ?journal ~capacity:cache_size ~name:addr base
+          with
+          | Error msg ->
+              Fmt.epr "serve: %s@." msg;
+              2
+          | Ok shard ->
+              (match Service.Shard.recovery shard with
+              | Some r when r.Service.Journal.replayed <> [] ->
+                  Fmt.epr "journal: replayed %d verdicts%s@."
+                    (List.length r.Service.Journal.replayed)
+                    (if r.Service.Journal.dropped_bytes > 0 then
+                       Printf.sprintf " (dropped %d damaged bytes)"
+                         r.Service.Journal.dropped_bytes
+                     else "")
+              | _ -> ());
+              let socket = Service.Transport_socket.create () in
+              (try
+                 Service.Transport_socket.serve socket addr
+                   (Service.Shard.handler shard)
+               with
+              | Invalid_argument msg ->
+                  Fmt.epr "serve: %s@." msg;
+                  exit 2
+              | Unix.Unix_error (e, _, _) ->
+                  Fmt.epr "serve: %s: %s@." addr (Unix.error_message e);
+                  exit 2);
+              serve_until_quit socket (fun () ->
+                  Service.Shard.stopping shard);
+              Service.Shard.close shard;
+              0))
 
 let serve_cmd =
   Cmd.v
@@ -1000,9 +1264,65 @@ let serve_cmd =
           as $(b,batch)).  $(b,{\"op\": \"stats\"}) reports verdict-cache \
           counters; $(b,{\"op\": \"metrics\"}) the full metrics registry \
           (JSON plus a Prometheus text exposition); $(b,{\"op\": \"quit\"}) \
-          ends the session.")
+          ends the session.  With $(b,--listen) the same conversation is \
+          served on a socket; with $(b,--route-to) this process routes \
+          requests across shard endpoints instead of analyzing locally.")
     Term.(
       const run_serve $ engine_arg $ no_cache_arg $ cache_size_arg $ jobs_arg
+      $ trace_arg $ listen_arg $ route_to_arg $ journal_arg)
+
+let run_shard listen journal shard_name cache_size engine exploration_jobs
+    trace =
+  with_trace trace @@ fun () ->
+  let base =
+    { Service.Runner.default_config with engine; jobs = exploration_jobs }
+  in
+  let name = Option.value ~default:listen shard_name in
+  match Service.Shard.create ?journal ~capacity:cache_size ~name base with
+  | Error msg ->
+      Fmt.epr "shard: %s@." msg;
+      2
+  | Ok shard ->
+      (match Service.Shard.recovery shard with
+      | Some r ->
+          Fmt.epr "journal: replayed %d verdicts, %d bytes dropped%s@."
+            (List.length r.Service.Journal.replayed)
+            r.Service.Journal.dropped_bytes
+            (if r.Service.Journal.corrupt then " (CRC mismatch)" else "")
+      | None -> ());
+      let socket = Service.Transport_socket.create () in
+      (try
+         Service.Transport_socket.serve socket listen
+           (Service.Shard.handler shard)
+       with
+      | Invalid_argument msg ->
+          Fmt.epr "shard: %s@." msg;
+          exit 2
+      | Unix.Unix_error (e, _, _) ->
+          Fmt.epr "shard: %s: %s@." listen (Unix.error_message e);
+          exit 2);
+      serve_until_quit socket (fun () -> Service.Shard.stopping shard);
+      Service.Shard.close shard;
+      0
+
+let shard_cmd =
+  Cmd.v
+    (Cmd.info "shard"
+       ~doc:
+         "Run one owner shard: the full analysis service (runner, \
+          scheduler, verdict cache) behind a socket endpoint, with an \
+          optional persistent verdict journal.  Usually fronted by \
+          $(b,serve --route-to), which sends each shard the slice of the \
+          key space it owns; a shard is also a complete standalone \
+          service ($(b,batch --connect) can target it directly).")
+    Term.(
+      const run_shard
+      $ Arg.(
+          required
+          & opt (some string) None
+          & info [ "listen" ] ~docv:"ADDR"
+              ~doc:"Socket address to serve: unix:PATH or tcp:HOST:PORT.")
+      $ journal_arg $ shard_name_arg $ cache_size_arg $ engine_arg $ jobs_arg
       $ trace_arg)
 
 (* {1 main} *)
@@ -1026,6 +1346,7 @@ let main =
       sensitivity_cmd;
       batch_cmd;
       serve_cmd;
+      shard_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

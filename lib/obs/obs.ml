@@ -307,6 +307,23 @@ module Trace = struct
 
   let stop () = Atomic.set active_flag false
 
+  (* Raw-event injection: merge an externally-timestamped log (the
+     fabric delivery log, for one) into the trace.  [at] is an absolute
+     timestamp on the ambient clock's scale; events before the trace
+     epoch are clamped to it, so an injected prefix cannot produce
+     negative Chrome timestamps. *)
+  let inject ?(args = []) ?(tid = 0) ?(dur_s = 0.) ~name ~at () =
+    if Atomic.get active_flag then
+      record
+        {
+          ev_name = name;
+          ev_ph = (if dur_s > 0. then 'X' else 'i');
+          ev_ts = Float.max 0. ((at -. Atomic.get epoch) *. 1e6);
+          ev_dur = dur_s *. 1e6;
+          ev_tid = tid;
+          ev_args = args;
+        }
+
   let events () =
     Mutex.lock mutex;
     let evs = List.concat_map (fun b -> !b) !buffers in

@@ -128,6 +128,22 @@ module Trace : sig
   (** Stop collecting.  Buffered events stay readable until the next
       {!start}. *)
 
+  val inject :
+    ?args:(string * string) list ->
+    ?tid:int ->
+    ?dur_s:float ->
+    name:string ->
+    at:float ->
+    unit ->
+    unit
+  (** Append one raw event at the absolute ambient-clock timestamp [at]
+      (seconds), bypassing span bracketing — the hook that merges
+      externally-timestamped logs (e.g. the {!Timed.Fabric} delivery
+      log) into the trace.  [dur_s > 0] records a complete ("X") event,
+      otherwise an instant; [tid] selects the timeline row.  Timestamps
+      before the trace epoch clamp to it.  No-op while tracing is
+      inactive. *)
+
   val to_string : unit -> string
   (** The collected events as a Chrome [trace_event] JSON object
       ([{"traceEvents": [...], ...}]), events sorted by timestamp. *)

@@ -1,0 +1,44 @@
+(* Fabric delivery log -> Obs.Trace events.  See fabric_trace.mli. *)
+
+let truncate_payload s =
+  if String.length s <= 48 then s else String.sub s 0 45 ^ "..."
+
+let inject fabric =
+  if Obs.Trace.active () then begin
+    (* One timeline row (tid) per participant, numbered in order of
+       first appearance — deterministic for a deterministic log. *)
+    let tids = Hashtbl.create 8 in
+    let tid name =
+      match Hashtbl.find_opt tids name with
+      | Some n -> n
+      | None ->
+          let n = Hashtbl.length tids + 1 in
+          Hashtbl.add tids name n;
+          n
+    in
+    List.iter
+      (fun (e : Timed.Fabric.event) ->
+        (* Sends and losses sit on the sender's row, arrivals on the
+           receiver's — reading down a row shows one endpoint's view. *)
+        let row =
+          match e.kind with
+          | Timed.Fabric.Deliver | Timed.Fabric.Reply_late -> tid e.dst
+          | Timed.Fabric.Send | Timed.Fabric.Drop | Timed.Fabric.Duplicate
+          | Timed.Fabric.Expired | Timed.Fabric.Link_change ->
+              tid e.src
+        in
+        Obs.Trace.inject
+          ~args:
+            [
+              ("src", e.src);
+              ("dst", e.dst);
+              ("payload", truncate_payload e.payload);
+            ]
+          ~tid:row
+          ~name:
+            (Printf.sprintf "%s #%d %s->%s"
+               (Timed.Fabric.kind_name e.kind)
+               e.msg e.src e.dst)
+          ~at:e.at ())
+      (Timed.Fabric.log fabric)
+  end

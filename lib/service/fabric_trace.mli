@@ -1,0 +1,12 @@
+(** Export a {!Timed.Fabric} delivery log into the {!Obs.Trace} Chrome
+    trace writer: every send/deliver/drop/duplicate/link-change event
+    becomes a trace instant, one timeline row per fabric participant,
+    so a simulated protocol run opens in Perfetto next to the spans the
+    analysis itself recorded.
+
+    Call while tracing is active ({!Obs.Trace.start}), after the sim
+    has run; virtual timestamps before the trace epoch clamp to it, so
+    start the trace before running the fabric for faithful offsets. *)
+
+val inject : Timed.Fabric.t -> unit
+(** No-op when tracing is inactive. *)

@@ -118,6 +118,34 @@ let request_of_json json =
         }
   | _ -> Error "request must be a JSON object"
 
+let protocol_to_string = function
+  | Aadl.Props.Rate_monotonic -> "rm"
+  | Aadl.Props.Deadline_monotonic -> "dm"
+  | Aadl.Props.Highest_priority_first -> "hpf"
+  | Aadl.Props.Edf -> "edf"
+  | Aadl.Props.Llf -> "llf"
+  | Aadl.Props.Hierarchical -> "hier"
+
+(* Inverse of [request_of_json]; optional fields are omitted when they
+   hold their defaults, so re-encoding a decoded line is stable. *)
+let request_to_json (r : request) =
+  let opt key encode = function
+    | None -> []
+    | Some v -> [ (key, encode v) ]
+  in
+  Json.Obj
+    ([ ("id", Json.String r.id) ]
+    @ (match r.source with
+      | File path -> [ ("file", Json.String path) ]
+      | Inline text -> [ ("model", Json.String text) ])
+    @ opt "root" (fun s -> Json.String s) r.root
+    @ opt "protocol" (fun p -> Json.String (protocol_to_string p)) r.protocol
+    @ opt "quantum_us" (fun n -> Json.Int n) r.quantum_us
+    @ (if r.max_states = default_max_states then []
+       else [ ("max_states", Json.Int r.max_states) ])
+    @ opt "timeout_s" (fun s -> Json.Float s) r.timeout_s
+    @ if r.priority = 0 then [] else [ ("priority", Json.Int r.priority) ])
+
 let outcome_to_json (o : outcome) =
   let specific =
     match o.verdict with
@@ -143,6 +171,74 @@ let outcome_to_json (o : outcome) =
         ("degraded", Json.Bool o.degraded);
         ("wall_s", Json.Float o.wall_s);
       ])
+
+(* The inverse of [outcome_to_json] — the journal replays stored
+   verdicts through this, and [batch --connect] decodes live-service
+   replies with it, so it accepts exactly what [outcome_to_json]
+   produces. *)
+let outcome_of_json json =
+  match json with
+  | Json.Obj _ ->
+      let* id =
+        match Option.bind (Json.member "id" json) Json.to_str with
+        | Some id -> Ok id
+        | None -> Error "outcome: missing string field \"id\""
+      in
+      let str key = Option.bind (Json.member key json) Json.to_str in
+      let* verdict =
+        match str "verdict" with
+        | None -> Error "outcome: missing string field \"verdict\""
+        | Some "schedulable" -> Ok Schedulable
+        | Some "cancelled" -> Ok Cancelled
+        | Some "not_schedulable" -> (
+            match
+              ( Option.bind (Json.member "violation_time" json) Json.to_int,
+                str "scenario" )
+            with
+            | Some violation_time, Some scenario ->
+                Ok (Not_schedulable { violation_time; scenario })
+            | _ -> Error "outcome: not_schedulable needs violation_time/scenario")
+        | Some "bounded" -> (
+            match
+              ( Option.bind (Json.member "analytic_schedulable" json) Json.to_bool,
+                str "method" )
+            with
+            | Some analytic_schedulable, Some method_ ->
+                Ok (Bounded { analytic_schedulable; method_ })
+            | _ -> Error "outcome: bounded needs analytic_schedulable/method")
+        | Some "unknown" -> (
+            match str "reason" with
+            | Some reason -> Ok (Unknown reason)
+            | None -> Error "outcome: unknown needs a reason")
+        | Some "error" -> (
+            match str "reason" with
+            | Some reason -> Ok (Failed reason)
+            | None -> Error "outcome: error needs a reason")
+        | Some other -> Error (Printf.sprintf "outcome: unknown verdict %S" other)
+      in
+      let* states =
+        match Option.bind (Json.member "states" json) Json.to_int with
+        | Some n -> Ok n
+        | None -> Error "outcome: missing integer field \"states\""
+      in
+      let flag key =
+        Option.value ~default:false
+          (Option.bind (Json.member key json) Json.to_bool)
+      in
+      let wall_s =
+        Option.value ~default:0.
+          (Option.bind (Json.member "wall_s" json) Json.to_float)
+      in
+      Ok
+        {
+          id;
+          verdict;
+          states;
+          cached = flag "cached";
+          degraded = flag "degraded";
+          wall_s;
+        }
+  | _ -> Error "outcome must be a JSON object"
 
 let parse_manifest text =
   let lines = String.split_on_char '\n' text in

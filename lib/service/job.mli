@@ -69,9 +69,18 @@ val request_of_json : Json.t -> (request, string) result
     [file]/[model], and optional [root], [protocol], [quantum_us],
     [max_states], [timeout_s], [priority]. *)
 
+val request_to_json : request -> Json.t
+(** Inverse of {!request_of_json} — lets [batch --connect] forward
+    manifest entries (with paths already resolved) to a live service.
+    Fields holding their defaults are omitted. *)
+
 val outcome_to_json : outcome -> Json.t
 (** Field order is fixed (id, verdict, verdict-specific fields, states,
     cached, degraded, wall_s) so JSON-lines output is stable. *)
+
+val outcome_of_json : Json.t -> (outcome, string) result
+(** Inverse of {!outcome_to_json} — used by the verdict journal's
+    replay and by clients decoding live-service replies. *)
 
 val protocol_of_string :
   string -> (Aadl.Props.scheduling_protocol, string) result

@@ -1,0 +1,270 @@
+(* Append-only CRC'd verdict journal.  See journal.mli for the format. *)
+
+let magic = "AADLJRN1"
+
+(* CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) — the zlib/PNG
+   checksum, table-driven. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch -> c := table.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF
+
+let put_u32 buf n =
+  Buffer.add_char buf (Char.chr ((n lsr 24) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (n land 0xff))
+
+let get_u32 s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+let encode_record ~key outcome =
+  let payload =
+    Json.to_string
+      (Json.Obj
+         [
+           ("key", Json.String key); ("outcome", Job.outcome_to_json outcome);
+         ])
+  in
+  let buf = Buffer.create (String.length payload + 8) in
+  put_u32 buf (String.length payload);
+  put_u32 buf (crc32 payload);
+  Buffer.add_string buf payload;
+  Buffer.contents buf
+
+let decode_payload payload =
+  match Json.parse payload with
+  | Error msg -> Error ("record payload: " ^ msg)
+  | Ok json -> (
+      match
+        ( Option.bind (Json.member "key" json) Json.to_str,
+          Json.member "outcome" json )
+      with
+      | Some key, Some outcome_json -> (
+          match Job.outcome_of_json outcome_json with
+          | Ok outcome -> Ok (key, outcome)
+          | Error msg -> Error msg)
+      | _ -> Error "record payload: missing \"key\" or \"outcome\"")
+
+(* Scan the raw bytes after the magic.  Returns records in file order,
+   the offset of the first byte past the last valid record, and what
+   ended the scan. *)
+type scan_end = Clean | Torn | Corrupt of string
+
+let scan_records data start =
+  let len = String.length data in
+  let rec go off acc =
+    if off = len then (List.rev acc, off, Clean)
+    else if off + 8 > len then (List.rev acc, off, Torn)
+    else
+      let payload_len = get_u32 data off in
+      let crc = get_u32 data (off + 4) in
+      if payload_len < 0 || off + 8 + payload_len > len then
+        (List.rev acc, off, Torn)
+      else
+        let payload = String.sub data (off + 8) payload_len in
+        if crc32 payload <> crc then
+          (List.rev acc, off, Corrupt "crc mismatch")
+        else
+          match decode_payload payload with
+          | Error msg -> (List.rev acc, off, Corrupt msg)
+          | Ok record -> go (off + 8 + payload_len) (record :: acc)
+  in
+  go start []
+
+let read_all path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+type t = {
+  path : string;
+  mutable oc : out_channel;
+  mutable records : int;  (* records on disk, duplicates included *)
+  mutable bytes : int;  (* file size *)
+  latest : (string, Job.outcome * int) Hashtbl.t;  (* key -> (outcome, seq) *)
+  mutable seq : int;  (* append counter, orders compaction output *)
+  mutable compactions : int;
+  compact_threshold : int;
+  mutex : Mutex.t;
+}
+
+type recovery = {
+  replayed : (string * Job.outcome) list;
+  dropped_bytes : int;
+  corrupt : bool;
+}
+
+type stats = { records : int; live : int; bytes : int; compactions : int }
+
+let path t = t.path
+
+let latest_in_order t =
+  Hashtbl.fold (fun key (outcome, seq) acc -> (seq, key, outcome) :: acc)
+    t.latest []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  |> List.map (fun (_, key, outcome) -> (key, outcome))
+
+let open_ ?(compact_threshold = 1024) path =
+  let compact_threshold = max 8 compact_threshold in
+  match
+    let exists = Sys.file_exists path in
+    let data = if exists then read_all path else "" in
+    if exists && String.length data >= String.length magic
+       && String.sub data 0 (String.length magic) <> magic
+    then Error (Printf.sprintf "%s: not a verdict journal (bad magic)" path)
+    else if exists && String.length data > 0
+            && String.length data < String.length magic
+    then
+      (* A file shorter than the magic can only be a torn header write:
+         start over. *)
+      Ok ([], 0, String.length data, false)
+    else
+      let start = if exists && data <> "" then String.length magic else 0 in
+      let records, valid_end, ending = scan_records data start in
+      let dropped = String.length data - valid_end in
+      let corrupt = match ending with Corrupt _ -> true | _ -> false in
+      Ok (records, valid_end, dropped, corrupt)
+  with
+  | Error _ as e -> e
+  | exception Sys_error msg -> Error msg
+  | Ok (records, valid_end, dropped_bytes, corrupt) -> (
+      match
+        (* Truncate damage away, (re)write the magic on an empty file,
+           and leave the channel positioned for appends. *)
+        let oc =
+          open_out_gen [ Open_wronly; Open_creat; Open_binary ] 0o644 path
+        in
+        if valid_end = 0 then (
+          (* fresh or unrecoverable header: start a clean log *)
+          Unix.ftruncate (Unix.descr_of_out_channel oc) 0;
+          output_string oc magic)
+        else (
+          Unix.ftruncate (Unix.descr_of_out_channel oc) valid_end;
+          seek_out oc valid_end);
+        flush oc;
+        oc
+      with
+      | exception Sys_error msg -> Error msg
+      | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+      | oc ->
+          let latest = Hashtbl.create 64 in
+          List.iteri
+            (fun i (key, outcome) -> Hashtbl.replace latest key (outcome, i))
+            records;
+          let t =
+            {
+              path;
+              oc;
+              records = List.length records;
+              bytes = (if valid_end = 0 then String.length magic else valid_end);
+              latest;
+              seq = List.length records;
+              compactions = 0;
+              compact_threshold;
+              mutex = Mutex.create ();
+            }
+          in
+          Ok
+            ( t,
+              {
+                replayed = latest_in_order t;
+                dropped_bytes;
+                corrupt;
+              } ))
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* Rewrite the log to the latest record per key, temp file + rename, so
+   a crash mid-compaction leaves either the old or the new file. *)
+let compact_locked t =
+  let live = latest_in_order t in
+  let tmp = t.path ^ ".tmp" in
+  let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ]
+      0o644 tmp
+  in
+  let bytes =
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc magic;
+        let n = ref (String.length magic) in
+        List.iter
+          (fun (key, outcome) ->
+            let record = encode_record ~key outcome in
+            output_string oc record;
+            n := !n + String.length record)
+          live;
+        flush oc;
+        !n)
+  in
+  close_out_noerr t.oc;
+  Sys.rename tmp t.path;
+  let oc =
+    open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 t.path
+  in
+  t.oc <- oc;
+  t.records <- List.length live;
+  t.bytes <- bytes;
+  Hashtbl.reset t.latest;
+  List.iteri (fun i (key, outcome) -> Hashtbl.replace t.latest key (outcome, i))
+    live;
+  t.seq <- List.length live;
+  t.compactions <- t.compactions + 1
+
+let append t ~key outcome =
+  locked t @@ fun () ->
+  let record = encode_record ~key outcome in
+  output_string t.oc record;
+  flush t.oc;
+  t.records <- t.records + 1;
+  t.bytes <- t.bytes + String.length record;
+  Hashtbl.replace t.latest key (outcome, t.seq);
+  t.seq <- t.seq + 1;
+  if t.records > t.compact_threshold && t.records >= 2 * Hashtbl.length t.latest
+  then compact_locked t
+
+let compact t = locked t @@ fun () -> compact_locked t
+let sync t = locked t @@ fun () -> flush t.oc
+let close t = locked t @@ fun () -> close_out_noerr t.oc
+
+let stats t =
+  locked t @@ fun () ->
+  {
+    records = t.records;
+    live = Hashtbl.length t.latest;
+    bytes = t.bytes;
+    compactions = t.compactions;
+  }
+
+let read_back path =
+  match read_all path with
+  | exception Sys_error msg -> Error msg
+  | data ->
+      if String.length data < String.length magic
+         || String.sub data 0 (String.length magic) <> magic
+      then Error (Printf.sprintf "%s: not a verdict journal" path)
+      else
+        let records, _, ending = scan_records data (String.length magic) in
+        (match ending with
+        | Clean -> Ok records
+        | Torn -> Error "torn record at end of journal"
+        | Corrupt msg -> Error ("corrupt record: " ^ msg))

@@ -1,0 +1,84 @@
+(** Persistent verdict journal: an append-only on-disk log of
+    [(cache key, outcome)] records that makes a shard's verdict cache
+    survive restarts.
+
+    Every outcome a shard stores is appended as one CRC-guarded record;
+    on startup the journal replays the log (last write per key wins)
+    and the shard pre-loads its LRU from the survivors, so a restarted
+    shard answers repeat requests from cache instead of re-exploring.
+    The format is crash-tolerant by construction: records are
+    length-prefixed and checksummed, so a torn final write (power loss
+    mid-append) or a corrupted record is detected on open, the valid
+    prefix is kept, and the file is truncated back to it.
+
+    {1 File format}
+
+    A fixed 8-byte magic header ["AADLJRN1"], then records:
+
+    {v
+    +--------------+--------------+----------------------------+
+    | length  u32  | crc32   u32  | payload (length bytes)     |
+    | big-endian   | of payload   | one-line JSON              |
+    +--------------+--------------+----------------------------+
+    v}
+
+    The payload is [{"key": <merkle hex>, "outcome": <outcome JSON>}]
+    with the outcome encoded exactly as on the wire
+    ({!Job.outcome_to_json}).  The CRC is IEEE 802.3 (the zlib/PNG
+    polynomial).
+
+    {1 Compaction}
+
+    The log grows by one record per stored verdict, including
+    re-computations of the same key; compaction rewrites the file to
+    the latest record per live key (in append order), via a temp file
+    and atomic rename.  [append] triggers it automatically once the
+    record count passes the threshold {e and} at least half the records
+    are shadowed — so steady-state disk usage is O(live keys), not
+    O(appends). *)
+
+type t
+
+type recovery = {
+  replayed : (string * Job.outcome) list;
+      (** surviving records, one per key, in order of last append —
+          oldest first, so inserting them in order into an LRU leaves
+          the most recently written key most recently used *)
+  dropped_bytes : int;
+      (** bytes discarded from the tail (torn or corrupt records) *)
+  corrupt : bool;
+      (** [true] when the drop was a CRC mismatch rather than a clean
+          truncation *)
+}
+
+val open_ : ?compact_threshold:int -> string -> (t * recovery, string) result
+(** Open (creating if absent) the journal at [path] and replay it.
+    Damaged tails are truncated away so the next append extends a valid
+    log.  [compact_threshold] (default 1024, clamped below at 8) is the
+    record count above which {!append} considers compacting.  [Error]
+    on I/O failure or a file that is not a journal (bad magic). *)
+
+val append : t -> key:string -> Job.outcome -> unit
+(** Durably append one record ([flush]ed before returning) and compact
+    if the log has grown past the threshold with a majority of shadowed
+    records.  Thread-safe. *)
+
+val compact : t -> unit
+(** Force a compaction now (temp file + atomic rename). *)
+
+val sync : t -> unit
+(** Flush buffered appends to the OS. *)
+
+val close : t -> unit
+
+type stats = { records : int; live : int; bytes : int; compactions : int }
+
+val stats : t -> stats
+
+val path : t -> string
+
+val read_back : string -> ((string * Job.outcome) list, string) result
+(** Re-read a journal file from scratch without opening it for writing:
+    the full record sequence in file order, duplicates included.
+    Damaged tails are an [Error] here (tests want to see them), not a
+    silent truncation. *)

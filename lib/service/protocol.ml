@@ -1,0 +1,89 @@
+(* Transport-independent request handling.  See protocol.mli. *)
+
+type t = { config : Runner.config }
+
+type reaction = Continue | Quit
+
+let create config = { config }
+let config t = t.config
+
+let counters_json (config : Runner.config) =
+  let c =
+    match config.cache with
+    | Some cache -> Lru.counters cache
+    | None ->
+        { Lru.hits = 0; misses = 0; evictions = 0; size = 0; capacity = 0 }
+  in
+  let a = Runner.attribution_counters config in
+  Json.Obj
+    [
+      ("hits", Json.Int c.Lru.hits);
+      ("misses", Json.Int c.Lru.misses);
+      ("evictions", Json.Int c.Lru.evictions);
+      ("size", Json.Int c.Lru.size);
+      ("capacity", Json.Int c.Lru.capacity);
+      ("novel_misses", Json.Int a.Runner.novel);
+      ("options_only_misses", Json.Int a.Runner.options_only);
+      ( "changed_components",
+        Json.Obj
+          (List.map
+             (fun (id, n) -> (id, Json.Int n))
+             a.Runner.changed_components) );
+    ]
+
+(* The whole Obs registry as JSON, one member per metric (sorted by
+   name, as in the Prometheus rendering). *)
+let metrics_json () =
+  let value_json = function
+    | Obs.Counter_value n -> Json.Int n
+    | Obs.Gauge_value v -> Json.Float v
+    | Obs.Histogram_value { bounds; counts; sum; count } ->
+        let buckets =
+          List.init (Array.length counts) (fun i ->
+              ( (if i < Array.length bounds then Fmt.str "%g" bounds.(i)
+                 else "+Inf"),
+                Json.Int counts.(i) ))
+        in
+        Json.Obj
+          [
+            ("sum", Json.Float sum);
+            ("count", Json.Int count);
+            ("buckets", Json.Obj buckets);
+          ]
+  in
+  Json.Obj
+    (List.map
+       (fun s -> (s.Obs.name, value_json s.Obs.value))
+       (Obs.snapshot ()))
+
+let error_json msg = Json.to_string (Json.Obj [ ("error", Json.String msg) ])
+
+let metric_slug name =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
+    name
+
+let handle t line =
+  match Json.parse line with
+  | Error msg -> (error_json msg, Continue)
+  | Ok json -> (
+      match Option.bind (Json.member "op" json) Json.to_str with
+      | Some "stats" -> (Json.to_string (counters_json t.config), Continue)
+      | Some "metrics" ->
+          ( Json.to_string
+              (Json.Obj
+                 [
+                   ("metrics", metrics_json ());
+                   ("prometheus", Json.String (Obs.render_prometheus ()));
+                 ]),
+            Continue )
+      | Some "quit" ->
+          (Json.to_string (Json.Obj [ ("ok", Json.Bool true) ]), Quit)
+      | Some op -> (error_json (Printf.sprintf "unknown op %S" op), Continue)
+      | None -> (
+          match Job.request_of_json json with
+          | Error msg -> (error_json msg, Continue)
+          | Ok req ->
+              ( Json.to_string (Job.outcome_to_json (Runner.run t.config req)),
+                Continue )))

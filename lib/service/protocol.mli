@@ -1,0 +1,38 @@
+(** The service request protocol, independent of any transport.
+
+    One request line in, one reply line out: requests are single-line
+    JSON documents; an object with an ["op"] field is a control request
+    ([stats], [metrics], [quit]), anything else is decoded as an
+    analysis request ({!Job.request_of_json}) and run.  The stdio
+    {!Server} loop, the socket listener and the sim-fabric endpoints
+    all feed the same [handle] — which is what makes the protocol
+    testable on the fault fabric and deployable over sockets without
+    divergence. *)
+
+type t
+
+type reaction =
+  | Continue
+  | Quit  (** the peer asked the serving loop to stop *)
+
+val create : Runner.config -> t
+(** A protocol instance answering with [config]'s runner stack. *)
+
+val config : t -> Runner.config
+
+val handle : t -> string -> string * reaction
+(** [handle t line] answers one request.  Never raises: malformed JSON,
+    unknown ops and failed jobs all come back as JSON replies
+    ([{"error": ...}] or a [Failed] outcome).  Blank input is an error
+    reply (framing layers skip blank lines before calling). *)
+
+val counters_json : Runner.config -> Json.t
+(** The cache/attribution counter object served for [{"op":"stats"}] —
+    exposed for aggregators (the {!Router} merges one per shard). *)
+
+val error_json : string -> string
+(** The canonical one-line error reply. *)
+
+val metric_slug : string -> string
+(** Map an endpoint name (possibly a socket address) to the
+    [[a-zA-Z0-9_]] alphabet Prometheus metric names allow. *)

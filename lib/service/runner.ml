@@ -54,6 +54,7 @@ type config = {
   engine : Versa.Explorer.engine;
   fragments : Translate.Fragment_cache.t option;
   attribution : attribution option;
+  on_store : (string -> Job.outcome -> unit) option;
 }
 
 let default_config =
@@ -63,6 +64,7 @@ let default_config =
     engine = Versa.Explorer.On_the_fly;
     fragments = None;
     attribution = None;
+    on_store = None;
   }
 
 let with_cache ?(capacity = 256) config =
@@ -130,7 +132,7 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let load_instance (req : Job.request) =
+let load (req : Job.request) =
   match req.source with
   | Job.Inline text -> Aadl.Instantiate.of_string ?root:req.root text
   | Job.File path ->
@@ -220,7 +222,7 @@ let run ?cancel config (req : Job.request) =
     | Some msg -> outcome (Job.Failed msg) ~states:0 ~degraded:false
     | None -> raise e
   in
-  match load_instance req with
+  match load req with
   | exception e -> failed e
   | root -> (
       let options = analysis_options config req ~now ~cancel in
@@ -262,5 +264,8 @@ let run ?cancel config (req : Job.request) =
                       | Job.Cancelled | Job.Failed _ -> ()
                       | _ ->
                           Lru.fulfill cache key.Key.merkle o;
-                          stored := true);
+                          stored := true;
+                          match config.on_store with
+                          | Some f -> f key.Key.merkle o
+                          | None -> ());
                       o))))

@@ -42,6 +42,12 @@ type config = {
           fragment per job *)
   attribution : attribution option;
       (** miss-attribution state; [None] disables attribution *)
+  on_store : (string -> Job.outcome -> unit) option;
+      (** called with [(merkle key, outcome)] right after an outcome is
+          stored in the cache — the hook the {!Journal} persists
+          through.  Runs on the worker that computed the job, inside
+          nothing but the job itself (the cache lease is already
+          released), so it may do I/O. *)
 }
 
 val default_config : config
@@ -57,6 +63,12 @@ val attribution_counters : config -> attribution_counters
 
 val pp_attribution : attribution_counters Fmt.t
 (** ["N novel, N options-only; changed: id (n), ..."]. *)
+
+val load : Job.request -> Aadl.Instance.t
+(** Load and instantiate the request's model — inline text, [.aadl]
+    file, or instance [.xml] — without running anything.  Raises the
+    load/parse errors that {!run} folds into [Failed] outcomes; the
+    {!Router} uses this to compute routing keys. *)
 
 val run : ?cancel:(unit -> bool) -> config -> Job.request -> Job.outcome
 (** Run one job to completion:

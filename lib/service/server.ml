@@ -1,60 +1,5 @@
-(* Line-oriented JSON request loop.  See server.mli for the protocol. *)
-
-let counters_json (config : Runner.config) =
-  let c =
-    match config.cache with
-    | Some cache -> Lru.counters cache
-    | None ->
-        { Lru.hits = 0; misses = 0; evictions = 0; size = 0; capacity = 0 }
-  in
-  let a = Runner.attribution_counters config in
-  Json.Obj
-    [
-      ("hits", Json.Int c.Lru.hits);
-      ("misses", Json.Int c.Lru.misses);
-      ("evictions", Json.Int c.Lru.evictions);
-      ("size", Json.Int c.Lru.size);
-      ("capacity", Json.Int c.Lru.capacity);
-      ("novel_misses", Json.Int a.Runner.novel);
-      ("options_only_misses", Json.Int a.Runner.options_only);
-      ( "changed_components",
-        Json.Obj
-          (List.map
-             (fun (id, n) -> (id, Json.Int n))
-             a.Runner.changed_components) );
-    ]
-
-(* The whole Obs registry as JSON, one member per metric (sorted by
-   name, as in the Prometheus rendering). *)
-let metrics_json () =
-  let value_json = function
-    | Obs.Counter_value n -> Json.Int n
-    | Obs.Gauge_value v -> Json.Float v
-    | Obs.Histogram_value { bounds; counts; sum; count } ->
-        let buckets =
-          List.init (Array.length counts) (fun i ->
-              ( (if i < Array.length bounds then Fmt.str "%g" bounds.(i)
-                 else "+Inf"),
-                Json.Int counts.(i) ))
-        in
-        Json.Obj
-          [
-            ("sum", Json.Float sum);
-            ("count", Json.Int count);
-            ("buckets", Json.Obj buckets);
-          ]
-  in
-  Json.Obj
-    (List.map
-       (fun s -> (s.Obs.name, value_json s.Obs.value))
-       (Obs.snapshot ()))
-
-let respond oc json =
-  output_string oc (Json.to_string json);
-  output_char oc '\n';
-  flush oc
-
-let error msg = Json.Obj [ ("error", Json.String msg) ]
+(* Line-oriented JSON request loop over a channel pair: framing only,
+   the protocol itself lives in Protocol.  See server.mli. *)
 
 let serve ?config ic oc =
   let config =
@@ -62,39 +7,16 @@ let serve ?config ic oc =
     | Some c -> c
     | None -> Runner.with_cache Runner.default_config
   in
+  let protocol = Protocol.create config in
   let rec loop () =
     match input_line ic with
     | exception End_of_file -> ()
     | line when String.trim line = "" -> loop ()
-    | line -> (
-        match Json.parse line with
-        | Error msg ->
-            respond oc (error msg);
-            loop ()
-        | Ok json -> (
-            match Option.bind (Json.member "op" json) Json.to_str with
-            | Some "stats" ->
-                respond oc (counters_json config);
-                loop ()
-            | Some "metrics" ->
-                respond oc
-                  (Json.Obj
-                     [
-                       ("metrics", metrics_json ());
-                       ("prometheus", Json.String (Obs.render_prometheus ()));
-                     ]);
-                loop ()
-            | Some "quit" -> respond oc (Json.Obj [ ("ok", Json.Bool true) ])
-            | Some op ->
-                respond oc (error (Printf.sprintf "unknown op %S" op));
-                loop ()
-            | None -> (
-                match Job.request_of_json json with
-                | Error msg ->
-                    respond oc (error msg);
-                    loop ()
-                | Ok req ->
-                    respond oc (Job.outcome_to_json (Runner.run config req));
-                    loop ())))
+    | line ->
+        let reply, reaction = Protocol.handle protocol line in
+        output_string oc reply;
+        output_char oc '\n';
+        flush oc;
+        (match reaction with Protocol.Continue -> loop () | Protocol.Quit -> ())
   in
   loop ()

@@ -1,0 +1,97 @@
+(* An owner shard: Protocol + private cache + optional journal.  See
+   shard.mli. *)
+
+type t = {
+  name : string;
+  protocol : Protocol.t;
+  journal : Journal.t option;
+  recovery : Journal.recovery option;
+  stopping : bool Atomic.t;
+  requests : Obs.Counter.t;
+}
+
+let create ?journal ?compact_threshold ?(capacity = 256) ~name config =
+  (* Metrics are registered here, per shard, at runtime — module-level
+     registration would change the registry of every process linking
+     this library. *)
+  let requests =
+    Obs.Counter.make
+      ~help:"Requests handled by this shard"
+      (Printf.sprintf "service_shard_%s_requests_total" (Protocol.metric_slug name))
+  in
+  let opened =
+    match journal with
+    | None -> Ok None
+    | Some path -> (
+        match Journal.open_ ?compact_threshold path with
+        | Ok (j, recovery) -> Ok (Some (j, recovery))
+        | Error _ as e -> e)
+  in
+  match opened with
+  | Error msg -> Error msg
+  | Ok opened ->
+      let config = Runner.with_cache ~capacity config in
+      let journal = Option.map fst opened in
+      let recovery = Option.map snd opened in
+      (match (config.Runner.cache, recovery) with
+      | Some cache, Some r ->
+          (* Oldest-first replay leaves the most recently journalled key
+             most recently used. *)
+          List.iter (fun (key, outcome) -> Lru.add cache key outcome)
+            r.Journal.replayed;
+          Obs.Gauge.set
+            (Obs.Gauge.make
+               ~help:"Verdicts replayed from the journal at startup"
+               (Printf.sprintf "service_shard_%s_journal_replayed" (Protocol.metric_slug name)))
+            (float_of_int (List.length r.Journal.replayed))
+      | _ -> ());
+      let config =
+        match journal with
+        | None -> config
+        | Some j ->
+            let appends =
+              Obs.Counter.make
+                ~help:"Verdicts appended to this shard's journal"
+                (Printf.sprintf "service_shard_%s_journal_appends_total" (Protocol.metric_slug name))
+            in
+            {
+              config with
+              Runner.on_store =
+                Some
+                  (fun key outcome ->
+                    Journal.append j ~key outcome;
+                    Obs.Counter.incr appends);
+            }
+      in
+      Ok
+        {
+          name;
+          protocol = Protocol.create config;
+          journal;
+          recovery;
+          stopping = Atomic.make false;
+          requests;
+        }
+
+let name t = t.name
+let config t = Protocol.config t.protocol
+let journal t = t.journal
+let recovery t = t.recovery
+let stopping t = Atomic.get t.stopping
+
+let handler t line =
+  Obs.Counter.incr t.requests;
+  let reply, reaction = Protocol.handle t.protocol line in
+  (match reaction with
+  | Protocol.Quit -> Atomic.set t.stopping true
+  | Protocol.Continue -> ());
+  reply
+
+let register t transport = Transport.serve transport t.name (handler t)
+
+let close t =
+  match t.journal with
+  | Some j ->
+      Journal.sync j;
+      Journal.close j
+  | None -> ()

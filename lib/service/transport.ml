@@ -1,0 +1,31 @@
+(* Transport signature and the packed-existential wrapper.  See
+   transport.mli. *)
+
+type error = Timeout | No_endpoint of string | Unreachable of string
+
+let error_message = function
+  | Timeout -> "timeout"
+  | No_endpoint name -> Printf.sprintf "no endpoint %S" name
+  | Unreachable why -> Printf.sprintf "unreachable: %s" why
+
+module type S = sig
+  type t
+
+  val serve : t -> string -> (string -> string) -> unit
+
+  val call :
+    t ->
+    ?timeout:float ->
+    src:string ->
+    dst:string ->
+    string ->
+    (string, error) result
+end
+
+type t = Endpoint : (module S with type t = 'a) * 'a -> t
+
+let serve (Endpoint ((module M), transport)) name handler =
+  M.serve transport name handler
+
+let call (Endpoint ((module M), transport)) ?timeout ~src ~dst payload =
+  M.call transport ?timeout ~src ~dst payload

@@ -1,0 +1,63 @@
+(** The transport abstraction the distributed service is written
+    against.
+
+    A transport connects named {e endpoints}: [serve] registers a
+    handler under a name, [call] sends one request string and waits for
+    the one reply string.  The protocol actors ({!Router}, {!Shard})
+    are transport-agnostic — the same state machine runs over
+    {!Transport_sim} (the {!Timed.Fabric} fault-injectable in-process
+    fabric, for deterministic protocol testing in virtual time) and
+    over {!Transport_socket} (Unix-domain or TCP sockets, for real
+    deployments).  Payloads are single-line JSON documents, the same
+    wire schema as the stdio [serve] loop; the transport neither
+    inspects nor escapes them, it only promises they arrive whole.
+
+    Delivery guarantees are deliberately weak — the least common
+    denominator of the two implementations: a [call] may time out, the
+    named endpoint may not exist, and under the sim fabric a request
+    may be delivered {e more than once} (at-least-once semantics).
+    Handlers must therefore be idempotent; the verdict cache's
+    single-flight leases and the journal's last-write-wins replay give
+    the shards exactly that. *)
+
+type error =
+  | Timeout  (** no reply within the caller's budget *)
+  | No_endpoint of string  (** the destination name is not registered *)
+  | Unreachable of string
+      (** the transport itself failed (connection refused, broken pipe,
+          unparseable address); the payload names the cause *)
+
+val error_message : error -> string
+(** A one-line human-readable rendering. *)
+
+(** What an implementation must provide. *)
+module type S = sig
+  type t
+
+  val serve : t -> string -> (string -> string) -> unit
+  (** [serve t name handler] registers (or replaces) endpoint [name].
+      The handler runs once per delivered request and may itself
+      perform calls on the same transport (multi-hop). *)
+
+  val call :
+    t ->
+    ?timeout:float ->
+    src:string ->
+    dst:string ->
+    string ->
+    (string, error) result
+  (** [call t ~src ~dst payload] sends [payload] to endpoint [dst] and
+      waits for its reply.  [src] names the caller — the sim fabric
+      uses it to pick the fault link, the socket transport only logs
+      it.  Without [timeout] a lost message waits forever. *)
+end
+
+type t = Endpoint : (module S with type t = 'a) * 'a -> t
+(** A transport packed with its implementation — the protocol actors
+    hold one of these and never see which side of the sim/socket split
+    they run on. *)
+
+val serve : t -> string -> (string -> string) -> unit
+val call :
+  t -> ?timeout:float -> src:string -> dst:string -> string ->
+  (string, error) result

@@ -1,0 +1,16 @@
+(* Transport over Timed.Fabric: a direct adapter, faults and all. *)
+
+module Impl = struct
+  type t = Timed.Fabric.t
+
+  let serve fabric name handler = Timed.Fabric.serve fabric name handler
+
+  let call fabric ?timeout ~src ~dst payload =
+    match Timed.Fabric.call fabric ?timeout ~src ~dst payload with
+    | Ok reply -> Ok reply
+    | Error Timed.Fabric.Timeout -> Error Transport.Timeout
+    | Error (Timed.Fabric.No_endpoint name) ->
+        Error (Transport.No_endpoint name)
+end
+
+let make fabric = Transport.Endpoint ((module Impl), fabric)

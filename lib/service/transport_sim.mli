@@ -1,0 +1,10 @@
+(** {!Transport} over the {!Timed.Fabric} simulated RPC fabric.
+
+    Calls must run from tasks on the fabric's simulator (they suspend on
+    the event queue); faults, delays and duplicate deliveries follow the
+    fabric's seeded schedule, so any protocol exchange over this
+    transport replays bit-identically from the seed.  This is the
+    transport the router/shard state machine is tested against before
+    it ever touches a socket. *)
+
+val make : Timed.Fabric.t -> Transport.t

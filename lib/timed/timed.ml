@@ -263,7 +263,14 @@ module Fabric = struct
 
   let ideal = { delay = 0.; jitter = 0.; drop = 0.; duplicate = 0.; reorder = 0. }
 
-  type kind = Send | Deliver | Drop | Duplicate | Reply_late | Expired
+  type kind =
+    | Send
+    | Deliver
+    | Drop
+    | Duplicate
+    | Reply_late
+    | Expired
+    | Link_change
 
   type event = {
     at : float;
@@ -297,6 +304,28 @@ module Fabric = struct
 
   let serve t name handler = Hashtbl.replace t.endpoints name handler
   let link t ~src ~dst faults = Hashtbl.replace t.links (src, dst) faults
+
+  (* A link's fault profile stepping at a virtual timestamp.  The change
+     is an ordinary simulator event, so it interleaves deterministically
+     with traffic; it draws nothing from the fault PRNG, so the random
+     stream of the transmissions themselves stays aligned across
+     schedules that only differ in their step times. *)
+  let schedule t ~at ~src ~dst faults =
+    Sim.schedule t.sim ~at (fun () ->
+        t.log_rev <-
+          {
+            at = Sim.now t.sim;
+            msg = -1;
+            src;
+            dst;
+            kind = Link_change;
+            payload =
+              Printf.sprintf "delay=%g jitter=%g drop=%g dup=%g reorder=%g"
+                faults.delay faults.jitter faults.drop faults.duplicate
+                faults.reorder;
+          }
+          :: t.log_rev;
+        link t ~src ~dst faults)
 
   let faults_for t src dst =
     Option.value ~default:ideal (Hashtbl.find_opt t.links (src, dst))
@@ -368,6 +397,7 @@ module Fabric = struct
     | Duplicate -> "duplicate"
     | Reply_late -> "reply-late"
     | Expired -> "expired"
+    | Link_change -> "link-change"
 
   let pp_event ppf e =
     Fmt.pf ppf "%.6f #%d %s->%s %s %S" e.at e.msg e.src e.dst

@@ -161,6 +161,15 @@ module Fabric : sig
   val link : t -> src:string -> dst:string -> faults -> unit
   (** Configure the directional link [src -> dst]. *)
 
+  val schedule : t -> at:float -> src:string -> dst:string -> faults -> unit
+  (** [schedule t ~at ~src ~dst faults] arranges for the [src -> dst]
+      link to switch to [faults] at virtual time [at] — a partition that
+      heals, a burst of loss that starts mid-run.  The step is an
+      ordinary simulator event (deterministic interleaving with
+      traffic), draws nothing from the fault PRNG, and is recorded in
+      the {!log} as a {!Link_change} event.  Messages already in flight
+      keep the profile they were sent under. *)
+
   type error = Timeout | No_endpoint of string
 
   val call :
@@ -184,6 +193,7 @@ module Fabric : sig
     | Duplicate  (** a second delivery of this message was scheduled *)
     | Reply_late  (** reply arrived after the call already completed *)
     | Expired  (** the caller gave up waiting *)
+    | Link_change  (** a {!schedule}d fault-profile step took effect *)
 
   type event = {
     at : float;
@@ -196,5 +206,6 @@ module Fabric : sig
 
   val log : t -> event list
   val log_lines : t -> string list
+  val kind_name : kind -> string
   val pp_event : Format.formatter -> event -> unit
 end

@@ -1,0 +1,73 @@
+The distributed service pieces that are deterministic enough for a cram
+test: the persistent verdict journal over the stdio conversation, and
+the route debug op resolved without any analysis running.
+
+  $ cat > light.aadl <<'AADL'
+  > processor cpu
+  > properties
+  >   Scheduling_Protocol => RATE_MONOTONIC_PROTOCOL;
+  > end cpu;
+  > thread t1
+  > properties
+  >   Dispatch_Protocol => Periodic;
+  >   Period => 4 ms;
+  >   Compute_Execution_Time => 1 ms;
+  >   Compute_Deadline => 4 ms;
+  > end t1;
+  > system s
+  > end s;
+  > system implementation s.impl
+  > subcomponents
+  >   cpu1: processor cpu;
+  >   a: thread t1;
+  > properties
+  >   Actual_Processor_Binding => reference (cpu1) applies to a;
+  > end s.impl;
+  > AADL
+
+A first serve session analyzes the model (a cache miss) and journals
+the verdict:
+
+  $ echo '{"id":"first","file":"light.aadl"}' \
+  >   | aadl_sched serve --journal verdicts.journal \
+  >   | sed -E 's/"wall_s":[0-9.e+-]+/"wall_s":T/'
+  {"id":"first","verdict":"schedulable","states":7,"cached":false,"degraded":false,"wall_s":T}
+
+The journal now exists and starts with its magic header:
+
+  $ head -c 8 verdicts.journal && echo
+  AADLJRN1
+
+A second session — a fresh process — replays the journal into its cache
+before reading requests, so the same model is answered as a cache hit
+without re-exploring:
+
+  $ echo '{"id":"again","file":"light.aadl"}' \
+  >   | aadl_sched serve --journal verdicts.journal \
+  >   | sed -E 's/"wall_s":[0-9.e+-]+/"wall_s":T/'
+  {"id":"again","verdict":"schedulable","states":7,"cached":true,"degraded":false,"wall_s":T}
+
+Stats confirm it: one hit, zero misses, the entry was already there.
+
+  $ printf '%s\n%s\n' \
+  >   '{"id":"warm","file":"light.aadl"}' '{"op":"stats"}' \
+  >   | aadl_sched serve --journal verdicts.journal \
+  >   | sed -E 's/"wall_s":[0-9.e+-]+/"wall_s":T/'
+  {"id":"warm","verdict":"schedulable","states":7,"cached":true,"degraded":false,"wall_s":T}
+  {"hits":1,"misses":0,"evictions":0,"size":1,"capacity":256,"novel_misses":0,"options_only_misses":0,"changed_components":{}}
+
+A router over stdio answers the route op — which shard of the ring owns
+the request's cache key — without contacting any shard.  (The shards
+listed here don't exist; routing is pure hashing.)
+
+  $ echo '{"op":"route","id":"r","file":"light.aadl"}' \
+  >   | aadl_sched serve --route-to unix:/tmp/s0.sock,unix:/tmp/s1.sock \
+  >   | sed -E 's/"key":"[0-9a-f]+"/"key":"H"/'
+  {"shard":"unix:/tmp/s1.sock","key":"H"}
+
+And the same request always routes to the same shard:
+
+  $ echo '{"op":"route","id":"r2","file":"light.aadl"}' \
+  >   | aadl_sched serve --route-to unix:/tmp/s0.sock,unix:/tmp/s1.sock \
+  >   | sed -E 's/"key":"[0-9a-f]+"/"key":"H"/'
+  {"shard":"unix:/tmp/s1.sock","key":"H"}
