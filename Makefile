@@ -38,6 +38,15 @@ lint-invariants:
 	  echo "lint-invariants: Unix.socket outside transport_socket.ml:"; \
 	  echo "$$bad"; exit 1; \
 	fi
+	@missing=$$(grep -rhoE '"(versa|service|translate|analysis|runtime)_[a-z0-9_]+"' \
+	  lib bin bench --include='*.ml' | tr -d '"' | sort -u \
+	  | while read -r name; do \
+	      grep -q "$$name" test/cli/obs.t || echo "$$name"; \
+	    done); \
+	if [ -n "$$missing" ]; then \
+	  echo "lint-invariants: metric names missing from the pinned catalogue in test/cli/obs.t:"; \
+	  echo "$$missing"; exit 1; \
+	fi
 	@echo "lint-invariants: ok"
 
 doc:
@@ -95,9 +104,10 @@ bench-reduction:
 	dune exec bench/main.exe -- reduction
 
 # Observability overhead gate: exploring the largest example with the
-# metrics registry enabled must cost no more than 5% over a muted
-# registry (tracing off in both runs).  Writes BENCH_obs.json; exits
-# non-zero past the tolerance — part of `make check`.
+# metrics registry enabled, and again with span tracing active on top,
+# must each cost no more than 5% over a muted registry.  Writes both
+# rows into BENCH_obs.json; exits non-zero past the tolerance — part
+# of `make check`.
 bench-obs:
 	dune exec bench/main.exe -- obs
 

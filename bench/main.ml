@@ -1497,7 +1497,7 @@ let obs_gauge name =
   | _ -> 0.
 
 let obs_section ~json_path () =
-  hr "OBS: instrumentation overhead (metrics on vs muted, tracing off)";
+  hr "OBS: instrumentation overhead (muted vs metrics vs metrics+tracing)";
   let defs, system = translate_text (Gen.avionics ()) in
   let config =
     {
@@ -1527,20 +1527,32 @@ let obs_section ~json_path () =
   Obs.set_enabled false;
   let wall_off = best_of run in
   Obs.set_enabled true;
+  (* third row: metrics AND span tracing on — the tracer buffers events
+     in memory, and buffering a full exploration must also stay inside
+     the same envelope *)
+  Obs.Trace.start ();
+  let wall_trace = best_of run in
+  Obs.Trace.stop ();
   let states_per_run =
-    (obs_counter "versa_explore_states_total" - states_before) / rounds
+    (obs_counter "versa_explore_states_total" - states_before) / (2 * rounds)
   in
   let overhead = (wall_on -. wall_off) /. max wall_off 1e-9 in
+  let overhead_trace = (wall_trace -. wall_off) /. max wall_off 1e-9 in
   (* 5% relative + 50ms absolute: the relative bound is the contract,
      the absolute slack keeps sub-second runs from failing on scheduler
      noise *)
-  let ok = wall_on <= (wall_off *. 1.05) +. 0.05 in
+  let ok_metrics = wall_on <= (wall_off *. 1.05) +. 0.05 in
+  let ok_trace = wall_trace <= (wall_off *. 1.05) +. 0.05 in
+  let ok = ok_metrics && ok_trace in
   Fmt.pr "model: avionics, %d states per exhaustive check (from registry)@."
     states_per_run;
   Fmt.pr "metrics on:    best of %d  %.3fs@." rounds wall_on;
   Fmt.pr "metrics muted: best of %d  %.3fs@." rounds wall_off;
-  Fmt.pr "overhead: %+.1f%% (gate: <= 5%% + 50ms slack) — %s@."
+  Fmt.pr "tracing on:    best of %d  %.3fs@." rounds wall_trace;
+  Fmt.pr "overhead: metrics %+.1f%%, tracing %+.1f%% (gate: <= 5%% + 50ms \
+          slack) — %s@."
     (100. *. overhead)
+    (100. *. overhead_trace)
     (if ok then "OK" else "FAIL");
   Fmt.pr "registry after the instrumented runs: %d explorations, last at \
           %.0f states/sec, peak frontier %.0f@."
@@ -1553,16 +1565,37 @@ let obs_section ~json_path () =
         ("benchmark", Service.Json.String "observability overhead gate");
         ( "note",
           Service.Json.String
-            "exhaustive on-the-fly check of the avionics model, metrics \
-             registry enabled vs muted, tracing off; best-of-N wall times" );
+            "exhaustive on-the-fly check of the avionics model: metrics \
+             registry muted vs enabled vs enabled-with-span-tracing; \
+             best-of-N wall times, each instrumented row gated against \
+             the muted baseline" );
         ("model", Service.Json.String "avionics");
         ("rounds", Service.Json.Int rounds);
         ("states_per_run", Service.Json.Int states_per_run);
         ("wall_on_s", Service.Json.Float wall_on);
         ("wall_off_s", Service.Json.Float wall_off);
+        ("wall_trace_s", Service.Json.Float wall_trace);
         ("overhead_fraction", Service.Json.Float overhead);
         ("tolerance_fraction", Service.Json.Float 0.05);
         ("absolute_slack_s", Service.Json.Float 0.05);
+        ( "rows",
+          Service.Json.List
+            [
+              Service.Json.Obj
+                [
+                  ("row", Service.Json.String "metrics");
+                  ("wall_s", Service.Json.Float wall_on);
+                  ("overhead_fraction", Service.Json.Float overhead);
+                  ("ok", Service.Json.Bool ok_metrics);
+                ];
+              Service.Json.Obj
+                [
+                  ("row", Service.Json.String "metrics+tracing");
+                  ("wall_s", Service.Json.Float wall_trace);
+                  ("overhead_fraction", Service.Json.Float overhead_trace);
+                  ("ok", Service.Json.Bool ok_trace);
+                ];
+            ] );
         ("ok", Service.Json.Bool ok);
       ]
   in

@@ -169,11 +169,50 @@ let with_trace trace f =
           Fmt.epr "trace written to %s@." path)
         f
 
+(* JSON-lines structured logs: every line carries the ambient-clock
+   timestamp, the process's trace node name, and — inside a span — the
+   trace/span correlation ids. *)
+let log_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log-json" ] ~docv:"FILE"
+        ~doc:
+          "Emit JSON-lines structured logs to $(docv) ($(b,-) for \
+           stderr).  Every line carries a timestamp, the process's node \
+           name and, when produced inside a span, the trace/span \
+           correlation ids — grep a trace_id here to follow one request \
+           through the logs of every process.")
+
+let with_log_json log_json f =
+  match log_json with
+  | None -> f ()
+  | Some path ->
+      let oc = if path = "-" then stderr else open_out path in
+      Obs.Log.set_output (Some oc);
+      Fun.protect
+        ~finally:(fun () ->
+          Obs.Log.set_output None;
+          if path <> "-" then close_out_noerr oc)
+        f
+
+let metrics_listen_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-listen" ] ~docv:"ADDR"
+        ~doc:
+          "Serve this process's metrics registry over HTTP at \
+           $(b,unix:PATH) or $(b,tcp:HOST:PORT): $(b,GET /metrics) \
+           answers the Prometheus text exposition, $(b,GET /health) the \
+           same JSON object as the $(b,health) op.")
+
 (* The --stats rendering: the metrics registry is the single source of
    truth, so every layer's counters appear here, one per line, sorted by
    name (same names as the Prometheus exposition and the serve 'metrics'
    op). *)
 let print_registry () =
+  Obs.sample_gc ();
   Fmt.pr "@.== metrics ==@.";
   List.iter
     (fun s ->
@@ -888,16 +927,29 @@ let batch_summary_json (config : Service.Runner.config)
    manifest order.  Analysis happens remotely, so the local summary has
    no cache section — ask the service with {"op":"stats"}. *)
 let run_batch_connect addr requests stats =
+  Obs.Trace.set_node "client";
   let socket = Service.Transport_socket.create () in
   let t0 = Timed.Clock.gettimeofday () in
+  let call_one (r : Service.Job.request) =
+    (* Inside the span, the ambient context is this request's root, so
+       the forwarded line carries it and the service's child spans
+       transitively parent here. *)
+    let json = Service.Job.request_to_json r in
+    let json =
+      if Obs.Trace.active () then
+        Service.Protocol.set_trace json (Obs.Context.current ())
+      else json
+    in
+    let line = Service.Json.to_string json in
+    Obs.Log.emit ~fields:[ ("id", r.id); ("dst", addr) ] "client.request";
+    Service.Transport_socket.call socket ~src:"batch" ~dst:addr line
+  in
   let outcomes =
     List.map
       (fun (r : Service.Job.request) ->
-        let line =
-          Service.Json.to_string (Service.Job.request_to_json r)
-        in
         match
-          Service.Transport_socket.call socket ~src:"batch" ~dst:addr line
+          Obs.Span.with_ ~name:"client.request" ~attrs:[ ("id", r.id) ]
+            (fun () -> call_one r)
         with
         | Error e ->
             {
@@ -963,7 +1015,8 @@ let run_batch_connect addr requests stats =
   else 0
 
 let run_batch manifest workers engine no_cache cache_size timeout stats trace
-    connect =
+    connect log_json =
+  with_log_json log_json @@ fun () ->
   with_trace trace @@ fun () ->
   let contents =
     try
@@ -1080,7 +1133,7 @@ let batch_cmd =
     Term.(
       const run_batch $ manifest_arg $ workers_arg $ engine_arg
       $ no_cache_arg $ cache_size_arg $ timeout_arg $ stats_arg $ trace_arg
-      $ connect_arg)
+      $ connect_arg $ log_json_arg)
 
 (* {2 distributed mode: socket endpoints} *)
 
@@ -1159,8 +1212,24 @@ let split_addrs s =
   String.split_on_char ',' s |> List.map String.trim
   |> List.filter (fun a -> a <> "")
 
+(* Bind the --metrics-listen scrape endpoint on [socket], fatal on a bad
+   or unbindable address (a silent scrape endpoint would be worse than
+   none). *)
+let start_scrape socket metrics_listen ~health =
+  match metrics_listen with
+  | None -> ()
+  | Some addr -> (
+      try Service.Scrape.start socket ~addr ~health with
+      | Invalid_argument msg ->
+          Fmt.epr "metrics-listen: %s@." msg;
+          exit 2
+      | Unix.Unix_error (e, _, _) ->
+          Fmt.epr "metrics-listen: %s: %s@." addr (Unix.error_message e);
+          exit 2)
+
 let run_serve engine no_cache cache_size exploration_jobs trace listen
-    route_to journal =
+    route_to journal metrics_listen log_json =
+  with_log_json log_json @@ fun () ->
   with_trace trace @@ fun () ->
   match route_to with
   | Some addrs -> (
@@ -1171,12 +1240,15 @@ let run_serve engine no_cache cache_size exploration_jobs trace listen
           Fmt.epr "serve: --route-to needs at least one address@.";
           2
       | shards -> (
+          Obs.Trace.set_node "router";
           let socket = Service.Transport_socket.create () in
           let transport = Service.Transport_socket.make socket in
           let router =
             Service.Router.create ?name:listen ~shards transport
           in
           let stopping () = Service.Router.stopping router in
+          start_scrape socket metrics_listen ~health:(fun () ->
+              Service.Json.to_string (Service.Router.health_json router));
           match listen with
           | None ->
               stdio_handler_loop (Service.Router.handler router) stopping;
@@ -1191,6 +1263,7 @@ let run_serve engine no_cache cache_size exploration_jobs trace listen
               serve_until_quit socket stopping;
               0))
   | None -> (
+      Obs.Trace.set_node "serve";
       match listen with
       | None when journal <> None -> (
           (* stdio conversation, but with the shard stack so verdicts
@@ -1206,15 +1279,27 @@ let run_serve engine no_cache cache_size exploration_jobs trace listen
               Fmt.epr "serve: %s@." msg;
               2
           | Ok shard ->
+              let scrape_socket = Service.Transport_socket.create () in
+              start_scrape scrape_socket metrics_listen ~health:(fun () ->
+                  Service.Shard.health shard);
               stdio_handler_loop (Service.Shard.handler shard) (fun () ->
                   Service.Shard.stopping shard);
+              Service.Transport_socket.stop scrape_socket;
               Service.Shard.close shard;
               0)
       | None ->
           let config =
             service_config engine no_cache cache_size exploration_jobs
           in
+          (* The scrape health view shares [config] — and so the live
+             cache — with the serving loop's own protocol instance. *)
+          let health_protocol = Service.Protocol.create ~name:"serve" config in
+          let scrape_socket = Service.Transport_socket.create () in
+          start_scrape scrape_socket metrics_listen ~health:(fun () ->
+              Service.Json.to_string
+                (Service.Protocol.health_json health_protocol));
           Service.Server.serve ~config stdin stdout;
+          Service.Transport_socket.stop scrape_socket;
           0
       | Some addr -> (
           (* Single-shard socket service.  A shard always caches (the
@@ -1250,6 +1335,8 @@ let run_serve engine no_cache cache_size exploration_jobs trace listen
               | Unix.Unix_error (e, _, _) ->
                   Fmt.epr "serve: %s: %s@." addr (Unix.error_message e);
                   exit 2);
+              start_scrape socket metrics_listen ~health:(fun () ->
+                  Service.Shard.health shard);
               serve_until_quit socket (fun () ->
                   Service.Shard.stopping shard);
               Service.Shard.close shard;
@@ -1266,18 +1353,25 @@ let serve_cmd =
           (JSON plus a Prometheus text exposition); $(b,{\"op\": \"quit\"}) \
           ends the session.  With $(b,--listen) the same conversation is \
           served on a socket; with $(b,--route-to) this process routes \
-          requests across shard endpoints instead of analyzing locally.")
+          requests across shard endpoints instead of analyzing locally.  \
+          $(b,--metrics-listen) additionally serves the process metrics \
+          over HTTP for scraping.")
     Term.(
       const run_serve $ engine_arg $ no_cache_arg $ cache_size_arg $ jobs_arg
-      $ trace_arg $ listen_arg $ route_to_arg $ journal_arg)
+      $ trace_arg $ listen_arg $ route_to_arg $ journal_arg
+      $ metrics_listen_arg $ log_json_arg)
 
 let run_shard listen journal shard_name cache_size engine exploration_jobs
-    trace =
+    trace metrics_listen log_json =
+  with_log_json log_json @@ fun () ->
   with_trace trace @@ fun () ->
   let base =
     { Service.Runner.default_config with engine; jobs = exploration_jobs }
   in
   let name = Option.value ~default:listen shard_name in
+  (* Node names end up in trace-context headers, which are split on
+     '/', so slug the address ("unix:/tmp/x.sock" and the like). *)
+  Obs.Trace.set_node (Service.Protocol.metric_slug name);
   match Service.Shard.create ?journal ~capacity:cache_size ~name base with
   | Error msg ->
       Fmt.epr "shard: %s@." msg;
@@ -1301,6 +1395,8 @@ let run_shard listen journal shard_name cache_size engine exploration_jobs
       | Unix.Unix_error (e, _, _) ->
           Fmt.epr "shard: %s: %s@." listen (Unix.error_message e);
           exit 2);
+      start_scrape socket metrics_listen ~health:(fun () ->
+          Service.Shard.health shard);
       serve_until_quit socket (fun () -> Service.Shard.stopping shard);
       Service.Shard.close shard;
       0
@@ -1323,7 +1419,160 @@ let shard_cmd =
           & info [ "listen" ] ~docv:"ADDR"
               ~doc:"Socket address to serve: unix:PATH or tcp:HOST:PORT.")
       $ journal_arg $ shard_name_arg $ cache_size_arg $ engine_arg $ jobs_arg
-      $ trace_arg)
+      $ trace_arg $ metrics_listen_arg $ log_json_arg)
+
+(* {1 cluster-stats} *)
+
+(* Pull the {"op": "cluster-stats"} view from a live endpoint (router or
+   single shard — the reply shape is the same) and render it as a table:
+   one row per shard, then the router's own forwarding counters. *)
+let run_cluster_stats addr with_metrics raw =
+  let socket = Service.Transport_socket.create () in
+  let request =
+    Service.Json.to_string
+      (Service.Json.Obj
+         ([ ("op", Service.Json.String "cluster-stats") ]
+         @
+         if with_metrics then
+           [ ("with_metrics", Service.Json.Bool true) ]
+         else []))
+  in
+  let reply =
+    Service.Transport_socket.call socket ~src:"cluster-stats" ~dst:addr
+      request
+  in
+  Service.Transport_socket.stop socket;
+  match reply with
+  | Error e ->
+      Fmt.epr "cluster-stats: %s: %s@." addr
+        (Service.Transport.error_message e);
+      2
+  | Ok line when raw ->
+      print_endline line;
+      0
+  | Ok line -> (
+      match Service.Json.parse line with
+      | Error msg ->
+          Fmt.epr "cluster-stats: bad reply: %s@." msg;
+          2
+      | Ok json ->
+          let open Service.Json in
+          let int_of j = Option.value ~default:0 (Option.bind j to_int) in
+          let float_of j =
+            Option.value ~default:0. (Option.bind j to_float)
+          in
+          let str_of j =
+            Option.value ~default:"-" (Option.bind j to_str)
+          in
+          let reachable = int_of (member "reachable" json) in
+          let shard_count = int_of (member "shard_count" json) in
+          Fmt.pr "cluster: %d/%d shards reachable@." reachable shard_count;
+          let shards =
+            match member "shards" json with Some (Obj kvs) -> kvs | _ -> []
+          in
+          Fmt.pr "%-28s %5s %7s %9s %7s %12s %9s@." "SHARD" "UP" "QUEUE"
+            "HIT%" "CACHE" "JOURNAL(B)" "UPTIME";
+          List.iter
+            (fun (name, entry) ->
+              let up =
+                Option.value ~default:false
+                  (Option.bind (member "reachable" entry) to_bool)
+              in
+              if not up then
+                Fmt.pr "%-28s %5s %7s %9s %7s %12s %9s  %s@." name "down"
+                  "-" "-" "-" "-" "-"
+                  (str_of (member "error" entry))
+              else
+                let h =
+                  Option.value ~default:(Obj []) (member "health" entry)
+                in
+                let cache =
+                  Option.value ~default:(Obj []) (member "cache" h)
+                in
+                let journal_bytes =
+                  match member "journal" h with
+                  | Some j -> string_of_int (int_of (member "bytes" j))
+                  | None -> "-"
+                in
+                Fmt.pr "%-28s %5s %7.0f %8.1f%% %7d %12s %8.1fs@." name "up"
+                  (float_of (member "queue_depth" h))
+                  (100. *. float_of (member "hit_ratio" cache))
+                  (int_of (member "size" cache))
+                  journal_bytes
+                  (float_of (member "uptime_s" h)))
+            shards;
+          (match member "router" json with
+          | Some r ->
+              Fmt.pr "router %s: %d requests, %d retries, %d failovers@."
+                (str_of (member "endpoint" r))
+                (int_of (member "requests" r))
+                (int_of (member "retries" r))
+                (int_of (member "failovers" r))
+          | None -> ());
+          if reachable < shard_count then 1 else 0)
+
+let cluster_stats_cmd =
+  Cmd.v
+    (Cmd.info "cluster-stats"
+       ~doc:
+         "Aggregated cluster health: ask a live endpoint (a $(b,serve \
+          --route-to) router, or any single shard) for $(b,{\"op\": \
+          \"cluster-stats\"}) and render the merged per-shard view — \
+          reachability, queue depth, verdict-cache hit ratio, journal \
+          size, uptime — plus the router's forwarding counters.  Exits 1 \
+          when some shards are unreachable.")
+    Term.(
+      const run_cluster_stats
+      $ Arg.(
+          required
+          & opt (some string) None
+          & info [ "connect" ] ~docv:"ADDR"
+              ~doc:
+                "Endpoint to query: $(b,unix:PATH) or $(b,tcp:HOST:PORT).")
+      $ Arg.(
+          value & flag
+          & info [ "metrics" ]
+              ~doc:
+                "Also collect each shard's full metrics registry (only \
+                 visible with $(b,--json)).")
+      $ Arg.(
+          value & flag
+          & info [ "json" ] ~doc:"Print the raw JSON reply, not the table."))
+
+(* {1 trace-merge} *)
+
+let run_trace_merge out inputs =
+  match Obs.Trace_merge.merge_files ~out inputs with
+  | nproc, nevents ->
+      Fmt.epr "trace-merge: %d processes, %d events -> %s@." nproc nevents
+        out;
+      0
+  | exception Obs.Trace_merge.Parse_error msg ->
+      Fmt.epr "trace-merge: %s@." msg;
+      2
+  | exception Sys_error msg ->
+      Fmt.epr "trace-merge: %s@." msg;
+      2
+
+let trace_merge_cmd =
+  Cmd.v
+    (Cmd.info "trace-merge"
+       ~doc:
+         "Merge per-process $(b,--trace) files (client, router, shards) \
+          into one Chrome/Perfetto trace: one named process track per \
+          input, timestamps aligned on the recorded wall-clock epochs, \
+          spans linked across processes by their trace/span ids.")
+    Term.(
+      const run_trace_merge
+      $ Arg.(
+          value
+          & opt string "trace-merged.json"
+          & info [ "o"; "output" ] ~docv:"OUT"
+              ~doc:"Merged trace output file.")
+      $ Arg.(
+          non_empty
+          & pos_all file []
+          & info [] ~docv:"TRACE" ~doc:"Per-process trace JSON files."))
 
 (* {1 main} *)
 
@@ -1347,6 +1596,8 @@ let main =
       batch_cmd;
       serve_cmd;
       shard_cmd;
+      cluster_stats_cmd;
+      trace_merge_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -258,6 +258,60 @@ let render_prometheus ?(registry = default_registry) () =
     (snapshot ~registry ());
   Buffer.contents buf
 
+(* {1 Trace context} *)
+
+module Context = struct
+  type t = { trace_id : string; span_id : string }
+
+  let to_header ctx = ctx.trace_id ^ "/" ^ ctx.span_id
+
+  let of_header s =
+    match String.index_opt s '/' with
+    | Some i when i > 0 && i < String.length s - 1 ->
+        Some
+          {
+            trace_id = String.sub s 0 i;
+            span_id = String.sub s (i + 1) (String.length s - i - 1);
+          }
+    | _ -> None
+
+  (* Ambient context is per *thread*, not per domain: systhreads within
+     one domain share [Domain.DLS], so a DLS-keyed stack would be
+     corrupted by the socket transport's handler threads.  A Hashtbl
+     keyed by [Thread.id] costs a mutex on span entry/exit only while
+     tracing is active. *)
+  let stacks : (int, t list ref) Hashtbl.t = Hashtbl.create 64
+  let stacks_mutex = Mutex.create ()
+
+  let my_stack () =
+    let key = Thread.id (Thread.self ()) in
+    Mutex.lock stacks_mutex;
+    let s =
+      match Hashtbl.find_opt stacks key with
+      | Some s -> s
+      | None ->
+          let s = ref [] in
+          Hashtbl.replace stacks key s;
+          s
+    in
+    Mutex.unlock stacks_mutex;
+    s
+
+  let current () = match !(my_stack ()) with [] -> None | c :: _ -> Some c
+  let push c = (my_stack ()) := c :: !(my_stack ())
+
+  (* Remove [ctx] wherever it sits in the stack, not just the head: the
+     simulator interleaves tasks on one thread, so span exits are not
+     always LIFO with respect to the pushes. *)
+  let pop ctx =
+    let s = my_stack () in
+    let rec remove = function
+      | [] -> []
+      | c :: tl -> if c == ctx then tl else c :: remove tl
+    in
+    s := remove !s
+end
+
 (* {1 Tracing} *)
 
 type event = {
@@ -273,6 +327,19 @@ module Trace = struct
   let active_flag = Atomic.make false
   let epoch = Atomic.make 0.
   let mutex = Mutex.create ()
+
+  (* Identity of this process in a merged multi-process trace.  Span ids
+     are ["<node>-<n>"] with [n] from an atomic counter that [start]
+     resets, so a fixed workload on the sim transport replays to
+     bit-identical ids, and distinct node names keep ids globally unique
+     across the processes a [Trace_merge] run stitches together. *)
+  let node = Atomic.make "main"
+  let set_node n = Atomic.set node n
+  let node_name () = Atomic.get node
+  let next_id = Atomic.make 1
+
+  let fresh_id () =
+    Printf.sprintf "%s-%d" (Atomic.get node) (Atomic.fetch_and_add next_id 1)
 
   (* One buffer per domain, domain-local appends; the global list only
      grows (a dead domain's buffer stays readable). *)
@@ -302,6 +369,7 @@ module Trace = struct
     Mutex.lock mutex;
     List.iter (fun b -> b := []) !buffers;
     Mutex.unlock mutex;
+    Atomic.set next_id 1;
     Atomic.set epoch (Timed.Clock.gettimeofday ());
     Atomic.set active_flag true
 
@@ -372,7 +440,13 @@ module Trace = struct
             pf "}");
         pf "}")
       (events ());
-    pf "\n], \"displayTimeUnit\": \"ms\"}\n";
+    (* [node]/[epoch_s] are read back by [Trace_merge] to name each
+       process track and align timelines onto one clock; they go after
+       the events array so tools (and tests) that only look at the
+       leading line keep working. *)
+    pf "\n], \"displayTimeUnit\": \"ms\", \"node\": \"%s\", \"epoch_s\": %.6f}\n"
+      (escape (Atomic.get node))
+      (Atomic.get epoch);
     Buffer.contents buf
 
   let write path =
@@ -383,13 +457,24 @@ module Trace = struct
 end
 
 module Span = struct
-  let with_ ?(attrs = []) ~name f =
+  let with_ ?(attrs = []) ?parent ~name f =
     if not (Atomic.get Trace.active_flag) then f ()
     else begin
+      let parent =
+        match parent with Some _ as p -> p | None -> Context.current ()
+      in
+      let trace_id, parent_args =
+        match parent with
+        | Some p -> (p.Context.trace_id, [ ("parent_id", p.Context.span_id) ])
+        | None -> ("t" ^ Trace.fresh_id (), [])
+      in
+      let ctx = { Context.trace_id; span_id = Trace.fresh_id () } in
+      Context.push ctx;
       let t0 = Trace.now_us () in
       let tid = (Domain.self () :> int) in
       Fun.protect
         ~finally:(fun () ->
+          Context.pop ctx;
           Trace.record
             {
               ev_name = name;
@@ -397,7 +482,10 @@ module Span = struct
               ev_ts = t0;
               ev_dur = Trace.now_us () -. t0;
               ev_tid = tid;
-              ev_args = attrs;
+              ev_args =
+                attrs
+                @ (("trace_id", trace_id) :: ("span_id", ctx.Context.span_id)
+                   :: parent_args);
             })
         f
     end
@@ -414,3 +502,64 @@ module Span = struct
           ev_args = attrs;
         }
 end
+
+(* {1 Structured logs} *)
+
+module Log = struct
+  let chan : out_channel option ref = ref None
+  let mutex = Mutex.create ()
+  let set_output oc = chan := oc
+  let enabled () = !chan <> None
+
+  let emit ?(fields = []) event =
+    match !chan with
+    | None -> ()
+    | Some oc ->
+        let buf = Buffer.create 160 in
+        let pf fmt = Printf.bprintf buf fmt in
+        pf "{\"ts\": %.6f, \"node\": \"%s\", \"event\": \"%s\""
+          (Timed.Clock.gettimeofday ())
+          (Trace.escape (Trace.node_name ()))
+          (Trace.escape event);
+        (match Context.current () with
+        | None -> ()
+        | Some ctx ->
+            pf ", \"trace_id\": \"%s\", \"span_id\": \"%s\""
+              (Trace.escape ctx.Context.trace_id)
+              (Trace.escape ctx.Context.span_id));
+        List.iter
+          (fun (k, v) ->
+            pf ", \"%s\": \"%s\"" (Trace.escape k) (Trace.escape v))
+          fields;
+        pf "}\n";
+        Mutex.lock mutex;
+        output_string oc (Buffer.contents buf);
+        flush oc;
+        Mutex.unlock mutex
+end
+
+(* {1 Runtime gauges} *)
+
+(* Lazy so the gauges only appear in the registry once something asks
+   for a GC sample (the health op, the scrape endpoint, --stats). *)
+let gc_gauges =
+  lazy
+    ( Gauge.make ~help:"major heap size (words)" "runtime_gc_heap_words",
+      Gauge.make ~help:"peak major heap size (words)" "runtime_gc_top_heap_words",
+      Gauge.make ~help:"words allocated over the process lifetime"
+        "runtime_gc_allocated_words",
+      Gauge.make ~help:"minor collections" "runtime_gc_minor_collections",
+      Gauge.make ~help:"major collection cycles" "runtime_gc_major_collections",
+      Gauge.make ~help:"heap compactions" "runtime_gc_compactions" )
+
+let sample_gc () =
+  let heap, top, alloc, minor, major, compactions = Lazy.force gc_gauges in
+  let s = Gc.quick_stat () in
+  Gauge.set heap (float_of_int s.Gc.heap_words);
+  Gauge.set top (float_of_int s.Gc.top_heap_words);
+  Gauge.set alloc (s.Gc.minor_words +. s.Gc.major_words -. s.Gc.promoted_words);
+  Gauge.set minor (float_of_int s.Gc.minor_collections);
+  Gauge.set major (float_of_int s.Gc.major_collections);
+  Gauge.set compactions (float_of_int s.Gc.compactions)
+
+module Trace_merge = Trace_merge

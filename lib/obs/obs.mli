@@ -112,9 +112,48 @@ val render_prometheus : ?registry:registry -> unit -> string
     cumulative [_bucket{le="..."}] rows plus [_sum]/[_count] for
     histograms.  Metrics appear sorted by name. *)
 
+(** {1 Trace context}
+
+    A span's identity: [trace_id] names the end-to-end request timeline
+    and [span_id] one bracket on it.  Contexts travel across process
+    boundaries as a ["trace_id/span_id"] wire header carried on
+    protocol ops, and ambiently within a process on a per-thread stack
+    that {!Span.with_} maintains — so nested spans parent correctly even
+    across the socket transport's handler threads. *)
+
+module Context : sig
+  type t = { trace_id : string; span_id : string }
+
+  val to_header : t -> string
+  (** ["trace_id/span_id"], the wire form carried on protocol ops. *)
+
+  val of_header : string -> t option
+  (** Inverse of {!to_header}; [None] on anything malformed. *)
+
+  val current : unit -> t option
+  (** The calling thread's innermost active span context, if any. *)
+
+  val push : t -> unit
+  val pop : t -> unit
+  (** Explicit stack maintenance for code that carries a context across
+      a callback boundary; {!Span.with_} does this automatically. *)
+end
+
 (** {1 Structured tracing} *)
 
 module Trace : sig
+  val set_node : string -> unit
+  (** Name this process's trace identity (default ["main"]).  Span ids
+      are ["<node>-<n>"], so distinct node names keep ids unique across
+      the processes later merged by {!Trace_merge}; the name is also
+      written into the trace document for the merged track label. *)
+
+  val node_name : unit -> string
+
+  val fresh_id : unit -> string
+  (** Next span id from the per-process counter ({!start} resets it to
+      1, so sim-transport runs replay to bit-identical ids). *)
+
   val start : unit -> unit
   (** Reset the event buffers and start collecting spans.  Timestamps
       are microseconds since this call, read from the ambient
@@ -153,14 +192,55 @@ module Trace : sig
 end
 
 module Span : sig
-  val with_ : ?attrs:(string * string) list -> name:string -> (unit -> 'a) -> 'a
+  val with_ :
+    ?attrs:(string * string) list ->
+    ?parent:Context.t ->
+    name:string ->
+    (unit -> 'a) ->
+    'a
   (** [with_ ~name f] runs [f ()]; when tracing is active, records a
       complete ("X") event named [name] covering [f]'s execution on the
       calling domain's timeline, with [attrs] as its [args].  The event
       is recorded even when [f] raises, so traces are always
-      well-nested. *)
+      well-nested.
+
+      Every active span carries identity args: [trace_id], [span_id],
+      and — when it has a parent — [parent_id].  The parent is [parent]
+      when given (a context decoded from the wire), else the calling
+      thread's current ambient context; a parentless span starts a new
+      trace.  While [f] runs, the span's context is the thread's
+      ambient context, so nested spans chain automatically and
+      {!Context.current} is what a client injects into outgoing ops. *)
 
   val instant : ?attrs:(string * string) list -> string -> unit
   (** A zero-duration marker ("i" event) on the calling domain's
       timeline. *)
 end
+
+(** {1 Structured logs} *)
+
+module Log : sig
+  val set_output : out_channel option -> unit
+  (** Route JSON-lines structured logs to [oc] ([None], the default,
+      disables them).  The CLI's [--log-json] flag drives this. *)
+
+  val enabled : unit -> bool
+
+  val emit : ?fields:(string * string) list -> string -> unit
+  (** Emit one JSON line: ambient-clock [ts], this process's [node]
+      name, the [event] name, the calling thread's current trace/span
+      correlation ids (when a span is active), then [fields].  No-op
+      when no output is set. *)
+end
+
+(** {1 Runtime gauges} *)
+
+val sample_gc : unit -> unit
+(** Refresh the [runtime_gc_*] gauges (heap/top-heap words, lifetime
+    allocated words, minor/major collection counts, compactions) from
+    [Gc.quick_stat].  Registers the gauges on first call, so processes
+    that never sample keep them out of their registry. *)
+
+(** {1 Multi-process trace merging} *)
+
+module Trace_merge = Trace_merge

@@ -1,0 +1,342 @@
+(* Stitch per-process Chrome trace files into one multi-process view.
+
+   Each input is a [Trace.to_string] document: a [traceEvents] array
+   plus the [node]/[epoch_s] metadata the writer appends.  Merging
+   assigns every input a distinct [pid], names the track with a
+   [process_name] metadata event, and shifts timestamps by the epoch
+   difference so all processes share the earliest epoch as time zero —
+   which aligns virtual-clock runs exactly and wall-clock runs to the
+   precision of the recorded epochs.
+
+   [obs] sits below [lib/service], so this module cannot reuse
+   [Service.Json]; it carries its own minimal JSON reader instead. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+(* {1 A minimal JSON reader} *)
+
+type cursor = { src : string; mutable pos : int }
+
+let fail c msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg c.pos))
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let skip_ws c =
+  while
+    c.pos < String.length c.src
+    &&
+    match c.src.[c.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    c.pos <- c.pos + 1
+  done
+
+let expect c ch =
+  skip_ws c;
+  match peek c with
+  | Some x when x = ch -> c.pos <- c.pos + 1
+  | _ -> fail c (Printf.sprintf "expected %c" ch)
+
+let literal c word value =
+  if
+    c.pos + String.length word <= String.length c.src
+    && String.sub c.src c.pos (String.length word) = word
+  then begin
+    c.pos <- c.pos + String.length word;
+    value
+  end
+  else fail c ("expected " ^ word)
+
+let parse_string c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> fail c "unterminated string"
+    | Some '"' -> c.pos <- c.pos + 1
+    | Some '\\' -> (
+        c.pos <- c.pos + 1;
+        match peek c with
+        | None -> fail c "unterminated escape"
+        | Some esc ->
+            c.pos <- c.pos + 1;
+            (match esc with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'u' ->
+                if c.pos + 4 > String.length c.src then
+                  fail c "truncated \\u escape";
+                let code =
+                  int_of_string ("0x" ^ String.sub c.src c.pos 4)
+                in
+                c.pos <- c.pos + 4;
+                (* The writer only escapes control characters, so a
+                   plain byte append covers everything it emits. *)
+                if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                else Buffer.add_string buf (Printf.sprintf "\\u%04x" code)
+            | _ -> fail c "bad escape");
+            go ())
+    | Some ch ->
+        c.pos <- c.pos + 1;
+        Buffer.add_char buf ch;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let num_char ch =
+    match ch with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while c.pos < String.length c.src && num_char c.src.[c.pos] do
+    c.pos <- c.pos + 1
+  done;
+  if c.pos = start then fail c "expected number";
+  match float_of_string_opt (String.sub c.src start (c.pos - start)) with
+  | Some f -> f
+  | None -> fail c "malformed number"
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail c "unexpected end of input"
+  | Some '"' -> Str (parse_string c)
+  | Some '{' ->
+      c.pos <- c.pos + 1;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        c.pos <- c.pos + 1;
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws c;
+          let key = parse_string c in
+          expect c ':';
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              c.pos <- c.pos + 1;
+              members ((key, v) :: acc)
+          | Some '}' ->
+              c.pos <- c.pos + 1;
+              List.rev ((key, v) :: acc)
+          | _ -> fail c "expected , or }"
+        in
+        Obj (members [])
+      end
+  | Some '[' ->
+      c.pos <- c.pos + 1;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        c.pos <- c.pos + 1;
+        Arr []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              c.pos <- c.pos + 1;
+              elements (v :: acc)
+          | Some ']' ->
+              c.pos <- c.pos + 1;
+              List.rev (v :: acc)
+          | _ -> fail c "expected , or ]"
+        in
+        Arr (elements [])
+      end
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some _ -> Num (parse_number c)
+
+let parse s =
+  let c = { src = s; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if c.pos <> String.length s then fail c "trailing garbage";
+  v
+
+(* {1 Re-serialization} *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | ch when Char.code ch < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code ch))
+      | ch -> Buffer.add_char buf ch)
+    s;
+  Buffer.contents buf
+
+let rec print buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+  | Num f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Buffer.add_string buf (Printf.sprintf "%.0f" f)
+      else Buffer.add_string buf (Printf.sprintf "%.3f" f)
+  | Str s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+  | Arr vs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_string buf ", ";
+          print buf v)
+        vs;
+      Buffer.add_char buf ']'
+  | Obj members ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ", ";
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf "\": ";
+          print buf v)
+        members;
+      Buffer.add_char buf '}'
+
+(* {1 Reading one process trace} *)
+
+type process = { node : string; epoch_s : float; events : (string * json) list list }
+
+let member key = function
+  | Obj members -> List.assoc_opt key members
+  | _ -> None
+
+let read_string ?name contents =
+  let doc =
+    try parse contents
+    with Parse_error msg -> raise (Parse_error ("trace document: " ^ msg))
+  in
+  let events =
+    match member "traceEvents" doc with
+    | Some (Arr evs) ->
+        List.filter_map (function Obj m -> Some m | _ -> None) evs
+    | _ -> raise (Parse_error "trace document: missing traceEvents array")
+  in
+  let node =
+    match (name, member "node" doc) with
+    | Some n, _ -> n
+    | None, Some (Str n) -> n
+    | None, _ -> "unknown"
+  in
+  let epoch_s =
+    match member "epoch_s" doc with Some (Num e) -> e | _ -> 0.
+  in
+  { node; epoch_s; events }
+
+let read_file path =
+  let ic = open_in_bin path in
+  let contents =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  (* Default the track name to the file's basename sans extension so
+     pre-identity traces (no [node] field) still get a readable track. *)
+  let base = Filename.remove_extension (Filename.basename path) in
+  let p = read_string contents in
+  if p.node = "unknown" then { p with node = base } else p
+
+let node p = p.node
+let event_count p = List.length p.events
+
+(* {1 Merging} *)
+
+let merge processes =
+  let min_epoch =
+    List.fold_left (fun acc p -> Float.min acc p.epoch_s) infinity processes
+  in
+  let min_epoch = if min_epoch = infinity then 0. else min_epoch in
+  let rows =
+    List.concat
+      (List.mapi
+         (fun i p ->
+           let pid = i + 1 in
+           let shift_us = (p.epoch_s -. min_epoch) *. 1e6 in
+           let name_row =
+             ( 0.,
+               Obj
+                 [
+                   ("name", Str "process_name");
+                   ("ph", Str "M");
+                   ("pid", Num (float_of_int pid));
+                   ("tid", Num 0.);
+                   ("args", Obj [ ("name", Str p.node) ]);
+                 ] )
+           in
+           name_row
+           :: List.map
+                (fun members ->
+                  let ts =
+                    match List.assoc_opt "ts" members with
+                    | Some (Num t) -> t +. shift_us
+                    | _ -> 0.
+                  in
+                  let members =
+                    List.map
+                      (fun (k, v) ->
+                        match k with
+                        | "pid" -> (k, Num (float_of_int pid))
+                        | "ts" -> (k, Num ts)
+                        | _ -> (k, v))
+                      members
+                  in
+                  (ts, Obj members))
+                p.events)
+         processes)
+  in
+  (* Metadata rows sort ahead of events at equal timestamps because
+     [stable_sort] preserves their emission order. *)
+  let rows = List.stable_sort (fun (a, _) (b, _) -> compare a b) rows in
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "{\"traceEvents\": [";
+  List.iteri
+    (fun i (_, ev) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "\n  ";
+      print buf ev)
+    rows;
+  Buffer.add_string buf "\n], \"displayTimeUnit\": \"ms\"}\n";
+  Buffer.contents buf
+
+let merge_files ~out paths =
+  let processes = List.map read_file paths in
+  let merged = merge processes in
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc merged);
+  ( List.length processes,
+    List.fold_left (fun acc p -> acc + event_count p) 0 processes )

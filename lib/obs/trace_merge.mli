@@ -1,0 +1,32 @@
+(** Stitch per-process Chrome [trace_event] files — the output of
+    {!Obs.Trace.write} from a client, a router, and each shard — into
+    one multi-process trace.  Every input becomes its own [pid] with a
+    [process_name] metadata track named after the recorded [node], and
+    timestamps are shifted onto the earliest recorded epoch so
+    virtual-clock runs align exactly.  Span [trace_id]/[span_id]/
+    [parent_id] args pass through untouched, so the merged view shows
+    one causally-linked timeline per client request. *)
+
+exception Parse_error of string
+
+type process
+(** One parsed per-process trace document. *)
+
+val read_string : ?name:string -> string -> process
+(** Parse a trace document; [name] overrides the recorded node name.
+    @raise Parse_error on malformed input. *)
+
+val read_file : string -> process
+(** {!read_string} on a file's contents; traces recorded without a
+    [node] field take the file's basename as their track name. *)
+
+val node : process -> string
+val event_count : process -> int
+
+val merge : process list -> string
+(** The merged Chrome trace document, events sorted by aligned
+    timestamp. *)
+
+val merge_files : out:string -> string list -> int * int
+(** [merge_files ~out paths] merges the trace files [paths] into [out];
+    returns [(processes, events)] counts. *)

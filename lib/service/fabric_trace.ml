@@ -3,6 +3,21 @@
 let truncate_payload s =
   if String.length s <= 48 then s else String.sub s 0 45 ^ "..."
 
+(* When the in-flight payload is a request carrying a trace context,
+   surface its ids on the delivery event — clicking a fabric row in the
+   merged view then names the span timeline the message belongs to. *)
+let context_args payload =
+  match Json.parse payload with
+  | Error _ -> []
+  | Ok json -> (
+      match Protocol.trace_context json with
+      | None -> []
+      | Some ctx ->
+          [
+            ("trace_id", ctx.Obs.Context.trace_id);
+            ("parent_id", ctx.Obs.Context.span_id);
+          ])
+
 let inject fabric =
   if Obs.Trace.active () then begin
     (* One timeline row (tid) per participant, numbered in order of
@@ -29,11 +44,12 @@ let inject fabric =
         in
         Obs.Trace.inject
           ~args:
-            [
-              ("src", e.src);
-              ("dst", e.dst);
-              ("payload", truncate_payload e.payload);
-            ]
+            ([
+               ("src", e.src);
+               ("dst", e.dst);
+               ("payload", truncate_payload e.payload);
+             ]
+            @ context_args e.payload)
           ~tid:row
           ~name:
             (Printf.sprintf "%s #%d %s->%s"

@@ -101,6 +101,7 @@ type t = {
   latest : (string, Job.outcome * int) Hashtbl.t;  (* key -> (outcome, seq) *)
   mutable seq : int;  (* append counter, orders compaction output *)
   mutable compactions : int;
+  mutable last_compaction_s : float option;  (* ambient-clock timestamp *)
   compact_threshold : int;
   mutex : Mutex.t;
 }
@@ -111,7 +112,13 @@ type recovery = {
   corrupt : bool;
 }
 
-type stats = { records : int; live : int; bytes : int; compactions : int }
+type stats = {
+  records : int;
+  live : int;
+  bytes : int;
+  compactions : int;
+  last_compaction_s : float option;
+}
 
 let path t = t.path
 
@@ -177,6 +184,7 @@ let open_ ?(compact_threshold = 1024) path =
               latest;
               seq = List.length records;
               compactions = 0;
+              last_compaction_s = None;
               compact_threshold;
               mutex = Mutex.create ();
             }
@@ -228,7 +236,8 @@ let compact_locked t =
   List.iteri (fun i (key, outcome) -> Hashtbl.replace t.latest key (outcome, i))
     live;
   t.seq <- List.length live;
-  t.compactions <- t.compactions + 1
+  t.compactions <- t.compactions + 1;
+  t.last_compaction_s <- Some (Timed.Clock.gettimeofday ())
 
 let append t ~key outcome =
   locked t @@ fun () ->
@@ -253,6 +262,7 @@ let stats t =
     live = Hashtbl.length t.latest;
     bytes = t.bytes;
     compactions = t.compactions;
+    last_compaction_s = t.last_compaction_s;
   }
 
 let read_back path =

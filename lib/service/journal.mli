@@ -71,7 +71,15 @@ val sync : t -> unit
 
 val close : t -> unit
 
-type stats = { records : int; live : int; bytes : int; compactions : int }
+type stats = {
+  records : int;
+  live : int;
+  bytes : int;
+  compactions : int;
+  last_compaction_s : float option;
+      (** ambient-clock time of the last compaction in this process,
+          [None] if none has run since the journal was opened *)
+}
 
 val stats : t -> stats
 

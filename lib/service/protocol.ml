@@ -1,11 +1,106 @@
 (* Transport-independent request handling.  See protocol.mli. *)
 
-type t = { config : Runner.config }
+type t = {
+  config : Runner.config;
+  name : string;
+  started_at : float;
+  health_extra : (unit -> (string * Json.t) list) option;
+  spans : span_gate;
+}
+
+and span_gate = {
+  seen : (string, Obs.Context.t option) Hashtbl.t;
+  gate_mutex : Mutex.t;
+}
 
 type reaction = Continue | Quit
 
-let create config = { config }
+let make_span_gate () =
+  { seen = Hashtbl.create 64; gate_mutex = Mutex.create () }
+
+let create ?(name = "service") ?health config =
+  {
+    config;
+    name;
+    started_at = Timed.Clock.gettimeofday ();
+    health_extra = health;
+    spans = make_span_gate ();
+  }
+
 let config t = t.config
+
+(* {1 Trace context on the wire}
+
+   Requests may carry a ["trace": "<trace_id>/<span_id>"] member — the
+   sender's span context.  [Job.request_of_json] ignores unknown
+   members, so the field is invisible to peers that predate it. *)
+
+let trace_context json =
+  Option.bind (Json.member "trace" json) Json.to_str
+  |> Option.map Obs.Context.of_header
+  |> Option.join
+
+let set_trace json ctx =
+  match json with
+  | Json.Obj members ->
+      let members = List.filter (fun (k, _) -> k <> "trace") members in
+      Json.Obj
+        (match ctx with
+        | Some c ->
+            members @ [ ("trace", Json.String (Obs.Context.to_header c)) ]
+        | None -> members)
+  | other -> other
+
+let op_label json =
+  match Option.bind (Json.member "op" json) Json.to_str with
+  | Some op -> op
+  | None -> "analyze"
+
+(* Open a server-side child span for one delivered request.  Spans are
+   opened only for requests that carry a context (so a plain [analyze]
+   trace is unchanged), and at most once per distinct context header:
+   the fabric's at-least-once delivery may hand the same request to the
+   handler twice, and the duplicate must not mint a duplicate span.
+   The gate remembers the context each header's span was opened with,
+   and a duplicate delivery REJOINS it — so anything the re-run emits
+   downstream (a router re-forwarding, a runner's child spans) carries
+   the same identity as the first delivery and dedups there in turn,
+   instead of leaking whatever ambient context the duplicate happened
+   to interleave with. *)
+let with_request_span gate ~name ~endpoint json f =
+  if not (Obs.Trace.active ()) then f ()
+  else
+    match trace_context json with
+    | None -> f ()
+    | Some ctx -> (
+        let header = Obs.Context.to_header ctx in
+        Mutex.lock gate.gate_mutex;
+        let prior = Hashtbl.find_opt gate.seen header in
+        (match prior with
+        | None ->
+            if Hashtbl.length gate.seen > 8192 then Hashtbl.reset gate.seen;
+            (* reserve the slot; the span's context lands below once
+               minted, and a racing duplicate meanwhile sees [None] *)
+            Hashtbl.replace gate.seen header None
+        | Some _ -> ());
+        Mutex.unlock gate.gate_mutex;
+        match prior with
+        | None ->
+            Obs.Span.with_
+              ~attrs:[ ("endpoint", endpoint); ("op", op_label json) ]
+              ~parent:ctx ~name
+              (fun () ->
+                (match Obs.Context.current () with
+                | Some _ as c ->
+                    Mutex.lock gate.gate_mutex;
+                    Hashtbl.replace gate.seen header c;
+                    Mutex.unlock gate.gate_mutex
+                | None -> ());
+                f ())
+        | Some (Some c) ->
+            Obs.Context.push c;
+            Fun.protect ~finally:(fun () -> Obs.Context.pop c) f
+        | Some None -> f ())
 
 let counters_json (config : Runner.config) =
   let c =
@@ -64,26 +159,108 @@ let metric_slug name =
       match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
     name
 
+let gauge_value name =
+  match Obs.find name with
+  | Some { Obs.value = Obs.Gauge_value v; _ } -> v
+  | _ -> 0.
+
+(* {1 Health} *)
+
+(* Reads the [runtime_gc_*] gauges — call [Obs.sample_gc] first. *)
+let gc_json () =
+  Json.Obj
+    [
+      ("heap_words", Json.Float (gauge_value "runtime_gc_heap_words"));
+      ( "allocated_words",
+        Json.Float (gauge_value "runtime_gc_allocated_words") );
+      ( "minor_collections",
+        Json.Float (gauge_value "runtime_gc_minor_collections") );
+      ( "major_collections",
+        Json.Float (gauge_value "runtime_gc_major_collections") );
+    ]
+
+let health_json t =
+  Obs.sample_gc ();
+  let c =
+    match t.config.Runner.cache with
+    | Some cache -> Lru.counters cache
+    | None ->
+        { Lru.hits = 0; misses = 0; evictions = 0; size = 0; capacity = 0 }
+  in
+  let lookups = c.Lru.hits + c.Lru.misses in
+  let hit_ratio =
+    if lookups = 0 then 0. else float_of_int c.Lru.hits /. float_of_int lookups
+  in
+  let extra = match t.health_extra with None -> [] | Some f -> f () in
+  Json.Obj
+    ([
+       ("ok", Json.Bool true);
+       ("endpoint", Json.String t.name);
+       ( "uptime_s",
+         Json.Float (Timed.Clock.gettimeofday () -. t.started_at) );
+       ("queue_depth", Json.Float (gauge_value "service_queue_depth"));
+       ( "cache",
+         Json.Obj
+           [
+             ("hits", Json.Int c.Lru.hits);
+             ("misses", Json.Int c.Lru.misses);
+             ("size", Json.Int c.Lru.size);
+             ("capacity", Json.Int c.Lru.capacity);
+             ("hit_ratio", Json.Float hit_ratio);
+           ] );
+       ("gc", gc_json ());
+     ]
+    @ extra)
+
+let dispatch t json =
+  match Option.bind (Json.member "op" json) Json.to_str with
+  | Some "stats" -> (Json.to_string (counters_json t.config), Continue)
+  | Some "metrics" ->
+      Obs.sample_gc ();
+      ( Json.to_string
+          (Json.Obj
+             [
+               ("metrics", metrics_json ());
+               ("prometheus", Json.String (Obs.render_prometheus ()));
+             ]),
+        Continue )
+  | Some "health" -> (Json.to_string (health_json t), Continue)
+  | Some "cluster-stats" ->
+      (* A lone service is a one-shard cluster: answering here lets
+         [cluster-stats] point at a plain [serve] endpoint too. *)
+      ( Json.to_string
+          (Json.Obj
+             [
+               ("reachable", Json.Int 1);
+               ("shard_count", Json.Int 1);
+               ( "shards",
+                 Json.Obj
+                   [
+                     ( t.name,
+                       Json.Obj
+                         [
+                           ("reachable", Json.Bool true);
+                           ("health", health_json t);
+                         ] );
+                   ] );
+             ]),
+        Continue )
+  | Some "quit" -> (Json.to_string (Json.Obj [ ("ok", Json.Bool true) ]), Quit)
+  | Some op -> (error_json (Printf.sprintf "unknown op %S" op), Continue)
+  | None -> (
+      match Job.request_of_json json with
+      | Error msg -> (error_json msg, Continue)
+      | Ok req ->
+          ( Json.to_string (Job.outcome_to_json (Runner.run t.config req)),
+            Continue ))
+
 let handle t line =
   match Json.parse line with
   | Error msg -> (error_json msg, Continue)
-  | Ok json -> (
-      match Option.bind (Json.member "op" json) Json.to_str with
-      | Some "stats" -> (Json.to_string (counters_json t.config), Continue)
-      | Some "metrics" ->
-          ( Json.to_string
-              (Json.Obj
-                 [
-                   ("metrics", metrics_json ());
-                   ("prometheus", Json.String (Obs.render_prometheus ()));
-                 ]),
-            Continue )
-      | Some "quit" ->
-          (Json.to_string (Json.Obj [ ("ok", Json.Bool true) ]), Quit)
-      | Some op -> (error_json (Printf.sprintf "unknown op %S" op), Continue)
-      | None -> (
-          match Job.request_of_json json with
-          | Error msg -> (error_json msg, Continue)
-          | Ok req ->
-              ( Json.to_string (Job.outcome_to_json (Runner.run t.config req)),
-                Continue )))
+  | Ok json ->
+      with_request_span t.spans ~name:"service.request" ~endpoint:t.name json
+        (fun () ->
+          Obs.Log.emit
+            ~fields:[ ("endpoint", t.name); ("op", op_label json) ]
+            "service.request";
+          dispatch t json)

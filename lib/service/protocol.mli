@@ -2,12 +2,25 @@
 
     One request line in, one reply line out: requests are single-line
     JSON documents; an object with an ["op"] field is a control request
-    ([stats], [metrics], [quit]), anything else is decoded as an
-    analysis request ({!Job.request_of_json}) and run.  The stdio
-    {!Server} loop, the socket listener and the sim-fabric endpoints
-    all feed the same [handle] — which is what makes the protocol
-    testable on the fault fabric and deployable over sockets without
-    divergence. *)
+    ([stats], [metrics], [health], [cluster-stats], [quit]), anything
+    else is decoded as an analysis request ({!Job.request_of_json}) and
+    run.  The stdio {!Server} loop, the socket listener and the
+    sim-fabric endpoints all feed the same [handle] — which is what
+    makes the protocol testable on the fault fabric and deployable over
+    sockets without divergence.
+
+    {1 Trace context}
+
+    Any request may carry a ["trace": "<trace_id>/<span_id>"] member —
+    the sender's {!Obs.Context} in wire form.  While tracing is active,
+    [handle] opens a child span ([service.request]) parented on that
+    context, so a client request, the router hop and the owner shard's
+    work line up as one causally-linked timeline once the per-process
+    trace files are merged ({!Obs.Trace_merge}).  Requests without the
+    member trace exactly as before.  Transports may deliver a request
+    more than once (the sim fabric is at-least-once); a span is opened
+    at most once per distinct context header, so duplicated deliveries
+    do not mint duplicate spans. *)
 
 type t
 
@@ -15,8 +28,15 @@ type reaction =
   | Continue
   | Quit  (** the peer asked the serving loop to stop *)
 
-val create : Runner.config -> t
-(** A protocol instance answering with [config]'s runner stack. *)
+val create :
+  ?name:string ->
+  ?health:(unit -> (string * Json.t) list) ->
+  Runner.config ->
+  t
+(** A protocol instance answering with [config]'s runner stack.  [name]
+    (default ["service"]) labels spans and the [health] reply;
+    [health] contributes extra members to the [{"op":"health"}] object
+    (a shard adds its journal stats there). *)
 
 val config : t -> Runner.config
 
@@ -30,9 +50,46 @@ val counters_json : Runner.config -> Json.t
 (** The cache/attribution counter object served for [{"op":"stats"}] —
     exposed for aggregators (the {!Router} merges one per shard). *)
 
+val gc_json : unit -> Json.t
+(** The [runtime_gc_*] gauges as an object (call {!Obs.sample_gc}
+    first) — shared by shard and router health replies. *)
+
+val health_json : t -> Json.t
+(** The [{"op":"health"}] reply object: [ok], [endpoint], [uptime_s]
+    (ambient {!Timed.Clock}), scheduler [queue_depth], cache counters
+    with [hit_ratio], [runtime_gc_*] gauge readings (freshly sampled via
+    {!Obs.sample_gc}), plus whatever the [health] callback adds. *)
+
 val error_json : string -> string
 (** The canonical one-line error reply. *)
 
 val metric_slug : string -> string
 (** Map an endpoint name (possibly a socket address) to the
     [[a-zA-Z0-9_]] alphabet Prometheus metric names allow. *)
+
+(** {1 Trace-context helpers}
+
+    Shared by every protocol actor (shard, router) and the client side
+    of [batch --connect]. *)
+
+val trace_context : Json.t -> Obs.Context.t option
+(** The decoded ["trace"] member, if present and well-formed. *)
+
+val set_trace : Json.t -> Obs.Context.t option -> Json.t
+(** Replace (or with [None], remove) the ["trace"] member on a request
+    object — how the router re-parents a request onto its own span
+    before forwarding. *)
+
+type span_gate
+(** Dedup state for server-side request spans: remembers which context
+    headers have already opened one. *)
+
+val make_span_gate : unit -> span_gate
+
+val with_request_span :
+  span_gate -> name:string -> endpoint:string -> Json.t -> (unit -> 'a) -> 'a
+(** [with_request_span gate ~name ~endpoint json f] runs [f] inside a
+    child span parented on [json]'s trace context — when tracing is
+    active, the context is present, and this gate has not seen that
+    context before; plain [f ()] otherwise.  The span carries
+    [endpoint] and the request's op as args. *)

@@ -11,6 +11,8 @@ type t = {
   key_memo : (string, string) Hashtbl.t;
   memo_mutex : Mutex.t;
   stopping : bool Atomic.t;
+  started_at : float;
+  spans : Protocol.span_gate;
   m_requests : Obs.Counter.t;
   m_retries : Obs.Counter.t;
   m_failovers : Obs.Counter.t;
@@ -43,6 +45,8 @@ let create ?(name = "router") ?(retries = 2) ?call_timeout ~shards transport =
     key_memo = Hashtbl.create 64;
     memo_mutex = Mutex.create ();
     stopping = Atomic.make false;
+    started_at = Timed.Clock.gettimeofday ();
+    spans = Protocol.make_span_gate ();
     m_requests =
       Obs.Counter.make ~help:"Requests routed" "service_route_requests_total";
     m_retries =
@@ -109,6 +113,15 @@ let count_owned t shard =
     (fun (s, counter) -> if String.equal s shard then Obs.Counter.incr counter)
     t.m_owned
 
+(* A control-op line carrying the calling thread's current span context
+   (when tracing), so ops fanned out to the shards parent on the router
+   span that asked for them. *)
+let op_line op =
+  let json = Json.Obj [ ("op", Json.String op) ] in
+  Json.to_string
+    (if Obs.Trace.active () then Protocol.set_trace json (Obs.Context.current ())
+     else json)
+
 (* Try the owner [retries] times, then each following shard on the
    ring.  Timeouts and unreachable transports move on; [No_endpoint]
    skips retries for that shard (it will not appear mid-burst). *)
@@ -123,10 +136,18 @@ let forward t ~owner_shard line =
     index 0
   in
   let rec shard_loop hop =
-    if hop >= n then Error `Unreachable
+    if hop >= n then begin
+      Obs.Log.emit ~fields:[ ("owner", owner_shard) ] "route.unreachable";
+      Error `Unreachable
+    end
     else begin
-      if hop > 0 then Obs.Counter.incr t.m_failovers;
       let dst = t.shards.((start + hop) mod n) in
+      if hop > 0 then begin
+        Obs.Counter.incr t.m_failovers;
+        Obs.Log.emit
+          ~fields:[ ("owner", owner_shard); ("dst", dst) ]
+          "route.failover"
+      end;
       let rec attempt k =
         match
           Transport.call t.transport ?timeout:t.call_timeout ~src:t.name ~dst
@@ -137,6 +158,9 @@ let forward t ~owner_shard line =
         | Error (Transport.Timeout | Transport.Unreachable _) ->
             if k + 1 < t.retries then (
               Obs.Counter.incr t.m_retries;
+              Obs.Log.emit
+                ~fields:[ ("dst", dst); ("attempt", string_of_int (k + 1)) ]
+                "route.retry";
               attempt (k + 1))
             else Error `Next
       in
@@ -159,10 +183,23 @@ let unreachable_outcome id =
          wall_s = 0.;
        })
 
-let analyze t line (req : Job.request) =
+let analyze t line json (req : Job.request) =
   Obs.Counter.incr t.m_requests;
   let owner_shard, _ = route t req in
   count_owned t owner_shard;
+  Obs.Log.emit
+    ~fields:[ ("id", req.Job.id); ("owner", owner_shard) ]
+    "route.forward";
+  (* Re-parent the request onto the router's own span before forwarding,
+     so the shard span chains client -> router -> shard; without an
+     active trace the original line is forwarded untouched. *)
+  let line =
+    if Obs.Trace.active () then
+      match Obs.Context.current () with
+      | Some _ as ctx -> Json.to_string (Protocol.set_trace json ctx)
+      | None -> line
+    else line
+  in
   match forward t ~owner_shard line with
   | Ok reply -> reply
   | Error `Unreachable -> unreachable_outcome req.Job.id
@@ -182,7 +219,7 @@ let stats t =
     |> List.map (fun shard ->
            match
              Transport.call t.transport ?timeout:t.call_timeout ~src:t.name
-               ~dst:shard "{\"op\":\"stats\"}"
+               ~dst:shard (op_line "stats")
            with
            | Error e ->
                ( shard,
@@ -242,43 +279,160 @@ let quit t =
     (fun shard ->
       ignore
         (Transport.call t.transport ?timeout:t.call_timeout ~src:t.name
-           ~dst:shard "{\"op\":\"quit\"}"))
+           ~dst:shard (op_line "quit")))
     t.shards;
   Atomic.set t.stopping true;
   Json.to_string (Json.Obj [ ("ok", Json.Bool true) ])
+
+(* {1 Health and cluster aggregation} *)
+
+let probe_shards t op =
+  Array.to_list t.shards
+  |> List.map (fun shard ->
+         match
+           Transport.call t.transport ?timeout:t.call_timeout ~src:t.name
+             ~dst:shard (op_line op)
+         with
+         | Ok reply -> (shard, Ok reply)
+         | Error e -> (shard, Error (Transport.error_message e)))
+
+let health_json t =
+  Obs.sample_gc ();
+  let per = probe_shards t "health" in
+  let reachable =
+    List.length (List.filter (fun (_, r) -> Result.is_ok r) per)
+  in
+  Json.Obj
+    [
+      ("ok", Json.Bool (reachable = Array.length t.shards));
+      ("endpoint", Json.String t.name);
+      ("role", Json.String "router");
+      ( "uptime_s",
+        Json.Float (Timed.Clock.gettimeofday () -. t.started_at) );
+      ("reachable", Json.Int reachable);
+      ("shard_count", Json.Int (Array.length t.shards));
+      ( "shards",
+        Json.Obj
+          (List.map
+             (fun (shard, r) -> (shard, Json.Bool (Result.is_ok r)))
+             per) );
+      ("gc", Protocol.gc_json ());
+    ]
+
+(* [{"op":"cluster-stats"}]: one health probe per shard (plus the
+   prometheus text when [with_metrics]), merged with the router's own
+   routing counters — the whole cluster in one reply. *)
+let cluster_json t ~with_metrics =
+  let parse_reply reply =
+    match Json.parse reply with
+    | Ok json -> json
+    | Error msg -> Json.Obj [ ("error", Json.String msg) ]
+  in
+  let per =
+    probe_shards t "health"
+    |> List.map (fun (shard, r) ->
+           match r with
+           | Error msg ->
+               ( shard,
+                 Json.Obj
+                   [
+                     ("reachable", Json.Bool false);
+                     ("error", Json.String msg);
+                   ] )
+           | Ok reply ->
+               let members =
+                 [
+                   ("reachable", Json.Bool true);
+                   ("health", parse_reply reply);
+                 ]
+               in
+               let members =
+                 if not with_metrics then members
+                 else
+                   members
+                   @ [
+                       ( "metrics",
+                         match
+                           Transport.call t.transport ?timeout:t.call_timeout
+                             ~src:t.name ~dst:shard (op_line "metrics")
+                         with
+                         | Ok reply -> parse_reply reply
+                         | Error e ->
+                             Json.Obj
+                               [
+                                 ( "error",
+                                   Json.String (Transport.error_message e) );
+                               ] );
+                     ]
+               in
+               (shard, Json.Obj members))
+  in
+  let reachable =
+    List.length
+      (List.filter
+         (fun (_, v) ->
+           match v with
+           | Json.Obj members ->
+               List.assoc_opt "reachable" members = Some (Json.Bool true)
+           | _ -> false)
+         per)
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ("reachable", Json.Int reachable);
+         ("shard_count", Json.Int (Array.length t.shards));
+         ("shards", Json.Obj per);
+         ( "router",
+           Json.Obj
+             [
+               ("endpoint", Json.String t.name);
+               ("requests", Json.Int (Obs.Counter.value t.m_requests));
+               ("retries", Json.Int (Obs.Counter.value t.m_retries));
+               ("failovers", Json.Int (Obs.Counter.value t.m_failovers));
+             ] );
+       ])
 
 let strip_op = function
   | Json.Obj members -> List.filter (fun (k, _) -> k <> "op") members
   | _ -> []
 
+let dispatch t line json =
+  match Option.bind (Json.member "op" json) Json.to_str with
+  | Some "stats" -> stats t
+  | Some "metrics" ->
+      (* Local registry: the process-level view.  Per-shard
+         registries are one hop away via their own endpoints. *)
+      Obs.sample_gc ();
+      Json.to_string
+        (Json.Obj [ ("prometheus", Json.String (Obs.render_prometheus ())) ])
+  | Some "health" -> Json.to_string (health_json t)
+  | Some "cluster-stats" ->
+      let with_metrics =
+        Option.value ~default:false
+          (Option.bind (Json.member "with_metrics" json) Json.to_bool)
+      in
+      cluster_json t ~with_metrics
+  | Some "quit" -> quit t
+  | Some "route" -> (
+      match Job.request_of_json (Json.Obj (strip_op json)) with
+      | Error msg -> Protocol.error_json msg
+      | Ok req ->
+          let shard, merkle = route t req in
+          Json.to_string
+            (Json.Obj
+               [ ("shard", Json.String shard); ("key", Json.String merkle) ]))
+  | Some op -> Protocol.error_json (Printf.sprintf "unknown op %S" op)
+  | None -> (
+      match Job.request_of_json json with
+      | Error msg -> Protocol.error_json msg
+      | Ok req -> analyze t line json req)
+
 let handler t line =
   match Json.parse line with
   | Error msg -> Protocol.error_json msg
-  | Ok json -> (
-      match Option.bind (Json.member "op" json) Json.to_str with
-      | Some "stats" -> stats t
-      | Some "metrics" ->
-          (* Local registry: the process-level view.  Per-shard
-             registries are one hop away via their own endpoints. *)
-          Json.to_string
-            (Json.Obj
-               [ ("prometheus", Json.String (Obs.render_prometheus ())) ])
-      | Some "quit" -> quit t
-      | Some "route" -> (
-          match Job.request_of_json (Json.Obj (strip_op json)) with
-          | Error msg -> Protocol.error_json msg
-          | Ok req ->
-              let shard, merkle = route t req in
-              Json.to_string
-                (Json.Obj
-                   [
-                     ("shard", Json.String shard);
-                     ("key", Json.String merkle);
-                   ]))
-      | Some op -> Protocol.error_json (Printf.sprintf "unknown op %S" op)
-      | None -> (
-          match Job.request_of_json json with
-          | Error msg -> Protocol.error_json msg
-          | Ok req -> analyze t line req))
+  | Ok json ->
+      Protocol.with_request_span t.spans ~name:"router.request"
+        ~endpoint:t.name json (fun () -> dispatch t line json)
 
 let register t transport = Transport.serve transport t.name (handler t)

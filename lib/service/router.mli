@@ -24,8 +24,21 @@
     - [{"op": "route"}] — answers [{"shard": …, "key": …}] without
       running anything (debugging / tests);
     - [{"op": "metrics"}] — the router process's own Obs registry;
+    - [{"op": "health"}] — router uptime and per-shard reachability
+      (one probe per shard);
+    - [{"op": "cluster-stats"}] — per-shard health objects (plus each
+      shard's metrics when the request carries
+      [{"with_metrics": true}]) merged with the router's own routing
+      counters — the aggregated cluster view behind the
+      [cluster-stats] CLI;
     - [{"op": "quit"}] — forwards [quit] to every shard (best effort),
       replies [{"ok": true}] and latches {!stopping}.
+
+    When tracing is active and a request carries a ["trace"] context,
+    the router opens a [router.request] child span and rewrites the
+    forwarded request's context to that span, so shard spans chain
+    through the router back to the client root.  Fanned-out control ops
+    ([stats]/[health]/[metrics]/[quit]) carry the same context.
 
     Routing keys are memoized by source-content digest + options
     fingerprint, so a duplicate-heavy workload plans each distinct
@@ -60,6 +73,11 @@ val route : t -> Job.request -> string * string
 
 val handler : t -> string -> string
 (** Answer one protocol line (see above).  Never raises. *)
+
+val health_json : t -> Json.t
+(** The [{"op":"health"}] reply object: router uptime, per-shard
+    reachability booleans, GC gauges.  Also served on the
+    [--metrics-listen] endpoint's [/health] path. *)
 
 val stopping : t -> bool
 

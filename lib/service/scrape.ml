@@ -1,0 +1,16 @@
+(* The --metrics-listen endpoint: Prometheus text + health JSON over
+   the socket transport's minimal HTTP listener.  See scrape.mli. *)
+
+let start socket ~addr ~health =
+  let pages path =
+    match path with
+    | "/metrics" ->
+        Obs.sample_gc ();
+        Some
+          ( "text/plain; version=0.0.4; charset=utf-8",
+            Obs.render_prometheus () )
+    | "/health" -> Some ("application/json", health () ^ "\n")
+    | _ -> None
+  in
+  Transport_socket.serve_http socket addr pages;
+  Obs.Log.emit ~fields:[ ("addr", addr) ] "scrape.listen"

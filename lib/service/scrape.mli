@@ -1,0 +1,15 @@
+(** The per-process scrape endpoint behind [--metrics-listen]: serves
+    the process's Obs registry as Prometheus text on [GET /metrics]
+    (freshly sampling the [runtime_gc_*] gauges) and the process's
+    health object on [GET /health], over {!Transport_socket.serve_http}
+    — so both shards and routers expose the same two paths on a
+    [unix:] or [tcp:] address. *)
+
+val start :
+  Transport_socket.t -> addr:string -> health:(unit -> string) -> unit
+(** [start socket ~addr ~health] binds the listener (background accept
+    thread; stopped with the socket transport's
+    {!Transport_socket.stop}).  [health ()] is re-evaluated per
+    request.
+    @raise Invalid_argument / @raise Unix.Unix_error on a bad or
+    unbindable address. *)

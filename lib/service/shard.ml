@@ -63,10 +63,39 @@ let create ?journal ?compact_threshold ?(capacity = 256) ~name config =
                     Obs.Counter.incr appends);
             }
       in
+      let health () =
+        let replayed =
+          match recovery with
+          | Some r -> List.length r.Journal.replayed
+          | None -> 0
+        in
+        ("role", Json.String "shard")
+        ::
+        (match journal with
+        | None -> []
+        | Some j ->
+            let s = Journal.stats j in
+            [
+              ( "journal",
+                Json.Obj
+                  [
+                    ("path", Json.String (Journal.path j));
+                    ("bytes", Json.Int s.Journal.bytes);
+                    ("records", Json.Int s.Journal.records);
+                    ("live", Json.Int s.Journal.live);
+                    ("compactions", Json.Int s.Journal.compactions);
+                    ( "last_compaction_s",
+                      match s.Journal.last_compaction_s with
+                      | Some at -> Json.Float at
+                      | None -> Json.Null );
+                    ("replayed", Json.Int replayed);
+                  ] );
+            ])
+      in
       Ok
         {
           name;
-          protocol = Protocol.create config;
+          protocol = Protocol.create ~name ~health config;
           journal;
           recovery;
           stopping = Atomic.make false;
@@ -75,6 +104,7 @@ let create ?journal ?compact_threshold ?(capacity = 256) ~name config =
 
 let name t = t.name
 let config t = Protocol.config t.protocol
+let health t = Json.to_string (Protocol.health_json t.protocol)
 let journal t = t.journal
 let recovery t = t.recovery
 let stopping t = Atomic.get t.stopping

@@ -34,6 +34,12 @@ val name : t -> string
 val config : t -> Runner.config
 val journal : t -> Journal.t option
 
+val health : t -> string
+(** The [{"op":"health"}] reply as a one-line JSON string — role,
+    uptime, queue depth, cache counters, GC gauges and (with a journal)
+    path/size/records/compaction/replay stats.  Also served on the
+    [--metrics-listen] endpoint's [/health] path. *)
+
 val recovery : t -> Journal.recovery option
 (** What journal replay found at startup ([None] without a journal). *)
 

@@ -101,11 +101,14 @@ let handle_connection t handler fd =
           t.accepted <- List.filter (fun c -> c != fd) t.accepted))
     loop
 
-let serve t name handler =
+(* Bind + accept loop shared by the line protocol ([serve]) and the
+   HTTP scrape endpoint ([serve_http]): one thread per accepted
+   connection running [conn_handler]. *)
+let listen t ~what name conn_handler =
   let addr =
     match parse_addr name with
     | Ok a -> a
-    | Error msg -> invalid_arg ("Transport_socket.serve: " ^ msg)
+    | Error msg -> invalid_arg (what ^ ": " ^ msg)
   in
   (match addr with
   | Unix_sock path when Sys.file_exists path -> (
@@ -142,7 +145,7 @@ let serve t name handler =
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
       | fd, _ ->
           locked t (fun () -> t.accepted <- fd :: t.accepted);
-          ignore (Thread.create (handle_connection t handler) fd);
+          ignore (Thread.create conn_handler fd);
           accept_loop ()
   in
   ignore
@@ -153,6 +156,63 @@ let serve t name handler =
              try Unix.close lfd with Unix.Unix_error _ -> ())
            accept_loop)
        ())
+
+let serve t name handler =
+  listen t ~what:"Transport_socket.serve" name (handle_connection t handler)
+
+(* {1 The scrape endpoint}
+
+   Just enough HTTP/1.0 for a Prometheus scraper or [curl]: read the
+   request line, drain headers, answer GETs from [pages] (path ->
+   content-type * body), close.  Lives here because this module owns
+   every socket in the codebase (see [make lint-invariants]). *)
+
+let handle_http_connection t pages fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let respond status headers body =
+    try
+      output_string oc (Printf.sprintf "HTTP/1.0 %s\r\n" status);
+      List.iter
+        (fun (k, v) -> output_string oc (Printf.sprintf "%s: %s\r\n" k v))
+        (headers
+        @ [
+            ("Content-Length", string_of_int (String.length body));
+            ("Connection", "close");
+          ]);
+      output_string oc "\r\n";
+      output_string oc body;
+      flush oc
+    with Sys_error _ -> ()
+  in
+  let handle () =
+    match input_line ic with
+    | exception (End_of_file | Sys_error _) -> ()
+    | request_line -> (
+        (* drain headers up to the blank line *)
+        (try
+           while String.trim (input_line ic) <> "" do
+             ()
+           done
+         with End_of_file | Sys_error _ -> ());
+        match String.split_on_char ' ' (String.trim request_line) with
+        | "GET" :: path :: _ -> (
+            match pages path with
+            | Some (content_type, body) ->
+                respond "200 OK" [ ("Content-Type", content_type) ] body
+            | None -> respond "404 Not Found" [] "not found\n")
+        | _ -> respond "400 Bad Request" [] "bad request\n")
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      locked t (fun () ->
+          t.accepted <- List.filter (fun c -> c != fd) t.accepted))
+    handle
+
+let serve_http t name pages =
+  listen t ~what:"Transport_socket.serve_http" name
+    (handle_http_connection t pages)
 
 (* Client side. *)
 

@@ -33,6 +33,14 @@ val serve : t -> string -> (string -> string) -> unit
     @raise Invalid_argument on an unparseable address;
     @raise Unix.Unix_error when the bind fails. *)
 
+val serve_http : t -> string -> (string -> (string * string) option) -> unit
+(** [serve_http t addr pages] binds [addr] and answers minimal HTTP/1.0
+    GETs: [pages path] returns [(content_type, body)] for a [200], or
+    [None] for a [404].  One request per connection
+    ([Connection: close]).  This is the [--metrics-listen] scrape
+    endpoint; it shares {!stop}/{!wait} with the line listeners.
+    @raise Invalid_argument / @raise Unix.Unix_error as {!serve}. *)
+
 val call :
   t ->
   ?timeout:float ->

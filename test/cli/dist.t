@@ -71,3 +71,20 @@ And the same request always routes to the same shard:
   >   | aadl_sched serve --route-to unix:/tmp/s0.sock,unix:/tmp/s1.sock \
   >   | sed -E 's/"key":"[0-9a-f]+"/"key":"H"/'
   {"shard":"unix:/tmp/s1.sock","key":"H"}
+
+The health op reports liveness, queue depth, the cache's hit ratio, and
+— when a journal is attached — the journal's size and replay counters
+(volatile values normalized away):
+
+  $ echo '{"op":"health"}' \
+  >   | aadl_sched serve --journal verdicts.journal \
+  >   | sed -E 's/"uptime_s":[0-9.e+-]+/"uptime_s":T/; s/"gc":\{[^}]*\}/"gc":G/; s/"bytes":[0-9]+/"bytes":B/'
+  {"ok":true,"endpoint":"serve","uptime_s":T,"queue_depth":0.0,"cache":{"hits":0,"misses":0,"size":1,"capacity":256,"hit_ratio":0.0},"gc":G,"role":"shard","journal":{"path":"verdicts.journal","bytes":B,"records":1,"live":1,"compactions":0,"last_compaction_s":null,"replayed":1}}
+
+A lone serve endpoint also answers cluster-stats, presenting itself as
+a one-shard cluster in the same shape a router reports:
+
+  $ echo '{"op":"cluster-stats"}' \
+  >   | aadl_sched serve \
+  >   | python3 -c 'import json,sys; d=json.load(sys.stdin); print(d["reachable"], d["shard_count"], d["shards"]["service"]["reachable"], sorted(d["shards"]["service"]["health"]["cache"]))'
+  1 1 True ['capacity', 'hit_ratio', 'hits', 'misses', 'size']

@@ -73,6 +73,12 @@ same names the Prometheus exposition and the serve 'metrics' op use:
 
   $ aadl_sched analyze light.aadl --stats | sed -n '/== metrics ==/,$p' | awk 'NR>1 {print $1}'
   analysis_sensitivity_probes_total
+  runtime_gc_allocated_words
+  runtime_gc_compactions
+  runtime_gc_heap_words
+  runtime_gc_major_collections
+  runtime_gc_minor_collections
+  runtime_gc_top_heap_words
   service_job_run_seconds
   service_job_wait_seconds
   service_jobs_degraded_total
@@ -155,3 +161,86 @@ exposition rides along in the same response:
   "versa_explore_wall_seconds":{"sum":N,"count":0,"buckets":{"0.001":
   $ grep -c '"prometheus":"# HELP' metrics.json
   1
+
+Spans carry propagation identity in their args — a trace_id shared down
+the tree, a span_id per span, and a parent_id on every non-root — and
+the document records the emitting node and its epoch so trace-merge can
+align files from different processes:
+
+  $ grep -c '"trace_id": "' out.json
+  9
+  $ grep -o '"node": "[a-z]*"' out.json
+  "node": "main"
+  $ grep -c '"epoch_s": ' out.json
+  1
+
+trace-merge stitches per-process trace files into one view, assigning
+each input a pid and a process_name track:
+
+  $ aadl_sched trace-merge -o merged.json out.json
+  trace-merge: 1 processes, 9 events -> merged.json
+  $ head -1 merged.json
+  {"traceEvents": [
+  $ grep -c '"process_name"' merged.json
+  1
+
+The complete metric-name catalogue.  `make lint-invariants` greps the
+statically-named metrics out of lib/, bin/ and bench/ and fails the
+build on any name missing from this file, so a new metric cannot ship
+unpinned (per-shard names are templated at runtime and exempt):
+
+  $ cat > catalogue <<'EOF'
+  > analysis_sensitivity_probes_total
+  > runtime_gc_allocated_words
+  > runtime_gc_compactions
+  > runtime_gc_heap_words
+  > runtime_gc_major_collections
+  > runtime_gc_minor_collections
+  > runtime_gc_top_heap_words
+  > service_job_run_seconds
+  > service_job_wait_seconds
+  > service_jobs_degraded_total
+  > service_jobs_total
+  > service_miss_novel_total
+  > service_miss_options_only_total
+  > service_queue_depth
+  > service_route_failovers_total
+  > service_route_requests_total
+  > service_route_retries_total
+  > service_verdict_cache_evictions_total
+  > service_verdict_cache_hits_total
+  > service_verdict_cache_misses_total
+  > service_verdict_cache_size
+  > translate_fragments_realized_total
+  > translate_fragments_reused_total
+  > translate_plans_total
+  > versa_canon_seconds
+  > versa_explore_deadline_expired_total
+  > versa_explore_deadlocks_total
+  > versa_explore_depth_levels
+  > versa_explore_early_exit_depth
+  > versa_explore_frontier_size
+  > versa_explore_peak_frontier
+  > versa_explore_runs_total
+  > versa_explore_states_per_sec
+  > versa_explore_states_total
+  > versa_explore_transitions_total
+  > versa_explore_wall_seconds
+  > versa_hashcons_nodes
+  > versa_intern_hits_total
+  > versa_intern_misses_total
+  > versa_orbit_hits_total
+  > versa_orbit_misses_total
+  > versa_orbit_size
+  > versa_pool_worker_failures_total
+  > versa_prefetch_hits_total
+  > versa_prefetch_misses_total
+  > versa_shard_contention_ratio
+  > versa_shard_contention_total
+  > versa_steal_attempts_total
+  > versa_steals_total
+  > versa_store_bytes
+  > versa_ws_queue_depth
+  > EOF
+  $ sort -cu catalogue && wc -l < catalogue
+  51

@@ -664,6 +664,213 @@ let test_fabric_trace_export () =
       Alcotest.(check bool) (needle ^ " in trace") true (contains needle))
     [ "send #"; "deliver #"; "duplicate #"; "client->svc" ]
 
+(* {1 Trace-context propagation} *)
+
+(* Every traced event's span identity, pulled out of the trace JSON:
+   (name, trace_id, span_id, parent_id). *)
+let trace_spans () =
+  match Service.Json.parse (Obs.Trace.to_string ()) with
+  | Error msg -> Alcotest.failf "trace is not valid JSON: %s" msg
+  | Ok json -> (
+      match Service.Json.member "traceEvents" json with
+      | Some (Service.Json.List evs) ->
+          List.filter_map
+            (fun ev ->
+              match
+                ( Option.bind (Service.Json.member "name" ev)
+                    Service.Json.to_str,
+                  Service.Json.member "args" ev )
+              with
+              | Some name, Some (Service.Json.Obj args) ->
+                  let s k =
+                    match List.assoc_opt k args with
+                    | Some (Service.Json.String v) -> Some v
+                    | _ -> None
+                  in
+                  Some (name, s "trace_id", s "span_id", s "parent_id")
+              | Some name, _ -> Some (name, None, None, None)
+              | _ -> None)
+            evs
+      | _ -> Alcotest.fail "missing traceEvents")
+
+(* One traced routed batch over the simulated fabric with duplication
+   and reordering (no drops, so there are no retries/failovers and every
+   server span is a plain child).  Returns the full trace document. *)
+let traced_sim_run ?(faults = Timed.Fabric.ideal) seed =
+  let sim = Timed.Sim.create () in
+  let fabric = Timed.Fabric.create ~seed sim in
+  let transport = Service.Transport_sim.make fabric in
+  let shard_names = [ "shard0"; "shard1" ] in
+  List.iter
+    (fun name ->
+      match Service.Shard.create ~name Service.Runner.default_config with
+      | Ok s -> Service.Shard.register s transport
+      | Error msg -> Alcotest.failf "shard: %s" msg)
+    shard_names;
+  let router =
+    Service.Router.create ~retries:3 ~call_timeout:10. ~shards:shard_names
+      transport
+  in
+  Service.Router.register router transport;
+  Timed.Fabric.link fabric ~src:"client" ~dst:"router" faults;
+  List.iter
+    (fun s ->
+      Timed.Fabric.link fabric ~src:"router" ~dst:s faults;
+      Timed.Fabric.link fabric ~src:s ~dst:"router" faults)
+    shard_names;
+  let reqs =
+    List.init 4 (fun i ->
+        request_of_model
+          ~id:(Printf.sprintf "t%d" i)
+          model_pool.(i mod Array.length model_pool))
+  in
+  Timed.Sim.with_clock sim (fun () ->
+      Obs.Trace.start ();
+      List.iter
+        (fun (r : Service.Job.request) ->
+          Timed.Sim.schedule sim (fun () ->
+              ignore
+                (Obs.Span.with_ ~name:"client.request"
+                   ~attrs:[ ("id", r.id) ]
+                   (fun () ->
+                     let line =
+                       Service.Json.to_string
+                         (Service.Protocol.set_trace
+                            (Service.Job.request_to_json r)
+                            (Obs.Context.current ()))
+                     in
+                     Timed.Fabric.call fabric ~timeout:60. ~src:"client"
+                       ~dst:"router" line))))
+        reqs;
+      Timed.Sim.run_until_quiescent sim;
+      Service.Fabric_trace.inject fabric;
+      Obs.Trace.stop ());
+  Obs.Trace.to_string ()
+
+let dup_reorder =
+  { Timed.Fabric.ideal with delay = 0.01; duplicate = 0.5; reorder = 0.5 }
+
+let test_traced_spans_under_faults () =
+  ignore (traced_sim_run ~faults:dup_reorder 42);
+  let spans = trace_spans () in
+  let span_ids = List.filter_map (fun (_, _, sid, _) -> sid) spans in
+  Alcotest.(check int)
+    "span ids are unique" (List.length span_ids)
+    (List.length (List.sort_uniq compare span_ids));
+  (* duplicated deliveries must not mint duplicate server spans: with no
+     drops there is exactly one request/router span per parent edge *)
+  let edges =
+    List.filter_map
+      (fun (name, _, _, parent) ->
+        match (name, parent) with
+        | ("router.request" | "service.request"), Some p -> Some (name, p)
+        | _ -> None)
+      spans
+  in
+  Alcotest.(check bool) "server spans exist" true (edges <> []);
+  Alcotest.(check int)
+    "one server span per parent edge" (List.length edges)
+    (List.length (List.sort_uniq compare edges));
+  (* no orphans: every recorded parent_id is some recorded span *)
+  List.iter
+    (fun (name, _, _, parent) ->
+      match parent with
+      | None -> ()
+      | Some p ->
+          Alcotest.(check bool)
+            (name ^ " parent " ^ p ^ " resolves")
+            true (List.mem p span_ids))
+    spans;
+  Alcotest.(check bool)
+    "router spans present" true
+    (List.exists (fun (n, _, _, _) -> n = "router.request") spans);
+  Alcotest.(check bool)
+    "shard spans present" true
+    (List.exists (fun (n, _, _, _) -> n = "service.request") spans)
+
+let test_traced_replay_identical () =
+  let a = traced_sim_run ~faults:dup_reorder 7 in
+  let b = traced_sim_run ~faults:dup_reorder 7 in
+  Alcotest.(check bool)
+    "same seed, bit-identical trace" true (String.equal a b);
+  Alcotest.(check bool)
+    "different seed, different delivery schedule" true
+    (not (String.equal a (traced_sim_run ~faults:dup_reorder 8)))
+
+(* {1 Health and cluster ops over the sim} *)
+
+let test_health_ops () =
+  let router, fabric, sim, _ = sim_service () in
+  ignore router;
+  (* router health aggregates shard reachability *)
+  let health = call_router sim fabric {|{"op":"health"}|} in
+  (match Service.Json.parse health with
+  | Error msg -> Alcotest.failf "health: %s" msg
+  | Ok json ->
+      let str k =
+        Option.bind (Service.Json.member k json) Service.Json.to_str
+      in
+      let int k =
+        Option.bind (Service.Json.member k json) Service.Json.to_int
+      in
+      Alcotest.(check (option string)) "role" (Some "router") (str "role");
+      Alcotest.(check (option int)) "both shards reachable" (Some 2)
+        (int "reachable");
+      Alcotest.(check (option int)) "shard count" (Some 2)
+        (int "shard_count");
+      Alcotest.(check bool) "ok" true
+        (Service.Json.member "ok" json = Some (Service.Json.Bool true)));
+  (* a shard answers health directly, with its own role *)
+  let shard_health = ref None in
+  Timed.Sim.schedule sim (fun () ->
+      shard_health :=
+        Some
+          (Timed.Fabric.call fabric ~timeout:30. ~src:"client" ~dst:"shard0"
+             {|{"op":"health"}|}));
+  Timed.Sim.run_until_quiescent sim;
+  (match !shard_health with
+  | Some (Ok reply) -> (
+      match Service.Json.parse reply with
+      | Error msg -> Alcotest.failf "shard health: %s" msg
+      | Ok json ->
+          Alcotest.(check (option string))
+            "shard role" (Some "shard")
+            (Option.bind (Service.Json.member "role" json)
+               Service.Json.to_str);
+          Alcotest.(check bool)
+            "queue depth reported" true
+            (Service.Json.member "queue_depth" json <> None);
+          Alcotest.(check bool)
+            "cache section reported" true
+            (Service.Json.member "cache" json <> None))
+  | _ -> Alcotest.fail "shard health call failed");
+  (* cluster-stats merges the per-shard view *)
+  let cluster = call_router sim fabric {|{"op":"cluster-stats"}|} in
+  match Service.Json.parse cluster with
+  | Error msg -> Alcotest.failf "cluster-stats: %s" msg
+  | Ok json -> (
+      Alcotest.(check (option int))
+        "all shards reachable" (Some 2)
+        (Option.bind (Service.Json.member "reachable" json)
+           Service.Json.to_int);
+      match Service.Json.member "shards" json with
+      | Some (Service.Json.Obj per) ->
+          Alcotest.(check int) "one entry per shard" 2 (List.length per);
+          List.iter
+            (fun (name, entry) ->
+              Alcotest.(check bool) (name ^ " reachable") true
+                (Service.Json.member "reachable" entry
+                = Some (Service.Json.Bool true));
+              match Service.Json.member "health" entry with
+              | Some h ->
+                  Alcotest.(check bool)
+                    (name ^ " health has cache")
+                    true
+                    (Service.Json.member "cache" h <> None)
+              | None -> Alcotest.failf "%s: no health" name)
+            per
+      | _ -> Alcotest.fail "no shards member")
+
 (* {1 Socket transport on loopback} *)
 
 let test_addr_parsing () =
@@ -792,6 +999,63 @@ let test_socket_router_shards () =
   Service.Transport_socket.stop client;
   Service.Transport_socket.stop t
 
+(* The tentpole end to end over real fds: a traced client request
+   through a socket router to a socket shard must come back as one
+   causally-linked chain — client.request <- router.request <-
+   service.request, all on one trace id. *)
+let test_socket_trace_chain () =
+  let t = Service.Transport_socket.create () in
+  let transport = Service.Transport_socket.make t in
+  let shard_addrs = [ "unix:" ^ sock_path "tc0"; "unix:" ^ sock_path "tc1" ] in
+  List.iter
+    (fun addr ->
+      match Service.Shard.create ~name:addr Service.Runner.default_config with
+      | Ok shard -> Service.Shard.register shard transport
+      | Error msg -> Alcotest.failf "shard: %s" msg)
+    shard_addrs;
+  let router =
+    Service.Router.create
+      ~name:("unix:" ^ sock_path "tcr")
+      ~call_timeout:60. ~shards:shard_addrs transport
+  in
+  Service.Router.register router transport;
+  let client = Service.Transport_socket.create () in
+  Obs.Trace.start ();
+  (match
+     Obs.Span.with_ ~name:"client.request" (fun () ->
+         let r = request_of_model ~id:"traced" light_model in
+         let line =
+           Service.Json.to_string
+             (Service.Protocol.set_trace
+                (Service.Job.request_to_json r)
+                (Obs.Context.current ()))
+         in
+         Service.Transport_socket.call client ~timeout:120. ~src:"client"
+           ~dst:("unix:" ^ sock_path "tcr")
+           line)
+   with
+  | Ok _ -> ()
+  | Error e ->
+      Alcotest.failf "traced call: %s" (Service.Transport.error_message e));
+  Obs.Trace.stop ();
+  Service.Transport_socket.stop client;
+  Service.Transport_socket.stop t;
+  let spans = trace_spans () in
+  let find name =
+    match List.find_opt (fun (n, _, _, _) -> n = name) spans with
+    | Some s -> s
+    | None -> Alcotest.failf "no %s span" name
+  in
+  let _, c_trace, c_span, c_parent = find "client.request" in
+  let _, r_trace, r_span, r_parent = find "router.request" in
+  let _, s_trace, _, s_parent = find "service.request" in
+  Alcotest.(check (option string)) "client is the root" None c_parent;
+  Alcotest.(check bool) "ids assigned" true (c_span <> None && r_span <> None);
+  Alcotest.(check (option string)) "router parents client" c_span r_parent;
+  Alcotest.(check (option string)) "shard parents router" r_span s_parent;
+  Alcotest.(check (option string)) "one trace id: router" c_trace r_trace;
+  Alcotest.(check (option string)) "one trace id: shard" c_trace s_trace
+
 let () =
   Alcotest.run "dist"
     [
@@ -820,6 +1084,8 @@ let () =
             test_sim_healing_partition;
           Alcotest.test_case "shard restart mid-batch recovers" `Quick
             test_sim_shard_restart_mid_batch;
+          Alcotest.test_case "health and cluster-stats ops" `Quick
+            test_health_ops;
         ] );
       ( "fault-matrix",
         [
@@ -828,6 +1094,10 @@ let () =
         ] );
       ( "trace",
         [
+          Alcotest.test_case "traced spans under dup/reorder faults" `Quick
+            test_traced_spans_under_faults;
+          Alcotest.test_case "traced run replays bit-identically" `Quick
+            test_traced_replay_identical;
           Alcotest.test_case "fabric log exports to Chrome trace" `Quick
             test_fabric_trace_export;
         ] );
@@ -840,5 +1110,7 @@ let () =
             test_socket_slow_handler_timeout;
           Alcotest.test_case "router and shards on loopback" `Quick
             test_socket_router_shards;
+          Alcotest.test_case "trace chain over loopback" `Quick
+            test_socket_trace_chain;
         ] );
     ]

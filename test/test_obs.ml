@@ -201,15 +201,24 @@ let test_span_nesting () =
   let outer = by_name "outer" and inner = by_name "inner" in
   let o_ts = float_field outer "ts" and o_dur = float_field outer "dur" in
   let i_ts = float_field inner "ts" and i_dur = float_field inner "dur" in
-  Alcotest.(check bool) "inner starts after outer" true (i_ts >= o_ts);
+  (* the clock's float ulp at the current epoch is ~0.5us and the
+     emitted ts/dur are rounded to 0.001us, so allow a whisker of
+     inversion on the boundaries *)
+  let eps = 1. in
+  Alcotest.(check bool) "inner starts after outer" true (i_ts >= o_ts -. eps);
   Alcotest.(check bool)
     "inner ends before outer" true
-    (i_ts +. i_dur <= o_ts +. o_dur);
+    (i_ts +. i_dur <= o_ts +. o_dur +. eps);
   Alcotest.(check string)
     "complete-event phase" "X" (string_field outer "ph");
   Alcotest.(check string) "instant phase" "i" (string_field (by_name "mark") "ph");
+  (* args also carry the span's identity (trace_id/span_id/parent_id),
+     so look the attribute up rather than matching the whole object *)
   (match field inner "args" with
-  | Some (Service.Json.Obj [ ("k", Service.Json.String "v") ]) -> ()
+  | Some (Service.Json.Obj kvs) -> (
+      match List.assoc_opt "k" kvs with
+      | Some (Service.Json.String "v") -> ()
+      | _ -> Alcotest.fail "inner args lost")
   | _ -> Alcotest.fail "inner args lost");
   (* same-domain events share pid/tid, and the merge sorts by ts *)
   Alcotest.(check (float 0.))
@@ -261,6 +270,183 @@ let test_trace_multi_domain () =
   in
   Alcotest.(check int) "distinct timeline per domain" 2 (List.length tids)
 
+(* {1 Trace context} *)
+
+let args_field ev name =
+  match field ev "args" with
+  | Some (Service.Json.Obj kvs) -> (
+      match List.assoc_opt name kvs with
+      | Some (Service.Json.String s) -> Some s
+      | _ -> None)
+  | _ -> None
+
+let test_context_ids () =
+  Obs.Trace.start ();
+  let outer_ctx = ref None in
+  Obs.Span.with_ ~name:"outer" (fun () ->
+      outer_ctx := Obs.Context.current ();
+      Obs.Span.with_ ~name:"inner" (fun () -> ()));
+  Obs.Trace.stop ();
+  let ctx =
+    match !outer_ctx with
+    | Some c -> c
+    | None -> Alcotest.fail "no ambient context inside a span"
+  in
+  let evs = events (parse_trace ()) in
+  let by_name n = List.find (fun ev -> string_field ev "name" = n) evs in
+  let outer = by_name "outer" and inner = by_name "inner" in
+  Alcotest.(check (option string))
+    "outer's span_id is the ambient context"
+    (Some ctx.Obs.Context.span_id)
+    (args_field outer "span_id");
+  Alcotest.(check (option string))
+    "inner parents outer"
+    (Some ctx.Obs.Context.span_id)
+    (args_field inner "parent_id");
+  Alcotest.(check (option string))
+    "one trace id spans both"
+    (args_field outer "trace_id")
+    (args_field inner "trace_id");
+  Alcotest.(check (option string))
+    "outer is a root" None
+    (args_field outer "parent_id")
+
+let test_context_header_roundtrip () =
+  let ctx = { Obs.Context.trace_id = "t42"; span_id = "shard_a-7" } in
+  Alcotest.(check string)
+    "header form" "t42/shard_a-7" (Obs.Context.to_header ctx);
+  (match Obs.Context.of_header "t42/shard_a-7" with
+  | Some c ->
+      Alcotest.(check string) "trace id back" "t42" c.Obs.Context.trace_id;
+      Alcotest.(check string) "span id back" "shard_a-7" c.Obs.Context.span_id
+  | None -> Alcotest.fail "header did not parse");
+  Alcotest.(check bool)
+    "headers without a delimiter are rejected" true
+    (Obs.Context.of_header "nodelimiter" = None)
+
+let test_remote_parent () =
+  Obs.Trace.start ();
+  let remote = { Obs.Context.trace_id = "t9"; span_id = "client-1" } in
+  Obs.Span.with_ ~name:"server" ~parent:remote (fun () -> ());
+  Obs.Trace.stop ();
+  let ev = List.hd (events (parse_trace ())) in
+  Alcotest.(check (option string))
+    "adopted the remote trace id" (Some "t9")
+    (args_field ev "trace_id");
+  Alcotest.(check (option string))
+    "parents the remote span" (Some "client-1")
+    (args_field ev "parent_id")
+
+let test_trace_node_metadata () =
+  Obs.Trace.set_node "unit_test";
+  Fun.protect
+    ~finally:(fun () -> Obs.Trace.set_node "main")
+    (fun () ->
+      Obs.Trace.start ();
+      Obs.Span.with_ ~name:"a" (fun () -> ());
+      Obs.Trace.stop ();
+      let json = parse_trace () in
+      (match json with
+      | Service.Json.Obj fields ->
+          (match List.assoc_opt "node" fields with
+          | Some (Service.Json.String "unit_test") -> ()
+          | _ -> Alcotest.fail "node member missing");
+          (match List.assoc_opt "epoch_s" fields with
+          | Some (Service.Json.Float _) | Some (Service.Json.Int _) -> ()
+          | _ -> Alcotest.fail "epoch_s member missing")
+      | _ -> Alcotest.fail "trace root is not an object");
+      let ev = List.hd (events json) in
+      (* [start] resets the id counter: the root's trace_id consumes id
+         1, the span itself id 2 — deterministic run to run *)
+      Alcotest.(check (option string))
+        "span ids are node-qualified and reset by start"
+        (Some "unit_test-2")
+        (args_field ev "span_id"))
+
+(* {1 Cross-process merging} *)
+
+let trace_doc ~node ~epoch evs =
+  Printf.sprintf
+    {|{"traceEvents": [%s], "displayTimeUnit": "ms", "node": "%s", "epoch_s": %f}|}
+    (String.concat ", " evs) node epoch
+
+let test_merge_alignment () =
+  let a =
+    trace_doc ~node:"client" ~epoch:100.
+      [
+        {|{"name": "root", "cat": "span", "ph": "X", "ts": 0, "dur": 10, "pid": 1, "tid": 1}|};
+      ]
+  in
+  let b =
+    trace_doc ~node:"shard" ~epoch:100.5
+      [
+        {|{"name": "child", "cat": "span", "ph": "X", "ts": 0, "dur": 5, "pid": 1, "tid": 1}|};
+      ]
+  in
+  let merged =
+    Obs.Trace_merge.merge
+      [ Obs.Trace_merge.read_string a; Obs.Trace_merge.read_string b ]
+  in
+  match Service.Json.parse merged with
+  | Error msg -> Alcotest.failf "merged trace is not valid JSON: %s" msg
+  | Ok json ->
+      let evs = events json in
+      (* two process_name metadata rows + the two real events *)
+      Alcotest.(check int) "four events" 4 (List.length evs);
+      let named n = List.find (fun ev -> string_field ev "name" = n) evs in
+      let root = named "root" and child = named "child" in
+      Alcotest.(check (float 1e-6))
+        "child shifted by the epoch delta (0.5s in us)" 500000.
+        (float_field child "ts" -. float_field root "ts");
+      Alcotest.(check bool)
+        "processes get distinct pids" true
+        (float_field root "pid" <> float_field child "pid");
+      let metas =
+        List.filter (fun ev -> string_field ev "ph" = "M") evs
+      in
+      Alcotest.(check int) "one process_name row each" 2 (List.length metas)
+
+let test_merge_rejects_garbage () =
+  match Obs.Trace_merge.read_string "not json at all" with
+  | exception Obs.Trace_merge.Parse_error _ -> ()
+  | _ -> Alcotest.fail "garbage accepted"
+
+(* {1 Structured logs} *)
+
+let test_log_lines () =
+  let path = Filename.temp_file "obs_log" ".jsonl" in
+  let oc = open_out path in
+  Obs.Log.set_output (Some oc);
+  Obs.Trace.start ();
+  Obs.Span.with_ ~name:"op" (fun () ->
+      Obs.Log.emit ~fields:[ ("k", "v") ] "test.event");
+  Obs.Trace.stop ();
+  Obs.Log.set_output None;
+  close_out oc;
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  match Service.Json.parse line with
+  | Error msg -> Alcotest.failf "log line is not valid JSON: %s" msg
+  | Ok json ->
+      let str name =
+        Option.bind (Service.Json.member name json) Service.Json.to_str
+      in
+      Alcotest.(check (option string))
+        "event name" (Some "test.event") (str "event");
+      Alcotest.(check (option string)) "field kept" (Some "v") (str "k");
+      Alcotest.(check bool)
+        "correlated to the enclosing span" true
+        (str "span_id" <> None && str "trace_id" <> None)
+
+let test_gc_gauges () =
+  Obs.sample_gc ();
+  match Obs.find "runtime_gc_heap_words" with
+  | Some { Obs.value = Obs.Gauge_value v; _ } ->
+      Alcotest.(check bool) "heap gauge is positive" true (v > 0.)
+  | _ -> Alcotest.fail "runtime_gc_heap_words not registered"
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [ prop_concurrent_counter_merge; prop_concurrent_histogram_merge ]
@@ -295,5 +481,27 @@ let () =
           Alcotest.test_case "escaping" `Quick test_trace_escaping;
           Alcotest.test_case "multi-domain merge" `Quick
             test_trace_multi_domain;
+        ] );
+      ( "context",
+        [
+          Alcotest.test_case "span identity wiring" `Quick test_context_ids;
+          Alcotest.test_case "header roundtrip" `Quick
+            test_context_header_roundtrip;
+          Alcotest.test_case "remote parent" `Quick test_remote_parent;
+          Alcotest.test_case "node and epoch metadata" `Quick
+            test_trace_node_metadata;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "epoch alignment and pids" `Quick
+            test_merge_alignment;
+          Alcotest.test_case "rejects garbage" `Quick
+            test_merge_rejects_garbage;
+        ] );
+      ( "logs-gc",
+        [
+          Alcotest.test_case "log lines carry span ids" `Quick
+            test_log_lines;
+          Alcotest.test_case "gc gauges" `Quick test_gc_gauges;
         ] );
     ]
